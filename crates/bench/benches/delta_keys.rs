@@ -1,0 +1,62 @@
+//! DELTA key-schedule costs: precomputation, real-time component
+//! generation, and receiver-side reconstruction/decision. The paper's
+//! Requirement 4 argues these are cheap enough not to constrain
+//! transmission; these benches quantify that on commodity hardware.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mcc_delta::{decide_layered, DeltaFields, LayeredKeySchedule, SlotObservation, UpgradeMask};
+use mcc_simcore::DetRng;
+
+fn schedule_generation(c: &mut Criterion) {
+    c.bench_function("delta/schedule_generate_n10", |b| {
+        let mut rng = DetRng::new(1);
+        b.iter(|| {
+            LayeredKeySchedule::generate(&mut rng, black_box(10), UpgradeMask::from_groups(&[3]))
+        })
+    });
+}
+
+fn component_stream(c: &mut Criterion) {
+    c.bench_function("delta/component_stream_100pkts", |b| {
+        let mut rng = DetRng::new(2);
+        let sched = LayeredKeySchedule::generate(&mut rng, 10, UpgradeMask::NONE);
+        b.iter(|| {
+            let mut s = sched.component_stream(5);
+            let mut acc = mcc_delta::Key::ZERO;
+            for p in 0..100u32 {
+                acc = acc ^ s.next(&mut rng, p == 99);
+            }
+            acc
+        })
+    });
+}
+
+fn receiver_decision(c: &mut Criterion) {
+    // A full slot observation for a 10-group session, ~54 packets.
+    let mut rng = DetRng::new(3);
+    let sched = LayeredKeySchedule::generate(&mut rng, 10, UpgradeMask::from_groups(&[7]));
+    let mut obs = SlotObservation::new(0, 10);
+    for g in 1..=10u32 {
+        let count = 4 + g % 3;
+        let mut stream = sched.component_stream(g);
+        for p in 0..count {
+            let last = p + 1 == count;
+            obs.observe(&DeltaFields {
+                slot: 0,
+                group: g,
+                seq_in_slot: p,
+                last_in_slot: last,
+                count_in_slot: if last { count } else { 0 },
+                component: stream.next(&mut rng, last),
+                decrease: sched.decrease_field(g),
+                upgrades: sched.upgrades,
+            });
+        }
+    }
+    c.bench_function("delta/decide_layered_level6", |b| {
+        b.iter(|| decide_layered(black_box(&obs), 6, 10))
+    });
+}
+
+criterion_group!(benches, schedule_generation, component_stream, receiver_decision);
+criterion_main!(benches);

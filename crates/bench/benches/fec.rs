@@ -1,0 +1,37 @@
+//! FEC encoding of SIGMA key announcements: chunking a 20-group session's
+//! tuples and repetition-coding them for 50 % loss.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mcc_delta::Key;
+use mcc_netsim::GroupAddr;
+use mcc_sigma::fec::{chunk_tuples, encode_with_repeats};
+use mcc_sigma::KeyTuple;
+
+fn tuples(n: u32) -> Vec<(GroupAddr, KeyTuple)> {
+    (0..n)
+        .map(|i| {
+            (
+                GroupAddr(i),
+                KeyTuple {
+                    top: Key(i as u64),
+                    decrease: (i + 1 < n).then_some(Key(100 + i as u64)),
+                    increase: (i % 3 == 0).then_some(Key(200 + i as u64)),
+                },
+            )
+        })
+        .collect()
+}
+
+fn chunk_and_encode(c: &mut Criterion) {
+    let ts = tuples(20);
+    c.bench_function("fec/chunk_n20", |b| {
+        b.iter(|| chunk_tuples(black_box(7), ts.clone()))
+    });
+    let chunks = chunk_tuples(7, ts);
+    c.bench_function("fec/encode_repeat2", |b| {
+        b.iter(|| encode_with_repeats(black_box(&chunks), 2))
+    });
+}
+
+criterion_group!(benches, chunk_and_encode);
+criterion_main!(benches);

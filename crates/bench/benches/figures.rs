@@ -1,0 +1,21 @@
+//! End-to-end scenario costs: a shortened Figure-1/7 run — how long a
+//! full attack experiment takes to simulate. Uses small sample counts:
+//! each iteration simulates 30 seconds of network time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcc_core::experiments::attack_experiment;
+
+fn attack_runs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("attack_30s_flid_dl", |b| {
+        b.iter(|| attack_experiment(false, 30, 15, 1))
+    });
+    g.bench_function("attack_30s_flid_ds", |b| {
+        b.iter(|| attack_experiment(true, 30, 15, 1))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, attack_runs);
+criterion_main!(benches);

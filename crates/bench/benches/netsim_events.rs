@@ -1,0 +1,44 @@
+//! Raw simulator throughput: events per second for a CBR stream across a
+//! three-hop path — the baseline cost every experiment pays.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcc_netsim::prelude::*;
+use mcc_simcore::{SimDuration, SimTime};
+use mcc_traffic::{CbrConfig, CbrSource, CountingSink};
+
+fn run_one_second() -> u64 {
+    let mut sim = Sim::new(1, SimDuration::from_secs(1));
+    let a = sim.add_node();
+    let r = sim.add_node();
+    let b = sim.add_node();
+    for (x, y) in [(a, r), (r, b)] {
+        sim.add_duplex_link(
+            x,
+            y,
+            10_000_000,
+            SimDuration::from_millis(5),
+            Queue::drop_tail(1_000_000),
+            Queue::drop_tail(1_000_000),
+        );
+    }
+    let sink = sim.add_agent(b, Box::new(CountingSink::default()), SimTime::ZERO);
+    let cfg = CbrConfig::steady(
+        5_000_000,
+        576 * 8,
+        Dest::Agent(sink),
+        FlowId(0),
+        SimTime::ZERO,
+        SimTime::from_secs(1),
+    );
+    sim.add_agent(a, Box::new(CbrSource::new(cfg)), SimTime::ZERO);
+    sim.finalize();
+    sim.run_until(SimTime::from_secs(1));
+    sim.world.processed_events()
+}
+
+fn event_throughput(c: &mut Criterion) {
+    c.bench_function("netsim/cbr_5mbps_1s_sim", |b| b.iter(run_one_second));
+}
+
+criterion_group!(benches, event_throughput);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Shamir threshold-scheme costs over GF(65521): splitting a level key
+//! into per-packet shares and reconstructing it by Lagrange interpolation
+//! (paper §3.1.2, threshold-based protocols).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mcc_delta::threshold::{reconstruct, split};
+use mcc_simcore::DetRng;
+
+fn split_20(c: &mut Criterion) {
+    c.bench_function("shamir/split_k15_n20", |b| {
+        let mut rng = DetRng::new(1);
+        b.iter(|| split(black_box(31337), 15, 20, &mut rng))
+    });
+}
+
+fn reconstruct_15(c: &mut Criterion) {
+    let mut rng = DetRng::new(2);
+    let shares = split(31337, 15, 20, &mut rng);
+    c.bench_function("shamir/reconstruct_k15", |b| {
+        b.iter(|| reconstruct(black_box(&shares[0..15])))
+    });
+}
+
+fn rlm_slot_worth(c: &mut Criterion) {
+    // RLM-ish: 6 levels, ~20 packets each, split per slot.
+    c.bench_function("shamir/slot_6levels_20pkts", |b| {
+        let mut rng = DetRng::new(3);
+        b.iter(|| {
+            for lvl in 0..6u32 {
+                let s = split(1000 + lvl, 15, 20, &mut rng);
+                black_box(s);
+            }
+        })
+    });
+}
+
+criterion_group!(benches, split_20, reconstruct_15, rlm_slot_worth);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! SIGMA edge-router hot paths: key validation on subscription messages
+//! and per-packet grant checks in the data path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mcc_delta::Key;
+use mcc_sigma::{KeyTable, KeyTuple};
+use mcc_netsim::GroupAddr;
+
+fn validation(c: &mut Criterion) {
+    let mut table = KeyTable::new();
+    for g in 0..10u32 {
+        for slot in 0..4u64 {
+            table.insert(
+                GroupAddr(g),
+                slot,
+                KeyTuple {
+                    top: Key(g as u64 * 1000 + slot),
+                    decrease: Some(Key(5_000 + g as u64)),
+                    increase: (g % 2 == 0).then_some(Key(9_000 + g as u64)),
+                },
+            );
+        }
+    }
+    c.bench_function("sigma/keytable_validate_hit", |b| {
+        b.iter(|| table.validate(black_box(GroupAddr(7)), 2, Key(7002)))
+    });
+    c.bench_function("sigma/keytable_validate_miss", |b| {
+        b.iter(|| table.validate(black_box(GroupAddr(7)), 2, Key(0xdead)))
+    });
+}
+
+fn tuple_match(c: &mut Criterion) {
+    let t = KeyTuple {
+        top: Key(1),
+        decrease: Some(Key(2)),
+        increase: Some(Key(3)),
+    };
+    c.bench_function("sigma/tuple_matches", |b| {
+        b.iter(|| t.matches(black_box(Key(3))))
+    });
+}
+
+fn guard_validation(c: &mut Criterion) {
+    use mcc_delta::DeltaFields;
+    use mcc_netsim::LinkId;
+    use mcc_sigma::CollusionGuard;
+    use mcc_simcore::DetRng;
+
+    // A 10-group layered session: perturb a slot's worth of packets on
+    // one interface, then validate the perturbed top key.
+    let groups: Vec<GroupAddr> = (1..=10).map(GroupAddr).collect();
+    let mut guard = CollusionGuard::new(groups.clone());
+    let mut rng = DetRng::new(1);
+    let mut table = KeyTable::new();
+    let top = Key(0xABCD);
+    table.insert(
+        GroupAddr(5),
+        6,
+        KeyTuple {
+            top,
+            decrease: None,
+            increase: None,
+        },
+    );
+    let iface = LinkId(3);
+    let mut perturbed_top = top;
+    for g in 1..=5u32 {
+        for p in 0..5u32 {
+            let mut f = DeltaFields {
+                slot: 4,
+                group: g,
+                seq_in_slot: p,
+                last_in_slot: p == 4,
+                count_in_slot: if p == 4 { 5 } else { 0 },
+                component: Key(0),
+                decrease: None,
+                upgrades: mcc_delta::UpgradeMask::NONE,
+            };
+            let before = f.component;
+            guard.perturb(iface, GroupAddr(g), &mut f, &mut rng);
+            perturbed_top = perturbed_top ^ (before ^ f.component);
+        }
+    }
+    c.bench_function("sigma/guard_validate", |b| {
+        b.iter(|| {
+            guard.validate(
+                black_box(iface),
+                GroupAddr(5),
+                6,
+                perturbed_top,
+                &table,
+                &mut rng,
+            )
+        })
+    });
+}
+
+criterion_group!(benches, validation, tuple_match, guard_validation);
+criterion_main!(benches);

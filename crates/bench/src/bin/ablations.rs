@@ -1,0 +1,68 @@
+//! Ablations of the design choices `DESIGN.md` calls out:
+//!
+//! 1. **Component sharing** (§3.1.1): the XOR telescope versus the naive
+//!    per-key field layout — overhead comparison across group counts.
+//! 2. **FEC repetition factor** `z`: slot-miss rate at the router under
+//!    random special-packet loss, versus the bits paid.
+//! 3. **Slot duration**: FLID-DS goodput and burst-reaction time versus
+//!    SIGMA overhead — why the paper picks 250 ms.
+
+use mcc_bench::{banner, out_dir};
+use mcc_core::experiments::{fec_ablation, slot_ablation};
+use mcc_core::Table;
+use mcc_delta::overhead::{delta_overhead, naive_delta_overhead, OverheadParams};
+
+fn main() {
+    banner("Ablations", "design choices quantified");
+
+    println!("-- component sharing vs naive per-key layout --");
+    let mut t = Table::new(&["n_groups", "shared", "naive"]);
+    for n in [2u32, 5, 10, 20] {
+        let p = OverheadParams::paper(n, 0.25);
+        let shared = delta_overhead(&p);
+        let naive = naive_delta_overhead(&p);
+        t.push(vec![n as f64, shared, naive]);
+        println!(
+            "N={n:>2}  shared {:.3}%  naive {:.3}%  ({:.1}x)",
+            shared * 100.0,
+            naive * 100.0,
+            naive / shared
+        );
+    }
+    t.write_csv(out_dir().join("ablation_sharing.csv")).expect("csv");
+
+    println!("\n-- FEC repetition vs slot-miss rate --");
+    let rows = fec_ablation(&[1, 2, 3], &[0.1, 0.3, 0.5], 2000, 9);
+    let mut t = Table::new(&["repeat", "loss", "slot_miss_rate", "expansion"]);
+    for r in &rows {
+        t.push(vec![r.repeat as f64, r.loss, r.slot_miss_rate, r.expansion]);
+        println!(
+            "z={} loss={:.0}%  miss {:.2}%  (paid {:.1}x bits)",
+            r.repeat,
+            r.loss * 100.0,
+            r.slot_miss_rate * 100.0,
+            r.expansion
+        );
+    }
+    t.write_csv(out_dir().join("ablation_fec.csv")).expect("csv");
+
+    println!("\n-- slot duration: responsiveness vs overhead --");
+    let rows = slot_ablation(&[125, 250, 500, 1000], 4);
+    let mut t = Table::new(&["slot_ms", "goodput_bps", "reaction_secs", "sigma_overhead"]);
+    for r in &rows {
+        t.push(vec![
+            r.slot_ms as f64,
+            r.goodput_bps,
+            r.reaction_secs,
+            r.sigma_overhead,
+        ]);
+        println!(
+            "slot {:>4} ms  goodput {:>7.0} bps  reaction {:>4.1} s  SIGMA {:.3}%",
+            r.slot_ms,
+            r.goodput_bps,
+            r.reaction_secs,
+            r.sigma_overhead * 100.0
+        );
+    }
+    t.write_csv(out_dir().join("ablation_slot.csv")).expect("csv");
+}

@@ -1,0 +1,33 @@
+//! Regenerate every figure of the paper in sequence.
+//!
+//! `MCC_QUICK=1 cargo run --release -p mcc-bench --bin all_figures` for a
+//! fast pass; without the variable the full 200-second experiments run.
+
+use std::process::Command;
+
+fn main() {
+    let figs = [
+        "fig01_attack",
+        "fig07_protection",
+        "fig08a_dl_throughput",
+        "fig08b_ds_throughput",
+        "fig08c_avg_no_cross",
+        "fig08d_avg_cross",
+        "fig08e_responsiveness",
+        "fig08f_rtt",
+        "fig08g_convergence_dl",
+        "fig08h_convergence_ds",
+        "fig09a_overhead_groups",
+        "fig09b_overhead_slot",
+    ];
+    for f in figs {
+        let exe = std::env::current_exe().expect("self path");
+        let sibling = exe.with_file_name(f);
+        println!("\n################ {f} ################");
+        let status = Command::new(&sibling)
+            .status()
+            .unwrap_or_else(|e| panic!("run {f}: {e} (build all bins first)"));
+        assert!(status.success(), "{f} failed");
+    }
+    println!("\nAll figures regenerated into results/.");
+}

@@ -1,0 +1,24 @@
+//! Figure 1: impact of inflated subscription on FLID-DL.
+//!
+//! Two FLID-DL and two TCP Reno sessions share a 1 Mbps bottleneck
+//! (250 Kbps fair share each). At t = 100 s receiver F1 inflates its
+//! subscription; the paper reports F1 reaching ~690 Kbps at the expense
+//! of F2, T1 and T2.
+
+use mcc_bench::{banner, duration, out_dir};
+use mcc_core::experiments::attack_experiment;
+use mcc_core::{ascii_chart, write_series_csv};
+
+fn main() {
+    banner("Figure 1", "impact of inflated subscription (FLID-DL)");
+    let dur = duration(200);
+    let attack_at = dur / 2;
+    let r = attack_experiment(false, dur, attack_at, 1);
+    write_series_csv(&r.series, out_dir().join("fig01_attack.csv")).expect("write csv");
+    println!("{}", ascii_chart(&r.series, 100, 20, "throughput (bps)"));
+    println!("post-attack averages (t > {attack_at} s):");
+    for (s, avg) in r.series.iter().zip(&r.post_attack_avg_bps) {
+        println!("  {:>3}: {:>8.0} bps", s.label, avg);
+    }
+    println!("\npaper shape: F1 ≈ 690 Kbps, F2/T1/T2 crushed far below fair share");
+}

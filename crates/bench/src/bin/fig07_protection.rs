@@ -1,0 +1,22 @@
+//! Figure 7: protection with DELTA and SIGMA.
+//!
+//! The Figure-1 scenario with FLID-DS: F1 tries to inflate at t = 100 s
+//! and fails; the allocation stays fair.
+
+use mcc_bench::{banner, duration, out_dir};
+use mcc_core::experiments::attack_experiment;
+use mcc_core::{ascii_chart, write_series_csv};
+
+fn main() {
+    banner("Figure 7", "protection with DELTA and SIGMA (FLID-DS)");
+    let dur = duration(200);
+    let attack_at = dur / 2;
+    let r = attack_experiment(true, dur, attack_at, 1);
+    write_series_csv(&r.series, out_dir().join("fig07_protection.csv")).expect("write csv");
+    println!("{}", ascii_chart(&r.series, 100, 20, "throughput (bps)"));
+    println!("post-attack averages (t > {attack_at} s):");
+    for (s, avg) in r.series.iter().zip(&r.post_attack_avg_bps) {
+        println!("  {:>3}: {:>8.0} bps", s.label, avg);
+    }
+    println!("\npaper shape: all four flows stay near the 250 Kbps fair share");
+}

@@ -1,0 +1,23 @@
+//! Figure 8b: individual and average receiver throughput versus the
+//! number of multicast sessions, no cross traffic.
+
+use mcc_bench::{banner, duration, out_dir, session_counts};
+use mcc_core::experiments::throughput_vs_sessions;
+use mcc_core::Table;
+
+fn main() {
+    banner("Figure 8b", "FLID-DS throughput without cross traffic");
+    let rows = throughput_vs_sessions(true, &session_counts(), false, duration(200), 8);
+    let mut t = Table::new(&["n", "avg_bps", "min_bps", "max_bps"]);
+    for r in &rows {
+        let min = r.individual_bps.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = r.individual_bps.iter().cloned().fold(0.0, f64::max);
+        t.push(vec![r.n as f64, r.avg_bps, min, max]);
+        println!(
+            "n={:>2}  avg {:>7.0} bps  individuals [{:>7.0} .. {:>7.0}]",
+            r.n, r.avg_bps, min, max
+        );
+    }
+    t.write_csv(out_dir().join("fig08b_ds_throughput.csv")).expect("write csv");
+    println!("\npaper shape: averages stay near the 250 Kbps fair share for all n");
+}

@@ -1,0 +1,28 @@
+//! Figure 8c: average multicast throughput versus session count, FLID-DL
+//! and FLID-DS overlaid, no cross traffic — the "DS preserves DL's
+//! throughput" claim.
+
+use mcc_bench::{banner, duration, out_dir, session_counts};
+use mcc_core::experiments::throughput_vs_sessions;
+use mcc_core::Table;
+
+fn main() {
+    banner("Figure 8c", "average throughput without cross traffic");
+    let ns = session_counts();
+    let dur = duration(200);
+    let dl = throughput_vs_sessions(false, &ns, false, dur, 8);
+    let ds = throughput_vs_sessions(true, &ns, false, dur, 8);
+    let mut t = Table::new(&["n", "flid_dl_avg_bps", "flid_ds_avg_bps"]);
+    for (a, b) in dl.iter().zip(&ds) {
+        t.push(vec![a.n as f64, a.avg_bps, b.avg_bps]);
+        println!(
+            "n={:>2}  FLID-DL {:>7.0}  FLID-DS {:>7.0}  (ratio {:.2})",
+            a.n,
+            a.avg_bps,
+            b.avg_bps,
+            a.avg_bps / b.avg_bps.max(1.0)
+        );
+    }
+    t.write_csv(out_dir().join("fig08c_avg_no_cross.csv")).expect("write csv");
+    println!("\npaper shape: the two curves nearly coincide");
+}

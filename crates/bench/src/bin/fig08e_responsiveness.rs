@@ -1,0 +1,19 @@
+//! Figure 8e: responsiveness — an 800 Kbps CBR burst between 45 s and
+//! 75 s on a 1 Mbps bottleneck; FLID-DS must track FLID-DL's reaction.
+
+use mcc_bench::{banner, duration, out_dir};
+use mcc_core::experiments::responsiveness;
+use mcc_core::{ascii_chart, write_series_csv};
+
+fn main() {
+    banner("Figure 8e", "responsiveness to an 800 Kbps CBR burst");
+    let dur = duration(100);
+    let (from, to) = (dur * 45 / 100, dur * 75 / 100);
+    let dl = responsiveness(false, dur, from, to, 3);
+    let ds = responsiveness(true, dur, from, to, 3);
+    let series = vec![dl, ds];
+    write_series_csv(&series, out_dir().join("fig08e_responsiveness.csv")).expect("write csv");
+    println!("{}", ascii_chart(&series, 100, 20, "throughput (bps)"));
+    println!("burst active in [{from} s, {to} s]");
+    println!("\npaper shape: both protocols back off during the burst and recover after");
+}

@@ -1,0 +1,20 @@
+//! Figure 8f: average receiver throughput versus round-trip time — 20
+//! receivers of one session with RTTs spread uniformly over 30–220 ms.
+
+use mcc_bench::{banner, duration, out_dir};
+use mcc_core::experiments::rtt_experiment;
+use mcc_core::Table;
+
+fn main() {
+    banner("Figure 8f", "heterogeneous round-trip times");
+    let dur = duration(200);
+    let dl = rtt_experiment(false, dur, 13);
+    let ds = rtt_experiment(true, dur, 13);
+    let mut t = Table::new(&["rtt_ms", "flid_dl_bps", "flid_ds_bps"]);
+    for (a, b) in dl.iter().zip(&ds) {
+        t.push(vec![a.0, a.1, b.1]);
+        println!("rtt {:>5.0} ms  FLID-DL {:>7.0}  FLID-DS {:>7.0}", a.0, a.1, b.1);
+    }
+    t.write_csv(out_dir().join("fig08f_rtt.csv")).expect("write csv");
+    println!("\npaper shape: throughput roughly independent of RTT for both protocols");
+}

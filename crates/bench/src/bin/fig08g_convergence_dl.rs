@@ -1,0 +1,20 @@
+//! Figure 8g: subscription convergence in FLID-DL — four receivers of one
+//! session joining at 0/10/20/30 s converge to the same fair subscription.
+
+use mcc_bench::{banner, duration, out_dir};
+use mcc_core::experiments::convergence;
+use mcc_core::{ascii_chart, write_series_csv};
+
+fn main() {
+    banner("Figure 8g", "subscription convergence (FLID-DL)");
+    let dur = duration(40).max(40);
+    let r = convergence(false, dur, 11);
+    write_series_csv(&r.throughput, out_dir().join("fig08g_convergence_dl.csv")).expect("write csv");
+    write_series_csv(&r.levels, out_dir().join("fig08g_convergence_dl_levels.csv")).expect("write csv");
+    println!("{}", ascii_chart(&r.throughput, 100, 18, "throughput (bps)"));
+    for s in &r.levels {
+        let last = s.points.last().map(|p| p.1).unwrap_or(0.0);
+        println!("{}: final level {last}", s.label);
+    }
+    println!("\npaper shape: all four receivers converge to the same subscription");
+}

@@ -1,0 +1,38 @@
+//! Figure 9b: communication overhead of DELTA and SIGMA versus the slot
+//! duration (N = 10 groups).
+
+use mcc_bench::{banner, duration, out_dir};
+use mcc_core::experiments::overhead_vs_slot;
+use mcc_core::Table;
+
+fn main() {
+    banner("Figure 9b", "overhead versus slot duration");
+    let slots = [200u64, 300, 400, 500, 600, 700, 800, 900, 1000];
+    let rows = overhead_vs_slot(&slots, duration(60), 5);
+    let mut t = Table::new(&[
+        "slot_secs",
+        "delta_analytic",
+        "sigma_analytic",
+        "delta_measured",
+        "sigma_measured",
+    ]);
+    for r in &rows {
+        t.push(vec![
+            r.x,
+            r.delta_analytic,
+            r.sigma_analytic,
+            r.delta_measured,
+            r.sigma_measured,
+        ]);
+        println!(
+            "t={:.1}s  DELTA {:.3}% (meas {:.3}%)  SIGMA {:.3}% (meas {:.3}%)",
+            r.x,
+            r.delta_analytic * 100.0,
+            r.delta_measured * 100.0,
+            r.sigma_analytic * 100.0,
+            r.sigma_measured * 100.0
+        );
+    }
+    t.write_csv(out_dir().join("fig09b_overhead_slot.csv")).expect("write csv");
+    println!("\npaper shape: DELTA flat ≈ 0.8 %; SIGMA shrinks as the slot grows");
+}

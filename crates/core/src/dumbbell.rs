@@ -1,0 +1,408 @@
+//! The paper's single-bottleneck topology (§5.1).
+//!
+//! Multicast (FLID-DL / FLID-DS) and unicast (TCP Reno, on-off CBR)
+//! sessions compete for one bottleneck link, the middle link of every
+//! session's three-link path:
+//!
+//! ```text
+//! senders ─┐                     ┌─ receivers
+//! senders ──A ═══ bottleneck ═══ B── receivers
+//! senders ─┘      (20 ms)        └─ receivers
+//! ```
+//!
+//! Side links are 10 Mbps / 10 ms (receiver access delay is overridable
+//! for the heterogeneous-RTT experiment); every queue holds two
+//! bandwidth-delay products of the 80 ms base round-trip. Node `B` is the
+//! edge router; protected sessions install a SIGMA module there.
+
+use mcc_flid::{Behavior, FlidConfig, FlidReceiver, FlidSender, Mode};
+use mcc_netsim::prelude::*;
+use mcc_sigma::{SigmaConfig, SigmaEdgeModule};
+use mcc_simcore::{SimDuration, SimTime};
+use mcc_tcp::{RenoConfig, RenoSender, TcpSink};
+use mcc_traffic::{CbrConfig, CbrSource, CountingSink};
+
+/// One receiver of a multicast session.
+#[derive(Clone, Debug)]
+pub struct ReceiverSpec {
+    /// When the receiver joins the session.
+    pub join_at: SimTime,
+    /// Honest or misbehaving.
+    pub behavior: Behavior,
+    /// Propagation delay of the receiver's access link.
+    pub access_delay: SimDuration,
+}
+
+impl Default for ReceiverSpec {
+    fn default() -> Self {
+        ReceiverSpec {
+            join_at: SimTime::ZERO,
+            behavior: Behavior::Honest,
+            access_delay: SimDuration::from_millis(10),
+        }
+    }
+}
+
+/// One multicast session.
+#[derive(Clone, Debug)]
+pub struct McastSessionSpec {
+    /// FLID-DS (true) or FLID-DL (false).
+    pub protected: bool,
+    /// Number of groups (paper default 10).
+    pub n_groups: u32,
+    /// The session's receivers.
+    pub receivers: Vec<ReceiverSpec>,
+}
+
+impl McastSessionSpec {
+    /// A session with `k` honest receivers joining at t = 0.
+    pub fn honest(protected: bool, k: usize) -> Self {
+        McastSessionSpec {
+            protected,
+            n_groups: 10,
+            receivers: vec![ReceiverSpec::default(); k],
+        }
+    }
+}
+
+/// Optional on-off CBR background (Figures 8d/8e).
+#[derive(Clone, Debug)]
+pub struct CbrSpec {
+    /// Rate while on, bit/s.
+    pub rate_bps: u64,
+    /// `(on, off)` periods; `None` = always on within the window.
+    pub on_off: Option<(SimDuration, SimDuration)>,
+    /// Window start.
+    pub start: SimTime,
+    /// Window end.
+    pub stop: SimTime,
+}
+
+/// The whole scenario.
+#[derive(Clone, Debug)]
+pub struct DumbbellSpec {
+    /// Scenario seed (fully determines the run).
+    pub seed: u64,
+    /// Bottleneck capacity, bit/s.
+    pub bottleneck_bps: u64,
+    /// Bottleneck propagation delay.
+    pub bottleneck_delay: SimDuration,
+    /// Side-link propagation delay (sender side; receiver side comes from
+    /// each [`ReceiverSpec`]).
+    pub side_delay: SimDuration,
+    /// Round-trip used to size buffers (buffer = 2 × rate × rtt).
+    pub buffer_rtt: SimDuration,
+    /// Multicast sessions.
+    pub mcast: Vec<McastSessionSpec>,
+    /// Number of TCP Reno sessions.
+    pub tcp: usize,
+    /// Optional CBR background.
+    pub cbr: Option<CbrSpec>,
+    /// Monitor bin width.
+    pub monitor_bin: SimDuration,
+}
+
+impl DumbbellSpec {
+    /// Paper defaults: the caller sets the bottleneck and the competing
+    /// sessions; everything else follows §5.1.
+    pub fn new(seed: u64, bottleneck_bps: u64) -> Self {
+        DumbbellSpec {
+            seed,
+            bottleneck_bps,
+            bottleneck_delay: SimDuration::from_millis(20),
+            side_delay: SimDuration::from_millis(10),
+            buffer_rtt: SimDuration::from_millis(80),
+            mcast: Vec::new(),
+            tcp: 0,
+            cbr: None,
+            monitor_bin: SimDuration::from_secs(1),
+        }
+    }
+}
+
+/// Handles of one built multicast session.
+#[derive(Clone, Debug)]
+pub struct SessionHandle {
+    /// The session's configuration.
+    pub cfg: FlidConfig,
+    /// Sender agent.
+    pub sender: AgentId,
+    /// Receiver agents, in spec order.
+    pub receivers: Vec<AgentId>,
+}
+
+/// Handles of one TCP session.
+#[derive(Clone, Copy, Debug)]
+pub struct TcpHandle {
+    /// Reno sender agent.
+    pub sender: AgentId,
+    /// Sink agent (throughput is measured here).
+    pub sink: AgentId,
+}
+
+/// A built scenario.
+pub struct Dumbbell {
+    /// The simulator (run it!).
+    pub sim: Sim,
+    /// The edge router `B`.
+    pub edge: NodeId,
+    /// The bottleneck link `A → B`.
+    pub bottleneck: LinkId,
+    /// Multicast sessions.
+    pub sessions: Vec<SessionHandle>,
+    /// TCP sessions.
+    pub tcp: Vec<TcpHandle>,
+    /// CBR sink, when a CBR background was requested.
+    pub cbr_sink: Option<AgentId>,
+}
+
+impl Dumbbell {
+    /// Assemble a scenario.
+    pub fn build(spec: DumbbellSpec) -> Dumbbell {
+        let mut sim = Sim::new(spec.seed, spec.monitor_bin);
+        let a = sim.add_node();
+        let b = sim.add_node();
+        let buffer =
+            (2.0 * spec.bottleneck_bps as f64 * spec.buffer_rtt.as_secs_f64() / 8.0) as u64;
+        let side_buffer = (2.0 * 10_000_000.0 * spec.buffer_rtt.as_secs_f64() / 8.0) as u64;
+        let (bottleneck, _) = sim.add_duplex_link(
+            a,
+            b,
+            spec.bottleneck_bps,
+            spec.bottleneck_delay,
+            Queue::drop_tail(buffer),
+            Queue::drop_tail(buffer),
+        );
+
+        let add_sender_host = |sim: &mut Sim| {
+            let h = sim.add_node();
+            sim.add_duplex_link(
+                h,
+                a,
+                10_000_000,
+                spec.side_delay,
+                Queue::drop_tail(side_buffer),
+                Queue::drop_tail(side_buffer),
+            );
+            h
+        };
+
+        // Any protected session installs SIGMA at the edge; the module is
+        // generic, so one instance serves every session (smallest slot
+        // wins for maintenance granularity).
+        let protected_slot = spec
+            .mcast
+            .iter()
+            .filter(|m| m.protected)
+            .map(|_| SimDuration::from_millis(250))
+            .min();
+        if let Some(slot) = protected_slot {
+            sim.set_edge_module(b, Box::new(SigmaEdgeModule::new(SigmaConfig::new(slot))));
+        }
+
+        let mut sessions = Vec::new();
+        for (si, m) in spec.mcast.iter().enumerate() {
+            let base = 1000 * (si as u32 + 1);
+            let cfg = FlidConfig::paper(
+                (1..=m.n_groups).map(|g| GroupAddr(base + g)).collect(),
+                GroupAddr(base),
+                FlowId(si as u32),
+                m.protected,
+            );
+            let sender_host = add_sender_host(&mut sim);
+            for g in cfg.groups.iter().chain([&cfg.control_group]) {
+                sim.register_group(*g, sender_host);
+            }
+            let sender = sim.add_agent(
+                sender_host,
+                Box::new(FlidSender::new(cfg.clone())),
+                SimTime::ZERO,
+            );
+            let mut receivers = Vec::new();
+            for r in &m.receivers {
+                let h = sim.add_node();
+                sim.add_duplex_link(
+                    b,
+                    h,
+                    10_000_000,
+                    r.access_delay,
+                    Queue::drop_tail(side_buffer),
+                    Queue::drop_tail(side_buffer),
+                );
+                let mode = if m.protected {
+                    Mode::Ds { router: b }
+                } else {
+                    Mode::Dl
+                };
+                let mut agent = FlidReceiver::new(cfg.clone(), mode, r.behavior);
+                agent.set_control_delay(r.access_delay);
+                receivers.push(sim.add_agent(h, Box::new(agent), r.join_at));
+            }
+            sessions.push(SessionHandle {
+                cfg,
+                sender,
+                receivers,
+            });
+        }
+
+        let mut tcp = Vec::new();
+        for j in 0..spec.tcp {
+            let sh = add_sender_host(&mut sim);
+            let rh = sim.add_node();
+            sim.add_duplex_link(
+                b,
+                rh,
+                10_000_000,
+                spec.side_delay,
+                Queue::drop_tail(side_buffer),
+                Queue::drop_tail(side_buffer),
+            );
+            let sink = sim.add_agent(rh, Box::new(TcpSink::default()), SimTime::ZERO);
+            let cfg = RenoConfig::bulk(sink, FlowId(100 + j as u32));
+            let sender = sim.add_agent(
+                sh,
+                Box::new(RenoSender::new(cfg)),
+                // Staggered starts desynchronize the flows.
+                SimTime::from_millis(37 * j as u64 + 11),
+            );
+            tcp.push(TcpHandle { sender, sink });
+        }
+
+        let mut cbr_sink = None;
+        if let Some(c) = &spec.cbr {
+            let sh = add_sender_host(&mut sim);
+            let rh = sim.add_node();
+            sim.add_duplex_link(
+                b,
+                rh,
+                10_000_000,
+                spec.side_delay,
+                Queue::drop_tail(side_buffer),
+                Queue::drop_tail(side_buffer),
+            );
+            let sink = sim.add_agent(rh, Box::new(CountingSink::default()), SimTime::ZERO);
+            let cfg = CbrConfig {
+                rate_bps: c.rate_bps,
+                packet_bits: 576 * 8,
+                dest: Dest::Agent(sink),
+                flow: FlowId(200),
+                start: c.start,
+                stop: c.stop,
+                on_off: c.on_off,
+            };
+            sim.add_agent(sh, Box::new(CbrSource::new(cfg)), SimTime::ZERO);
+            cbr_sink = Some(sink);
+        }
+
+        sim.finalize();
+        Dumbbell {
+            sim,
+            edge: b,
+            bottleneck,
+            sessions,
+            tcp,
+            cbr_sink,
+        }
+    }
+
+    /// Run until `secs` of simulated time.
+    pub fn run_secs(&mut self, secs: u64) {
+        self.sim.run_until(SimTime::from_secs(secs));
+    }
+
+    /// Average delivered throughput of an agent over `[from, to)` seconds.
+    pub fn throughput_bps(&self, agent: AgentId, from: u64, to: u64) -> f64 {
+        self.sim.monitor().agent_throughput_bps(
+            agent,
+            SimTime::from_secs(from),
+            SimTime::from_secs(to),
+        )
+    }
+
+    /// Per-bin throughput series of an agent out to `horizon` seconds.
+    pub fn series_bps(&self, agent: AgentId, horizon: u64) -> Vec<f64> {
+        self.sim
+            .monitor()
+            .agent_series_bps(agent, SimTime::from_secs(horizon))
+    }
+
+    /// The SIGMA module at the edge, when installed.
+    pub fn sigma(&self) -> Option<&SigmaEdgeModule> {
+        self.sim.edge_as::<SigmaEdgeModule>(self.edge)
+    }
+
+    /// A receiver agent as its concrete type.
+    pub fn receiver(&self, id: AgentId) -> &FlidReceiver {
+        self.sim
+            .agent_as::<FlidReceiver>(id)
+            .expect("agent is a FlidReceiver")
+    }
+
+    /// A sender agent as its concrete type.
+    pub fn sender(&self, id: AgentId) -> &FlidSender {
+        self.sim
+            .agent_as::<FlidSender>(id)
+            .expect("agent is a FlidSender")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_paper_figure1_shape() {
+        let mut spec = DumbbellSpec::new(1, 1_000_000);
+        spec.mcast = vec![
+            McastSessionSpec::honest(false, 1),
+            McastSessionSpec::honest(false, 1),
+        ];
+        spec.tcp = 2;
+        let d = Dumbbell::build(spec);
+        assert_eq!(d.sessions.len(), 2);
+        assert_eq!(d.tcp.len(), 2);
+        assert!(d.sigma().is_none(), "unprotected: classic IGMP edge");
+    }
+
+    #[test]
+    fn protected_session_installs_sigma() {
+        let mut spec = DumbbellSpec::new(1, 1_000_000);
+        spec.mcast = vec![McastSessionSpec::honest(true, 1)];
+        let d = Dumbbell::build(spec);
+        assert!(d.sigma().is_some());
+    }
+
+    #[test]
+    fn short_mixed_run_delivers_traffic_everywhere() {
+        let mut spec = DumbbellSpec::new(3, 1_000_000);
+        spec.mcast = vec![McastSessionSpec::honest(true, 1)];
+        spec.tcp = 1;
+        spec.cbr = Some(CbrSpec {
+            rate_bps: 100_000,
+            on_off: None,
+            start: SimTime::ZERO,
+            stop: SimTime::from_secs(30),
+        });
+        let mut d = Dumbbell::build(spec);
+        d.run_secs(20);
+        let mc = d.throughput_bps(d.sessions[0].receivers[0], 5, 20);
+        let tcp = d.throughput_bps(d.tcp[0].sink, 5, 20);
+        let cbr = d.throughput_bps(d.cbr_sink.unwrap(), 5, 20);
+        assert!(mc > 50_000.0, "multicast {mc}");
+        assert!(tcp > 50_000.0, "tcp {tcp}");
+        assert!((cbr - 100_000.0).abs() < 15_000.0, "cbr {cbr}");
+    }
+
+    #[test]
+    fn sessions_do_not_share_group_addresses() {
+        let mut spec = DumbbellSpec::new(1, 1_000_000);
+        spec.mcast = vec![
+            McastSessionSpec::honest(false, 1),
+            McastSessionSpec::honest(false, 1),
+        ];
+        let d = Dumbbell::build(spec);
+        let g0: std::collections::HashSet<_> =
+            d.sessions[0].cfg.groups.iter().copied().collect();
+        assert!(d.sessions[1].cfg.groups.iter().all(|g| !g0.contains(g)));
+    }
+}

@@ -1,0 +1,696 @@
+//! One entry point per figure of the paper's evaluation (§5).
+//!
+//! Every function is deterministic in its `seed` and parameterized by
+//! duration so the same code drives both the full regeneration (the
+//! `mcc-bench` binaries) and fast integration tests. The experiment
+//! index in `DESIGN.md` maps each function to its figure; `EXPERIMENTS.md`
+//! records paper-versus-measured shapes.
+
+use crate::dumbbell::{
+    CbrSpec, Dumbbell, DumbbellSpec, McastSessionSpec, ReceiverSpec, SessionHandle,
+};
+use crate::metrics::Series;
+use mcc_delta::overhead::{delta_overhead, sigma_overhead, OverheadParams};
+use mcc_flid::{Behavior, FlidConfig};
+use mcc_netsim::{FlowId, GroupAddr};
+use mcc_simcore::{SimDuration, SimTime};
+
+/// Result of the attack experiments (Figures 1 and 7): throughput-vs-time
+/// of the misbehaving receiver F1, the honest receiver F2 and the TCP
+/// receivers T1/T2.
+#[derive(Clone, Debug)]
+pub struct AttackResult {
+    /// `F1, F2, T1, T2` series (bit/s, smoothed like the paper's plots).
+    pub series: Vec<Series>,
+    /// Average throughput of each flow after the attack begins.
+    pub post_attack_avg_bps: Vec<f64>,
+}
+
+/// Figures 1 & 7: two multicast + two TCP sessions on a 1 Mbps bottleneck;
+/// F1 inflates its subscription at `attack_at_secs`.
+pub fn attack_experiment(
+    protected: bool,
+    duration_secs: u64,
+    attack_at_secs: u64,
+    seed: u64,
+) -> AttackResult {
+    let mut spec = DumbbellSpec::new(seed, 1_000_000);
+    let attacker = McastSessionSpec {
+        protected,
+        n_groups: 10,
+        receivers: vec![ReceiverSpec {
+            behavior: Behavior::Inflate {
+                at: SimTime::from_secs(attack_at_secs),
+            },
+            ..ReceiverSpec::default()
+        }],
+    };
+    spec.mcast = vec![attacker, McastSessionSpec::honest(protected, 1)];
+    spec.tcp = 2;
+    let mut d = Dumbbell::build(spec);
+    d.run_secs(duration_secs);
+
+    let agents = [
+        ("F1", d.sessions[0].receivers[0]),
+        ("F2", d.sessions[1].receivers[0]),
+        ("T1", d.tcp[0].sink),
+        ("T2", d.tcp[1].sink),
+    ];
+    let series: Vec<Series> = agents
+        .iter()
+        .map(|(label, a)| {
+            Series::from_values(label, 0.0, 1.0, &d.series_bps(*a, duration_secs)).smoothed(5)
+        })
+        .collect();
+    let post_attack_avg_bps = agents
+        .iter()
+        .map(|(_, a)| d.throughput_bps(*a, attack_at_secs + 5, duration_secs))
+        .collect();
+    AttackResult {
+        series,
+        post_attack_avg_bps,
+    }
+}
+
+/// One row of the Figure 8a–8d sweeps.
+#[derive(Clone, Debug)]
+pub struct SessionsRow {
+    /// Number of multicast sessions.
+    pub n: u32,
+    /// Per-receiver average throughput, bit/s.
+    pub individual_bps: Vec<f64>,
+    /// Mean of the individual rates.
+    pub avg_bps: f64,
+}
+
+/// Figures 8a/8b (and the multicast half of 8d): `n` multicast sessions,
+/// optional equal TCP population plus an on-off CBR at 10 % of capacity.
+pub fn throughput_vs_sessions(
+    protected: bool,
+    ns: &[u32],
+    cross_traffic: bool,
+    duration_secs: u64,
+    seed: u64,
+) -> Vec<SessionsRow> {
+    ns.iter()
+        .map(|&n| {
+            let total_sessions = if cross_traffic { 2 * n } else { n };
+            let capacity = 250_000 * total_sessions as u64;
+            let mut spec = DumbbellSpec::new(seed ^ (n as u64) << 32, capacity);
+            spec.mcast = (0..n)
+                .map(|_| McastSessionSpec::honest(protected, 1))
+                .collect();
+            if cross_traffic {
+                spec.tcp = n as usize;
+                spec.cbr = Some(CbrSpec {
+                    rate_bps: capacity / 10,
+                    on_off: Some((SimDuration::from_secs(5), SimDuration::from_secs(5))),
+                    start: SimTime::ZERO,
+                    stop: SimTime::MAX,
+                });
+            }
+            let mut d = Dumbbell::build(spec);
+            d.run_secs(duration_secs);
+            let individual_bps: Vec<f64> = d
+                .sessions
+                .iter()
+                .map(|s| d.throughput_bps(s.receivers[0], 0, duration_secs))
+                .collect();
+            let avg_bps = individual_bps.iter().sum::<f64>() / individual_bps.len() as f64;
+            SessionsRow {
+                n,
+                individual_bps,
+                avg_bps,
+            }
+        })
+        .collect()
+}
+
+/// Figure 8e: responsiveness to an 800 Kbps CBR burst during
+/// `[burst_from, burst_to]` seconds on a 1 Mbps bottleneck.
+pub fn responsiveness(
+    protected: bool,
+    duration_secs: u64,
+    burst_from: u64,
+    burst_to: u64,
+    seed: u64,
+) -> Series {
+    let mut spec = DumbbellSpec::new(seed, 1_000_000);
+    spec.mcast = vec![McastSessionSpec::honest(protected, 1)];
+    spec.cbr = Some(CbrSpec {
+        rate_bps: 800_000,
+        on_off: None,
+        start: SimTime::from_secs(burst_from),
+        stop: SimTime::from_secs(burst_to),
+    });
+    let mut d = Dumbbell::build(spec);
+    d.run_secs(duration_secs);
+    let label = if protected { "FLID-DS" } else { "FLID-DL" };
+    Series::from_values(
+        label,
+        0.0,
+        1.0,
+        &d.series_bps(d.sessions[0].receivers[0], duration_secs),
+    )
+    .smoothed(5)
+}
+
+/// Figure 8f: one session, 20 receivers, round-trip times spread uniformly
+/// over 30–220 ms. Returns `(rtt_ms, avg_bps)` per receiver.
+pub fn rtt_experiment(protected: bool, duration_secs: u64, seed: u64) -> Vec<(f64, f64)> {
+    let n_receivers = 20;
+    let mut spec = DumbbellSpec::new(seed, 250_000);
+    spec.bottleneck_delay = SimDuration::from_millis(5);
+    let receivers: Vec<ReceiverSpec> = (0..n_receivers)
+        .map(|i| {
+            let rtt_ms = 30.0 + 10.0 * i as f64;
+            // One-way path = 10 (sender side) + 5 (bottleneck) + access.
+            let access_ms = (rtt_ms / 2.0 - 15.0).max(0.1);
+            ReceiverSpec {
+                access_delay: SimDuration::from_secs_f64(access_ms / 1000.0),
+                ..ReceiverSpec::default()
+            }
+        })
+        .collect();
+    spec.mcast = vec![McastSessionSpec {
+        protected,
+        n_groups: 10,
+        receivers,
+    }];
+    let mut d = Dumbbell::build(spec);
+    d.run_secs(duration_secs);
+    (0..n_receivers)
+        .map(|i| {
+            let rtt_ms = 30.0 + 10.0 * i as f64;
+            let avg = d.throughput_bps(d.sessions[0].receivers[i], 10, duration_secs);
+            (rtt_ms, avg)
+        })
+        .collect()
+}
+
+/// Result of the convergence experiments (Figures 8g/8h).
+#[derive(Clone, Debug)]
+pub struct ConvergenceResult {
+    /// Per-receiver throughput series.
+    pub throughput: Vec<Series>,
+    /// Per-receiver `(t, level)` traces.
+    pub levels: Vec<Series>,
+}
+
+/// Figures 8g/8h: four receivers of one session joining at 0/10/20/30 s
+/// behind a 250 Kbps bottleneck converge to the same subscription.
+pub fn convergence(protected: bool, duration_secs: u64, seed: u64) -> ConvergenceResult {
+    let mut spec = DumbbellSpec::new(seed, 250_000);
+    let receivers: Vec<ReceiverSpec> = (0..4)
+        .map(|i| ReceiverSpec {
+            join_at: SimTime::from_secs(10 * i),
+            ..ReceiverSpec::default()
+        })
+        .collect();
+    spec.mcast = vec![McastSessionSpec {
+        protected,
+        n_groups: 10,
+        receivers,
+    }];
+    let mut d = Dumbbell::build(spec);
+    d.run_secs(duration_secs);
+    let throughput = (0..4)
+        .map(|i| {
+            Series::from_values(
+                &format!("Receiver {}", i + 1),
+                0.0,
+                1.0,
+                &d.series_bps(d.sessions[0].receivers[i], duration_secs),
+            )
+            .smoothed(3)
+        })
+        .collect();
+    let levels = (0..4)
+        .map(|i| {
+            let r = d.receiver(d.sessions[0].receivers[i]);
+            Series {
+                label: format!("Receiver {}", i + 1),
+                points: r
+                    .level_trace
+                    .iter()
+                    .map(|&(t, l)| (t, l as f64))
+                    .collect(),
+            }
+        })
+        .collect();
+    ConvergenceResult { throughput, levels }
+}
+
+/// One row of the Figure 9 overhead sweeps.
+#[derive(Clone, Debug)]
+pub struct OverheadRow {
+    /// Swept variable: group count (9a) or slot seconds (9b).
+    pub x: f64,
+    /// DELTA overhead, closed form (paper §5.4).
+    pub delta_analytic: f64,
+    /// SIGMA overhead, closed form with measured `f_g`, `z`, `h`.
+    pub sigma_analytic: f64,
+    /// DELTA overhead measured from sender counters.
+    pub delta_measured: f64,
+    /// SIGMA overhead measured from sender counters.
+    pub sigma_measured: f64,
+}
+
+/// The paper's Figure-9 session: `R = 4 Mbps`, `r = 100 Kbps`, 500-byte
+/// data packets, 16-bit keys. Returns the session config for `n` groups
+/// and slot `t`.
+fn fig9_config(n: u32, slot: SimDuration) -> FlidConfig {
+    let r: f64 = 100_000.0;
+    let big_r = 4_000_000.0;
+    let m = (big_r / r).powf(1.0 / (n as f64 - 1.0));
+    FlidConfig {
+        groups: (1..=n).map(|g| GroupAddr(1000 + g)).collect(),
+        control_group: GroupAddr(1000),
+        flow: FlowId(0),
+        base_rate_bps: r,
+        rate_factor: m,
+        slot,
+        packet_bits: 4000,
+        protected: true,
+        fec_repeat: 2,
+        upgrade_p0: 0.6,
+        upgrade_decay: 0.75,
+        ecn: false,
+    }
+}
+
+/// Run a sender-only session and report measured + analytic overhead.
+fn overhead_point(cfg: FlidConfig, duration_secs: u64, seed: u64) -> OverheadRow {
+    use mcc_flid::FlidSender;
+    use mcc_netsim::prelude::*;
+
+    // Sender-only world: overhead counters are sender-side, and the
+    // formulas normalize by transmitted data bits, so no receivers are
+    // needed (unsubscribed groups die at the source, but they were sent).
+    let mut sim = Sim::new(seed, SimDuration::from_secs(1));
+    let h = sim.add_node();
+    let sink_node = sim.add_node();
+    sim.add_duplex_link(
+        h,
+        sink_node,
+        100_000_000,
+        SimDuration::from_millis(1),
+        Queue::drop_tail(10_000_000),
+        Queue::drop_tail(10_000_000),
+    );
+    let n = cfg.n();
+    let slot_secs = cfg.slot.as_secs_f64();
+    let sender = sim.add_agent(h, Box::new(FlidSender::new(cfg)), SimTime::ZERO);
+    sim.finalize();
+    sim.run_until(SimTime::from_secs(duration_secs));
+    let o = &sim.agent_as::<FlidSender>(sender).unwrap().overhead;
+
+    let params = OverheadParams {
+        n_groups: n,
+        data_bits_per_packet: 4000,
+        key_bits: 16,
+        slot_number_bits: 8,
+        base_rate_bps: 100_000.0,
+        session_rate_bps: 4_000_000.0,
+        slot_secs,
+    };
+    OverheadRow {
+        x: 0.0, // filled by the caller
+        delta_analytic: delta_overhead(&params),
+        sigma_analytic: sigma_overhead(
+            &params,
+            o.sum_fg(),
+            o.fec_expansion(),
+            o.header_bits_per_slot(),
+        ),
+        delta_measured: o.delta_ratio(),
+        sigma_measured: o.sigma_ratio(),
+    }
+}
+
+/// Figure 9a: overhead versus group count at `t = 250 ms`.
+pub fn overhead_vs_groups(ns: &[u32], duration_secs: u64, seed: u64) -> Vec<OverheadRow> {
+    ns.iter()
+        .map(|&n| {
+            let cfg = fig9_config(n, SimDuration::from_millis(250));
+            let mut row = overhead_point(cfg, duration_secs, seed ^ n as u64);
+            row.x = n as f64;
+            row
+        })
+        .collect()
+}
+
+/// Figure 9b: overhead versus slot duration at `N = 10`.
+pub fn overhead_vs_slot(slots_ms: &[u64], duration_secs: u64, seed: u64) -> Vec<OverheadRow> {
+    slots_ms
+        .iter()
+        .map(|&ms| {
+            let cfg = fig9_config(10, SimDuration::from_millis(ms));
+            let mut row = overhead_point(cfg, duration_secs, seed ^ ms);
+            row.x = ms as f64 / 1000.0;
+            row
+        })
+        .collect()
+}
+
+/// Convenience: the session handle of session `i`.
+pub fn session(d: &Dumbbell, i: usize) -> &SessionHandle {
+    &d.sessions[i]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Scaled-down Figure 1: the FLID-DL attack pays off.
+    #[test]
+    fn attack_pays_off_unprotected() {
+        let r = attack_experiment(false, 60, 25, 42);
+        let [f1, f2, t1, t2] = [
+            r.post_attack_avg_bps[0],
+            r.post_attack_avg_bps[1],
+            r.post_attack_avg_bps[2],
+            r.post_attack_avg_bps[3],
+        ];
+        assert!(
+            f1 > 450_000.0,
+            "attacker should exceed its 250k fair share: {f1}"
+        );
+        assert!(f1 > 1.8 * f2, "at the honest receiver's expense: {f1} {f2}");
+        assert!(f1 > 1.8 * t1.max(t2), "and TCP's: {f1} {t1} {t2}");
+    }
+
+    /// Scaled-down Figure 7: FLID-DS keeps the allocation fair.
+    #[test]
+    fn attack_neutralized_protected() {
+        let r = attack_experiment(true, 60, 25, 42);
+        let f1 = r.post_attack_avg_bps[0];
+        let f2 = r.post_attack_avg_bps[1];
+        let t_min = r.post_attack_avg_bps[2].min(r.post_attack_avg_bps[3]);
+        assert!(
+            f1 < 400_000.0,
+            "attacker must stay near its fair share: {f1}"
+        );
+        assert!(f2 > 100_000.0, "honest multicast survives: {f2}");
+        assert!(t_min > 100_000.0, "TCP survives: {t_min}");
+    }
+
+    /// Scaled-down Figure 8c: FLID-DL and FLID-DS deliver similar average
+    /// throughput without cross traffic.
+    #[test]
+    fn dl_and_ds_average_throughput_similar() {
+        let ns = [2u32];
+        let dl = throughput_vs_sessions(false, &ns, false, 60, 7);
+        let ds = throughput_vs_sessions(true, &ns, false, 60, 7);
+        let (a, b) = (dl[0].avg_bps, ds[0].avg_bps);
+        assert!(a > 120_000.0 && b > 120_000.0, "both near fair: {a} {b}");
+        let ratio = a.max(b) / a.min(b);
+        assert!(ratio < 1.45, "parity: {a} vs {b}");
+    }
+
+    /// Scaled-down Figure 8e: the burst suppresses multicast throughput
+    /// and it recovers afterwards.
+    #[test]
+    fn responsiveness_to_cbr_burst() {
+        let s = responsiveness(true, 60, 20, 35, 3);
+        let before: f64 =
+            s.points[10..18].iter().map(|p| p.1).sum::<f64>() / 8.0;
+        let during: f64 =
+            s.points[25..33].iter().map(|p| p.1).sum::<f64>() / 8.0;
+        let after: f64 = s.points[50..58].iter().map(|p| p.1).sum::<f64>() / 8.0;
+        assert!(
+            during < 0.6 * before,
+            "burst must bite: before {before} during {during}"
+        );
+        assert!(
+            after > 1.5 * during,
+            "and release: during {during} after {after}"
+        );
+    }
+
+    /// Scaled-down Figure 8g/8h core claim: late joiners converge to the
+    /// early receivers' level.
+    #[test]
+    fn convergence_of_staggered_receivers() {
+        let r = convergence(true, 45, 11);
+        let finals: Vec<f64> = r
+            .levels
+            .iter()
+            .map(|s| s.points.last().map(|p| p.1).unwrap_or(0.0))
+            .collect();
+        let max = finals.iter().cloned().fold(0.0, f64::max);
+        let min = finals.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(
+            max - min <= 1.0,
+            "final levels within one layer: {finals:?}"
+        );
+        assert!(max >= 2.0, "receivers actually climbed: {finals:?}");
+    }
+
+    /// Figure 9 magnitudes: both overheads under 1 %, DELTA ≈ 0.8 %.
+    #[test]
+    fn overhead_magnitudes_match_paper() {
+        let rows = overhead_vs_groups(&[2, 10, 20], 20, 5);
+        for row in &rows {
+            assert!(
+                (row.delta_analytic - 0.008).abs() < 0.001,
+                "DELTA ≈ 0.8 %: {row:?}"
+            );
+            assert!(row.sigma_analytic < 0.006, "SIGMA < 0.6 %: {row:?}");
+            assert!(
+                (row.delta_measured - row.delta_analytic).abs() < 0.002,
+                "measured tracks closed form: {row:?}"
+            );
+            assert!(row.sigma_measured < 0.012, "{row:?}");
+        }
+        let slot_rows = overhead_vs_slot(&[200, 500, 1000], 20, 5);
+        assert!(
+            slot_rows[0].sigma_analytic > slot_rows[2].sigma_analytic,
+            "SIGMA overhead falls with slot duration"
+        );
+    }
+
+    /// Figure 8f shape: throughput roughly independent of RTT under
+    /// FLID-DS.
+    #[test]
+    fn rtt_independence() {
+        let rows = rtt_experiment(true, 60, 13);
+        let rates: Vec<f64> = rows.iter().map(|r| r.1).collect();
+        let mean = rates.iter().sum::<f64>() / rates.len() as f64;
+        assert!(mean > 100_000.0, "receivers get service: {mean}");
+        for (rtt, rate) in &rows {
+            assert!(
+                (rate - mean).abs() < 0.35 * mean,
+                "rtt {rtt} deviates: {rate} vs mean {mean}"
+            );
+        }
+    }
+}
+
+/// One row of the FEC-repetition ablation.
+#[derive(Clone, Debug)]
+pub struct FecAblationRow {
+    /// Repetition factor `z`.
+    pub repeat: u32,
+    /// Loss probability applied to special packets.
+    pub loss: f64,
+    /// Fraction of slots whose key tuples failed to reach the router
+    /// completely.
+    pub slot_miss_rate: f64,
+    /// Bit-expansion factor actually paid.
+    pub expansion: f64,
+}
+
+/// Ablation: FEC repetition factor versus key-table miss rate under
+/// random special-packet loss (the `z` the paper sizes against 50 % loss
+/// in §5.4). Monte-Carlo over `slots` independent slots of a 10-group
+/// announcement.
+pub fn fec_ablation(repeats: &[u32], losses: &[f64], slots: u32, seed: u64) -> Vec<FecAblationRow> {
+    use mcc_delta::Key;
+    use mcc_sigma::fec::{chunk_tuples, encode_with_repeats, FecAccounting};
+    use mcc_sigma::KeyTuple;
+    use mcc_simcore::DetRng;
+
+    let mut rng = DetRng::new(seed);
+    let tuples: Vec<(GroupAddr, mcc_sigma::KeyTuple)> = (0..10)
+        .map(|i| {
+            (
+                GroupAddr(i),
+                KeyTuple {
+                    top: Key(i as u64),
+                    decrease: Some(Key(100 + i as u64)),
+                    increase: None,
+                },
+            )
+        })
+        .collect();
+    let mut rows = Vec::new();
+    for &repeat in repeats {
+        for &loss in losses {
+            let chunks = chunk_tuples(0, tuples.clone());
+            let mut missed = 0u32;
+            let mut acc = FecAccounting::default();
+            for _ in 0..slots {
+                let coded = encode_with_repeats(&chunks, repeat);
+                acc = FecAccounting::measure(&chunks, &coded);
+                // A slot is served iff every distinct chunk survives in
+                // at least one copy.
+                let survivors: Vec<u32> = coded
+                    .iter()
+                    .filter(|_| !rng.chance(loss))
+                    .map(|c| c.index)
+                    .collect();
+                let all = chunks.iter().all(|c| survivors.contains(&c.index));
+                if !all {
+                    missed += 1;
+                }
+            }
+            rows.push(FecAblationRow {
+                repeat,
+                loss,
+                slot_miss_rate: missed as f64 / slots as f64,
+                expansion: acc.expansion(),
+            });
+        }
+    }
+    rows
+}
+
+/// One row of the slot-duration ablation.
+#[derive(Clone, Debug)]
+pub struct SlotAblationRow {
+    /// Slot duration in milliseconds.
+    pub slot_ms: u64,
+    /// Steady-state receiver goodput on a 1 Mbps private bottleneck.
+    pub goodput_bps: f64,
+    /// Seconds from burst onset until throughput first halves
+    /// (responsiveness; smaller is faster).
+    pub reaction_secs: f64,
+    /// Analytic SIGMA overhead at this slot duration.
+    pub sigma_overhead: f64,
+}
+
+/// Ablation: the FLID-DS slot duration trades responsiveness against
+/// SIGMA overhead — the paper sets 250 ms to match FLID-DL's 500 ms
+/// granularity through SIGMA's two-slot enforcement.
+pub fn slot_ablation(slot_ms: &[u64], seed: u64) -> Vec<SlotAblationRow> {
+    use mcc_flid::{FlidReceiver, FlidSender, Mode as FlidMode};
+    use mcc_netsim::prelude::*;
+    use mcc_sigma::{SigmaConfig, SigmaEdgeModule};
+
+    slot_ms
+        .iter()
+        .map(|&ms| {
+            // A hand-built dumbbell (the shared builder pins 250 ms slots).
+            let mut sim = Sim::new(seed ^ ms, SimDuration::from_secs(1));
+            let s = sim.add_node();
+            let a = sim.add_node();
+            let b = sim.add_node();
+            let h = sim.add_node();
+            sim.add_duplex_link(
+                s,
+                a,
+                10_000_000,
+                SimDuration::from_millis(10),
+                Queue::drop_tail(1_000_000),
+                Queue::drop_tail(1_000_000),
+            );
+            let buf = (2.0 * 1_000_000.0 * 0.08 / 8.0) as u64;
+            sim.add_duplex_link(
+                a,
+                b,
+                1_000_000,
+                SimDuration::from_millis(20),
+                Queue::drop_tail(buf),
+                Queue::drop_tail(buf),
+            );
+            sim.add_duplex_link(
+                b,
+                h,
+                10_000_000,
+                SimDuration::from_millis(10),
+                Queue::drop_tail(1_000_000),
+                Queue::drop_tail(1_000_000),
+            );
+            let mut cfg = FlidConfig::paper(
+                (1..=10).map(GroupAddr).collect(),
+                GroupAddr(0),
+                FlowId(1),
+                true,
+            );
+            cfg.slot = SimDuration::from_millis(ms);
+            for g in cfg.groups.iter().chain([&cfg.control_group]) {
+                sim.register_group(*g, s);
+            }
+            sim.set_edge_module(b, Box::new(SigmaEdgeModule::new(SigmaConfig::new(cfg.slot))));
+            let r = sim.add_agent(
+                h,
+                Box::new(FlidReceiver::new(
+                    cfg.clone(),
+                    FlidMode::Ds { router: b },
+                    Behavior::Honest,
+                )),
+                SimTime::from_millis(5),
+            );
+            // An 800 kbps burst at t = 40 s probes the reaction time.
+            use mcc_traffic::{CbrConfig, CbrSource, CountingSink};
+            let cs = sim.add_node();
+            let cr = sim.add_node();
+            sim.add_duplex_link(
+                cs,
+                a,
+                10_000_000,
+                SimDuration::from_millis(10),
+                Queue::drop_tail(1_000_000),
+                Queue::drop_tail(1_000_000),
+            );
+            sim.add_duplex_link(
+                b,
+                cr,
+                10_000_000,
+                SimDuration::from_millis(10),
+                Queue::drop_tail(1_000_000),
+                Queue::drop_tail(1_000_000),
+            );
+            let cbr_sink = sim.add_agent(cr, Box::new(CountingSink::default()), SimTime::ZERO);
+            sim.add_agent(
+                cs,
+                Box::new(CbrSource::new(CbrConfig::steady(
+                    800_000,
+                    576 * 8,
+                    Dest::Agent(cbr_sink),
+                    FlowId(2),
+                    SimTime::from_secs(40),
+                    SimTime::from_secs(60),
+                ))),
+                SimTime::ZERO,
+            );
+            sim.add_agent(s, Box::new(FlidSender::new(cfg)), SimTime::ZERO);
+            sim.finalize();
+            sim.run_until(SimTime::from_secs(60));
+
+            let series = sim.monitor().agent_series_bps(r, SimTime::from_secs(60));
+            let steady: f64 = series[20..38].iter().sum::<f64>() / 18.0;
+            let reaction = series[40..]
+                .iter()
+                .position(|&v| v < steady / 2.0)
+                .map(|i| i as f64 + 0.5)
+                .unwrap_or(f64::INFINITY);
+            let params = OverheadParams {
+                n_groups: 10,
+                data_bits_per_packet: 4608,
+                key_bits: 16,
+                slot_number_bits: 8,
+                base_rate_bps: 100_000.0,
+                session_rate_bps: 3_844_335.937_5,
+                slot_secs: ms as f64 / 1000.0,
+            };
+            SlotAblationRow {
+                slot_ms: ms,
+                goodput_bps: steady,
+                reaction_secs: reaction,
+                sigma_overhead: sigma_overhead(&params, 2.0, 2.0, 512.0),
+            }
+        })
+        .collect()
+}

@@ -1,0 +1,28 @@
+//! # mcc-core — scenarios, experiments and metrics
+//!
+//! The public face of the reproduction: everything a downstream user needs
+//! to assemble the paper's evaluation (§5) or their own variations.
+//!
+//! * [`dumbbell`] — the single-bottleneck topology builder (§5.1): any mix
+//!   of FLID-DL / FLID-DS sessions, TCP Reno cross traffic and on-off CBR,
+//!   with per-receiver join times, access delays and misbehaviour,
+//! * [`experiments`] — one function per figure of the paper (1, 7, 8a–8h,
+//!   9a/9b), deterministic in their seeds and duration-scalable,
+//! * [`metrics`] — series/tables, CSV output and quick ASCII charts.
+//!
+//! ```no_run
+//! // Figure 7 in four lines:
+//! let result = mcc_core::experiments::attack_experiment(true, 200, 100, 1);
+//! for s in &result.series {
+//!     println!("{}: mean {:.0} bps", s.label, s.mean());
+//! }
+//! ```
+
+pub mod dumbbell;
+pub mod experiments;
+pub mod metrics;
+
+pub use dumbbell::{
+    CbrSpec, Dumbbell, DumbbellSpec, McastSessionSpec, ReceiverSpec, SessionHandle, TcpHandle,
+};
+pub use metrics::{ascii_chart, series_csv, write_series_csv, Series, Table};

@@ -1,0 +1,243 @@
+//! Result containers, CSV output and ASCII charts for the experiments.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A labeled time/value series.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Series {
+    /// Legend label (e.g. "F1").
+    pub label: String,
+    /// `(x, y)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Build from per-second values starting at `t0` with step `dt`.
+    pub fn from_values(label: &str, t0: f64, dt: f64, values: &[f64]) -> Self {
+        Series {
+            label: label.to_string(),
+            points: values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (t0 + i as f64 * dt, v))
+                .collect(),
+        }
+    }
+
+    /// Centered moving average over `w` points (the paper's throughput
+    /// curves are visibly smoothed).
+    pub fn smoothed(&self, w: usize) -> Series {
+        let w = w.max(1);
+        let n = self.points.len();
+        let points = (0..n)
+            .map(|i| {
+                let lo = i.saturating_sub(w / 2);
+                let hi = (i + w.div_ceil(2)).min(n);
+                let mean =
+                    self.points[lo..hi].iter().map(|p| p.1).sum::<f64>() / (hi - lo) as f64;
+                (self.points[i].0, mean)
+            })
+            .collect();
+        Series {
+            label: self.label.clone(),
+            points,
+        }
+    }
+
+    /// Mean of the y values.
+    pub fn mean(&self) -> f64 {
+        if self.points.is_empty() {
+            0.0
+        } else {
+            self.points.iter().map(|p| p.1).sum::<f64>() / self.points.len() as f64
+        }
+    }
+}
+
+/// A rectangular result table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    /// Column names.
+    pub headers: Vec<String>,
+    /// Row values.
+    pub rows: Vec<Vec<f64>>,
+}
+
+impl Table {
+    /// A table with the given headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn push(&mut self, row: Vec<f64>) {
+        assert_eq!(row.len(), self.headers.len(), "row width");
+        self.rows.push(row);
+    }
+
+    /// Render as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = self.headers.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write the CSV to `path`, creating parent directories.
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        if let Some(parent) = path.as_ref().parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_csv())
+    }
+}
+
+/// Serialize several series into a wide CSV (shared x column; series are
+/// sampled at their own x values, which coincide for our experiments).
+pub fn series_csv(series: &[Series]) -> String {
+    let mut out = String::from("x");
+    for s in series {
+        let _ = write!(out, ",{}", s.label);
+    }
+    out.push('\n');
+    let n = series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+    for i in 0..n {
+        let x = series
+            .iter()
+            .find_map(|s| s.points.get(i).map(|p| p.0))
+            .unwrap_or(i as f64);
+        let _ = write!(out, "{x}");
+        for s in series {
+            match s.points.get(i) {
+                Some(p) => {
+                    let _ = write!(out, ",{}", p.1);
+                }
+                None => out.push(','),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Write several series as CSV to `path`.
+pub fn write_series_csv(series: &[Series], path: impl AsRef<Path>) -> io::Result<()> {
+    if let Some(parent) = path.as_ref().parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, series_csv(series))
+}
+
+/// A quick ASCII line chart (one glyph per series), for terminal output of
+/// the figure regenerators.
+pub fn ascii_chart(series: &[Series], width: usize, height: usize, y_label: &str) -> String {
+    let glyphs = ['*', '+', 'o', 'x', '#', '@', '%', '&'];
+    let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (ymin, mut ymax) = (0.0f64, f64::NEG_INFINITY);
+    for s in series {
+        for &(x, y) in &s.points {
+            xmin = xmin.min(x);
+            xmax = xmax.max(x);
+            ymax = ymax.max(y);
+        }
+    }
+    if !xmin.is_finite() || xmax <= xmin {
+        return String::from("(no data)\n");
+    }
+    ymax = ymax.max(1e-9);
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = glyphs[si % glyphs.len()];
+        for &(x, y) in &s.points {
+            let cx = ((x - xmin) / (xmax - xmin) * (width as f64 - 1.0)).round() as usize;
+            let cy = ((y - ymin) / (ymax - ymin) * (height as f64 - 1.0)).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            grid[row][cx.min(width - 1)] = glyph;
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{y_label} (max {ymax:.0})");
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push('\n');
+    }
+    let _ = writeln!(
+        out,
+        "+{} x: {:.1} .. {:.1}",
+        "-".repeat(width),
+        xmin,
+        xmax
+    );
+    for (si, s) in series.iter().enumerate() {
+        let _ = writeln!(out, "  {} = {}", glyphs[si % glyphs.len()], s.label);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_from_values_and_mean() {
+        let s = Series::from_values("a", 0.0, 1.0, &[1.0, 2.0, 3.0]);
+        assert_eq!(s.points, vec![(0.0, 1.0), (1.0, 2.0), (2.0, 3.0)]);
+        assert!((s.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smoothing_flattens_spikes() {
+        let s = Series::from_values("a", 0.0, 1.0, &[0.0, 0.0, 10.0, 0.0, 0.0]);
+        let sm = s.smoothed(5);
+        assert!(sm.points[2].1 < 5.0);
+        // Mass is conserved enough that the mean stays put.
+        assert!((sm.mean() - s.mean()).abs() < 1.0);
+    }
+
+    #[test]
+    fn table_round_trip() {
+        let mut t = Table::new(&["n", "avg"]);
+        t.push(vec![1.0, 250.5]);
+        t.push(vec![2.0, 248.0]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("n,avg\n1,250.5\n2,248\n"), "{csv}");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.push(vec![1.0]);
+    }
+
+    #[test]
+    fn series_csv_layout() {
+        let a = Series::from_values("a", 0.0, 1.0, &[1.0, 2.0]);
+        let b = Series::from_values("b", 0.0, 1.0, &[3.0, 4.0]);
+        let csv = series_csv(&[a, b]);
+        assert_eq!(csv, "x,a,b\n0,1,3\n1,2,4\n");
+    }
+
+    #[test]
+    fn ascii_chart_renders() {
+        let s = Series::from_values("load", 0.0, 1.0, &[0.0, 5.0, 10.0, 5.0, 0.0]);
+        let chart = ascii_chart(&[s], 20, 5, "bps");
+        assert!(chart.contains('*'));
+        assert!(chart.contains("load"));
+    }
+
+    #[test]
+    fn ascii_chart_handles_empty() {
+        assert_eq!(ascii_chart(&[], 10, 5, "y"), "(no data)\n");
+    }
+}

@@ -1,0 +1,591 @@
+//! FLID receivers: the well-behaved FLID-DL / FLID-DS state machines and
+//! the misbehaving variants used by the paper's attack experiments.
+//!
+//! At the end of every slot `s` (plus a small guard for in-flight packets)
+//! the receiver examines what it saw of groups `1..=level`:
+//!
+//! * **FLID-DL** (no protection): any loss ⇒ drop the top group (one-slot
+//!   deaf period avoids over-reacting to a single congestion episode, as
+//!   in the FLID-DL design); a clean slot whose increase signal authorizes
+//!   `level+1` ⇒ join it. Nothing stops a receiver from ignoring these
+//!   rules — that is the vulnerability of Figure 1.
+//! * **FLID-DS**: the same decisions, but expressed through DELTA key
+//!   reconstruction ([`mcc_delta::decide_layered`]) and SIGMA subscription
+//!   messages for slot `s+2`; the edge router enforces them, so ignoring
+//!   the rules is useless (Figure 7).
+//!
+//! Misbehaviour models ([`Behavior`]):
+//!
+//! * [`Behavior::Inflate`] — at a chosen time the receiver joins every
+//!   group of the session and stops decreasing; under FLID-DS it also
+//!   keeps attempting raw IGMP joins and submits random guessed keys each
+//!   slot (the §4.2 guessing attack),
+//! * [`Behavior::IgnoreDecrease`] — the receiver refuses to lower its
+//!   subscription when congested.
+
+use crate::config::FlidConfig;
+use mcc_delta::{decide_layered, Eligibility, Key, SlotObservation};
+use mcc_netsim::prelude::*;
+use mcc_sigma::{ProtectedData, SessionJoin, Subscription, SubscriptionAck, Unsubscription};
+use mcc_simcore::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+const PROCESS: u64 = 0;
+const RETX: u64 = 1;
+const ATTACK: u64 = 2;
+const REJOIN: u64 = 3;
+
+/// Whether the receiver runs bare FLID-DL or SIGMA-protected FLID-DS.
+#[derive(Clone, Copy, Debug)]
+pub enum Mode {
+    /// Plain FLID-DL over classic IGMP.
+    Dl,
+    /// FLID-DS: subscriptions go to the edge router at `router`.
+    Ds {
+        /// The local SIGMA edge router.
+        router: NodeId,
+    },
+}
+
+/// Receiver behaviour model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Behavior {
+    /// Follows the protocol.
+    Honest,
+    /// Inflates its subscription to the maximal level at `at`.
+    Inflate {
+        /// Attack start time.
+        at: SimTime,
+    },
+    /// Stops decreasing on congestion at `at`.
+    IgnoreDecrease {
+        /// Misbehaviour start time.
+        at: SimTime,
+    },
+}
+
+/// Counters for tests and experiment reports.
+#[derive(Clone, Debug, Default)]
+pub struct ReceiverStats {
+    /// Level decreases taken.
+    pub decreases: u64,
+    /// Level increases taken.
+    pub increases: u64,
+    /// Session rejoins after falling out entirely.
+    pub rejoins: u64,
+    /// Subscription messages sent (excluding retransmissions).
+    pub subscriptions: u64,
+    /// Subscription retransmissions.
+    pub retransmissions: u64,
+    /// Acks received.
+    pub acks: u64,
+    /// Guessing-attack subscriptions sent (attack mode).
+    pub guess_subscriptions: u64,
+}
+
+/// A FLID receiver agent.
+#[derive(Debug)]
+pub struct FlidReceiver {
+    /// Session configuration (must match the sender's).
+    pub cfg: FlidConfig,
+    mode: Mode,
+    behavior: Behavior,
+    /// Current subscription level (number of groups).
+    level: u32,
+    /// Per group (index `g-1`): the slot during which it was joined;
+    /// `None` when not subscribed. A group only takes part in decisions
+    /// from its first *complete* slot onward.
+    joined_slot: Vec<Option<u64>>,
+    /// Per-slot DELTA/loss observations.
+    obs: HashMap<u64, SlotObservation>,
+    /// Slots before this one skip the decrease decision (FLID-DL deaf
+    /// period).
+    deaf_until: u64,
+    /// Delay after a slot boundary before the slot is evaluated.
+    guard: SimDuration,
+    /// Outstanding (unacked) subscription, with retry count.
+    pending: Option<(Subscription, u32)>,
+    attack_on: bool,
+    ignore_decrease_on: bool,
+    ever_received: bool,
+    out_of_session: bool,
+    /// Slots in which a congestion-marked packet arrived (ECN variant).
+    marked_slots: std::collections::HashSet<u64>,
+    /// `(time, level)` trace for the convergence figures.
+    pub level_trace: Vec<(f64, u32)>,
+    /// Counters.
+    pub stats: ReceiverStats,
+}
+
+impl FlidReceiver {
+    /// Build a receiver.
+    pub fn new(cfg: FlidConfig, mode: Mode, behavior: Behavior) -> Self {
+        let n = cfg.n() as usize;
+        // Paper Figure 2: slot s+1 exists to give receivers time to
+        // reconstruct keys and submit them before slot s+2 traffic arrives.
+        // Evaluating slot s as late as possible — one control round-trip
+        // short of the s+2 boundary — tolerates queueing delay on slot-s
+        // tails without misreading them as losses, while the subscription
+        // still reaches the router in time.
+        let guard = cfg.slot - SimDuration::from_millis(30);
+        FlidReceiver {
+            cfg,
+            mode,
+            behavior,
+            level: 1,
+            joined_slot: vec![None; n],
+            obs: HashMap::new(),
+            deaf_until: 0,
+            guard,
+            pending: None,
+            attack_on: false,
+            ignore_decrease_on: false,
+            ever_received: false,
+            out_of_session: false,
+            marked_slots: std::collections::HashSet::new(),
+            level_trace: Vec::new(),
+            stats: ReceiverStats::default(),
+        }
+    }
+
+    /// The current subscription level.
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// Tell the receiver how far (one-way) it sits from its edge router.
+    ///
+    /// The end-of-slot evaluation is scheduled as late as possible while
+    /// still letting the subscription *arrive* before slot `s+2` traffic
+    /// does (paper Figure 2). A receiver on a long access link must
+    /// therefore evaluate earlier; the paper's heterogeneous-RTT
+    /// experiment (Figure 8f) exercises exactly this.
+    pub fn set_control_delay(&mut self, delay: SimDuration) {
+        let margin = delay + SimDuration::from_millis(20);
+        let floor = SimDuration::from_millis(30);
+        self.guard = if self.cfg.slot > margin + floor {
+            self.cfg.slot - margin
+        } else {
+            floor
+        };
+    }
+
+    fn slot_of(&self, t: SimTime) -> u64 {
+        t.as_nanos() / self.cfg.slot.as_nanos()
+    }
+
+    fn trace(&mut self, now: SimTime) {
+        self.level_trace.push((now.as_secs_f64(), self.level));
+    }
+
+    fn addr(&self, g: u32) -> GroupAddr {
+        self.cfg.groups[(g - 1) as usize]
+    }
+
+    fn join_level(&mut self, ctx: &mut Ctx, g: u32) {
+        ctx.join_group(self.addr(g));
+        // `u64::MAX` = joined, awaiting the first packet; the real slot is
+        // latched on arrival. Counting from the *join* time would treat the
+        // graft-latency head of the first slot as loss.
+        self.joined_slot[(g - 1) as usize] = Some(u64::MAX);
+    }
+
+    fn leave_level(&mut self, ctx: &mut Ctx, g: u32) {
+        ctx.leave_group(self.addr(g));
+        self.joined_slot[(g - 1) as usize] = None;
+    }
+
+    fn send_session_join(&mut self, ctx: &mut Ctx) {
+        if let Mode::Ds { router } = self.mode {
+            let join = SessionJoin {
+                minimal_group: self.cfg.groups[0],
+                control_group: self.cfg.control_group,
+            };
+            let pkt = Packet::app(
+                join.size_bits(),
+                self.cfg.flow,
+                ctx.agent,
+                Dest::Router(router),
+                join,
+            );
+            ctx.send(pkt);
+        }
+    }
+
+    fn send_subscription(&mut self, ctx: &mut Ctx, sub: Subscription) {
+        let Mode::Ds { router } = self.mode else {
+            return;
+        };
+        let pkt = Packet::app(
+            sub.size_bits(),
+            self.cfg.flow,
+            ctx.agent,
+            Dest::Router(router),
+            sub.clone(),
+        );
+        ctx.send(pkt);
+        self.stats.subscriptions += 1;
+        self.pending = Some((sub, 0));
+        ctx.timer_in(SimDuration::from_millis(60), RETX);
+    }
+
+    fn send_unsubscription(&mut self, ctx: &mut Ctx, groups: Vec<GroupAddr>) {
+        if let Mode::Ds { router } = self.mode {
+            let unsub = Unsubscription { groups };
+            let pkt = Packet::app(
+                unsub.size_bits(),
+                self.cfg.flow,
+                ctx.agent,
+                Dest::Router(router),
+                unsub,
+            );
+            ctx.send(pkt);
+        }
+    }
+
+    /// Groups that were fully subscribed for the whole of slot `s`.
+    fn decision_level(&self, s: u64) -> u32 {
+        let mut d = 0;
+        for g in 1..=self.level {
+            match self.joined_slot[(g - 1) as usize] {
+                Some(j) if j < s => d = g,
+                _ => break,
+            }
+        }
+        d
+    }
+
+    fn handle_slot(&mut self, ctx: &mut Ctx, s: u64) {
+        if self.out_of_session || !self.ever_received {
+            self.obs.remove(&s);
+            // Watchdog: a lost session-join (or an expired keyless grace)
+            // would otherwise leave the receiver waiting forever.
+            if !self.out_of_session && s % 4 == 3 {
+                self.send_session_join(ctx);
+            }
+            return;
+        }
+        let obs = self
+            .obs
+            .remove(&s)
+            .unwrap_or_else(|| SlotObservation::new(s, self.cfg.n()));
+        let marked = self.marked_slots.remove(&s);
+        // Drop any stale observations.
+        self.obs.retain(|&k, _| k > s);
+        self.marked_slots.retain(|&k| k > s);
+        let dlevel = self.decision_level(s);
+        if dlevel == 0 {
+            return;
+        }
+        if self.attack_on {
+            match self.mode {
+                // FLID-DL attacker: joined everything, ignores all signals.
+                Mode::Dl => {}
+                // FLID-DS attacker: the rational strategy is to keep the
+                // honest machinery running (that is all the bandwidth its
+                // keys can open — the paper's F1 stays at its fair share)
+                // while stacking inflation attempts on top.
+                Mode::Ds { .. } => {
+                    self.handle_slot_ds(ctx, s, &obs, dlevel);
+                    self.attack_slot(ctx, s);
+                }
+            }
+            return;
+        }
+        match self.mode {
+            Mode::Dl => {
+                if marked {
+                    self.ecn_decrease_dl(ctx, s);
+                } else {
+                    self.handle_slot_dl(ctx, s, &obs, dlevel)
+                }
+            }
+            Mode::Ds { .. } => {
+                if marked {
+                    self.ecn_decrease_ds(ctx, s, &obs, dlevel);
+                } else {
+                    self.handle_slot_ds(ctx, s, &obs, dlevel)
+                }
+            }
+        }
+    }
+
+    /// ECN congestion response, FLID-DL side: one-level decrease with the
+    /// usual deaf period.
+    fn ecn_decrease_dl(&mut self, ctx: &mut Ctx, s: u64) {
+        if self.ignore_decrease_on {
+            return;
+        }
+        if s >= self.deaf_until && self.level > 1 {
+            let top = self.level;
+            self.leave_level(ctx, top);
+            self.level -= 1;
+            self.deaf_until = s + 2;
+            self.stats.decreases += 1;
+            self.trace(ctx.now());
+        }
+    }
+
+    /// ECN congestion response, FLID-DS side: the marked packets'
+    /// components were scrambled at the edge, so top keys are
+    /// unreachable by construction; step down with the (intact) decrease
+    /// keys read from the decrease fields.
+    fn ecn_decrease_ds(&mut self, ctx: &mut Ctx, s: u64, obs: &SlotObservation, dlevel: u32) {
+        let mut keys: Vec<(GroupAddr, Key)> = Vec::new();
+        let mut level = 0;
+        for j in 1..dlevel {
+            match obs.groups[j as usize].decrease_field {
+                Some(d) => {
+                    keys.push((self.addr(j), d));
+                    level = j;
+                }
+                None => break,
+            }
+        }
+        if level == 0 {
+            self.stats.rejoins += 1;
+            self.level = 1;
+            self.send_session_join(ctx);
+            self.trace(ctx.now());
+            return;
+        }
+        self.send_subscription(
+            ctx,
+            Subscription {
+                slot: s + 2,
+                pairs: keys,
+            },
+        );
+        if !self.ignore_decrease_on && level < self.level {
+            for g in (level + 1)..=self.level {
+                self.leave_level(ctx, g);
+            }
+            self.level = level;
+            self.stats.decreases += 1;
+            self.trace(ctx.now());
+        }
+    }
+
+    fn handle_slot_dl(&mut self, ctx: &mut Ctx, s: u64, obs: &SlotObservation, dlevel: u32) {
+        let congested = obs.complete_prefix(dlevel) < dlevel;
+        if congested {
+            if self.ignore_decrease_on {
+                return;
+            }
+            if s >= self.deaf_until && self.level > 1 {
+                let top = self.level;
+                self.leave_level(ctx, top);
+                self.level -= 1;
+                self.deaf_until = s + 2;
+                self.stats.decreases += 1;
+                self.trace(ctx.now());
+            }
+        } else if self.level == dlevel
+            && self.level < self.cfg.n()
+            && obs.upgrades.authorized(self.level + 1)
+        {
+            let next = self.level + 1;
+            self.join_level(ctx, next);
+            self.level = next;
+            self.stats.increases += 1;
+            self.trace(ctx.now());
+        }
+    }
+
+    fn handle_slot_ds(&mut self, ctx: &mut Ctx, s: u64, obs: &SlotObservation, dlevel: u32) {
+        match decide_layered(obs, dlevel, self.cfg.n()) {
+            Eligibility::Subscribe { level: lvl, keys } => {
+                let pairs: Vec<(GroupAddr, Key)> =
+                    keys.into_iter().map(|(g, k)| (self.addr(g), k)).collect();
+                self.send_subscription(
+                    ctx,
+                    Subscription {
+                        slot: s + 2,
+                        pairs,
+                    },
+                );
+                if lvl < dlevel {
+                    // Forced decrease (keys only reach level `lvl`).
+                    if !self.ignore_decrease_on {
+                        for g in (lvl + 1)..=self.level {
+                            self.leave_level(ctx, g);
+                        }
+                        self.level = lvl;
+                        self.stats.decreases += 1;
+                        self.trace(ctx.now());
+                    }
+                } else if lvl == dlevel + 1 && self.level == dlevel {
+                    // Fresh authorized upgrade: join before packets flow.
+                    self.join_level(ctx, lvl);
+                    self.level = lvl;
+                    self.stats.increases += 1;
+                    self.trace(ctx.now());
+                }
+                // lvl == dlevel with a pending newer group: nothing to do —
+                // the grace period covers it until its first full slot.
+            }
+            Eligibility::Rejoin => {
+                // Paper Fig. 4: a congested minimal-level receiver has no
+                // key to stay ("n ← null"); SIGMA's session-join is its
+                // continuous keyless path back into the minimal group
+                // (§3.2.2). Groups above the minimal one are abandoned.
+                let left: Vec<GroupAddr> = (2..=self.level).map(|g| self.addr(g)).collect();
+                for g in 2..=self.level {
+                    self.leave_level(ctx, g);
+                }
+                if !left.is_empty() {
+                    self.send_unsubscription(ctx, left);
+                }
+                self.stats.rejoins += 1;
+                self.level = 1;
+                self.send_session_join(ctx);
+                self.trace(ctx.now());
+            }
+        }
+    }
+
+    /// Per-slot actions of an inflating attacker.
+    fn attack_slot(&mut self, ctx: &mut Ctx, s: u64) {
+        match self.mode {
+            Mode::Dl => {
+                // Nothing to do: all groups joined at attack start, and the
+                // attacker simply never leaves.
+            }
+            Mode::Ds { .. } => {
+                // Keep hammering: raw IGMP joins (ignored by SIGMA) plus
+                // "numerous random keys in a hope that one of these keys
+                // is correct" (paper §4.2) — several guesses per group per
+                // slot, which is also what trips the router's tally.
+                for g in 1..=self.cfg.n() {
+                    ctx.join_group(self.addr(g));
+                }
+                let mut pairs: Vec<(GroupAddr, Key)> = Vec::new();
+                for g in 1..=self.cfg.n() {
+                    for _ in 0..10 {
+                        pairs.push((self.addr(g), Key(ctx.rng().next_u64())));
+                    }
+                }
+                let sub = Subscription { slot: s + 2, pairs };
+                let Mode::Ds { router } = self.mode else {
+                    unreachable!()
+                };
+                let pkt = Packet::app(
+                    sub.size_bits(),
+                    self.cfg.flow,
+                    ctx.agent,
+                    Dest::Router(router),
+                    sub,
+                );
+                ctx.send(pkt);
+                self.stats.guess_subscriptions += 1;
+            }
+        }
+    }
+}
+
+impl Agent for FlidReceiver {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        self.join_level(ctx, 1);
+        self.send_session_join(ctx);
+        self.trace(ctx.now());
+        // First slot evaluation: next boundary + guard.
+        let s = self.slot_of(ctx.now());
+        let next = SimTime::from_nanos((s + 1) * self.cfg.slot.as_nanos()) + self.guard;
+        ctx.timer_at(next, PROCESS);
+        match self.behavior {
+            Behavior::Inflate { at } => ctx.timer_at(at, ATTACK),
+            Behavior::IgnoreDecrease { at } => ctx.timer_at(at, ATTACK),
+            Behavior::Honest => {}
+        }
+    }
+
+    fn on_packet(&mut self, _ctx: &mut Ctx, pkt: Packet) {
+        if let Some(pd) = pkt.body_as::<ProtectedData>() {
+            self.ever_received = true;
+            let slot = pd.fields.slot;
+            if pkt.ecn == Ecn::Marked {
+                // ECN-driven congestion signal (paper §3.1.2): the edge
+                // router has already scrambled this packet's component.
+                self.marked_slots.insert(slot);
+            }
+            let n = self.cfg.n();
+            let gi = (pd.fields.group - 1) as usize;
+            if let Some(j) = self.joined_slot.get_mut(gi) {
+                if *j == Some(u64::MAX) {
+                    // First packet after a join: decisions start with the
+                    // next (first complete) slot.
+                    *j = Some(slot);
+                }
+            }
+            self.obs
+                .entry(slot)
+                .or_insert_with(|| SlotObservation::new(slot, n))
+                .observe(&pd.fields);
+        } else if let Some(ack) = pkt.body_as::<SubscriptionAck>() {
+            if self
+                .pending
+                .as_ref()
+                .is_some_and(|(sub, _)| sub.slot == ack.slot)
+            {
+                self.pending = None;
+            }
+            self.stats.acks += 1;
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
+        match token {
+            PROCESS => {
+                let now = ctx.now();
+                // This fires at (s+1)·slot + guard for slot s.
+                let s = self.slot_of(now - self.guard).saturating_sub(1);
+                ctx.timer_at(now + self.cfg.slot, PROCESS);
+                self.handle_slot(ctx, s);
+            }
+            RETX => {
+                if let Some((sub, tries)) = self.pending.take() {
+                    if tries < 3 {
+                        if let Mode::Ds { router } = self.mode {
+                            let pkt = Packet::app(
+                                sub.size_bits(),
+                                self.cfg.flow,
+                                ctx.agent,
+                                Dest::Router(router),
+                                sub.clone(),
+                            );
+                            ctx.send(pkt);
+                            self.stats.retransmissions += 1;
+                            self.pending = Some((sub, tries + 1));
+                            ctx.timer_in(SimDuration::from_millis(60), RETX);
+                        }
+                    }
+                }
+            }
+            ATTACK => match self.behavior {
+                Behavior::Inflate { .. } => {
+                    self.attack_on = true;
+                    let slot_now = self.slot_of(ctx.now());
+                    for g in 1..=self.cfg.n() {
+                        ctx.join_group(self.addr(g));
+                        self.joined_slot[(g - 1) as usize].get_or_insert(slot_now);
+                    }
+                    self.level = self.cfg.n();
+                    self.trace(ctx.now());
+                }
+                Behavior::IgnoreDecrease { .. } => {
+                    self.ignore_decrease_on = true;
+                }
+                Behavior::Honest => {}
+            },
+            REJOIN => {
+                self.out_of_session = false;
+                self.ever_received = false;
+                self.level = 1;
+                self.join_level(ctx, 1);
+                self.send_session_join(ctx);
+                self.trace(ctx.now());
+            }
+            _ => {}
+        }
+    }
+}

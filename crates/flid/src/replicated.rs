@@ -1,0 +1,470 @@
+//! A replicated multicast protocol protected by the Figure-5 DELTA
+//! instantiation (paper §3.1.2, "Session structure").
+//!
+//! Every group of the session carries the *same* content at a different
+//! rate (destination-set grouping, Cheung/Ammar): group 1 is the slowest,
+//! group `N` the fastest, and a receiver subscribes to exactly one group.
+//! Subscription rules: stay when uncongested, switch down one group on
+//! loss, switch up one group when the sender authorizes an upgrade.
+//!
+//! The DELTA keys differ from the layered case only in scope: the top key
+//! covers a single group's components, and the increase key for group `g`
+//! is the *previous* group's top key (paper Eq. 6).
+
+use crate::config::FlidConfig;
+use mcc_delta::{
+    decide_replicated, DeltaFields, GroupObservation, ReplicatedEligibility,
+    ReplicatedKeySchedule, UpgradeMask,
+};
+use mcc_netsim::prelude::*;
+use mcc_sigma::{
+    build_announcement, replicated_tuples, ProtectedData, SessionJoin, Subscription,
+};
+use mcc_simcore::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+const TICK: u64 = 0;
+const EMIT: u64 = 1;
+const PROCESS: u64 = 2;
+
+/// Sender of a replicated multicast session. Reuses [`FlidConfig`], with
+/// `cumulative_rate(g)` read as group `g`'s own full-content rate.
+#[derive(Debug)]
+pub struct ReplicatedSender {
+    /// Session parameters.
+    pub cfg: FlidConfig,
+    credits: Vec<f64>,
+    schedules: HashMap<u64, ReplicatedKeySchedule>,
+    streams: Vec<Option<mcc_delta::ComponentStream>>,
+    pending: Vec<(SimTime, u32, u32, bool, u32)>,
+    /// Slots elapsed (diagnostics).
+    pub slots: u64,
+}
+
+impl ReplicatedSender {
+    /// Build a sender.
+    pub fn new(cfg: FlidConfig) -> Self {
+        let n = cfg.n() as usize;
+        ReplicatedSender {
+            cfg,
+            credits: vec![0.0; n],
+            schedules: HashMap::new(),
+            streams: vec![None; n],
+            pending: Vec::new(),
+            slots: 0,
+        }
+    }
+
+    fn slot_of(&self, now: SimTime) -> u64 {
+        now.as_nanos() / self.cfg.slot.as_nanos()
+    }
+
+    fn begin_slot(&mut self, ctx: &mut Ctx) {
+        let s = self.slot_of(ctx.now());
+        let slot_start = SimTime::from_nanos(s * self.cfg.slot.as_nanos());
+        let n = self.cfg.n();
+        let mut authorized = Vec::new();
+        for g in 2..=n {
+            if ctx.rng().chance(self.cfg.upgrade_probability(g)) {
+                authorized.push(g);
+            }
+        }
+        let mask = UpgradeMask::from_groups(&authorized);
+        let sched = ReplicatedKeySchedule::generate(ctx.rng(), n, mask);
+
+        let slot_secs = self.cfg.slot.as_secs_f64();
+        self.pending.clear();
+        for g in 1..=n {
+            let gi = (g - 1) as usize;
+            // Replicated: each group carries the whole content at its rate.
+            self.credits[gi] +=
+                self.cfg.cumulative_rate(g) * slot_secs / self.cfg.packet_bits as f64;
+            let count = (self.credits[gi].floor() as u32).max(1);
+            self.credits[gi] -= count as f64;
+            self.streams[gi] = Some(sched.component_stream(g));
+            for p in 0..count {
+                let frac = (p as f64 + (g as f64) / (n as f64 + 1.0)) / count as f64;
+                let at = slot_start + SimDuration::from_secs_f64(slot_secs * frac.min(0.999));
+                self.pending.push((at, g, p, p + 1 == count, count));
+            }
+        }
+        self.pending.sort_by_key(|e| e.0);
+        let times: Vec<SimTime> = self.pending.iter().map(|e| e.0).collect();
+        for t in times {
+            ctx.timer_at(t, EMIT);
+        }
+
+        if self.cfg.protected {
+            let ann = build_announcement(
+                s + 2,
+                replicated_tuples(&sched, &self.cfg.groups),
+                self.cfg.control_group,
+                ctx.agent,
+                self.cfg.flow,
+                self.cfg.fec_repeat,
+            );
+            for pkt in ann.packets {
+                ctx.send(pkt);
+            }
+        }
+        self.schedules.insert(s + 2, sched);
+        self.schedules.retain(|&k, _| k + 3 > s);
+        self.slots += 1;
+        ctx.timer_at(slot_start + self.cfg.slot, TICK);
+    }
+
+    fn emit_due(&mut self, ctx: &mut Ctx) {
+        let now = ctx.now();
+        let s = self.slot_of(now);
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].0 > now {
+                break;
+            }
+            let (_, g, p, last, count) = self.pending[i];
+            i += 1;
+            let sched = &self.schedules[&(s + 2)];
+            let gi = (g - 1) as usize;
+            let component = self.streams[gi]
+                .as_mut()
+                .expect("stream set at slot start")
+                .next(ctx.rng(), last);
+            let fields = DeltaFields {
+                slot: s,
+                group: g,
+                seq_in_slot: p,
+                last_in_slot: last,
+                count_in_slot: if last { count } else { 0 },
+                component,
+                decrease: sched.decrease_field(g),
+                upgrades: sched.upgrades,
+            };
+            ctx.send(Packet::app(
+                self.cfg.packet_bits,
+                self.cfg.flow,
+                ctx.agent,
+                Dest::Group(self.cfg.groups[gi]),
+                ProtectedData { fields },
+            ));
+        }
+        self.pending.drain(..i);
+    }
+}
+
+impl Agent for ReplicatedSender {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        self.begin_slot(ctx);
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
+        match token {
+            TICK => self.begin_slot(ctx),
+            EMIT => self.emit_due(ctx),
+            _ => {}
+        }
+    }
+}
+
+/// Receiver of a replicated session: subscribes to exactly one group.
+#[derive(Debug)]
+pub struct ReplicatedReceiver {
+    /// Session parameters.
+    pub cfg: FlidConfig,
+    /// SIGMA router when protected; `None` runs over classic IGMP.
+    router: Option<NodeId>,
+    /// Current (1-based) group.
+    pub group: u32,
+    obs: HashMap<u64, GroupObservation>,
+    upgrades: HashMap<u64, UpgradeMask>,
+    guard: SimDuration,
+    ever_received: bool,
+    /// Slot during which the current group was joined; decisions wait for
+    /// the first complete slot after a switch.
+    joined_slot: u64,
+    /// `(t, group)` trace.
+    pub trace: Vec<(f64, u32)>,
+    /// Session rejoins after total blackout.
+    pub rejoins: u64,
+}
+
+impl ReplicatedReceiver {
+    /// Build a receiver starting in the minimal group.
+    pub fn new(cfg: FlidConfig, router: Option<NodeId>) -> Self {
+        let guard = cfg.slot - SimDuration::from_millis(30);
+        ReplicatedReceiver {
+            cfg,
+            router,
+            group: 1,
+            obs: HashMap::new(),
+            upgrades: HashMap::new(),
+            guard,
+            ever_received: false,
+            joined_slot: 0,
+            trace: Vec::new(),
+            rejoins: 0,
+        }
+    }
+
+    fn addr(&self, g: u32) -> GroupAddr {
+        self.cfg.groups[(g - 1) as usize]
+    }
+
+    fn slot_of(&self, t: SimTime) -> u64 {
+        t.as_nanos() / self.cfg.slot.as_nanos()
+    }
+
+    fn session_join(&mut self, ctx: &mut Ctx) {
+        if let Some(router) = self.router {
+            let join = SessionJoin {
+                minimal_group: self.addr(1),
+                control_group: self.cfg.control_group,
+            };
+            let pkt = Packet::app(
+                join.size_bits(),
+                self.cfg.flow,
+                ctx.agent,
+                Dest::Router(router),
+                join,
+            );
+            ctx.send(pkt);
+        }
+    }
+
+    fn subscribe(&mut self, ctx: &mut Ctx, slot: u64, group: u32, key: mcc_delta::Key) {
+        if let Some(router) = self.router {
+            let sub = Subscription {
+                slot,
+                pairs: vec![(self.addr(group), key)],
+            };
+            let pkt = Packet::app(
+                sub.size_bits(),
+                self.cfg.flow,
+                ctx.agent,
+                Dest::Router(router),
+                sub,
+            );
+            ctx.send(pkt);
+        }
+    }
+
+    fn handle_slot(&mut self, ctx: &mut Ctx, s: u64) {
+        let obs = self.obs.remove(&s).unwrap_or_default();
+        let upgrades = self.upgrades.remove(&s).unwrap_or(UpgradeMask::NONE);
+        self.obs.retain(|&k, _| k > s);
+        self.upgrades.retain(|&k, _| k > s);
+        if !self.ever_received {
+            if s % 4 == 3 {
+                self.session_join(ctx);
+            }
+            return;
+        }
+        if self.joined_slot >= s {
+            // The current group was joined mid-slot: wait for its first
+            // complete slot before judging congestion.
+            return;
+        }
+        match decide_replicated(&obs, upgrades, self.group, self.cfg.n()) {
+            ReplicatedEligibility::Subscribe { group, key } => {
+                self.subscribe(ctx, s + 2, group, key);
+                if group != self.group {
+                    ctx.leave_group(self.addr(self.group));
+                    ctx.join_group(self.addr(group));
+                    self.group = group;
+                    self.joined_slot = u64::MAX; // latched on first packet
+                    self.trace.push((ctx.now().as_secs_f64(), group));
+                }
+            }
+            ReplicatedEligibility::Rejoin => {
+                if self.group != 1 {
+                    ctx.leave_group(self.addr(self.group));
+                    ctx.join_group(self.addr(1));
+                    self.group = 1;
+                    self.joined_slot = u64::MAX; // latched on first packet
+                    self.trace.push((ctx.now().as_secs_f64(), 1));
+                }
+                self.rejoins += 1;
+                self.session_join(ctx);
+            }
+        }
+    }
+}
+
+impl Agent for ReplicatedReceiver {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        ctx.join_group(self.addr(1));
+        self.session_join(ctx);
+        self.trace.push((ctx.now().as_secs_f64(), 1));
+        let s = self.slot_of(ctx.now());
+        let next = SimTime::from_nanos((s + 1) * self.cfg.slot.as_nanos()) + self.guard;
+        ctx.timer_at(next, PROCESS);
+    }
+
+    fn on_packet(&mut self, _ctx: &mut Ctx, pkt: Packet) {
+        let Some(pd) = pkt.body_as::<ProtectedData>() else {
+            return;
+        };
+        if pd.fields.group != self.group {
+            return; // Stale traffic from a group we just left.
+        }
+        self.ever_received = true;
+        if self.joined_slot == u64::MAX {
+            self.joined_slot = pd.fields.slot;
+        }
+        self.obs
+            .entry(pd.fields.slot)
+            .or_default()
+            .observe(&pd.fields);
+        let mask = self
+            .upgrades
+            .entry(pd.fields.slot)
+            .or_insert(UpgradeMask::NONE);
+        *mask = UpgradeMask(mask.0 | pd.fields.upgrades.0);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
+        if token == PROCESS {
+            let now = ctx.now();
+            let s = self.slot_of(now - self.guard).saturating_sub(1);
+            ctx.timer_at(now + self.cfg.slot, PROCESS);
+            self.handle_slot(ctx, s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcc_sigma::{SigmaConfig, SigmaEdgeModule};
+
+    /// S — A =bottleneck= B — H, replicated session.
+    fn run(protected: bool, bottleneck: u64, secs: u64) -> (Sim, AgentId) {
+        let mut sim = Sim::new(21, SimDuration::from_secs(1));
+        let s = sim.add_node();
+        let a = sim.add_node();
+        let b = sim.add_node();
+        let h = sim.add_node();
+        sim.add_duplex_link(
+            s,
+            a,
+            10_000_000,
+            SimDuration::from_millis(10),
+            Queue::drop_tail(1_000_000),
+            Queue::drop_tail(1_000_000),
+        );
+        let buf = (2.0 * bottleneck as f64 * 0.08 / 8.0) as u64;
+        sim.add_duplex_link(
+            a,
+            b,
+            bottleneck,
+            SimDuration::from_millis(20),
+            Queue::drop_tail(buf),
+            Queue::drop_tail(buf),
+        );
+        sim.add_duplex_link(
+            b,
+            h,
+            10_000_000,
+            SimDuration::from_millis(10),
+            Queue::drop_tail(1_000_000),
+            Queue::drop_tail(1_000_000),
+        );
+        let mut cfg = FlidConfig::paper(
+            (1..=6).map(GroupAddr).collect(),
+            GroupAddr(0),
+            FlowId(2),
+            protected,
+        );
+        cfg.slot = SimDuration::from_millis(250);
+        for g in cfg.groups.iter().chain([&cfg.control_group]) {
+            sim.register_group(*g, s);
+        }
+        if protected {
+            sim.set_edge_module(b, Box::new(SigmaEdgeModule::new(SigmaConfig::new(cfg.slot))));
+        }
+        let router = protected.then_some(b);
+        let r = sim.add_agent(
+            h,
+            Box::new(ReplicatedReceiver::new(cfg.clone(), router)),
+            SimTime::from_millis(5),
+        );
+        sim.add_agent(s, Box::new(ReplicatedSender::new(cfg)), SimTime::ZERO);
+        sim.finalize();
+        sim.run_until(SimTime::from_secs(secs));
+        (sim, r)
+    }
+
+    #[test]
+    fn receiver_climbs_to_capacity_group() {
+        // 1 Mbps bottleneck: group 6 (759 kbps) fits; the receiver should
+        // end high in the group ladder.
+        let (sim, r) = run(true, 1_000_000, 40);
+        let rec = sim.agent_as::<ReplicatedReceiver>(r).unwrap();
+        assert!(
+            (4..=6).contains(&rec.group),
+            "group {} (trace {:?})",
+            rec.group,
+            rec.trace
+        );
+        let bps = sim.monitor().agent_throughput_bps(
+            r,
+            SimTime::from_secs(20),
+            SimTime::from_secs(40),
+        );
+        assert!(bps > 300_000.0, "replicated goodput {bps}");
+    }
+
+    #[test]
+    fn tight_bottleneck_caps_the_group() {
+        // 250 kbps: group 3 (225 kbps) is the largest that fits.
+        let (sim, r) = run(true, 250_000, 40);
+        let rec = sim.agent_as::<ReplicatedReceiver>(r).unwrap();
+        assert!(
+            (2..=4).contains(&rec.group),
+            "group {} (trace {:?})",
+            rec.group,
+            rec.trace
+        );
+    }
+
+    #[test]
+    fn works_unprotected_too() {
+        let (sim, r) = run(false, 1_000_000, 30);
+        let rec = sim.agent_as::<ReplicatedReceiver>(r).unwrap();
+        assert!(rec.group >= 3, "group {} (trace {:?})", rec.group, rec.trace);
+    }
+}
+
+#[cfg(test)]
+mod diag {
+    use super::*;
+    use mcc_sigma::{SigmaConfig, SigmaEdgeModule};
+
+    #[test]
+    #[ignore]
+    fn trace_replicated() {
+        let mut sim = Sim::new(21, SimDuration::from_secs(1));
+        let s = sim.add_node();
+        let a = sim.add_node();
+        let b = sim.add_node();
+        let h = sim.add_node();
+        sim.add_duplex_link(s, a, 10_000_000, SimDuration::from_millis(10),
+            Queue::drop_tail(1_000_000), Queue::drop_tail(1_000_000));
+        let buf = (2.0 * 1_000_000.0f64 * 0.08 / 8.0) as u64;
+        let (bl,_)=sim.add_duplex_link(a, b, 1_000_000, SimDuration::from_millis(20),
+            Queue::drop_tail(buf), Queue::drop_tail(buf));
+        sim.add_duplex_link(b, h, 10_000_000, SimDuration::from_millis(10),
+            Queue::drop_tail(1_000_000), Queue::drop_tail(1_000_000));
+        let mut cfg = FlidConfig::paper((1..=6).map(GroupAddr).collect(), GroupAddr(0), FlowId(2), true);
+        cfg.slot = SimDuration::from_millis(250);
+        for g in cfg.groups.iter().chain([&cfg.control_group]) { sim.register_group(*g, s); }
+        sim.set_edge_module(b, Box::new(SigmaEdgeModule::new(SigmaConfig::new(cfg.slot))));
+        let r = sim.add_agent(h, Box::new(ReplicatedReceiver::new(cfg.clone(), Some(b))), SimTime::from_millis(5));
+        sim.add_agent(s, Box::new(ReplicatedSender::new(cfg)), SimTime::ZERO);
+        sim.finalize();
+        sim.run_until(SimTime::from_secs(10));
+        let m = sim.edge_as::<SigmaEdgeModule>(b).unwrap();
+        println!("module: {:?}", m.stats);
+        println!("bottleneck drops {}", sim.world.link_stats(bl).drops);
+        let rec = sim.agent_as::<ReplicatedReceiver>(r).unwrap();
+        println!("rejoins {} trace {:?}", rec.rejoins, rec.trace);
+    }
+}

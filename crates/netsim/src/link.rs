@@ -1,0 +1,152 @@
+//! Unidirectional links.
+//!
+//! A [`Link`] is one direction of a point-to-point channel: a serialization
+//! rate, a propagation delay, and an output [`Queue`]. Duplex links are two
+//! `Link`s that name each other through [`Link::reverse`]; the reverse id is
+//! what lets a router translate "the link this graft arrived on" into "the
+//! interface to forward the group onto".
+
+use crate::addr::{FlowId, LinkId, NodeId};
+use crate::packet::Packet;
+use crate::queue::Queue;
+use mcc_simcore::SimDuration;
+use std::collections::HashMap;
+
+/// Per-link counters, kept cheap enough to leave always-on.
+#[derive(Clone, Debug, Default)]
+pub struct LinkStats {
+    /// Packets fully serialized onto the wire.
+    pub tx_packets: u64,
+    /// Bits fully serialized onto the wire.
+    pub tx_bits: u64,
+    /// Packets rejected by the output queue.
+    pub drops: u64,
+    /// Packets ECN-marked by the output queue.
+    pub marks: u64,
+    /// Drops per flow (who lost packets at this hop).
+    pub drops_by_flow: HashMap<FlowId, u64>,
+}
+
+impl LinkStats {
+    /// Mean utilization over `span` for a link of `bps` capacity.
+    pub fn utilization(&self, bps: u64, span: SimDuration) -> f64 {
+        if span.is_zero() || bps == 0 {
+            return 0.0;
+        }
+        self.tx_bits as f64 / (bps as f64 * span.as_secs_f64())
+    }
+}
+
+/// One direction of a point-to-point channel.
+#[derive(Debug)]
+pub struct Link {
+    /// This link's id.
+    pub id: LinkId,
+    /// Transmitting node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// The opposite direction of the same physical channel.
+    pub reverse: LinkId,
+    /// Serialization rate in bits per second.
+    pub bps: u64,
+    /// Propagation delay.
+    pub delay: SimDuration,
+    /// Output queue (head-of-line packet is held separately in `in_service`).
+    pub queue: Queue,
+    /// Packet currently being serialized, if any.
+    pub in_service: Option<Packet>,
+    /// True when `to` is a host (has attached agents); edge modules filter
+    /// multicast data on host-facing links and never forward SIGMA specials
+    /// onto them.
+    pub host_facing: bool,
+    /// Counters.
+    pub stats: LinkStats,
+}
+
+impl Link {
+    /// Serialization time of `pkt` on this link.
+    pub fn tx_time(&self, pkt: &Packet) -> SimDuration {
+        SimDuration::transmission(pkt.size_bits, self.bps)
+    }
+
+    /// True when the transmitter is idle and the queue empty.
+    pub fn is_idle(&self) -> bool {
+        self.in_service.is_none() && self.queue.is_empty()
+    }
+
+    /// Record a queue rejection.
+    pub fn note_drop(&mut self, flow: FlowId) {
+        self.stats.drops += 1;
+        *self.stats.drops_by_flow.entry(flow).or_insert(0) += 1;
+    }
+
+    /// Record a completed transmission.
+    pub fn note_tx(&mut self, pkt: &Packet) {
+        self.stats.tx_packets += 1;
+        self.stats.tx_bits += pkt.size_bits;
+    }
+
+    /// One-way bandwidth-delay product in bytes (used for buffer sizing).
+    pub fn bdp_bytes(&self) -> u64 {
+        ((self.bps as f64 * self.delay.as_secs_f64()) / 8.0).ceil() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::AgentId;
+    use crate::packet::Dest;
+
+    fn link(bps: u64, delay_ms: u64) -> Link {
+        Link {
+            id: LinkId(0),
+            from: NodeId(0),
+            to: NodeId(1),
+            reverse: LinkId(1),
+            bps,
+            delay: SimDuration::from_millis(delay_ms),
+            queue: Queue::drop_tail(10_000),
+            in_service: None,
+            host_facing: false,
+            stats: LinkStats::default(),
+        }
+    }
+
+    #[test]
+    fn tx_time_matches_rate() {
+        let l = link(1_000_000, 20);
+        let p = Packet::opaque(576 * 8, FlowId(0), AgentId(0), Dest::Agent(AgentId(1)));
+        assert_eq!(l.tx_time(&p), SimDuration::from_micros(4608));
+    }
+
+    #[test]
+    fn bdp_is_rate_times_delay() {
+        let l = link(1_000_000, 20);
+        // 1 Mbps * 20 ms = 20_000 bits = 2_500 bytes.
+        assert_eq!(l.bdp_bytes(), 2_500);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut l = link(1_000_000, 20);
+        let p = Packet::opaque(1000 * 8, FlowId(3), AgentId(0), Dest::Agent(AgentId(1)));
+        l.note_tx(&p);
+        l.note_tx(&p);
+        l.note_drop(FlowId(3));
+        assert_eq!(l.stats.tx_packets, 2);
+        assert_eq!(l.stats.tx_bits, 16_000);
+        assert_eq!(l.stats.drops_by_flow[&FlowId(3)], 1);
+        let util = l.stats.utilization(1_000_000, SimDuration::from_secs(1));
+        assert!((util - 0.016).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_tracks_service_and_queue() {
+        let mut l = link(1_000_000, 20);
+        assert!(l.is_idle());
+        l.in_service = Some(Packet::opaque(8, FlowId(0), AgentId(0), Dest::Agent(AgentId(1))));
+        assert!(!l.is_idle());
+    }
+}

@@ -1,0 +1,191 @@
+//! Delivery monitors: per-receiver, per-flow, time-binned throughput.
+//!
+//! Every delivery of an application packet to an agent is recorded here,
+//! which is exactly the measurement the paper's figures are built from:
+//! throughput-versus-time traces (Figures 1, 7, 8e, 8g, 8h) and long-run
+//! averages (Figures 8a–8d, 8f).
+
+use crate::addr::{AgentId, FlowId};
+use mcc_simcore::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Record of deliveries for one (receiver agent, flow) pair.
+#[derive(Clone, Debug, Default)]
+pub struct DeliveryRecord {
+    /// Total payload bits delivered.
+    pub bits: u64,
+    /// Total packets delivered.
+    pub packets: u64,
+    /// Bits delivered per time bin.
+    pub bins: Vec<u64>,
+    /// Time of first delivery.
+    pub first: Option<SimTime>,
+    /// Time of last delivery.
+    pub last: Option<SimTime>,
+}
+
+/// Collects delivery statistics for a simulation run.
+#[derive(Debug)]
+pub struct Monitor {
+    /// Width of each throughput bin.
+    pub bin: SimDuration,
+    records: HashMap<(AgentId, FlowId), DeliveryRecord>,
+}
+
+impl Monitor {
+    /// A monitor with the given bin width (the figures use 1 s bins).
+    pub fn new(bin: SimDuration) -> Self {
+        assert!(!bin.is_zero(), "bin width must be positive");
+        Monitor {
+            bin,
+            records: HashMap::new(),
+        }
+    }
+
+    /// Record a delivery of `bits` of flow `flow` to `agent` at `now`.
+    pub fn record(&mut self, now: SimTime, agent: AgentId, flow: FlowId, bits: u64) {
+        let rec = self.records.entry((agent, flow)).or_default();
+        rec.bits += bits;
+        rec.packets += 1;
+        rec.first.get_or_insert(now);
+        rec.last = Some(now);
+        let idx = (now.as_nanos() / self.bin.as_nanos()) as usize;
+        if rec.bins.len() <= idx {
+            rec.bins.resize(idx + 1, 0);
+        }
+        rec.bins[idx] += bits;
+    }
+
+    /// The record for one (agent, flow), if any deliveries happened.
+    pub fn get(&self, agent: AgentId, flow: FlowId) -> Option<&DeliveryRecord> {
+        self.records.get(&(agent, flow))
+    }
+
+    /// Total bits delivered to `agent` across all flows.
+    pub fn agent_bits(&self, agent: AgentId) -> u64 {
+        self.records
+            .iter()
+            .filter(|((a, _), _)| *a == agent)
+            .map(|(_, r)| r.bits)
+            .sum()
+    }
+
+    /// Average throughput of `agent` (all flows) over `[from, to)` in bit/s.
+    pub fn agent_throughput_bps(&self, agent: AgentId, from: SimTime, to: SimTime) -> f64 {
+        let span = to.since(from).as_secs_f64();
+        if span <= 0.0 {
+            return 0.0;
+        }
+        let from_bin = (from.as_nanos() / self.bin.as_nanos()) as usize;
+        let to_bin = (to.as_nanos().saturating_sub(1) / self.bin.as_nanos()) as usize;
+        let bits: u64 = self
+            .records
+            .iter()
+            .filter(|((a, _), _)| *a == agent)
+            .map(|(_, r)| {
+                r.bins
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i >= from_bin && *i <= to_bin)
+                    .map(|(_, b)| *b)
+                    .sum::<u64>()
+            })
+            .sum();
+        bits as f64 / span
+    }
+
+    /// Throughput time series of `agent` (all flows): one bit/s value per bin,
+    /// padded with zeros out to `horizon`.
+    pub fn agent_series_bps(&self, agent: AgentId, horizon: SimTime) -> Vec<f64> {
+        let nbins = (horizon.as_nanos()).div_ceil(self.bin.as_nanos()) as usize;
+        let mut out = vec![0u64; nbins];
+        for ((a, _), r) in &self.records {
+            if *a != agent {
+                continue;
+            }
+            for (i, b) in r.bins.iter().enumerate() {
+                if i < nbins {
+                    out[i] += *b;
+                }
+            }
+        }
+        let secs = self.bin.as_secs_f64();
+        out.into_iter().map(|b| b as f64 / secs).collect()
+    }
+
+    /// All (agent, flow) pairs seen.
+    pub fn pairs(&self) -> Vec<(AgentId, FlowId)> {
+        let mut v: Vec<_> = self.records.keys().copied().collect();
+        v.sort_unstable_by_key(|(a, f)| (a.0, f.0));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> Monitor {
+        Monitor::new(SimDuration::from_secs(1))
+    }
+
+    #[test]
+    fn bins_accumulate_by_time() {
+        let mut mon = m();
+        let a = AgentId(0);
+        let f = FlowId(0);
+        mon.record(SimTime::from_millis(100), a, f, 1000);
+        mon.record(SimTime::from_millis(900), a, f, 1000);
+        mon.record(SimTime::from_millis(1500), a, f, 500);
+        let rec = mon.get(a, f).unwrap();
+        assert_eq!(rec.bins, vec![2000, 500]);
+        assert_eq!(rec.bits, 2500);
+        assert_eq!(rec.packets, 3);
+        assert_eq!(rec.first, Some(SimTime::from_millis(100)));
+        assert_eq!(rec.last, Some(SimTime::from_millis(1500)));
+    }
+
+    #[test]
+    fn throughput_window() {
+        let mut mon = m();
+        let a = AgentId(1);
+        mon.record(SimTime::from_millis(500), a, FlowId(0), 8_000);
+        mon.record(SimTime::from_millis(1500), a, FlowId(0), 16_000);
+        // Over [0, 2 s): 24 kb / 2 s = 12 kbps.
+        let t = mon.agent_throughput_bps(a, SimTime::ZERO, SimTime::from_secs(2));
+        assert!((t - 12_000.0).abs() < 1e-9);
+        // Over [1 s, 2 s): 16 kbps.
+        let t = mon.agent_throughput_bps(a, SimTime::from_secs(1), SimTime::from_secs(2));
+        assert!((t - 16_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn series_pads_to_horizon() {
+        let mut mon = m();
+        let a = AgentId(2);
+        mon.record(SimTime::from_millis(2500), a, FlowId(0), 4_000);
+        let s = mon.agent_series_bps(a, SimTime::from_secs(5));
+        assert_eq!(s.len(), 5);
+        assert_eq!(s[2], 4_000.0);
+        assert_eq!(s[4], 0.0);
+    }
+
+    #[test]
+    fn flows_aggregate_per_agent() {
+        let mut mon = m();
+        let a = AgentId(3);
+        mon.record(SimTime::from_millis(100), a, FlowId(0), 100);
+        mon.record(SimTime::from_millis(200), a, FlowId(1), 200);
+        assert_eq!(mon.agent_bits(a), 300);
+        assert_eq!(mon.pairs().len(), 2);
+    }
+
+    #[test]
+    fn empty_window_is_zero() {
+        let mon = m();
+        assert_eq!(
+            mon.agent_throughput_bps(AgentId(9), SimTime::ZERO, SimTime::ZERO),
+            0.0
+        );
+    }
+}

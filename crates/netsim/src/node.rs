@@ -1,0 +1,108 @@
+//! Routers and hosts.
+//!
+//! A [`Node`] is both a router (unicast forwarding tables, multicast group
+//! tables) and, when agents are attached, a host. Multicast state follows
+//! the source-rooted tree model: a node is *on the tree* for a group when it
+//! has downstream interfaces, local member agents, or an edge-module
+//! anchor; joining propagates hop-by-hop grafts toward the group source and
+//! the last leave propagates a prune.
+
+use crate::addr::{AgentId, GroupAddr, LinkId, NodeId};
+use crate::edge::EdgeModule;
+use mcc_simcore::SimDuration;
+use std::collections::{BTreeSet, HashMap};
+
+/// Per-group forwarding state at one node.
+#[derive(Debug, Default, Clone)]
+pub struct GroupEntry {
+    /// Downstream out-links the group is forwarded onto.
+    pub out_ifaces: BTreeSet<LinkId>,
+    /// Locally attached member agents (host side of the IGMP model).
+    pub local_members: BTreeSet<AgentId>,
+    /// True when the node's edge module holds the membership (e.g. a SIGMA
+    /// router subscribed to a session's key-distribution control group).
+    pub module_member: bool,
+}
+
+impl GroupEntry {
+    /// True while anything downstream or local still wants the group.
+    pub fn on_tree(&self) -> bool {
+        !self.out_ifaces.is_empty() || !self.local_members.is_empty() || self.module_member
+    }
+}
+
+/// A router/host in the topology.
+#[derive(Debug)]
+pub struct Node {
+    /// This node's id.
+    pub id: NodeId,
+    /// All out-links originating here.
+    pub out_links: Vec<LinkId>,
+    /// Unicast next hop: destination node → out-link. Filled by
+    /// `Sim::finalize` with shortest-delay routes.
+    pub routes: HashMap<NodeId, LinkId>,
+    /// Multicast forwarding state.
+    pub groups: HashMap<GroupAddr, GroupEntry>,
+    /// Agents attached to this node.
+    pub local_agents: Vec<AgentId>,
+    /// Optional edge module (SIGMA installs one on edge routers).
+    pub edge: Option<Box<dyn EdgeModule>>,
+    /// IGMP leave latency: how long after the last local leave the node
+    /// waits before pruning upstream (models the last-member query cycle).
+    pub leave_delay: SimDuration,
+}
+
+impl Node {
+    /// A fresh node with no links or state.
+    pub fn new(id: NodeId) -> Self {
+        Node {
+            id,
+            out_links: Vec::new(),
+            routes: HashMap::new(),
+            groups: HashMap::new(),
+            local_agents: Vec::new(),
+            edge: None,
+            leave_delay: SimDuration::ZERO,
+        }
+    }
+
+    /// True when this node hosts at least one agent.
+    pub fn is_host(&self) -> bool {
+        !self.local_agents.is_empty()
+    }
+
+    /// Current group entry, if the node is on the tree for `g`.
+    pub fn group(&self, g: GroupAddr) -> Option<&GroupEntry> {
+        self.groups.get(&g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn on_tree_logic() {
+        let mut e = GroupEntry::default();
+        assert!(!e.on_tree());
+        e.local_members.insert(AgentId(1));
+        assert!(e.on_tree());
+        e.local_members.clear();
+        e.out_ifaces.insert(LinkId(4));
+        assert!(e.on_tree());
+        e.out_ifaces.clear();
+        e.module_member = true;
+        assert!(e.on_tree());
+        e.module_member = false;
+        assert!(!e.on_tree());
+    }
+
+    #[test]
+    fn node_basics() {
+        let mut n = Node::new(NodeId(2));
+        assert!(!n.is_host());
+        n.local_agents.push(AgentId(0));
+        assert!(n.is_host());
+        assert!(n.group(GroupAddr(1)).is_none());
+    }
+}

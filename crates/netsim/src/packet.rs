@@ -1,0 +1,250 @@
+//! Packets and payload bodies.
+//!
+//! The simulator models packets at the granularity the paper's evaluation
+//! needs: a wire size (for serialization and queueing), a destination
+//! (unicast agent, multicast group, or a router's control plane), an ECN
+//! codepoint, the "router alert" bit SIGMA's special packets use, and a typed
+//! body. Protocol crates define their own body types and attach them through
+//! the [`AppBody`] object-safe clone-able trait — `netsim` stays independent
+//! of every congestion-control protocol, mirroring the paper's Requirement 3.
+
+use crate::addr::{AgentId, FlowId, GroupAddr, NodeId};
+use std::any::Any;
+use std::fmt;
+
+/// Where a packet is headed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Dest {
+    /// Unicast to a protocol endpoint.
+    Agent(AgentId),
+    /// Multicast to a group; forwarded along the group's distribution tree.
+    Group(GroupAddr),
+    /// Control-plane message consumed by the edge module of a router
+    /// (e.g. SIGMA subscription messages, paper Figure 6).
+    Router(NodeId),
+}
+
+/// ECN codepoint carried by a packet.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Ecn {
+    /// Sender does not support ECN; congested RED queues drop it instead.
+    #[default]
+    NotCapable,
+    /// ECN-capable transport; RED queues mark instead of dropping.
+    Capable,
+    /// Congestion experienced — set by a marking queue.
+    Marked,
+}
+
+/// Object-safe, clonable application payload.
+///
+/// Implemented automatically for any `Clone + Debug + Send + 'static` type
+/// by the blanket impl below.
+pub trait AppBody: fmt::Debug + Send {
+    /// Clone into a fresh box (multicast fan-out copies packets per branch).
+    fn clone_box(&self) -> Box<dyn AppBody>;
+    /// Downcast support.
+    fn as_any(&self) -> &dyn Any;
+    /// Mutable downcast support (ECN component scrambling mutates bodies).
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<T: Clone + fmt::Debug + Send + Any> AppBody for T {
+    fn clone_box(&self) -> Box<dyn AppBody> {
+        Box::new(self.clone())
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+impl Clone for Box<dyn AppBody> {
+    fn clone(&self) -> Self {
+        // Explicit deref: `Box<dyn AppBody>` itself satisfies the blanket
+        // impl, so `self.clone_box()` would recurse on the box forever.
+        (**self).clone_box()
+    }
+}
+
+/// The payload of a packet.
+#[derive(Clone, Debug)]
+pub enum Body {
+    /// Protocol-defined payload (TCP segment, FLID data, SIGMA message …).
+    App(Box<dyn AppBody>),
+    /// Host-originated group join report (IGMP model).
+    IgmpJoin(GroupAddr),
+    /// Host-originated group leave report (IGMP model).
+    IgmpLeave(GroupAddr),
+    /// Router-to-router graft: extend the group tree toward the source.
+    Graft(GroupAddr),
+    /// Router-to-router prune: retract an empty branch of the group tree.
+    Prune(GroupAddr),
+    /// Contentless filler (pure bandwidth load, e.g. CBR payloads).
+    Opaque,
+}
+
+/// A simulated packet.
+#[derive(Clone, Debug)]
+pub struct Packet {
+    /// Wire size in bits (headers included); determines serialization time
+    /// and queue occupancy.
+    pub size_bits: u64,
+    /// Flow tag for accounting (throughput per flow, drops per flow).
+    pub flow: FlowId,
+    /// Originating agent.
+    pub src: AgentId,
+    /// Destination.
+    pub dst: Dest,
+    /// ECN codepoint.
+    pub ecn: Ecn,
+    /// SIGMA's "intercept at edge routers, do not forward to local
+    /// interfaces" network-layer bit (paper §3.2.1).
+    pub router_alert: bool,
+    /// Unique id assigned when the packet is first sent. Multicast copies
+    /// share the uid of the original.
+    pub uid: u64,
+    /// Payload.
+    pub body: Body,
+}
+
+impl Packet {
+    /// A new application packet; `uid` is stamped by the simulator on send.
+    pub fn app(
+        size_bits: u64,
+        flow: FlowId,
+        src: AgentId,
+        dst: Dest,
+        body: impl AppBody + 'static,
+    ) -> Self {
+        Packet {
+            size_bits,
+            flow,
+            src,
+            dst,
+            ecn: Ecn::NotCapable,
+            router_alert: false,
+            uid: 0,
+            body: Body::App(Box::new(body)),
+        }
+    }
+
+    /// A control packet with an [`Body::Opaque`] payload.
+    pub fn opaque(size_bits: u64, flow: FlowId, src: AgentId, dst: Dest) -> Self {
+        Packet {
+            size_bits,
+            flow,
+            src,
+            dst,
+            ecn: Ecn::NotCapable,
+            router_alert: false,
+            uid: 0,
+            body: Body::Opaque,
+        }
+    }
+
+    /// Borrow the app body as a concrete type, if it is one.
+    pub fn body_as<T: Any>(&self) -> Option<&T> {
+        match &self.body {
+            // Explicit deref for the same reason as `Clone`: the box itself
+            // satisfies the blanket impl and would downcast to itself.
+            Body::App(b) => (**b).as_any().downcast_ref::<T>(),
+            _ => None,
+        }
+    }
+
+    /// Mutably borrow the app body as a concrete type, if it is one.
+    pub fn body_as_mut<T: Any>(&mut self) -> Option<&mut T> {
+        match &mut self.body {
+            Body::App(b) => (**b).as_any_mut().downcast_mut::<T>(),
+            _ => None,
+        }
+    }
+
+    /// Byte count on the wire (rounded up).
+    pub fn size_bytes(&self) -> u64 {
+        self.size_bits.div_ceil(8)
+    }
+
+    /// Builder-style: mark as ECN-capable.
+    pub fn ecn_capable(mut self) -> Self {
+        self.ecn = Ecn::Capable;
+        self
+    }
+
+    /// Builder-style: set the router-alert bit.
+    pub fn with_router_alert(mut self) -> Self {
+        self.router_alert = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Demo {
+        x: u32,
+    }
+
+    fn pkt() -> Packet {
+        Packet::app(
+            576 * 8,
+            FlowId(1),
+            AgentId(0),
+            Dest::Group(GroupAddr(5)),
+            Demo { x: 7 },
+        )
+    }
+
+    #[test]
+    fn downcast_round_trip() {
+        let p = pkt();
+        assert_eq!(p.body_as::<Demo>(), Some(&Demo { x: 7 }));
+        assert!(p.body_as::<u32>().is_none());
+    }
+
+    #[test]
+    fn downcast_mut_mutates() {
+        let mut p = pkt();
+        p.body_as_mut::<Demo>().unwrap().x = 9;
+        assert_eq!(p.body_as::<Demo>().unwrap().x, 9);
+    }
+
+    #[test]
+    fn clone_preserves_body() {
+        let p = pkt();
+        let q = p.clone();
+        assert_eq!(q.body_as::<Demo>(), Some(&Demo { x: 7 }));
+        assert_eq!(q.size_bits, 576 * 8);
+    }
+
+    #[test]
+    fn size_bytes_rounds_up() {
+        let mut p = pkt();
+        p.size_bits = 9;
+        assert_eq!(p.size_bytes(), 2);
+    }
+
+    #[test]
+    fn builders() {
+        let p = pkt().ecn_capable().with_router_alert();
+        assert_eq!(p.ecn, Ecn::Capable);
+        assert!(p.router_alert);
+    }
+
+    #[test]
+    fn control_bodies_clone() {
+        let p = Packet {
+            body: Body::Graft(GroupAddr(3)),
+            ..Packet::opaque(512, FlowId(0), AgentId(0), Dest::Router(NodeId(1)))
+        };
+        match p.clone().body {
+            Body::Graft(g) => assert_eq!(g, GroupAddr(3)),
+            other => panic!("unexpected body {other:?}"),
+        }
+    }
+}

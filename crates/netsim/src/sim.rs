@@ -1,0 +1,793 @@
+//! The simulator: world state, event loop, agent and edge dispatch.
+//!
+//! Layering (who may touch what):
+//!
+//! * [`World`] owns nodes, links, the event queue, the RNG and the monitor.
+//!   It implements packet forwarding, multicast tree maintenance and queue
+//!   service — all pure state manipulation.
+//! * [`Agent`]s (protocol endpoints) never see the `World`; they act through
+//!   a [`Ctx`] that exposes exactly the operations a host's protocol stack
+//!   would have: send a packet, set a timer, join/leave a group.
+//! * [`EdgeModule`]s (router extensions, e.g. SIGMA) act through
+//!   [`EdgeEnv`] action queues, applied after each callback.
+//! * [`Sim`] owns the `World` plus the boxed agents and runs the loop.
+//!
+//! Everything is deterministic: the event queue is totally ordered and all
+//! randomness flows from the scenario seed.
+
+use crate::addr::{AgentId, FlowId, GroupAddr, LinkId, NodeId};
+use crate::edge::{EdgeAction, EdgeEnv, EdgeModule};
+use crate::link::{Link, LinkStats};
+use crate::monitor::Monitor;
+use crate::node::Node;
+use crate::packet::{Body, Dest, Packet};
+use crate::queue::{EnqueueOutcome, Queue};
+use mcc_simcore::{DetRng, EventQueue, SimDuration, SimTime};
+use std::any::Any;
+use std::collections::HashMap;
+
+/// Flow id used by simulator-internal control packets (grafts/prunes).
+pub const CONTROL_FLOW: FlowId = FlowId(u32::MAX);
+
+/// Wire size assumed for graft/prune control packets.
+pub const CONTROL_PACKET_BITS: u64 = 512;
+
+/// Scheduled occurrences.
+#[derive(Debug)]
+enum Event {
+    /// Head-of-line packet on a link finished serializing.
+    Departure(LinkId),
+    /// A packet finished propagating and arrives at the link's `to` node.
+    Arrival(LinkId, Packet),
+    /// First activation of an agent.
+    AgentStart(AgentId),
+    /// An agent timer fired.
+    AgentTimer(AgentId, u64),
+    /// An edge-module timer fired.
+    EdgeTimer(NodeId, u64),
+    /// Same-node delivery (sender and receiver share a host).
+    LocalDeliver(AgentId, Packet),
+    /// Leave-latency expiry: re-check whether `node` still needs `group`.
+    LeaveCheck(NodeId, GroupAddr),
+}
+
+/// A protocol endpoint.
+///
+/// Implementations must be `'static` so results can be extracted after a run
+/// via [`Sim::agent_as`].
+pub trait Agent: Any + Send {
+    /// Called once at the agent's start time.
+    fn on_start(&mut self, _ctx: &mut Ctx) {}
+    /// A packet destined to this agent (unicast) or to a group it joined.
+    fn on_packet(&mut self, _ctx: &mut Ctx, _pkt: Packet) {}
+    /// A timer set through [`Ctx::timer_in`]/[`Ctx::timer_at`] fired.
+    fn on_timer(&mut self, _ctx: &mut Ctx, _token: u64) {}
+}
+
+/// The capabilities an agent has over the outside world.
+pub struct Ctx<'w> {
+    world: &'w mut World,
+    /// The agent being dispatched.
+    pub agent: AgentId,
+    /// The node it is attached to.
+    pub node: NodeId,
+}
+
+impl<'w> Ctx<'w> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.world.now
+    }
+
+    /// Deterministic randomness.
+    pub fn rng(&mut self) -> &mut DetRng {
+        &mut self.world.rng
+    }
+
+    /// Send a packet from this agent's node. The source field is stamped
+    /// with this agent's id and the packet gets a fresh uid.
+    pub fn send(&mut self, mut pkt: Packet) {
+        pkt.src = self.agent;
+        self.world.originate(self.node, pkt);
+    }
+
+    /// Fire `on_timer(token)` after `delay`.
+    pub fn timer_in(&mut self, delay: SimDuration, token: u64) {
+        let at = self.world.now + delay;
+        self.world.events.push(at, Event::AgentTimer(self.agent, token));
+    }
+
+    /// Fire `on_timer(token)` at the absolute instant `at` (clamped to
+    /// `now` so simulated time never runs backwards).
+    pub fn timer_at(&mut self, at: SimTime, token: u64) {
+        let at = at.max(self.world.now);
+        self.world.events.push(at, Event::AgentTimer(self.agent, token));
+    }
+
+    /// Join a multicast group (IGMP host report). Grafting toward the
+    /// source happens hop-by-hop with real control packets.
+    pub fn join_group(&mut self, group: GroupAddr) {
+        self.world.local_join(self.node, self.agent, group);
+    }
+
+    /// Leave a multicast group. The prune is delayed by the node's IGMP
+    /// leave latency.
+    pub fn leave_group(&mut self, group: GroupAddr) {
+        self.world.local_leave(self.node, self.agent, group);
+    }
+
+    /// Whether this agent is currently a member of `group`.
+    pub fn is_member(&self, group: GroupAddr) -> bool {
+        self.world.nodes[self.node.index()]
+            .groups
+            .get(&group)
+            .is_some_and(|e| e.local_members.contains(&self.agent))
+    }
+}
+
+/// All passive simulation state.
+pub struct World {
+    /// Current simulation time.
+    pub now: SimTime,
+    events: EventQueue<Event>,
+    /// All links, indexed by [`LinkId`].
+    pub links: Vec<Link>,
+    /// All nodes, indexed by [`NodeId`].
+    pub nodes: Vec<Node>,
+    /// Attachment node of each agent.
+    pub agent_nodes: Vec<NodeId>,
+    /// Registered multicast sources (group → source's host node).
+    pub group_sources: HashMap<GroupAddr, NodeId>,
+    /// Root randomness for the run.
+    pub rng: DetRng,
+    /// Delivery statistics.
+    pub monitor: Monitor,
+    uid: u64,
+    finalized: bool,
+}
+
+impl World {
+    fn new(seed: u64, monitor_bin: SimDuration) -> Self {
+        World {
+            now: SimTime::ZERO,
+            events: EventQueue::new(),
+            links: Vec::new(),
+            nodes: Vec::new(),
+            agent_nodes: Vec::new(),
+            group_sources: HashMap::new(),
+            rng: DetRng::new(seed),
+            monitor: Monitor::new(monitor_bin),
+            uid: 0,
+            finalized: false,
+        }
+    }
+
+    /// Stamp and route a packet out of `node`.
+    pub fn originate(&mut self, node: NodeId, mut pkt: Packet) {
+        self.uid += 1;
+        pkt.uid = self.uid;
+        self.route(node, None, pkt);
+    }
+
+    /// Route `pkt` standing at `node` (having arrived on `in_link`, if any).
+    fn route(&mut self, node: NodeId, in_link: Option<LinkId>, pkt: Packet) {
+        match pkt.dst {
+            Dest::Agent(dst) => {
+                let dst_node = self.agent_nodes[dst.index()];
+                if dst_node == node {
+                    self.events.push(self.now, Event::LocalDeliver(dst, pkt));
+                } else {
+                    self.forward_toward(node, dst_node, pkt);
+                }
+            }
+            Dest::Router(dst_node) => {
+                if dst_node == node {
+                    // Control message for this router's edge module.
+                    let from_iface = in_link.map(|l| self.links[l.index()].reverse);
+                    self.edge_message(node, from_iface, &pkt);
+                } else {
+                    self.forward_toward(node, dst_node, pkt);
+                }
+            }
+            Dest::Group(_) => self.forward_multicast(node, in_link, pkt),
+        }
+    }
+
+    fn forward_toward(&mut self, node: NodeId, dst_node: NodeId, pkt: Packet) {
+        let Some(&out) = self.nodes[node.index()].routes.get(&dst_node) else {
+            // No route: the packet dies silently, mirroring a routing hole.
+            return;
+        };
+        self.enqueue_link(out, pkt);
+    }
+
+    /// Multicast forwarding with edge filtering (paper §3.2.2) and
+    /// router-alert interception (paper §3.2.1).
+    fn forward_multicast(&mut self, node: NodeId, in_link: Option<LinkId>, pkt: Packet) {
+        let group = match pkt.dst {
+            Dest::Group(g) => g,
+            _ => unreachable!("forward_multicast on non-group packet"),
+        };
+        let back = in_link.map(|l| self.links[l.index()].reverse);
+        let n = node.index();
+        let Some(entry) = self.nodes[n].groups.get(&group) else {
+            return;
+        };
+        let ifaces: Vec<LinkId> = entry
+            .out_ifaces
+            .iter()
+            .copied()
+            .filter(|&i| Some(i) != back)
+            .collect();
+        let members: Vec<AgentId> = entry.local_members.iter().copied().collect();
+        let has_edge = self.nodes[n].edge.is_some();
+
+        // Router-alert packets are shown to the edge module and are never
+        // forwarded onto host-facing interfaces or to local agents.
+        if pkt.router_alert && has_edge {
+            self.with_edge(node, |module, env| module.on_special(env, &pkt));
+        }
+
+        let mut module = if has_edge {
+            self.nodes[n].edge.take()
+        } else {
+            None
+        };
+        let mut actions = Vec::new();
+        for iface in ifaces {
+            let host_facing = self.links[iface.index()].host_facing;
+            if pkt.router_alert && host_facing {
+                continue;
+            }
+            let mut copy = pkt.clone();
+            let allowed = if host_facing {
+                if let Some(m) = module.as_mut() {
+                    let mut env = EdgeEnv {
+                        now: self.now,
+                        node,
+                        rng: &mut self.rng,
+                        actions: Vec::new(),
+                    };
+                    let ok = m.filter_data(&mut env, iface, &mut copy);
+                    actions.append(&mut env.actions);
+                    ok
+                } else {
+                    true
+                }
+            } else {
+                true
+            };
+            if allowed {
+                self.enqueue_link(iface, copy);
+            } else {
+                self.links[iface.index()].note_drop(pkt.flow);
+            }
+        }
+        if let Some(m) = module {
+            self.nodes[n].edge = Some(m);
+        }
+        self.apply_edge_actions(node, actions);
+
+        if !pkt.router_alert {
+            for agent in members {
+                self.events
+                    .push(self.now, Event::LocalDeliver(agent, pkt.clone()));
+            }
+        }
+    }
+
+    /// Offer a packet to a link's transmitter/queue.
+    fn enqueue_link(&mut self, l: LinkId, pkt: Packet) {
+        let li = l.index();
+        if self.links[li].in_service.is_none() {
+            let tx = self.links[li].tx_time(&pkt);
+            self.links[li].in_service = Some(pkt);
+            self.events.push(self.now + tx, Event::Departure(l));
+        } else {
+            let now = self.now;
+            let bps = self.links[li].bps;
+            // Split borrows: the queue and the RNG live in different fields.
+            let link = &mut self.links[li];
+            let (outcome, rejected) = link.queue.enqueue(pkt, now, bps, &mut self.rng);
+            match outcome {
+                EnqueueOutcome::Dropped => {
+                    let flow = rejected.expect("dropped packet returned").flow;
+                    link.note_drop(flow);
+                }
+                EnqueueOutcome::Marked => link.stats.marks += 1,
+                EnqueueOutcome::Enqueued => {}
+            }
+        }
+    }
+
+    /// A local agent joins a group at its host node.
+    fn local_join(&mut self, node: NodeId, agent: AgentId, group: GroupAddr) {
+        let entry = self.nodes[node.index()].groups.entry(group).or_default();
+        let was_on_tree = entry.on_tree();
+        entry.local_members.insert(agent);
+        if !was_on_tree {
+            self.graft_upstream(node, group);
+        }
+    }
+
+    /// A local agent leaves; prune after the node's leave latency.
+    fn local_leave(&mut self, node: NodeId, agent: AgentId, group: GroupAddr) {
+        let n = node.index();
+        if let Some(entry) = self.nodes[n].groups.get_mut(&group) {
+            entry.local_members.remove(&agent);
+            let delay = self.nodes[n].leave_delay;
+            self.events
+                .push(self.now + delay, Event::LeaveCheck(node, group));
+        }
+    }
+
+    /// Grow the tree one hop toward the source.
+    fn graft_upstream(&mut self, node: NodeId, group: GroupAddr) {
+        let Some(&source) = self.group_sources.get(&group) else {
+            return; // Unregistered group: membership stays local.
+        };
+        if source == node {
+            return;
+        }
+        let Some(&out) = self.nodes[node.index()].routes.get(&source) else {
+            return;
+        };
+        let graft = Packet {
+            size_bits: CONTROL_PACKET_BITS,
+            flow: CONTROL_FLOW,
+            src: AgentId(u32::MAX),
+            dst: Dest::Router(source),
+            ecn: Default::default(),
+            router_alert: false,
+            uid: 0,
+            body: Body::Graft(group),
+        };
+        self.enqueue_link(out, graft);
+    }
+
+    /// Shrink the tree one hop toward the source and drop local state.
+    fn prune_upstream(&mut self, node: NodeId, group: GroupAddr) {
+        self.nodes[node.index()].groups.remove(&group);
+        let Some(&source) = self.group_sources.get(&group) else {
+            return;
+        };
+        if source == node {
+            return;
+        }
+        let Some(&out) = self.nodes[node.index()].routes.get(&source) else {
+            return;
+        };
+        let prune = Packet {
+            size_bits: CONTROL_PACKET_BITS,
+            flow: CONTROL_FLOW,
+            src: AgentId(u32::MAX),
+            dst: Dest::Router(source),
+            ecn: Default::default(),
+            router_alert: false,
+            uid: 0,
+            body: Body::Prune(group),
+        };
+        self.enqueue_link(out, prune);
+    }
+
+    /// Handle a graft arriving on `in_link`.
+    fn handle_graft(&mut self, node: NodeId, in_link: LinkId, group: GroupAddr) {
+        let iface = self.links[in_link.index()].reverse;
+        let n = node.index();
+        // Grafts from host-facing interfaces are subject to the edge module
+        // (SIGMA ignores raw IGMP: that is the whole defence).
+        if self.links[iface.index()].host_facing && self.nodes[n].edge.is_some() {
+            let mut allowed = true;
+            self.with_edge(node, |m, env| {
+                allowed = m.allow_igmp(env, iface, group, true);
+            });
+            if !allowed {
+                return;
+            }
+        }
+        let entry = self.nodes[n].groups.entry(group).or_default();
+        let was_on_tree = entry.on_tree();
+        entry.out_ifaces.insert(iface);
+        if !was_on_tree {
+            self.graft_upstream(node, group);
+        }
+    }
+
+    /// Handle a prune arriving on `in_link`.
+    fn handle_prune(&mut self, node: NodeId, in_link: LinkId, group: GroupAddr) {
+        let iface = self.links[in_link.index()].reverse;
+        let n = node.index();
+        if self.links[iface.index()].host_facing && self.nodes[n].edge.is_some() {
+            let mut allowed = true;
+            self.with_edge(node, |m, env| {
+                allowed = m.allow_igmp(env, iface, group, false);
+            });
+            if !allowed {
+                return;
+            }
+        }
+        if let Some(entry) = self.nodes[n].groups.get_mut(&group) {
+            entry.out_ifaces.remove(&iface);
+            if !entry.on_tree() {
+                self.prune_upstream(node, group);
+            }
+        }
+    }
+
+    /// Run `f` against the node's edge module (if any), then apply actions.
+    fn with_edge<F>(&mut self, node: NodeId, f: F)
+    where
+        F: FnOnce(&mut Box<dyn EdgeModule>, &mut EdgeEnv),
+    {
+        let n = node.index();
+        let Some(mut module) = self.nodes[n].edge.take() else {
+            return;
+        };
+        let mut env = EdgeEnv {
+            now: self.now,
+            node,
+            rng: &mut self.rng,
+            actions: Vec::new(),
+        };
+        f(&mut module, &mut env);
+        let actions = env.actions;
+        self.nodes[n].edge = Some(module);
+        self.apply_edge_actions(node, actions);
+    }
+
+    fn edge_message(&mut self, node: NodeId, from_iface: Option<LinkId>, pkt: &Packet) {
+        let Some(iface) = from_iface else { return };
+        self.with_edge(node, |m, env| m.on_message(env, iface, pkt));
+    }
+
+    fn apply_edge_actions(&mut self, node: NodeId, actions: Vec<EdgeAction>) {
+        for action in actions {
+            match action {
+                EdgeAction::Send(pkt) => self.originate(node, pkt),
+                EdgeAction::GraftIface(group, iface) => {
+                    let entry = self.nodes[node.index()].groups.entry(group).or_default();
+                    let was_on_tree = entry.on_tree();
+                    entry.out_ifaces.insert(iface);
+                    if !was_on_tree {
+                        self.graft_upstream(node, group);
+                    }
+                }
+                EdgeAction::PruneIface(group, iface) => {
+                    if let Some(entry) = self.nodes[node.index()].groups.get_mut(&group) {
+                        entry.out_ifaces.remove(&iface);
+                        if !entry.on_tree() {
+                            self.prune_upstream(node, group);
+                        }
+                    }
+                }
+                EdgeAction::JoinModule(group) => {
+                    let entry = self.nodes[node.index()].groups.entry(group).or_default();
+                    let was_on_tree = entry.on_tree();
+                    entry.module_member = true;
+                    if !was_on_tree {
+                        self.graft_upstream(node, group);
+                    }
+                }
+                EdgeAction::LeaveModule(group) => {
+                    if let Some(entry) = self.nodes[node.index()].groups.get_mut(&group) {
+                        entry.module_member = false;
+                        if !entry.on_tree() {
+                            self.prune_upstream(node, group);
+                        }
+                    }
+                }
+                EdgeAction::Timer(delay, token) => {
+                    self.events
+                        .push(self.now + delay, Event::EdgeTimer(node, token));
+                }
+            }
+        }
+    }
+
+    /// Stats of a link.
+    pub fn link_stats(&self, l: LinkId) -> &LinkStats {
+        &self.links[l.index()].stats
+    }
+
+    /// Pending event count (diagnostics).
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Total events processed so far.
+    pub fn processed_events(&self) -> u64 {
+        self.events.processed()
+    }
+}
+
+/// The simulator: a [`World`] plus the boxed agents and the event loop.
+pub struct Sim {
+    /// The network state; public for scenario assembly and inspection.
+    pub world: World,
+    agents: Vec<Option<Box<dyn Agent>>>,
+}
+
+impl Sim {
+    /// A fresh simulator with the given RNG seed and monitor bin width.
+    pub fn new(seed: u64, monitor_bin: SimDuration) -> Self {
+        Sim {
+            world: World::new(seed, monitor_bin),
+            agents: Vec::new(),
+        }
+    }
+
+    /// Add a node; returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.world.nodes.len() as u32);
+        self.world.nodes.push(Node::new(id));
+        id
+    }
+
+    /// Add a duplex link between `a` and `b` with symmetric rate and delay.
+    /// Returns `(a→b, b→a)` link ids.
+    pub fn add_duplex_link(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        bps: u64,
+        delay: SimDuration,
+        queue_ab: Queue,
+        queue_ba: Queue,
+    ) -> (LinkId, LinkId) {
+        assert!(!self.world.finalized, "cannot add links after finalize");
+        let ab = LinkId(self.world.links.len() as u32);
+        let ba = LinkId(ab.0 + 1);
+        self.world.links.push(Link {
+            id: ab,
+            from: a,
+            to: b,
+            reverse: ba,
+            bps,
+            delay,
+            queue: queue_ab,
+            in_service: None,
+            host_facing: false,
+            stats: LinkStats::default(),
+        });
+        self.world.links.push(Link {
+            id: ba,
+            from: b,
+            to: a,
+            reverse: ab,
+            bps,
+            delay,
+            queue: queue_ba,
+            in_service: None,
+            host_facing: false,
+            stats: LinkStats::default(),
+        });
+        self.world.nodes[a.index()].out_links.push(ab);
+        self.world.nodes[b.index()].out_links.push(ba);
+        (ab, ba)
+    }
+
+    /// Attach an agent to `node`; `on_start` fires at `start`.
+    pub fn add_agent(
+        &mut self,
+        node: NodeId,
+        agent: Box<dyn Agent>,
+        start: SimTime,
+    ) -> AgentId {
+        let id = AgentId(self.agents.len() as u32);
+        self.agents.push(Some(agent));
+        self.world.agent_nodes.push(node);
+        self.world.nodes[node.index()].local_agents.push(id);
+        self.world.events.push(start, Event::AgentStart(id));
+        id
+    }
+
+    /// Install an edge module on a router.
+    pub fn set_edge_module(&mut self, node: NodeId, module: Box<dyn EdgeModule>) {
+        self.world.nodes[node.index()].edge = Some(module);
+    }
+
+    /// Register `source_node` as the root of `group`'s distribution tree.
+    pub fn register_group(&mut self, group: GroupAddr, source_node: NodeId) {
+        self.world.group_sources.insert(group, source_node);
+    }
+
+    /// Set a node's IGMP leave latency.
+    pub fn set_leave_delay(&mut self, node: NodeId, delay: SimDuration) {
+        self.world.nodes[node.index()].leave_delay = delay;
+    }
+
+    /// Compute shortest-delay routes and mark host-facing links.
+    ///
+    /// Must be called after topology assembly and before [`Sim::run_until`].
+    pub fn finalize(&mut self) {
+        let n = self.world.nodes.len();
+        // Dijkstra from every node (topologies here are small).
+        for src in 0..n {
+            let dist_next = dijkstra(&self.world, NodeId(src as u32));
+            self.world.nodes[src].routes = dist_next;
+        }
+        for l in 0..self.world.links.len() {
+            let to = self.world.links[l].to;
+            self.world.links[l].host_facing = self.world.nodes[to.index()].is_host();
+        }
+        self.world.finalized = true;
+    }
+
+    /// Run the event loop until simulated time `t` (inclusive of events at
+    /// `t`). Advances `world.now` to exactly `t` when the queue drains.
+    pub fn run_until(&mut self, t: SimTime) {
+        assert!(self.world.finalized, "call finalize() before running");
+        while let Some(at) = self.world.events.peek_time() {
+            if at > t {
+                break;
+            }
+            let (at, ev) = self.world.events.pop().expect("peeked event");
+            self.world.now = at;
+            self.handle(ev);
+        }
+        self.world.now = t;
+    }
+
+    fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::Departure(l) => {
+                let li = l.index();
+                let pkt = self.world.links[li]
+                    .in_service
+                    .take()
+                    .expect("departure without packet in service");
+                self.world.links[li].note_tx(&pkt);
+                let delay = self.world.links[li].delay;
+                self.world
+                    .events
+                    .push(self.world.now + delay, Event::Arrival(l, pkt));
+                let now = self.world.now;
+                if let Some(next) = self.world.links[li].queue.dequeue(now) {
+                    let tx = self.world.links[li].tx_time(&next);
+                    self.world.links[li].in_service = Some(next);
+                    self.world.events.push(now + tx, Event::Departure(l));
+                }
+            }
+            Event::Arrival(l, pkt) => {
+                let node = self.world.links[l.index()].to;
+                match &pkt.body {
+                    Body::Graft(g) => self.world.handle_graft(node, l, *g),
+                    Body::Prune(g) => self.world.handle_prune(node, l, *g),
+                    Body::IgmpJoin(g) => self.world.handle_graft(node, l, *g),
+                    Body::IgmpLeave(g) => self.world.handle_prune(node, l, *g),
+                    _ => {
+                        // Local unicast delivery is detected inside route().
+                        let dst = pkt.dst;
+                        match dst {
+                            Dest::Agent(a)
+                                if self.world.agent_nodes[a.index()] == node =>
+                            {
+                                self.deliver(a, pkt)
+                            }
+                            _ => self.world.route(node, Some(l), pkt),
+                        }
+                    }
+                }
+            }
+            Event::AgentStart(a) => self.dispatch(a, |agent, ctx| agent.on_start(ctx)),
+            Event::AgentTimer(a, token) => {
+                self.dispatch(a, |agent, ctx| agent.on_timer(ctx, token))
+            }
+            Event::EdgeTimer(node, token) => {
+                self.world.with_edge(node, |m, env| m.on_timer(env, token));
+            }
+            Event::LocalDeliver(a, pkt) => self.deliver(a, pkt),
+            Event::LeaveCheck(node, group) => {
+                let n = node.index();
+                if let Some(entry) = self.world.nodes[n].groups.get(&group) {
+                    if !entry.on_tree() {
+                        self.world.prune_upstream(node, group);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Deliver a packet to an agent, recording data deliveries.
+    fn deliver(&mut self, agent: AgentId, pkt: Packet) {
+        match &pkt.body {
+            Body::App(_) | Body::Opaque => {
+                let now = self.world.now;
+                self.world.monitor.record(now, agent, pkt.flow, pkt.size_bits);
+            }
+            _ => {}
+        }
+        self.dispatch(agent, |a, ctx| a.on_packet(ctx, pkt));
+    }
+
+    fn dispatch<F>(&mut self, agent: AgentId, f: F)
+    where
+        F: FnOnce(&mut dyn Agent, &mut Ctx),
+    {
+        let Some(mut boxed) = self.agents[agent.index()].take() else {
+            // Agent re-entrancy cannot happen (events are not recursive),
+            // so an empty slot means the agent was removed.
+            return;
+        };
+        let node = self.world.agent_nodes[agent.index()];
+        let mut ctx = Ctx {
+            world: &mut self.world,
+            agent,
+            node,
+        };
+        f(boxed.as_mut(), &mut ctx);
+        self.agents[agent.index()] = Some(boxed);
+    }
+
+    /// Borrow an agent as its concrete type (post-run result extraction).
+    pub fn agent_as<T: Agent>(&self, agent: AgentId) -> Option<&T> {
+        self.agents[agent.index()]
+            .as_deref()
+            .and_then(|a| (a as &dyn Any).downcast_ref::<T>())
+    }
+
+    /// Mutably borrow an agent as its concrete type.
+    pub fn agent_as_mut<T: Agent>(&mut self, agent: AgentId) -> Option<&mut T> {
+        self.agents[agent.index()]
+            .as_deref_mut()
+            .and_then(|a| (a as &mut dyn Any).downcast_mut::<T>())
+    }
+
+    /// Borrow a node's edge module as its concrete type.
+    pub fn edge_as<T: EdgeModule>(&self, node: NodeId) -> Option<&T> {
+        self.world.nodes[node.index()]
+            .edge
+            .as_deref()
+            .and_then(|m| (m as &dyn Any).downcast_ref::<T>())
+    }
+
+    /// The delivery monitor.
+    pub fn monitor(&self) -> &Monitor {
+        &self.world.monitor
+    }
+}
+
+/// Shortest-delay next-hop table from `src` to every reachable node.
+fn dijkstra(world: &World, src: NodeId) -> HashMap<NodeId, LinkId> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    let n = world.nodes.len();
+    let mut dist = vec![u64::MAX; n];
+    let mut first_hop: Vec<Option<LinkId>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[src.index()] = 0;
+    heap.push(Reverse((0u64, src.0)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        let ui = u as usize;
+        if d > dist[ui] {
+            continue;
+        }
+        for &l in &world.nodes[ui].out_links {
+            let link = &world.links[l.index()];
+            let v = link.to.index();
+            let w = link.delay.as_nanos().max(1);
+            let nd = d.saturating_add(w);
+            if nd < dist[v] {
+                dist[v] = nd;
+                // The first hop toward v goes through u's own first hop,
+                // unless u is the source (then it is this very link).
+                first_hop[v] = if ui == src.index() {
+                    Some(l)
+                } else {
+                    first_hop[ui]
+                };
+                heap.push(Reverse((nd, v as u32)));
+            }
+        }
+    }
+    let mut routes = HashMap::new();
+    for (v, hop) in first_hop.iter().enumerate() {
+        if v != src.index() {
+            if let Some(l) = hop {
+                routes.insert(NodeId(v as u32), *l);
+            }
+        }
+    }
+    routes
+}

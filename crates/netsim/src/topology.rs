@@ -1,0 +1,276 @@
+//! Topology builders.
+//!
+//! The paper's evaluation uses a single-bottleneck dumbbell, but a
+//! reusable simulator deserves first-class topology helpers. All builders
+//! use homogeneous link parameters per "tier"; heterogeneous setups (the
+//! Figure-8f RTT spread) assemble links directly.
+
+use crate::addr::NodeId;
+use crate::queue::Queue;
+use crate::sim::Sim;
+use mcc_simcore::SimDuration;
+
+/// Parameters for one tier of links.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkSpec {
+    /// Serialization rate in bit/s.
+    pub bps: u64,
+    /// Propagation delay.
+    pub delay: SimDuration,
+    /// Drop-tail queue limit in bytes (per direction).
+    pub queue_bytes: u64,
+}
+
+impl LinkSpec {
+    /// A 10 Mbps / 10 ms access link with a roomy buffer — the paper's
+    /// side-link default.
+    pub fn access() -> Self {
+        LinkSpec {
+            bps: 10_000_000,
+            delay: SimDuration::from_millis(10),
+            queue_bytes: 1_000_000,
+        }
+    }
+
+    /// A bottleneck sized at `bps` with a buffer of two bandwidth-delay
+    /// products of `rtt`.
+    pub fn bottleneck(bps: u64, delay: SimDuration, rtt: SimDuration) -> Self {
+        LinkSpec {
+            bps,
+            delay,
+            queue_bytes: (2.0 * bps as f64 * rtt.as_secs_f64() / 8.0) as u64,
+        }
+    }
+
+    fn install(&self, sim: &mut Sim, a: NodeId, b: NodeId) {
+        sim.add_duplex_link(
+            a,
+            b,
+            self.bps,
+            self.delay,
+            Queue::drop_tail(self.queue_bytes),
+            Queue::drop_tail(self.queue_bytes),
+        );
+    }
+}
+
+/// A linear chain of `n` nodes: `n0 — n1 — … — n(k-1)`.
+///
+/// Returns the node ids in path order.
+pub fn chain(sim: &mut Sim, n: usize, link: LinkSpec) -> Vec<NodeId> {
+    assert!(n >= 2, "a chain needs at least two nodes");
+    let nodes: Vec<NodeId> = (0..n).map(|_| sim.add_node()).collect();
+    for w in nodes.windows(2) {
+        link.install(sim, w[0], w[1]);
+    }
+    nodes
+}
+
+/// A star: one hub with `leaves` spokes. Returns `(hub, leaf ids)`.
+pub fn star(sim: &mut Sim, leaves: usize, link: LinkSpec) -> (NodeId, Vec<NodeId>) {
+    let hub = sim.add_node();
+    let leaf_ids = (0..leaves)
+        .map(|_| {
+            let l = sim.add_node();
+            link.install(sim, hub, l);
+            l
+        })
+        .collect();
+    (hub, leaf_ids)
+}
+
+/// A complete binary tree of the given `depth` (depth 0 = just the root).
+/// Returns the nodes in breadth-first order; leaves occupy the tail
+/// `2^depth` entries.
+pub fn binary_tree(sim: &mut Sim, depth: u32, link: LinkSpec) -> Vec<NodeId> {
+    let total = (1usize << (depth + 1)) - 1;
+    let nodes: Vec<NodeId> = (0..total).map(|_| sim.add_node()).collect();
+    for i in 1..total {
+        let parent = nodes[(i - 1) / 2];
+        link.install(sim, parent, nodes[i]);
+    }
+    nodes
+}
+
+/// The classic dumbbell: `left` hosts on router A, `right` hosts on
+/// router B, a bottleneck in between. Returns
+/// `(a, b, left hosts, right hosts)`.
+pub fn dumbbell(
+    sim: &mut Sim,
+    left: usize,
+    right: usize,
+    side: LinkSpec,
+    middle: LinkSpec,
+) -> (NodeId, NodeId, Vec<NodeId>, Vec<NodeId>) {
+    let a = sim.add_node();
+    let b = sim.add_node();
+    middle.install(sim, a, b);
+    let lhs = (0..left)
+        .map(|_| {
+            let h = sim.add_node();
+            side.install(sim, h, a);
+            h
+        })
+        .collect();
+    let rhs = (0..right)
+        .map(|_| {
+            let h = sim.add_node();
+            side.install(sim, b, h);
+            h
+        })
+        .collect();
+    (a, b, lhs, rhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+    use mcc_simcore::SimTime;
+
+    #[derive(Debug, Default)]
+    struct Sink {
+        got: u64,
+    }
+    impl Agent for Sink {
+        fn on_packet(&mut self, _ctx: &mut Ctx, _p: Packet) {
+            self.got += 1;
+        }
+    }
+    #[derive(Debug)]
+    struct Shot {
+        to: AgentId,
+    }
+    impl Agent for Shot {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            ctx.send(Packet::opaque(512, FlowId(0), ctx.agent, Dest::Agent(self.to)));
+        }
+    }
+
+    fn ping_works(sim: &mut Sim, from: NodeId, to: NodeId) -> bool {
+        let sink = sim.add_agent(to, Box::new(Sink::default()), SimTime::ZERO);
+        sim.add_agent(from, Box::new(Shot { to: sink }), SimTime::ZERO);
+        sim.finalize();
+        sim.run_until(SimTime::from_secs(2));
+        sim.agent_as::<Sink>(sink).unwrap().got == 1
+    }
+
+    #[test]
+    fn chain_routes_end_to_end() {
+        let mut sim = Sim::new(1, SimDuration::from_secs(1));
+        let nodes = chain(&mut sim, 6, LinkSpec::access());
+        assert!(ping_works(&mut sim, nodes[0], nodes[5]));
+    }
+
+    #[test]
+    fn star_routes_leaf_to_leaf() {
+        let mut sim = Sim::new(2, SimDuration::from_secs(1));
+        let (_hub, leaves) = star(&mut sim, 5, LinkSpec::access());
+        assert!(ping_works(&mut sim, leaves[0], leaves[4]));
+    }
+
+    #[test]
+    fn tree_routes_across_subtrees() {
+        let mut sim = Sim::new(3, SimDuration::from_secs(1));
+        let nodes = binary_tree(&mut sim, 3, LinkSpec::access());
+        // First and last leaves live in different halves of the tree.
+        let first_leaf = nodes[nodes.len() - 8];
+        let last_leaf = nodes[nodes.len() - 1];
+        assert!(ping_works(&mut sim, first_leaf, last_leaf));
+    }
+
+    #[test]
+    fn tree_shape_counts() {
+        let mut sim = Sim::new(4, SimDuration::from_secs(1));
+        let nodes = binary_tree(&mut sim, 2, LinkSpec::access());
+        assert_eq!(nodes.len(), 7);
+        // 6 edges → 12 unidirectional links.
+        assert_eq!(sim.world.links.len(), 12);
+    }
+
+    #[test]
+    fn dumbbell_crosses_the_bottleneck() {
+        let mut sim = Sim::new(5, SimDuration::from_secs(1));
+        let (_a, _b, lhs, rhs) = dumbbell(
+            &mut sim,
+            3,
+            3,
+            LinkSpec::access(),
+            LinkSpec::bottleneck(
+                1_000_000,
+                SimDuration::from_millis(20),
+                SimDuration::from_millis(80),
+            ),
+        );
+        assert!(ping_works(&mut sim, lhs[2], rhs[0]));
+    }
+
+    #[test]
+    fn bottleneck_buffer_is_two_bdp() {
+        let spec = LinkSpec::bottleneck(
+            1_000_000,
+            SimDuration::from_millis(20),
+            SimDuration::from_millis(80),
+        );
+        // 2 × 1 Mbps × 80 ms = 160 kb = 20 kB.
+        assert_eq!(spec.queue_bytes, 20_000);
+    }
+
+    #[test]
+    fn multicast_works_over_a_tree() {
+        #[derive(Debug)]
+        struct TreeSource {
+            group: GroupAddr,
+        }
+        impl Agent for TreeSource {
+            fn on_start(&mut self, ctx: &mut Ctx) {
+                ctx.timer_in(SimDuration::from_millis(200), 0);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx, _t: u64) {
+                for _ in 0..5 {
+                    ctx.send(Packet::opaque(512, FlowId(1), ctx.agent, Dest::Group(self.group)));
+                }
+            }
+        }
+        #[derive(Debug)]
+        struct Member {
+            group: GroupAddr,
+            got: u64,
+        }
+        impl Agent for Member {
+            fn on_start(&mut self, ctx: &mut Ctx) {
+                ctx.join_group(self.group);
+            }
+            fn on_packet(&mut self, _ctx: &mut Ctx, _p: Packet) {
+                self.got += 1;
+            }
+        }
+        let mut sim = Sim::new(6, SimDuration::from_secs(1));
+        let nodes = binary_tree(&mut sim, 3, LinkSpec::access());
+        let root = nodes[0];
+        let g = GroupAddr(7);
+        sim.register_group(g, root);
+        // Two members on distant leaves, one non-member in between.
+        let m1 = sim.add_agent(
+            nodes[nodes.len() - 8],
+            Box::new(Member { group: g, got: 0 }),
+            SimTime::ZERO,
+        );
+        let m2 = sim.add_agent(
+            nodes[nodes.len() - 1],
+            Box::new(Member { group: g, got: 0 }),
+            SimTime::ZERO,
+        );
+        let non = sim.add_agent(
+            nodes[nodes.len() - 4],
+            Box::new(Sink::default()),
+            SimTime::ZERO,
+        );
+        sim.add_agent(root, Box::new(TreeSource { group: g }), SimTime::ZERO);
+        sim.finalize();
+        sim.run_until(SimTime::from_secs(2));
+        assert_eq!(sim.agent_as::<Member>(m1).unwrap().got, 5);
+        assert_eq!(sim.agent_as::<Member>(m2).unwrap().got, 5);
+        assert_eq!(sim.agent_as::<Sink>(non).unwrap().got, 0);
+    }
+}

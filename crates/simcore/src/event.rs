@@ -1,0 +1,210 @@
+//! The future event list.
+//!
+//! [`EventQueue`] is a priority queue keyed on `(SimTime, sequence)` where the
+//! sequence number is assigned at insertion. Two events scheduled for the same
+//! instant therefore pop in insertion order, which makes the whole simulation
+//! a *total* order: replaying a scenario with the same seed reproduces every
+//! packet drop bit-for-bit.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One scheduled entry.
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic future event list.
+///
+/// ```
+/// use mcc_simcore::{EventQueue, SimTime};
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_secs(1), 'b');
+/// q.push(SimTime::from_secs(1), 'c'); // same instant: insertion order wins
+/// q.push(SimTime::from_millis(1), 'a');
+/// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+/// assert_eq!(order, vec!['a', 'b', 'c']);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            popped: 0,
+        }
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    pub fn push(&mut self, at: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Remove and return the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|s| {
+            self.popped += 1;
+            (s.at, s.event)
+        })
+    }
+
+    /// The time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events processed so far (diagnostics/benchmarks).
+    pub fn processed(&self) -> u64 {
+        self.popped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(3), 3);
+        q.push(SimTime::from_secs(1), 1);
+        q.push(SimTime::from_secs(2), 2);
+        assert_eq!(q.pop().unwrap(), (SimTime::from_secs(1), 1));
+        assert_eq!(q.pop().unwrap(), (SimTime::from_secs(2), 2));
+        assert_eq!(q.pop().unwrap(), (SimTime::from_secs(3), 3));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(10);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(5), 'e');
+        q.push(SimTime::from_secs(1), 'a');
+        assert_eq!(q.pop().unwrap().1, 'a');
+        q.push(SimTime::from_secs(2), 'b');
+        q.push(SimTime::from_secs(4), 'd');
+        assert_eq!(q.pop().unwrap().1, 'b');
+        q.push(SimTime::from_secs(3), 'c');
+        assert_eq!(q.pop().unwrap().1, 'c');
+        assert_eq!(q.pop().unwrap().1, 'd');
+        assert_eq!(q.pop().unwrap().1, 'e');
+    }
+
+    #[test]
+    fn counters_and_peek() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        let t0 = SimTime::ZERO + SimDuration::from_millis(1);
+        q.push(t0, ());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(t0));
+        q.pop();
+        assert_eq!(q.processed(), 1);
+        assert!(q.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Popping always yields a non-decreasing time sequence, and ties
+        /// preserve insertion order, for any interleaving of pushes.
+        #[test]
+        fn pops_are_sorted_and_stable(times in prop::collection::vec(0u64..50, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.push(SimTime::from_millis(t), (t, i));
+            }
+            let mut last: Option<(SimTime, usize)> = None;
+            while let Some((at, (_, idx))) = q.pop() {
+                if let Some((lt, lidx)) = last {
+                    prop_assert!(at >= lt, "time went backwards");
+                    if at == lt {
+                        prop_assert!(idx > lidx, "tie broke insertion order");
+                    }
+                }
+                last = Some((at, idx));
+            }
+        }
+
+        /// The queue returns exactly what was pushed (no loss, no dupes).
+        #[test]
+        fn conservation(times in prop::collection::vec(0u64..1000, 0..300)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.push(SimTime::from_micros(t), i);
+            }
+            let mut seen: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            seen.sort_unstable();
+            prop_assert_eq!(seen, (0..times.len()).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! # mcc-tcp — TCP Reno over the network simulator
+//!
+//! The paper's Figures 1, 7 and 8d use TCP Reno receivers (`T1`, `T2`, …)
+//! as the well-behaved cross traffic whose bandwidth a misbehaving multicast
+//! receiver steals. This crate is a from-scratch Reno implementation over
+//! `mcc-netsim` following RFC 2581 (congestion control) and RFC 6298
+//! (retransmission timer):
+//!
+//! * slow start and congestion avoidance ([`reno::RenoSender`]),
+//! * fast retransmit on three duplicate ACKs and Reno fast recovery,
+//! * go-back-N retransmission timeout with exponential backoff and Karn's
+//!   algorithm for RTT sampling ([`rtt::RttEstimator`]),
+//! * a cumulative-ACK receiver with out-of-order reassembly
+//!   ([`sink::TcpSink`]).
+//!
+//! Segments are 576 bytes on the wire (536-byte payload + 40-byte header),
+//! matching the paper's "all data traffic uses 576-byte packets".
+
+pub mod reno;
+pub mod rtt;
+pub mod seg;
+pub mod sink;
+
+pub use reno::{RenoConfig, RenoSender, RenoStats};
+pub use rtt::RttEstimator;
+pub use seg::{TcpAck, TcpData, ACK_BITS, DEFAULT_HEADER_BYTES, DEFAULT_MSS_BYTES};
+pub use sink::TcpSink;

@@ -1,0 +1,50 @@
+//! TCP segment bodies.
+
+/// Default payload bytes per segment: 576-byte packets minus a 40-byte
+/// TCP/IP header, as in the paper's evaluation settings.
+pub const DEFAULT_MSS_BYTES: u64 = 536;
+
+/// Default TCP/IP header size in bytes.
+pub const DEFAULT_HEADER_BYTES: u64 = 40;
+
+/// Wire size of a pure ACK in bits (header only).
+pub const ACK_BITS: u64 = DEFAULT_HEADER_BYTES * 8;
+
+/// A data segment: `payload` bytes starting at byte offset `seq`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TcpData {
+    /// Byte sequence number of the first payload byte.
+    pub seq: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+}
+
+impl TcpData {
+    /// One-past-the-end byte offset.
+    pub fn end(&self) -> u64 {
+        self.seq + self.len
+    }
+}
+
+/// A cumulative acknowledgment: the receiver has every byte below `ack`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TcpAck {
+    /// Next byte expected.
+    pub ack: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seg_end() {
+        let s = TcpData { seq: 1000, len: 536 };
+        assert_eq!(s.end(), 1536);
+    }
+
+    #[test]
+    fn defaults_sum_to_paper_packet() {
+        assert_eq!(DEFAULT_MSS_BYTES + DEFAULT_HEADER_BYTES, 576);
+    }
+}

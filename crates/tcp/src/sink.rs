@@ -1,0 +1,151 @@
+//! The receiving side: cumulative ACKs with out-of-order reassembly.
+
+use crate::seg::{TcpAck, TcpData, ACK_BITS};
+use mcc_netsim::prelude::*;
+use std::collections::BTreeMap;
+
+/// A TCP receiver. Every data segment triggers an immediate cumulative ACK
+/// (no delayed ACKs — the paper's era NS-2 Reno sink behaves the same way
+/// by default for one-way transfers).
+#[derive(Debug, Default)]
+pub struct TcpSink {
+    /// Non-overlapping received intervals `start → end`, merged on insert.
+    intervals: BTreeMap<u64, u64>,
+    /// Next byte expected (everything below is contiguous).
+    pub cum_ack: u64,
+    /// Goodput: contiguous bytes delivered (advances with `cum_ack`).
+    pub goodput_bytes: u64,
+    /// Count of segments that were duplicates of already-received data.
+    pub dup_segments: u64,
+    /// Total data segments received.
+    pub segments: u64,
+}
+
+impl TcpSink {
+    /// Insert `[seq, end)` and merge; returns true if any byte was new.
+    fn insert(&mut self, seq: u64, end: u64) -> bool {
+        if end <= seq {
+            return false;
+        }
+        // Find overlap with predecessor and successors, merge into one run.
+        let mut start = seq;
+        let mut stop = end;
+        // Predecessor that might overlap or abut.
+        if let Some((&ps, &pe)) = self.intervals.range(..=seq).next_back() {
+            if pe >= seq {
+                if pe >= end {
+                    return false; // fully covered
+                }
+                start = ps;
+                stop = stop.max(pe);
+            }
+        }
+        // Successors swallowed by the merged run.
+        let swallowed: Vec<u64> = self
+            .intervals
+            .range(start..=stop)
+            .map(|(&s, _)| s)
+            .collect();
+        let mut new = stop;
+        for s in swallowed {
+            let e = self.intervals.remove(&s).expect("present");
+            new = new.max(e);
+        }
+        self.intervals.insert(start, new.max(stop));
+        true
+    }
+
+    fn advance_cum_ack(&mut self) {
+        if let Some((&s, &e)) = self.intervals.iter().next() {
+            if s <= self.cum_ack && e > self.cum_ack {
+                self.goodput_bytes += e - self.cum_ack;
+                self.cum_ack = e;
+            }
+        }
+    }
+}
+
+impl Agent for TcpSink {
+    fn on_packet(&mut self, ctx: &mut Ctx, pkt: Packet) {
+        let Some(&TcpData { seq, len }) = pkt.body_as::<TcpData>() else {
+            return; // stray non-data packet
+        };
+        self.segments += 1;
+        if !self.insert(seq, seq + len) {
+            self.dup_segments += 1;
+        }
+        self.advance_cum_ack();
+        let ack = Packet::app(
+            ACK_BITS,
+            pkt.flow,
+            ctx.agent,
+            Dest::Agent(pkt.src),
+            TcpAck { ack: self.cum_ack },
+        );
+        ctx.send(ack);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sink() -> TcpSink {
+        TcpSink::default()
+    }
+
+    #[test]
+    fn in_order_advances() {
+        let mut s = sink();
+        assert!(s.insert(0, 536));
+        s.advance_cum_ack();
+        assert_eq!(s.cum_ack, 536);
+        assert!(s.insert(536, 1072));
+        s.advance_cum_ack();
+        assert_eq!(s.cum_ack, 1072);
+        assert_eq!(s.goodput_bytes, 1072);
+    }
+
+    #[test]
+    fn gap_holds_ack() {
+        let mut s = sink();
+        s.insert(0, 536);
+        s.advance_cum_ack();
+        s.insert(1072, 1608); // hole at [536, 1072)
+        s.advance_cum_ack();
+        assert_eq!(s.cum_ack, 536);
+        // Filling the hole releases everything.
+        s.insert(536, 1072);
+        s.advance_cum_ack();
+        assert_eq!(s.cum_ack, 1608);
+    }
+
+    #[test]
+    fn duplicate_detected() {
+        let mut s = sink();
+        assert!(s.insert(0, 536));
+        assert!(!s.insert(0, 536));
+        assert!(!s.insert(100, 500)); // sub-range
+    }
+
+    #[test]
+    fn overlapping_merges() {
+        let mut s = sink();
+        s.insert(0, 400);
+        s.insert(800, 1200);
+        s.insert(300, 900); // bridges both
+        s.advance_cum_ack();
+        assert_eq!(s.cum_ack, 1200);
+        assert_eq!(s.intervals.len(), 1);
+    }
+
+    #[test]
+    fn abutting_intervals_merge() {
+        let mut s = sink();
+        s.insert(536, 1072);
+        s.insert(0, 536);
+        s.advance_cum_ack();
+        assert_eq!(s.cum_ack, 1072);
+        assert_eq!(s.intervals.len(), 1);
+    }
+}

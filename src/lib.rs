@@ -1,0 +1,28 @@
+//! # robust-multicast — umbrella crate
+//!
+//! Reproduction of *"Robustness to Inflated Subscription in Multicast
+//! Congestion Control"* (Gorinsky, Jain, Vin, Zhang — UT Austin TR2003-09 /
+//! SIGCOMM 2003 line of work).
+//!
+//! This crate re-exports the whole workspace under one roof so examples,
+//! integration tests and downstream users can write `use robust_multicast::…`.
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-versus-measured record of every figure.
+//!
+//! * [`simcore`] — deterministic discrete-event engine,
+//! * [`netsim`] — packet-level network simulator (the NS-2 substitute),
+//! * [`tcp`] — TCP Reno cross traffic,
+//! * [`traffic`] — CBR / on-off sources,
+//! * [`delta`] — DELTA in-band key distribution (paper §3.1),
+//! * [`sigma`] — SIGMA edge-router group management (paper §3.2),
+//! * [`flid`] — FLID-DL, FLID-DS and the replicated/threshold variants,
+//! * [`core`] — scenario builders, experiments and metrics.
+
+pub use mcc_core as core;
+pub use mcc_delta as delta;
+pub use mcc_flid as flid;
+pub use mcc_netsim as netsim;
+pub use mcc_sigma as sigma;
+pub use mcc_simcore as simcore;
+pub use mcc_tcp as tcp;
+pub use mcc_traffic as traffic;

@@ -1,0 +1,79 @@
+//! Preservation of congestion-control properties (paper §5.3) and the
+//! protocol variants, exercised end to end through the facade.
+
+use robust_multicast::core::experiments::{
+    convergence, overhead_vs_groups, responsiveness, throughput_vs_sessions,
+};
+
+#[test]
+fn figure8c_shape_dl_and_ds_throughput_parity() {
+    let ns = [1u32, 4];
+    let dl = throughput_vs_sessions(false, &ns, false, 60, 7);
+    let ds = throughput_vs_sessions(true, &ns, false, 60, 7);
+    for (a, b) in dl.iter().zip(&ds) {
+        let ratio = a.avg_bps.max(b.avg_bps) / a.avg_bps.min(b.avg_bps).max(1.0);
+        assert!(
+            ratio < 1.5,
+            "n={}: DL {} vs DS {}",
+            a.n,
+            a.avg_bps,
+            b.avg_bps
+        );
+    }
+}
+
+#[test]
+fn figure8d_shape_multicast_survives_tcp_and_cbr_cross_traffic() {
+    let rows = throughput_vs_sessions(true, &[2], true, 60, 5);
+    // With an equal TCP population and a CBR, multicast keeps a
+    // substantial share (the paper shows it depends on n but stays alive).
+    assert!(
+        rows[0].avg_bps > 80_000.0,
+        "multicast starved: {}",
+        rows[0].avg_bps
+    );
+}
+
+#[test]
+fn figure8e_shape_ds_responsiveness_tracks_dl() {
+    let dl = responsiveness(false, 60, 20, 35, 3);
+    let ds = responsiveness(true, 60, 20, 35, 3);
+    for s in [&dl, &ds] {
+        let before: f64 = s.points[12..18].iter().map(|p| p.1).sum::<f64>() / 6.0;
+        let during: f64 = s.points[26..32].iter().map(|p| p.1).sum::<f64>() / 6.0;
+        let after: f64 = s.points[48..56].iter().map(|p| p.1).sum::<f64>() / 8.0;
+        assert!(
+            during < 0.65 * before,
+            "{}: burst must bite (before {before}, during {during})",
+            s.label
+        );
+        assert!(
+            after > 1.4 * during,
+            "{}: must recover (during {during}, after {after})",
+            s.label
+        );
+    }
+}
+
+#[test]
+fn figure8h_shape_staggered_ds_receivers_converge() {
+    let r = convergence(true, 45, 11);
+    let finals: Vec<f64> = r
+        .levels
+        .iter()
+        .map(|s| s.points.last().map(|p| p.1).unwrap_or(0.0))
+        .collect();
+    let max = finals.iter().cloned().fold(0.0, f64::max);
+    let min = finals.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(max - min <= 1.0, "levels converge: {finals:?}");
+}
+
+#[test]
+fn figure9_shape_overheads_are_sub_percent() {
+    let rows = overhead_vs_groups(&[2, 10, 20], 15, 5);
+    for r in &rows {
+        assert!(r.delta_analytic < 0.01, "{r:?}");
+        assert!(r.sigma_analytic < 0.006, "{r:?}");
+        assert!(r.delta_measured < 0.012, "{r:?}");
+    }
+}

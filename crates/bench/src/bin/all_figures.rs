@@ -1,33 +1,44 @@
-//! Regenerate every figure of the paper in sequence.
+//! Regenerate every figure of the paper, in parallel.
+//!
+//! The twelve figure experiments are independent simulations, each
+//! deterministic in its own seed, so they run concurrently across a thread
+//! pool (`MCC_THREADS` to override the worker count) and the combined
+//! report is byte-identical to a serial run — see `mcc_core::runner`.
 //!
 //! `MCC_QUICK=1 cargo run --release -p mcc-bench --bin all_figures` for a
 //! fast pass; without the variable the full 200-second experiments run.
+//! Results land in `results/BENCH_all_figures.json`.
 
-use std::process::Command;
+use mcc_bench::{out_dir, quick_mode};
+use mcc_core::runner::{default_threads, figure_experiments, run_parallel};
 
 fn main() {
-    let figs = [
-        "fig01_attack",
-        "fig07_protection",
-        "fig08a_dl_throughput",
-        "fig08b_ds_throughput",
-        "fig08c_avg_no_cross",
-        "fig08d_avg_cross",
-        "fig08e_responsiveness",
-        "fig08f_rtt",
-        "fig08g_convergence_dl",
-        "fig08h_convergence_ds",
-        "fig09a_overhead_groups",
-        "fig09b_overhead_slot",
-    ];
-    for f in figs {
-        let exe = std::env::current_exe().expect("self path");
-        let sibling = exe.with_file_name(f);
-        println!("\n################ {f} ################");
-        let status = Command::new(&sibling)
-            .status()
-            .unwrap_or_else(|e| panic!("run {f}: {e} (build all bins first)"));
-        assert!(status.success(), "{f} failed");
+    let quick = quick_mode();
+    let mode = if quick { "quick" } else { "full" };
+    let specs = figure_experiments(quick);
+    let threads = default_threads();
+    println!(
+        "Running {} figure experiments on {} threads ({} mode)...",
+        specs.len(),
+        threads,
+        mode
+    );
+
+    let wall = std::time::Instant::now();
+    let report = run_parallel("robust-multicast-figures", mode, &specs, threads);
+    let wall = wall.elapsed();
+
+    for r in &report.records {
+        println!("  {:<24} seed {:<3} {:>8.2?}", r.name, r.seed, r.elapsed);
     }
-    println!("\nAll figures regenerated into results/.");
+    println!(
+        "wall {:.2?}, cpu {:.2?} ({:.1}x speedup)",
+        wall,
+        report.total_elapsed(),
+        report.total_elapsed().as_secs_f64() / wall.as_secs_f64().max(1e-9)
+    );
+
+    let path = out_dir().join("BENCH_all_figures.json");
+    report.write_json(&path).expect("write JSON report");
+    println!("\nAll figures regenerated into {}.", path.display());
 }

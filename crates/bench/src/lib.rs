@@ -17,9 +17,12 @@
 //! | `fig08h_convergence_ds` | Fig. 8h — subscription convergence (DS) |
 //! | `fig09a_overhead_groups` | Fig. 9a — overhead vs group count |
 //! | `fig09b_overhead_slot` | Fig. 9b — overhead vs slot duration |
-//! | `all_figures` | everything above, in sequence |
+//! | `all_figures` | everything above, concurrently |
 //!
-//! Each binary writes `results/<name>.csv` and prints an ASCII rendition.
+//! Each `fig*` binary writes `results/<name>.csv` and prints an ASCII
+//! rendition; `all_figures` instead runs the same experiments in parallel
+//! (`mcc_core::runner`) and writes the combined machine-readable
+//! `results/BENCH_all_figures.json`.
 //! Set `MCC_QUICK=1` to run shortened versions (useful on laptops; the
 //! full runs replicate the paper's 200-second experiments).
 //!
@@ -37,23 +40,21 @@ pub fn out_dir() -> PathBuf {
     p
 }
 
-/// Experiment duration: `full` seconds normally, a shortened run when
-/// `MCC_QUICK` is set.
-pub fn duration(full: u64) -> u64 {
-    if std::env::var("MCC_QUICK").is_ok_and(|v| v != "0") {
-        (full / 4).max(30)
-    } else {
-        full
-    }
+/// Whether `MCC_QUICK` requests shortened runs.
+pub fn quick_mode() -> bool {
+    std::env::var("MCC_QUICK").is_ok_and(|v| v != "0")
 }
 
-/// The session counts swept by Figures 8a–8d.
+/// Experiment duration: `full` seconds normally, a shortened run when
+/// `MCC_QUICK` is set. Delegates to `mcc_core::runner` so the standalone
+/// binaries and the parallel `all_figures` suite share one definition.
+pub fn duration(full: u64) -> u64 {
+    mcc_core::runner::duration_for(full, quick_mode())
+}
+
+/// The session counts swept by Figures 8a–8d (shared with the runner).
 pub fn session_counts() -> Vec<u32> {
-    if std::env::var("MCC_QUICK").is_ok_and(|v| v != "0") {
-        vec![1, 2, 6, 10]
-    } else {
-        vec![1, 2, 4, 6, 8, 10, 12, 14, 16, 18]
-    }
+    mcc_core::runner::session_counts_for(quick_mode())
 }
 
 /// Shared banner for binaries.

@@ -8,7 +8,10 @@
 //!   with per-receiver join times, access delays and misbehaviour,
 //! * [`experiments`] — one function per figure of the paper (1, 7, 8a–8h,
 //!   9a/9b), deterministic in their seeds and duration-scalable,
-//! * [`metrics`] — series/tables, CSV output and quick ASCII charts.
+//! * [`metrics`] — series/tables, CSV output and quick ASCII charts,
+//! * [`runner`] — runs independent experiments concurrently with
+//!   per-experiment deterministic seeds and emits canonical JSON reports
+//!   (`results/BENCH_*.json`); serial and parallel runs are byte-identical.
 //!
 //! ```no_run
 //! // Figure 7 in four lines:
@@ -21,8 +24,12 @@
 pub mod dumbbell;
 pub mod experiments;
 pub mod metrics;
+pub mod runner;
 
 pub use dumbbell::{
     CbrSpec, Dumbbell, DumbbellSpec, McastSessionSpec, ReceiverSpec, SessionHandle, TcpHandle,
 };
 pub use metrics::{ascii_chart, series_csv, write_series_csv, Series, Table};
+pub use runner::{
+    figure_experiments, run_parallel, run_serial, ExperimentRecord, ExperimentSpec, Json, Report,
+};

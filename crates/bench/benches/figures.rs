@@ -4,15 +4,16 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mcc_core::experiments::attack_experiment;
+use mcc_core::{Params, Variant};
 
 fn attack_runs(c: &mut Criterion) {
     let mut g = c.benchmark_group("figures");
     g.sample_size(10);
     g.bench_function("attack_30s_flid_dl", |b| {
-        b.iter(|| attack_experiment(false, 30, 15, 1))
+        b.iter(|| attack_experiment(Variant::FlidDl, 30, 15, 1, &Params::default()))
     });
     g.bench_function("attack_30s_flid_ds", |b| {
-        b.iter(|| attack_experiment(true, 30, 15, 1))
+        b.iter(|| attack_experiment(Variant::FlidDs, 30, 15, 1, &Params::default()))
     });
     g.finish();
 }

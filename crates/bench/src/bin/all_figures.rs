@@ -1,44 +1,14 @@
-//! Regenerate every figure of the paper, in parallel.
-//!
-//! The twelve figure experiments are independent simulations, each
-//! deterministic in its own seed, so they run concurrently across a thread
-//! pool (`MCC_THREADS` to override the worker count) and the combined
-//! report is byte-identical to a serial run — see `mcc_core::runner`.
+//! Back-compat alias: `all_figures` regenerates every figure of the
+//! paper, in parallel, exactly like a flagless `figures` run.
 //!
 //! `MCC_QUICK=1 cargo run --release -p mcc-bench --bin all_figures` for a
 //! fast pass; without the variable the full 200-second experiments run.
-//! Results land in `results/BENCH_all_figures.json`.
-
-use mcc_bench::{out_dir, quick_mode};
-use mcc_core::runner::{default_threads, figure_experiments, run_parallel};
+//! Results land in `results/BENCH_all_figures.json` (byte-identical
+//! however many threads run it). Prefer `figures` for new invocations —
+//! it adds `--list`, `--only`, `--sweep` and friends.
 
 fn main() {
-    let quick = quick_mode();
-    let mode = if quick { "quick" } else { "full" };
-    let specs = figure_experiments(quick);
-    let threads = default_threads();
-    println!(
-        "Running {} figure experiments on {} threads ({} mode)...",
-        specs.len(),
-        threads,
-        mode
-    );
-
-    let wall = std::time::Instant::now();
-    let report = run_parallel("robust-multicast-figures", mode, &specs, threads);
-    let wall = wall.elapsed();
-
-    for r in &report.records {
-        println!("  {:<24} seed {:<3} {:>8.2?}", r.name, r.seed, r.elapsed);
-    }
-    println!(
-        "wall {:.2?}, cpu {:.2?} ({:.1}x speedup)",
-        wall,
-        report.total_elapsed(),
-        report.total_elapsed().as_secs_f64() / wall.as_secs_f64().max(1e-9)
-    );
-
-    let path = out_dir().join("BENCH_all_figures.json");
-    report.write_json(&path).expect("write JSON report");
-    println!("\nAll figures regenerated into {}.", path.display());
+    // Forward any arguments so `all_figures --quick` etc. keep working.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    mcc_bench::cli::main_with_args(&args);
 }

@@ -1,0 +1,345 @@
+//! The `figures` CLI: one registry-driven front end replacing the
+//! fourteen per-figure binaries.
+//!
+//! ```text
+//! figures                      # regenerate all twelve figures (like all_figures)
+//! figures --list               # enumerate every registered experiment
+//! figures --only fig07,fig08a  # a subset, by id or figure prefix
+//! figures --only ablations     # the three design-choice ablations
+//! figures --quick --threads 2  # shortened runs on two workers
+//! figures --sweep seed=1,2,3   # re-run the selection per override
+//! figures --out /tmp/results   # redirect the JSON report
+//! ```
+//!
+//! Selection, seeds and payloads all come from `mcc_core::registry`; the
+//! default invocation reproduces the historical
+//! `results/BENCH_all_figures.json` byte for byte (suite
+//! `robust-multicast-figures`, registered seeds, canonical JSON).
+
+use std::path::PathBuf;
+
+use mcc_core::registry::{self, Experiment, ExperimentDef};
+use mcc_core::runner::{run_parallel, run_serial, ExperimentSpec};
+use mcc_core::{Params, RunConfig};
+
+/// The suite name of the combined figure report (unchanged across the
+/// registry redesign — the byte-compat contract).
+pub const SUITE: &str = "robust-multicast-figures";
+
+/// A parsed `figures` invocation.
+#[derive(Clone, Debug, Default)]
+pub struct Cli {
+    help: bool,
+    list: bool,
+    only: Option<Vec<String>>,
+    quick: bool,
+    serial: bool,
+    threads: Option<usize>,
+    out: Option<PathBuf>,
+    sweep: Option<(String, Vec<String>)>,
+}
+
+impl Cli {
+    /// Parse raw CLI arguments (no `argv[0]`).
+    pub fn parse(args: &[String]) -> Result<Cli, String> {
+        let mut cli = Cli::default();
+        let mut it = args.iter();
+        let value = |flag: &str, it: &mut std::slice::Iter<String>| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--list" | "-l" => cli.list = true,
+                "--quick" | "-q" => cli.quick = true,
+                "--serial" => cli.serial = true,
+                "--only" => {
+                    let v = value("--only", &mut it)?;
+                    cli.only = Some(v.split(',').map(|s| s.trim().to_string()).collect());
+                }
+                "--threads" | "-j" => {
+                    let v = value("--threads", &mut it)?;
+                    let n: usize = v.parse().map_err(|e| format!("--threads {v:?}: {e}"))?;
+                    if n == 0 {
+                        return Err("--threads must be at least 1".into());
+                    }
+                    cli.threads = Some(n);
+                }
+                "--out" | "-o" => cli.out = Some(PathBuf::from(value("--out", &mut it)?)),
+                "--sweep" => {
+                    let v = value("--sweep", &mut it)?;
+                    let (key, values) = v
+                        .split_once('=')
+                        .ok_or_else(|| format!("--sweep {v:?}: expected key=a,b,c"))?;
+                    let values: Vec<String> =
+                        values.split(',').map(|s| s.trim().to_string()).collect();
+                    if values.is_empty() || values.iter().any(|s| s.is_empty()) {
+                        return Err(format!("--sweep {v:?}: empty value list"));
+                    }
+                    cli.sweep = Some((key.to_string(), values));
+                }
+                "--help" | "-h" => cli.help = true,
+                other => return Err(format!("unknown argument {other:?}\n\n{}", usage())),
+            }
+        }
+        Ok(cli)
+    }
+
+    /// The experiments this invocation selects, in registry order.
+    fn selection(&self) -> Result<Vec<ExperimentDef>, String> {
+        let Some(tokens) = &self.only else {
+            return Ok(registry::figures());
+        };
+        let mut defs: Vec<ExperimentDef> = Vec::new();
+        for token in tokens {
+            let matched = match token.as_str() {
+                "all" => registry::REGISTRY.to_vec(),
+                "figures" => registry::figures(),
+                "ablations" => registry::ablations(),
+                t => registry::matching(t),
+            };
+            if matched.is_empty() {
+                return Err(format!(
+                    "--only {token:?} matches no registered experiment (try --list)"
+                ));
+            }
+            for def in matched {
+                if !defs.iter().any(|d| d.id() == def.id()) {
+                    defs.push(def);
+                }
+            }
+        }
+        Ok(defs)
+    }
+}
+
+fn usage() -> String {
+    let mut s = String::from(
+        "figures — registry-driven figure and ablation regeneration\n\
+         \n\
+         USAGE: figures [OPTIONS]\n\
+         \n\
+         OPTIONS:\n\
+         \x20 -l, --list           list registered experiments and exit\n\
+         \x20     --only IDS       comma-separated ids or figure prefixes\n\
+         \x20                      (fig01, fig08a_dl_throughput, ablations, all)\n\
+         \x20 -q, --quick          shortened runs (also: MCC_QUICK=1)\n\
+         \x20 -j, --threads N      worker threads (also: MCC_THREADS)\n\
+         \x20     --serial         run on one thread, no pool\n\
+         \x20 -o, --out DIR        output directory (default results, also: MCC_OUT)\n\
+         \x20     --sweep K=A,B,C  re-run the selection once per override;\n\
+         \x20                      keys: seed, smoothing, quick\n\
+         \x20 -h, --help           this message\n",
+    );
+    s.push_str("\nDefault: regenerate all twelve figures into results/BENCH_all_figures.json.\n");
+    s
+}
+
+/// Render `--list`.
+pub fn list() -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} registered experiments ({} figures, {} ablations):\n\n",
+        registry::REGISTRY.len(),
+        registry::figures().len(),
+        registry::ablations().len()
+    ));
+    out.push_str(&format!(
+        "  {:<24} {:<10} {:>4}  {}\n",
+        "id", "figure", "seed", "description"
+    ));
+    for def in registry::REGISTRY {
+        let figure = if def.figure().is_empty() {
+            "ablation"
+        } else {
+            def.figure()
+        };
+        out.push_str(&format!(
+            "  {:<24} {:<10} {:>4}  {}\n",
+            def.id(),
+            figure,
+            def.seed(),
+            def.describe()
+        ));
+    }
+    out
+}
+
+/// Run a parsed invocation. Returns the path of the written report, or
+/// `None` for `--list`.
+pub fn run(cli: &Cli) -> Result<Option<PathBuf>, String> {
+    if cli.help {
+        print!("{}", usage());
+        return Ok(None);
+    }
+    if cli.list {
+        print!("{}", list());
+        return Ok(None);
+    }
+
+    let env = RunConfig::from_env();
+    let quick = cli.quick || env.quick;
+    let threads = if cli.serial {
+        1
+    } else {
+        cli.threads.unwrap_or(env.threads)
+    };
+    let out_dir = cli.out.clone().unwrap_or(env.out_dir);
+    let params = Params::quick(quick);
+    let selection = cli.selection()?;
+
+    // Assemble the spec list: the plain selection, or one copy per sweep
+    // value with `id@key=value` names so sweep reports stay self-describing.
+    let (specs, file_name): (Vec<ExperimentSpec>, String) = match &cli.sweep {
+        None => {
+            // Only the exact figure suite, in registry order, may claim the
+            // canonical byte-stable file name.
+            let figs = registry::figures();
+            let full_suite = selection.len() == figs.len()
+                && selection.iter().zip(&figs).all(|(a, b)| a.id() == b.id());
+            let file = if full_suite {
+                "BENCH_all_figures.json".to_string()
+            } else {
+                "BENCH_figures.json".to_string()
+            };
+            (registry::specs(&selection, &params), file)
+        }
+        Some((key, values)) => {
+            let mut specs = Vec::new();
+            for value in values {
+                let swept = params.with_override(key, value)?;
+                for def in &selection {
+                    let (def, p) = (*def, swept.clone());
+                    specs.push(ExperimentSpec::new(
+                        format!("{}@{key}={value}", def.id()),
+                        swept.seed_for(def.seed()),
+                        move |_seed| def.run(&p).data,
+                    ));
+                }
+            }
+            (specs, format!("BENCH_sweep_{key}.json"))
+        }
+    };
+
+    // Sweeping `quick` mixes durations across records, so no single
+    // quick/full label would be honest — the record names carry the values.
+    let mode = match &cli.sweep {
+        Some((key, _)) if key == "quick" => "sweep",
+        _ if quick => "quick",
+        _ => "full",
+    };
+    println!(
+        "Running {} experiments on {} threads ({} mode)...",
+        specs.len(),
+        threads,
+        mode
+    );
+
+    let wall = std::time::Instant::now();
+    let report = if threads <= 1 {
+        run_serial(SUITE, mode, &specs)
+    } else {
+        run_parallel(SUITE, mode, &specs, threads)
+    };
+    let wall = wall.elapsed();
+
+    for r in &report.records {
+        println!("  {:<28} seed {:<3} {:>8.2?}", r.name, r.seed, r.elapsed);
+    }
+    println!(
+        "wall {:.2?}, cpu {:.2?} ({:.1}x speedup)",
+        wall,
+        report.total_elapsed(),
+        report.total_elapsed().as_secs_f64() / wall.as_secs_f64().max(1e-9)
+    );
+
+    let path = out_dir.join(file_name);
+    report
+        .write_json(&path)
+        .map_err(|e| format!("write {}: {e}", path.display()))?;
+    println!("\nReport written to {}.", path.display());
+    Ok(Some(path))
+}
+
+/// Binary entry point shared by `figures` and the `all_figures` alias.
+pub fn main_with_args(args: &[String]) {
+    let cli = match Cli::parse(args) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(msg) = run(&cli) {
+        eprintln!("figures: {msg}");
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcc_core::registry::Kind;
+
+    fn parse(args: &[&str]) -> Result<Cli, String> {
+        Cli::parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_the_documented_flags() {
+        let cli = parse(&[
+            "--only", "fig07,fig08a", "--quick", "--threads", "3", "--out", "/tmp/x", "--sweep",
+            "seed=1,2",
+        ])
+        .unwrap();
+        assert_eq!(cli.only.as_deref().unwrap(), ["fig07", "fig08a"]);
+        assert!(cli.quick);
+        assert_eq!(cli.threads, Some(3));
+        assert_eq!(cli.out.as_deref().unwrap().to_str().unwrap(), "/tmp/x");
+        let (key, values) = cli.sweep.unwrap();
+        assert_eq!(key, "seed");
+        assert_eq!(values, ["1", "2"]);
+    }
+
+    #[test]
+    fn rejects_malformed_invocations() {
+        assert!(parse(&["--threads"]).is_err());
+        assert!(parse(&["--threads", "0"]).is_err());
+        assert!(parse(&["--sweep", "seed"]).is_err());
+        assert!(parse(&["--bogus"]).is_err());
+    }
+
+    #[test]
+    fn selection_defaults_to_the_figure_suite() {
+        let defs = parse(&[]).unwrap().selection().unwrap();
+        assert_eq!(defs.len(), 12);
+        assert!(defs.iter().all(|d| d.kind() == Kind::Figure));
+    }
+
+    #[test]
+    fn selection_resolves_prefixes_groups_and_rejects_unknowns() {
+        let defs = parse(&["--only", "fig01,fig08a"]).unwrap().selection().unwrap();
+        let ids: Vec<&str> = defs.iter().map(|d| d.id()).collect();
+        assert_eq!(ids, ["fig01_attack", "fig08a_dl_throughput"]);
+
+        let abl = parse(&["--only", "ablations"]).unwrap().selection().unwrap();
+        assert_eq!(abl.len(), 3);
+
+        let all = parse(&["--only", "all"]).unwrap().selection().unwrap();
+        assert_eq!(all.len(), registry::REGISTRY.len());
+
+        // Duplicates collapse; unknowns fail loudly.
+        let dup = parse(&["--only", "fig01,fig01_attack"]).unwrap().selection().unwrap();
+        assert_eq!(dup.len(), 1);
+        assert!(parse(&["--only", "fig99"]).unwrap().selection().is_err());
+    }
+
+    #[test]
+    fn list_covers_every_registered_experiment() {
+        let text = list();
+        for def in registry::REGISTRY {
+            assert!(text.contains(def.id()), "--list must mention {}", def.id());
+        }
+    }
+}

@@ -1,30 +1,22 @@
-//! # mcc-bench — figure regenerators and micro-benchmarks
+//! # mcc-bench — the `figures` CLI and micro-benchmarks
 //!
-//! One binary per figure of the paper's evaluation (see the experiment
-//! index in `DESIGN.md`):
+//! The experiment surface is registry-driven (`mcc_core::registry`): one
+//! [`cli`] front end enumerates and runs all twelve paper figures and the
+//! three design-choice ablations.
 //!
-//! | Binary | Paper figure |
-//! |---|---|
-//! | `fig01_attack` | Fig. 1 — impact of inflated subscription (FLID-DL) |
-//! | `fig07_protection` | Fig. 7 — protection with DELTA and SIGMA |
-//! | `fig08a_dl_throughput` | Fig. 8a — FLID-DL throughput vs sessions |
-//! | `fig08b_ds_throughput` | Fig. 8b — FLID-DS throughput vs sessions |
-//! | `fig08c_avg_no_cross` | Fig. 8c — average throughput, no cross traffic |
-//! | `fig08d_avg_cross` | Fig. 8d — average throughput with TCP + CBR |
-//! | `fig08e_responsiveness` | Fig. 8e — responsiveness to a CBR burst |
-//! | `fig08f_rtt` | Fig. 8f — heterogeneous round-trip times |
-//! | `fig08g_convergence_dl` | Fig. 8g — subscription convergence (DL) |
-//! | `fig08h_convergence_ds` | Fig. 8h — subscription convergence (DS) |
-//! | `fig09a_overhead_groups` | Fig. 9a — overhead vs group count |
-//! | `fig09b_overhead_slot` | Fig. 9b — overhead vs slot duration |
-//! | `all_figures` | everything above, concurrently |
+//! ```text
+//! cargo run --release -p mcc-bench --bin figures -- --list
+//! MCC_QUICK=1 cargo run --release -p mcc-bench --bin figures
+//! cargo run --release -p mcc-bench --bin figures -- --only fig07,fig08a
+//! cargo run --release -p mcc-bench --bin figures -- --only ablations
+//! cargo run --release -p mcc-bench --bin figures -- --sweep seed=1,2,3
+//! ```
 //!
-//! Each `fig*` binary writes `results/<name>.csv` and prints an ASCII
-//! rendition; `all_figures` instead runs the same experiments in parallel
-//! (`mcc_core::runner`) and writes the combined machine-readable
-//! `results/BENCH_all_figures.json`.
-//! Set `MCC_QUICK=1` to run shortened versions (useful on laptops; the
-//! full runs replicate the paper's 200-second experiments).
+//! The flagless run writes `results/BENCH_all_figures.json`, byte-identical
+//! to the historical `all_figures` binary (which survives as a thin alias).
+//! The per-figure binaries (`fig01_attack` … `fig09b_overhead_slot`,
+//! `ablations`) are gone — `figures --only <id>` replaces them; see
+//! `DESIGN.md` for the deprecation table.
 //!
 //! Criterion benches (`cargo bench`) cover the mechanism costs the paper
 //! argues are negligible: key precomputation and reconstruction, Shamir
@@ -33,34 +25,22 @@
 
 use std::path::PathBuf;
 
-/// Where figure CSVs land.
+use mcc_core::RunConfig;
+
+pub mod cli;
+
+/// Where reports and CSVs land (`MCC_OUT`, else `results`), created on
+/// first use.
 pub fn out_dir() -> PathBuf {
-    let p = PathBuf::from("results");
+    let p = RunConfig::from_env().out_dir;
     std::fs::create_dir_all(&p).expect("create results dir");
     p
 }
 
-/// Whether `MCC_QUICK` requests shortened runs.
+/// Whether shortened runs were requested. Delegates to
+/// [`RunConfig::from_env`] — the single `MCC_QUICK` reader.
 pub fn quick_mode() -> bool {
-    std::env::var("MCC_QUICK").is_ok_and(|v| v != "0")
-}
-
-/// Experiment duration: `full` seconds normally, a shortened run when
-/// `MCC_QUICK` is set. Delegates to `mcc_core::runner` so the standalone
-/// binaries and the parallel `all_figures` suite share one definition.
-pub fn duration(full: u64) -> u64 {
-    mcc_core::runner::duration_for(full, quick_mode())
-}
-
-/// The session counts swept by Figures 8a–8d (shared with the runner).
-pub fn session_counts() -> Vec<u32> {
-    mcc_core::runner::session_counts_for(quick_mode())
-}
-
-/// Shared banner for binaries.
-pub fn banner(fig: &str, what: &str) {
-    println!("=== {fig}: {what} ===");
-    println!("(deterministic; see EXPERIMENTS.md for paper-vs-measured)\n");
+    RunConfig::from_env().quick
 }
 
 #[cfg(test)]
@@ -68,10 +48,11 @@ mod tests {
     use super::*;
 
     #[test]
-    fn duration_respects_quick_mode() {
-        // Not setting the env var in-process (global state); just check
-        // the arithmetic contract of the quick path.
-        assert!(duration(200) == 200 || duration(200) == 50);
-        assert!(!session_counts().is_empty());
+    fn env_handling_is_centralized() {
+        // The bench helpers and the core RunConfig must agree — they are
+        // the same parse.
+        let cfg = RunConfig::from_env();
+        assert_eq!(quick_mode(), cfg.quick);
+        assert_eq!(out_dir(), cfg.out_dir);
     }
 }

@@ -1,0 +1,198 @@
+//! Run-wide configuration: one place that reads the environment, one
+//! typed bag of knobs that every experiment receives.
+//!
+//! Before this module, `MCC_QUICK` was parsed in `mcc_bench::quick_mode`,
+//! `MCC_THREADS` in `runner::default_threads`, and the quick-mode duration
+//! scaling re-derived at every call site. [`RunConfig::from_env`] is now
+//! the single reader of those variables, and [`Params`] is the value the
+//! registry hands to every [`crate::registry::Experiment`] — so a figure
+//! run and a test run agree on seeds, durations and smoothing *by
+//! construction*.
+
+use std::path::PathBuf;
+
+/// Environment-derived run configuration. The only place in the
+/// workspace that reads `MCC_QUICK`, `MCC_THREADS` and `MCC_OUT`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunConfig {
+    /// Shortened runs (`MCC_QUICK` set to anything but `0`).
+    pub quick: bool,
+    /// Worker threads (`MCC_THREADS`, else available parallelism).
+    pub threads: usize,
+    /// Where reports and CSVs land (`MCC_OUT`, else `results`).
+    pub out_dir: PathBuf,
+}
+
+impl RunConfig {
+    /// Parse the environment once. `MCC_QUICK=1` requests shortened
+    /// runs, `MCC_THREADS=N` pins the worker count, `MCC_OUT=DIR`
+    /// redirects output.
+    pub fn from_env() -> RunConfig {
+        let quick = std::env::var("MCC_QUICK").is_ok_and(|v| v != "0");
+        let threads = std::env::var("MCC_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        let out_dir = std::env::var("MCC_OUT")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("results"));
+        RunConfig {
+            quick,
+            threads,
+            out_dir,
+        }
+    }
+
+    /// The [`Params`] this configuration implies.
+    pub fn params(&self) -> Params {
+        Params {
+            quick: self.quick,
+            ..Params::default()
+        }
+    }
+}
+
+/// The parameter bag every registered experiment runs under.
+///
+/// Defaults reproduce the paper figures exactly; the `figures` CLI can
+/// override single fields for registry-driven sweeps (`--sweep
+/// seed=1,2,3`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Params {
+    /// Shortened runs: durations pass through [`Params::duration`] and
+    /// session sweeps through [`Params::session_counts`].
+    pub quick: bool,
+    /// Window (in 1 s bins) of the moving average applied to throughput
+    /// series — the paper-style plot smoothing. Defaults to
+    /// [`Params::SMOOTHING_WINDOW`].
+    pub smoothing: usize,
+    /// When set, replaces every experiment's registered seed.
+    pub seed_override: Option<u64>,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            quick: false,
+            smoothing: Params::SMOOTHING_WINDOW,
+            seed_override: None,
+        }
+    }
+}
+
+impl Params {
+    /// The moving-average window of the attack/responsiveness figures
+    /// (previously a magic `5` inside `attack_experiment`).
+    pub const SMOOTHING_WINDOW: usize = 5;
+    /// The narrower window of the convergence figures (8g/8h).
+    pub const CONVERGENCE_SMOOTHING: usize = 3;
+
+    /// Paper-exact parameters with the given quick flag.
+    pub fn quick(quick: bool) -> Params {
+        Params {
+            quick,
+            ..Params::default()
+        }
+    }
+
+    /// Experiment duration: `full` seconds normally, a shortened run in
+    /// quick mode.
+    pub fn duration(&self, full: u64) -> u64 {
+        if self.quick {
+            (full / 4).max(30)
+        } else {
+            full
+        }
+    }
+
+    /// The session counts swept by Figures 8a–8d.
+    pub fn session_counts(&self) -> Vec<u32> {
+        if self.quick {
+            vec![1, 2, 6, 10]
+        } else {
+            vec![1, 2, 4, 6, 8, 10, 12, 14, 16, 18]
+        }
+    }
+
+    /// The effective seed for an experiment registered with `base`.
+    pub fn seed_for(&self, base: u64) -> u64 {
+        self.seed_override.unwrap_or(base)
+    }
+
+    /// Apply one `--sweep key=value` override. Supported keys: `seed`
+    /// (u64), `smoothing` (bins), `quick` (0/1).
+    pub fn with_override(&self, key: &str, value: &str) -> Result<Params, String> {
+        let mut p = self.clone();
+        match key {
+            "seed" => {
+                p.seed_override = Some(
+                    value
+                        .parse()
+                        .map_err(|e| format!("seed {value:?}: {e}"))?,
+                );
+            }
+            "smoothing" => {
+                p.smoothing = value
+                    .parse()
+                    .map_err(|e| format!("smoothing {value:?}: {e}"))?;
+            }
+            "quick" => {
+                p.quick = value != "0";
+            }
+            other => {
+                return Err(format!(
+                    "unknown sweep key {other:?} (expected seed, smoothing or quick)"
+                ))
+            }
+        }
+        Ok(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_reproduce_the_paper() {
+        let p = Params::default();
+        assert!(!p.quick);
+        assert_eq!(p.smoothing, 5);
+        assert_eq!(p.duration(200), 200);
+        assert_eq!(p.session_counts().len(), 10);
+        assert_eq!(p.seed_for(8), 8);
+    }
+
+    #[test]
+    fn quick_mode_scales_durations_and_sweeps() {
+        let p = Params::quick(true);
+        assert_eq!(p.duration(200), 50);
+        assert_eq!(p.duration(40), 30, "floor at 30 s");
+        assert_eq!(p.session_counts(), vec![1, 2, 6, 10]);
+    }
+
+    #[test]
+    fn sweep_overrides_parse_and_apply() {
+        let p = Params::default();
+        assert_eq!(p.with_override("seed", "9").unwrap().seed_for(8), 9);
+        assert_eq!(p.with_override("smoothing", "3").unwrap().smoothing, 3);
+        assert!(p.with_override("quick", "1").unwrap().quick);
+        assert!(p.with_override("seed", "x").is_err());
+        assert!(p.with_override("bogus", "1").is_err());
+    }
+
+    #[test]
+    fn from_env_has_sane_fallbacks() {
+        // Whatever the ambient environment, the parse must not panic and
+        // the fallbacks must hold their contracts.
+        let cfg = RunConfig::from_env();
+        assert!(cfg.threads >= 1);
+        assert!(!cfg.out_dir.as_os_str().is_empty());
+        assert_eq!(cfg.params().quick, cfg.quick);
+    }
+}

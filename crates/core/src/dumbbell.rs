@@ -15,6 +15,7 @@
 //! bandwidth-delay products of the 80 ms base round-trip. Node `B` is the
 //! edge router; protected sessions install a SIGMA module there.
 
+use crate::scenario::Variant;
 use mcc_flid::{Behavior, FlidConfig, FlidReceiver, FlidSender, Mode};
 use mcc_netsim::prelude::*;
 use mcc_sigma::{SigmaConfig, SigmaEdgeModule};
@@ -46,8 +47,8 @@ impl Default for ReceiverSpec {
 /// One multicast session.
 #[derive(Clone, Debug)]
 pub struct McastSessionSpec {
-    /// FLID-DS (true) or FLID-DL (false).
-    pub protected: bool,
+    /// FLID-DS (hardened) or FLID-DL (original).
+    pub variant: Variant,
     /// Number of groups (paper default 10).
     pub n_groups: u32,
     /// The session's receivers.
@@ -56,9 +57,9 @@ pub struct McastSessionSpec {
 
 impl McastSessionSpec {
     /// A session with `k` honest receivers joining at t = 0.
-    pub fn honest(protected: bool, k: usize) -> Self {
+    pub fn honest(variant: Variant, k: usize) -> Self {
         McastSessionSpec {
-            protected,
+            variant,
             n_groups: 10,
             receivers: vec![ReceiverSpec::default(); k],
         }
@@ -193,7 +194,7 @@ impl Dumbbell {
         let protected_slot = spec
             .mcast
             .iter()
-            .filter(|m| m.protected)
+            .filter(|m| m.variant.protected())
             .map(|_| SimDuration::from_millis(250))
             .min();
         if let Some(slot) = protected_slot {
@@ -207,7 +208,7 @@ impl Dumbbell {
                 (1..=m.n_groups).map(|g| GroupAddr(base + g)).collect(),
                 GroupAddr(base),
                 FlowId(si as u32),
-                m.protected,
+                m.variant.protected(),
             );
             let sender_host = add_sender_host(&mut sim);
             for g in cfg.groups.iter().chain([&cfg.control_group]) {
@@ -229,7 +230,7 @@ impl Dumbbell {
                     Queue::drop_tail(side_buffer),
                     Queue::drop_tail(side_buffer),
                 );
-                let mode = if m.protected {
+                let mode = if m.variant.protected() {
                     Mode::Ds { router: b }
                 } else {
                     Mode::Dl
@@ -349,13 +350,14 @@ impl Dumbbell {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use Variant::{FlidDl, FlidDs};
 
     #[test]
     fn builds_paper_figure1_shape() {
         let mut spec = DumbbellSpec::new(1, 1_000_000);
         spec.mcast = vec![
-            McastSessionSpec::honest(false, 1),
-            McastSessionSpec::honest(false, 1),
+            McastSessionSpec::honest(FlidDl, 1),
+            McastSessionSpec::honest(FlidDl, 1),
         ];
         spec.tcp = 2;
         let d = Dumbbell::build(spec);
@@ -367,7 +369,7 @@ mod tests {
     #[test]
     fn protected_session_installs_sigma() {
         let mut spec = DumbbellSpec::new(1, 1_000_000);
-        spec.mcast = vec![McastSessionSpec::honest(true, 1)];
+        spec.mcast = vec![McastSessionSpec::honest(FlidDs, 1)];
         let d = Dumbbell::build(spec);
         assert!(d.sigma().is_some());
     }
@@ -375,7 +377,7 @@ mod tests {
     #[test]
     fn short_mixed_run_delivers_traffic_everywhere() {
         let mut spec = DumbbellSpec::new(3, 1_000_000);
-        spec.mcast = vec![McastSessionSpec::honest(true, 1)];
+        spec.mcast = vec![McastSessionSpec::honest(FlidDs, 1)];
         spec.tcp = 1;
         spec.cbr = Some(CbrSpec {
             rate_bps: 100_000,
@@ -397,8 +399,8 @@ mod tests {
     fn sessions_do_not_share_group_addresses() {
         let mut spec = DumbbellSpec::new(1, 1_000_000);
         spec.mcast = vec![
-            McastSessionSpec::honest(false, 1),
-            McastSessionSpec::honest(false, 1),
+            McastSessionSpec::honest(FlidDl, 1),
+            McastSessionSpec::honest(FlidDl, 1),
         ];
         let d = Dumbbell::build(spec);
         let g0: std::collections::HashSet<_> =

@@ -6,10 +6,10 @@
 //! index in `DESIGN.md` maps each function to its figure; `EXPERIMENTS.md`
 //! records paper-versus-measured shapes.
 
-use crate::dumbbell::{
-    CbrSpec, Dumbbell, DumbbellSpec, McastSessionSpec, ReceiverSpec, SessionHandle,
-};
+use crate::config::Params;
+use crate::dumbbell::{CbrSpec, Dumbbell, McastSessionSpec, ReceiverSpec, SessionHandle};
 use crate::metrics::Series;
+use crate::scenario::{Scenario, Units, Variant};
 use mcc_delta::overhead::{delta_overhead, sigma_overhead, OverheadParams};
 use mcc_flid::{Behavior, FlidConfig};
 use mcc_netsim::{FlowId, GroupAddr};
@@ -29,25 +29,18 @@ pub struct AttackResult {
 /// Figures 1 & 7: two multicast + two TCP sessions on a 1 Mbps bottleneck;
 /// F1 inflates its subscription at `attack_at_secs`.
 pub fn attack_experiment(
-    protected: bool,
+    variant: Variant,
     duration_secs: u64,
     attack_at_secs: u64,
     seed: u64,
+    params: &Params,
 ) -> AttackResult {
-    let mut spec = DumbbellSpec::new(seed, 1_000_000);
-    let attacker = McastSessionSpec {
-        protected,
-        n_groups: 10,
-        receivers: vec![ReceiverSpec {
-            behavior: Behavior::Inflate {
-                at: SimTime::from_secs(attack_at_secs),
-            },
-            ..ReceiverSpec::default()
-        }],
-    };
-    spec.mcast = vec![attacker, McastSessionSpec::honest(protected, 1)];
-    spec.tcp = 2;
-    let mut d = Dumbbell::build(spec);
+    let mut d = Scenario::dumbbell(1.mbps())
+        .seed(seed)
+        .sessions(1, variant)
+        .attacker_at(attack_at_secs.secs())
+        .tcp(2)
+        .build();
     d.run_secs(duration_secs);
 
     let agents = [
@@ -59,7 +52,8 @@ pub fn attack_experiment(
     let series: Vec<Series> = agents
         .iter()
         .map(|(label, a)| {
-            Series::from_values(label, 0.0, 1.0, &d.series_bps(*a, duration_secs)).smoothed(5)
+            Series::from_values(label, 0.0, 1.0, &d.series_bps(*a, duration_secs))
+                .smoothed(params.smoothing)
         })
         .collect();
     let post_attack_avg_bps = agents
@@ -86,7 +80,7 @@ pub struct SessionsRow {
 /// Figures 8a/8b (and the multicast half of 8d): `n` multicast sessions,
 /// optional equal TCP population plus an on-off CBR at 10 % of capacity.
 pub fn throughput_vs_sessions(
-    protected: bool,
+    variant: Variant,
     ns: &[u32],
     cross_traffic: bool,
     duration_secs: u64,
@@ -95,21 +89,16 @@ pub fn throughput_vs_sessions(
     ns.iter()
         .map(|&n| {
             let total_sessions = if cross_traffic { 2 * n } else { n };
-            let capacity = 250_000 * total_sessions as u64;
-            let mut spec = DumbbellSpec::new(seed ^ (n as u64) << 32, capacity);
-            spec.mcast = (0..n)
-                .map(|_| McastSessionSpec::honest(protected, 1))
-                .collect();
+            let capacity = 250.kbps() * total_sessions as u64;
+            let mut sc = Scenario::dumbbell(capacity)
+                .seed(seed ^ (n as u64) << 32)
+                .sessions(n, variant);
             if cross_traffic {
-                spec.tcp = n as usize;
-                spec.cbr = Some(CbrSpec {
-                    rate_bps: capacity / 10,
-                    on_off: Some((SimDuration::from_secs(5), SimDuration::from_secs(5))),
-                    start: SimTime::ZERO,
-                    stop: SimTime::MAX,
-                });
+                sc = sc
+                    .tcp(n as usize)
+                    .cbr(CbrSpec::steady(capacity / 10).on_off(5.secs_dur(), 5.secs_dur()));
             }
-            let mut d = Dumbbell::build(spec);
+            let mut d = sc.build();
             d.run_secs(duration_secs);
             let individual_bps: Vec<f64> = d
                 .sessions
@@ -129,55 +118,43 @@ pub fn throughput_vs_sessions(
 /// Figure 8e: responsiveness to an 800 Kbps CBR burst during
 /// `[burst_from, burst_to]` seconds on a 1 Mbps bottleneck.
 pub fn responsiveness(
-    protected: bool,
+    variant: Variant,
     duration_secs: u64,
     burst_from: u64,
     burst_to: u64,
     seed: u64,
+    params: &Params,
 ) -> Series {
-    let mut spec = DumbbellSpec::new(seed, 1_000_000);
-    spec.mcast = vec![McastSessionSpec::honest(protected, 1)];
-    spec.cbr = Some(CbrSpec {
-        rate_bps: 800_000,
-        on_off: None,
-        start: SimTime::from_secs(burst_from),
-        stop: SimTime::from_secs(burst_to),
-    });
-    let mut d = Dumbbell::build(spec);
+    let mut d = Scenario::dumbbell(1.mbps())
+        .seed(seed)
+        .sessions(1, variant)
+        .cbr(CbrSpec::steady(800.kbps()).window(burst_from.secs(), burst_to.secs()))
+        .build();
     d.run_secs(duration_secs);
-    let label = if protected { "FLID-DS" } else { "FLID-DL" };
     Series::from_values(
-        label,
+        variant.label(),
         0.0,
         1.0,
         &d.series_bps(d.sessions[0].receivers[0], duration_secs),
     )
-    .smoothed(5)
+    .smoothed(params.smoothing)
 }
 
 /// Figure 8f: one session, 20 receivers, round-trip times spread uniformly
 /// over 30–220 ms. Returns `(rtt_ms, avg_bps)` per receiver.
-pub fn rtt_experiment(protected: bool, duration_secs: u64, seed: u64) -> Vec<(f64, f64)> {
+pub fn rtt_experiment(variant: Variant, duration_secs: u64, seed: u64) -> Vec<(f64, f64)> {
     let n_receivers = 20;
-    let mut spec = DumbbellSpec::new(seed, 250_000);
-    spec.bottleneck_delay = SimDuration::from_millis(5);
-    let receivers: Vec<ReceiverSpec> = (0..n_receivers)
-        .map(|i| {
-            let rtt_ms = 30.0 + 10.0 * i as f64;
-            // One-way path = 10 (sender side) + 5 (bottleneck) + access.
-            let access_ms = (rtt_ms / 2.0 - 15.0).max(0.1);
-            ReceiverSpec {
-                access_delay: SimDuration::from_secs_f64(access_ms / 1000.0),
-                ..ReceiverSpec::default()
-            }
-        })
-        .collect();
-    spec.mcast = vec![McastSessionSpec {
-        protected,
-        n_groups: 10,
-        receivers,
-    }];
-    let mut d = Dumbbell::build(spec);
+    let receivers = (0..n_receivers).map(|i| {
+        let rtt_ms = 30.0 + 10.0 * i as f64;
+        // One-way path = 10 (sender side) + 5 (bottleneck) + access.
+        let access_ms = (rtt_ms / 2.0 - 15.0).max(0.1);
+        ReceiverSpec::new().access_delay(SimDuration::from_secs_f64(access_ms / 1000.0))
+    });
+    let mut d = Scenario::dumbbell(250.kbps())
+        .seed(seed)
+        .bottleneck_delay(5.ms())
+        .session(McastSessionSpec::new(variant).with_receivers(receivers))
+        .build();
     d.run_secs(duration_secs);
     (0..n_receivers)
         .map(|i| {
@@ -199,20 +176,12 @@ pub struct ConvergenceResult {
 
 /// Figures 8g/8h: four receivers of one session joining at 0/10/20/30 s
 /// behind a 250 Kbps bottleneck converge to the same subscription.
-pub fn convergence(protected: bool, duration_secs: u64, seed: u64) -> ConvergenceResult {
-    let mut spec = DumbbellSpec::new(seed, 250_000);
-    let receivers: Vec<ReceiverSpec> = (0..4)
-        .map(|i| ReceiverSpec {
-            join_at: SimTime::from_secs(10 * i),
-            ..ReceiverSpec::default()
-        })
-        .collect();
-    spec.mcast = vec![McastSessionSpec {
-        protected,
-        n_groups: 10,
-        receivers,
-    }];
-    let mut d = Dumbbell::build(spec);
+pub fn convergence(variant: Variant, duration_secs: u64, seed: u64) -> ConvergenceResult {
+    let receivers = (0..4).map(|i| ReceiverSpec::new().join_at((10 * i).secs()));
+    let mut d = Scenario::dumbbell(250.kbps())
+        .seed(seed)
+        .session(McastSessionSpec::new(variant).with_receivers(receivers))
+        .build();
     d.run_secs(duration_secs);
     let throughput = (0..4)
         .map(|i| {
@@ -222,7 +191,7 @@ pub fn convergence(protected: bool, duration_secs: u64, seed: u64) -> Convergenc
                 1.0,
                 &d.series_bps(d.sessions[0].receivers[i], duration_secs),
             )
-            .smoothed(3)
+            .smoothed(Params::CONVERGENCE_SMOOTHING)
         })
         .collect();
     let levels = (0..4)
@@ -361,11 +330,12 @@ pub fn session(d: &Dumbbell, i: usize) -> &SessionHandle {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use Variant::{FlidDl, FlidDs};
 
     /// Scaled-down Figure 1: the FLID-DL attack pays off.
     #[test]
     fn attack_pays_off_unprotected() {
-        let r = attack_experiment(false, 60, 25, 42);
+        let r = attack_experiment(FlidDl, 60, 25, 42, &Params::default());
         let [f1, f2, t1, t2] = [
             r.post_attack_avg_bps[0],
             r.post_attack_avg_bps[1],
@@ -383,7 +353,7 @@ mod tests {
     /// Scaled-down Figure 7: FLID-DS keeps the allocation fair.
     #[test]
     fn attack_neutralized_protected() {
-        let r = attack_experiment(true, 60, 25, 42);
+        let r = attack_experiment(FlidDs, 60, 25, 42, &Params::default());
         let f1 = r.post_attack_avg_bps[0];
         let f2 = r.post_attack_avg_bps[1];
         let t_min = r.post_attack_avg_bps[2].min(r.post_attack_avg_bps[3]);
@@ -400,8 +370,8 @@ mod tests {
     #[test]
     fn dl_and_ds_average_throughput_similar() {
         let ns = [2u32];
-        let dl = throughput_vs_sessions(false, &ns, false, 60, 7);
-        let ds = throughput_vs_sessions(true, &ns, false, 60, 7);
+        let dl = throughput_vs_sessions(FlidDl, &ns, false, 60, 7);
+        let ds = throughput_vs_sessions(FlidDs, &ns, false, 60, 7);
         let (a, b) = (dl[0].avg_bps, ds[0].avg_bps);
         assert!(a > 120_000.0 && b > 120_000.0, "both near fair: {a} {b}");
         let ratio = a.max(b) / a.min(b);
@@ -412,7 +382,7 @@ mod tests {
     /// and it recovers afterwards.
     #[test]
     fn responsiveness_to_cbr_burst() {
-        let s = responsiveness(true, 60, 20, 35, 3);
+        let s = responsiveness(FlidDs, 60, 20, 35, 3, &Params::default());
         let before: f64 =
             s.points[10..18].iter().map(|p| p.1).sum::<f64>() / 8.0;
         let during: f64 =
@@ -432,7 +402,7 @@ mod tests {
     /// early receivers' level.
     #[test]
     fn convergence_of_staggered_receivers() {
-        let r = convergence(true, 45, 11);
+        let r = convergence(FlidDs, 45, 11);
         let finals: Vec<f64> = r
             .levels
             .iter()
@@ -474,7 +444,7 @@ mod tests {
     /// FLID-DS.
     #[test]
     fn rtt_independence() {
-        let rows = rtt_experiment(true, 60, 13);
+        let rows = rtt_experiment(FlidDs, 60, 13);
         let rates: Vec<f64> = rows.iter().map(|r| r.1).collect();
         let mean = rates.iter().sum::<f64>() / rates.len() as f64;
         assert!(mean > 100_000.0, "receivers get service: {mean}");

@@ -3,33 +3,50 @@
 //! The public face of the reproduction: everything a downstream user needs
 //! to assemble the paper's evaluation (§5) or their own variations.
 //!
-//! * [`dumbbell`] — the single-bottleneck topology builder (§5.1): any mix
-//!   of FLID-DL / FLID-DS sessions, TCP Reno cross traffic and on-off CBR,
+//! * [`scenario`] — the declarative layer: [`Variant`] (FLID-DL vs
+//!   FLID-DS), unit-suffix literals (`1.mbps()`, `50.secs()`) and the
+//!   fluent [`Scenario`] builder,
+//! * [`dumbbell`] — the single-bottleneck topology (§5.1): any mix of
+//!   FLID-DL / FLID-DS sessions, TCP Reno cross traffic and on-off CBR,
 //!   with per-receiver join times, access delays and misbehaviour,
+//! * [`config`] — [`RunConfig::from_env`] (the one reader of `MCC_QUICK`
+//!   / `MCC_THREADS` / `MCC_OUT`) and the [`Params`] bag every
+//!   experiment runs under,
 //! * [`experiments`] — one function per figure of the paper (1, 7, 8a–8h,
-//!   9a/9b), deterministic in their seeds and duration-scalable,
+//!   9a/9b), thin wrappers over the builders, deterministic in their seeds,
+//! * [`registry`] — every figure and ablation as a registered
+//!   [`Experiment`](registry::Experiment) object; the source of truth for
+//!   the `figures` CLI in `mcc-bench`,
 //! * [`metrics`] — series/tables, CSV output and quick ASCII charts,
 //! * [`runner`] — runs independent experiments concurrently with
 //!   per-experiment deterministic seeds and emits canonical JSON reports
 //!   (`results/BENCH_*.json`); serial and parallel runs are byte-identical.
 //!
 //! ```no_run
-//! // Figure 7 in four lines:
-//! let result = mcc_core::experiments::attack_experiment(true, 200, 100, 1);
+//! // Figure 7 in five lines:
+//! use mcc_core::{Params, Variant};
+//! let result =
+//!     mcc_core::experiments::attack_experiment(Variant::FlidDs, 200, 100, 1, &Params::default());
 //! for s in &result.series {
 //!     println!("{}: mean {:.0} bps", s.label, s.mean());
 //! }
 //! ```
 
+pub mod config;
 pub mod dumbbell;
 pub mod experiments;
 pub mod metrics;
+pub mod registry;
 pub mod runner;
+pub mod scenario;
 
+pub use config::{Params, RunConfig};
 pub use dumbbell::{
     CbrSpec, Dumbbell, DumbbellSpec, McastSessionSpec, ReceiverSpec, SessionHandle, TcpHandle,
 };
 pub use metrics::{ascii_chart, series_csv, write_series_csv, Series, Table};
+pub use registry::{registry, Experiment, ExperimentDef, ExperimentOutput};
 pub use runner::{
     figure_experiments, run_parallel, run_serial, ExperimentRecord, ExperimentSpec, Json, Report,
 };
+pub use scenario::{Scenario, Units, Variant};

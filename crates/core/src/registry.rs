@@ -1,0 +1,543 @@
+//! The experiment registry: every figure and ablation of the evaluation
+//! as a registered, enumerable object.
+//!
+//! Each entry implements [`Experiment`] — an `id`, the paper figure it
+//! reproduces, a one-line description, a registered seed, and a
+//! `run(&Params)` that maps the parameter bag to canonical JSON. The
+//! [`registry`] is the single source of truth consumed by
+//! `runner::figure_experiments`, the `figures` CLI in `mcc-bench`, and
+//! the registry tests; adding a scenario is one [`ExperimentDef`] row
+//! here instead of a new binary.
+//!
+//! The twelve figure entries reproduce the exact names, seeds and JSON
+//! bodies of the pre-registry `figure_experiments` suite, so a default
+//! run stays byte-identical to the historical
+//! `results/BENCH_all_figures.json` (pinned by `tests/registry.rs`).
+
+use crate::config::Params;
+use crate::experiments;
+use crate::runner::{series_json, ExperimentSpec, Json};
+use crate::scenario::Variant;
+
+/// What a registry entry reproduces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// A figure of the paper's §5 evaluation.
+    Figure,
+    /// A design-choice ablation (`DESIGN.md` §Ablations).
+    Ablation,
+}
+
+/// The outcome of running one registered experiment.
+pub struct ExperimentOutput {
+    /// The experiment's registry id.
+    pub id: &'static str,
+    /// The seed the run used (registered seed unless overridden).
+    pub seed: u64,
+    /// Canonical JSON payload (the `data` field of `BENCH_*.json`).
+    pub data: Json,
+}
+
+/// A registered experiment: enumerable metadata plus a parameterized run.
+pub trait Experiment: Send + Sync {
+    /// Unique registry id, e.g. `fig08a_dl_throughput`.
+    fn id(&self) -> &'static str;
+    /// The paper figure this reproduces (empty for ablations).
+    fn figure(&self) -> &'static str;
+    /// One-line description for `figures --list`.
+    fn describe(&self) -> &'static str;
+    /// Figure or ablation.
+    fn kind(&self) -> Kind;
+    /// The registered (default) seed.
+    fn seed(&self) -> u64;
+    /// Run under `params`, honoring quick mode, seed overrides and the
+    /// smoothing window.
+    fn run(&self, params: &Params) -> ExperimentOutput;
+}
+
+/// A registry row: plain data plus a function pointer, so entries are
+/// `Copy` and the table is a `static`.
+#[derive(Clone, Copy)]
+pub struct ExperimentDef {
+    id: &'static str,
+    figure: &'static str,
+    describe: &'static str,
+    kind: Kind,
+    seed: u64,
+    body: fn(&Params, u64) -> Json,
+}
+
+impl Experiment for ExperimentDef {
+    fn id(&self) -> &'static str {
+        self.id
+    }
+    fn figure(&self) -> &'static str {
+        self.figure
+    }
+    fn describe(&self) -> &'static str {
+        self.describe
+    }
+    fn kind(&self) -> Kind {
+        self.kind
+    }
+    fn seed(&self) -> u64 {
+        self.seed
+    }
+    fn run(&self, params: &Params) -> ExperimentOutput {
+        let seed = params.seed_for(self.seed);
+        ExperimentOutput {
+            id: self.id,
+            seed,
+            data: (self.body)(params, seed),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON encodings shared by the figure entries
+// ---------------------------------------------------------------------------
+
+fn sessions_rows_json(rows: &[experiments::SessionsRow]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::obj([
+                    ("n", Json::U64(r.n as u64)),
+                    ("avg_bps", Json::Num(r.avg_bps)),
+                    ("individual_bps", Json::nums(r.individual_bps.iter().copied())),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn overhead_rows_json(rows: &[experiments::OverheadRow]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::obj([
+                    ("x", Json::Num(r.x)),
+                    ("delta_analytic", Json::Num(r.delta_analytic)),
+                    ("sigma_analytic", Json::Num(r.sigma_analytic)),
+                    ("delta_measured", Json::Num(r.delta_measured)),
+                    ("sigma_measured", Json::Num(r.sigma_measured)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn attack_json(r: &experiments::AttackResult, attack_at: u64) -> Json {
+    Json::obj([
+        ("attack_at_secs", Json::U64(attack_at)),
+        (
+            "series",
+            Json::Arr(r.series.iter().map(series_json).collect()),
+        ),
+        (
+            "post_attack_avg_bps",
+            Json::nums(r.post_attack_avg_bps.iter().copied()),
+        ),
+    ])
+}
+
+fn convergence_json(r: &experiments::ConvergenceResult) -> Json {
+    Json::obj([
+        (
+            "throughput",
+            Json::Arr(r.throughput.iter().map(series_json).collect()),
+        ),
+        (
+            "levels",
+            Json::Arr(r.levels.iter().map(series_json).collect()),
+        ),
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// Figure bodies
+// ---------------------------------------------------------------------------
+
+fn attack_body(variant: Variant, p: &Params, seed: u64) -> Json {
+    let dur = p.duration(200);
+    let attack_at = dur / 2;
+    attack_json(
+        &experiments::attack_experiment(variant, dur, attack_at, seed, p),
+        attack_at,
+    )
+}
+
+fn sessions_body(variant: Variant, cross: bool, p: &Params, seed: u64) -> Json {
+    sessions_rows_json(&experiments::throughput_vs_sessions(
+        variant,
+        &p.session_counts(),
+        cross,
+        p.duration(200),
+        seed,
+    ))
+}
+
+fn sessions_pair_body(cross: bool, p: &Params, seed: u64) -> Json {
+    Json::obj([
+        ("flid_dl", sessions_body(Variant::FlidDl, cross, p, seed)),
+        ("flid_ds", sessions_body(Variant::FlidDs, cross, p, seed)),
+    ])
+}
+
+fn responsiveness_body(p: &Params, seed: u64) -> Json {
+    let dur = p.duration(100);
+    let (from, to) = (dur * 45 / 100, dur * 75 / 100);
+    Json::obj([
+        ("burst_secs", Json::Arr(vec![Json::U64(from), Json::U64(to)])),
+        (
+            "series",
+            Json::Arr(
+                Variant::BOTH
+                    .iter()
+                    .map(|&v| {
+                        series_json(&experiments::responsiveness(v, dur, from, to, seed, p))
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn rtt_body(p: &Params, seed: u64) -> Json {
+    let dur = p.duration(200);
+    let pairs = |variant| {
+        Json::Arr(
+            experiments::rtt_experiment(variant, dur, seed)
+                .into_iter()
+                .map(|(rtt, bps)| Json::Arr(vec![Json::Num(rtt), Json::Num(bps)]))
+                .collect(),
+        )
+    };
+    Json::obj([
+        ("flid_dl", pairs(Variant::FlidDl)),
+        ("flid_ds", pairs(Variant::FlidDs)),
+    ])
+}
+
+fn convergence_body(variant: Variant, p: &Params, seed: u64) -> Json {
+    let dur = p.duration(40).max(40);
+    convergence_json(&experiments::convergence(variant, dur, seed))
+}
+
+fn overhead_groups_body(p: &Params, seed: u64) -> Json {
+    let ns: Vec<u32> = (1..=10).map(|i| 2 * i).collect();
+    overhead_rows_json(&experiments::overhead_vs_groups(&ns, p.duration(60), seed))
+}
+
+fn overhead_slot_body(p: &Params, seed: u64) -> Json {
+    let slots = [200u64, 300, 400, 500, 600, 700, 800, 900, 1000];
+    overhead_rows_json(&experiments::overhead_vs_slot(&slots, p.duration(60), seed))
+}
+
+// ---------------------------------------------------------------------------
+// Ablation bodies
+// ---------------------------------------------------------------------------
+
+fn ablation_sharing_body(_p: &Params, _seed: u64) -> Json {
+    use mcc_delta::overhead::{delta_overhead, naive_delta_overhead, OverheadParams};
+    Json::Arr(
+        [2u32, 5, 10, 20]
+            .iter()
+            .map(|&n| {
+                let p = OverheadParams::paper(n, 0.25);
+                Json::obj([
+                    ("n_groups", Json::U64(n as u64)),
+                    ("shared", Json::Num(delta_overhead(&p))),
+                    ("naive", Json::Num(naive_delta_overhead(&p))),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn ablation_fec_body(p: &Params, seed: u64) -> Json {
+    let slots = if p.quick { 500 } else { 2000 };
+    let rows = experiments::fec_ablation(&[1, 2, 3], &[0.1, 0.3, 0.5], slots, seed);
+    Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::obj([
+                    ("repeat", Json::U64(r.repeat as u64)),
+                    ("loss", Json::Num(r.loss)),
+                    ("slot_miss_rate", Json::Num(r.slot_miss_rate)),
+                    ("expansion", Json::Num(r.expansion)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn ablation_slot_body(p: &Params, seed: u64) -> Json {
+    let slots: &[u64] = if p.quick {
+        &[250, 1000]
+    } else {
+        &[125, 250, 500, 1000]
+    };
+    let rows = experiments::slot_ablation(slots, seed);
+    Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::obj([
+                    ("slot_ms", Json::U64(r.slot_ms)),
+                    ("goodput_bps", Json::Num(r.goodput_bps)),
+                    ("reaction_secs", Json::Num(r.reaction_secs)),
+                    ("sigma_overhead", Json::Num(r.sigma_overhead)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// The registry
+// ---------------------------------------------------------------------------
+
+/// Every registered experiment: the twelve §5 figures in suite order,
+/// then the three ablations.
+pub static REGISTRY: &[ExperimentDef] = &[
+    ExperimentDef {
+        id: "fig01_attack",
+        figure: "Figure 1",
+        describe: "impact of inflated subscription (FLID-DL)",
+        kind: Kind::Figure,
+        seed: 1,
+        body: |p, s| attack_body(Variant::FlidDl, p, s),
+    },
+    ExperimentDef {
+        id: "fig07_protection",
+        figure: "Figure 7",
+        describe: "protection with DELTA and SIGMA (FLID-DS)",
+        kind: Kind::Figure,
+        seed: 1,
+        body: |p, s| attack_body(Variant::FlidDs, p, s),
+    },
+    ExperimentDef {
+        id: "fig08a_dl_throughput",
+        figure: "Figure 8a",
+        describe: "FLID-DL throughput vs sessions, no cross traffic",
+        kind: Kind::Figure,
+        seed: 8,
+        body: |p, s| sessions_body(Variant::FlidDl, false, p, s),
+    },
+    ExperimentDef {
+        id: "fig08b_ds_throughput",
+        figure: "Figure 8b",
+        describe: "FLID-DS throughput vs sessions, no cross traffic",
+        kind: Kind::Figure,
+        seed: 8,
+        body: |p, s| sessions_body(Variant::FlidDs, false, p, s),
+    },
+    ExperimentDef {
+        id: "fig08c_avg_no_cross",
+        figure: "Figure 8c",
+        describe: "average throughput, DL vs DS, no cross traffic",
+        kind: Kind::Figure,
+        seed: 8,
+        body: |p, s| sessions_pair_body(false, p, s),
+    },
+    ExperimentDef {
+        id: "fig08d_avg_cross",
+        figure: "Figure 8d",
+        describe: "average throughput with TCP + on-off CBR cross traffic",
+        kind: Kind::Figure,
+        seed: 8,
+        body: |p, s| sessions_pair_body(true, p, s),
+    },
+    ExperimentDef {
+        id: "fig08e_responsiveness",
+        figure: "Figure 8e",
+        describe: "responsiveness to an 800 Kbps CBR burst",
+        kind: Kind::Figure,
+        seed: 3,
+        body: responsiveness_body,
+    },
+    ExperimentDef {
+        id: "fig08f_rtt",
+        figure: "Figure 8f",
+        describe: "throughput under heterogeneous round-trip times",
+        kind: Kind::Figure,
+        seed: 13,
+        body: rtt_body,
+    },
+    ExperimentDef {
+        id: "fig08g_convergence_dl",
+        figure: "Figure 8g",
+        describe: "subscription convergence of staggered joiners (FLID-DL)",
+        kind: Kind::Figure,
+        seed: 11,
+        body: |p, s| convergence_body(Variant::FlidDl, p, s),
+    },
+    ExperimentDef {
+        id: "fig08h_convergence_ds",
+        figure: "Figure 8h",
+        describe: "subscription convergence of staggered joiners (FLID-DS)",
+        kind: Kind::Figure,
+        seed: 11,
+        body: |p, s| convergence_body(Variant::FlidDs, p, s),
+    },
+    ExperimentDef {
+        id: "fig09a_overhead_groups",
+        figure: "Figure 9a",
+        describe: "DELTA/SIGMA overhead vs group count",
+        kind: Kind::Figure,
+        seed: 5,
+        body: overhead_groups_body,
+    },
+    ExperimentDef {
+        id: "fig09b_overhead_slot",
+        figure: "Figure 9b",
+        describe: "DELTA/SIGMA overhead vs slot duration",
+        kind: Kind::Figure,
+        seed: 5,
+        body: overhead_slot_body,
+    },
+    ExperimentDef {
+        id: "ablation_sharing",
+        figure: "",
+        describe: "component sharing vs naive per-key layout (§3.1.1)",
+        kind: Kind::Ablation,
+        seed: 0,
+        body: ablation_sharing_body,
+    },
+    ExperimentDef {
+        id: "ablation_fec",
+        figure: "",
+        describe: "FEC repetition factor vs router slot-miss rate",
+        kind: Kind::Ablation,
+        seed: 9,
+        body: ablation_fec_body,
+    },
+    ExperimentDef {
+        id: "ablation_slot",
+        figure: "",
+        describe: "slot duration: responsiveness vs SIGMA overhead",
+        kind: Kind::Ablation,
+        seed: 4,
+        body: ablation_slot_body,
+    },
+];
+
+/// All registered experiments as trait objects.
+pub fn registry() -> Vec<Box<dyn Experiment>> {
+    REGISTRY
+        .iter()
+        .map(|d| Box::new(*d) as Box<dyn Experiment>)
+        .collect()
+}
+
+/// The figure entries, in suite order.
+pub fn figures() -> Vec<ExperimentDef> {
+    REGISTRY
+        .iter()
+        .filter(|d| d.kind == Kind::Figure)
+        .copied()
+        .collect()
+}
+
+/// The ablation entries.
+pub fn ablations() -> Vec<ExperimentDef> {
+    REGISTRY
+        .iter()
+        .filter(|d| d.kind == Kind::Ablation)
+        .copied()
+        .collect()
+}
+
+/// Look an experiment up by exact id.
+pub fn find(id: &str) -> Option<ExperimentDef> {
+    REGISTRY.iter().find(|d| d.id == id).copied()
+}
+
+/// Registry entries matching a CLI selector: an exact id
+/// (`fig08a_dl_throughput`) or a figure-style prefix (`fig08a`, matching
+/// `<prefix>_…`).
+pub fn matching(selector: &str) -> Vec<ExperimentDef> {
+    REGISTRY
+        .iter()
+        .filter(|d| {
+            d.id == selector
+                || (d.id.starts_with(selector)
+                    && d.id[selector.len()..].starts_with('_'))
+        })
+        .copied()
+        .collect()
+}
+
+/// Runner specs for a set of entries under `params`: the bridge between
+/// the registry and `runner::{run_serial, run_parallel}`. Spec names are
+/// registry ids (optionally suffixed by the caller for sweeps), seeds are
+/// the effective `params` seeds, and bodies run the registered
+/// experiment — so registry runs serialize exactly like the historical
+/// hand-built suite.
+pub fn specs(defs: &[ExperimentDef], params: &Params) -> Vec<ExperimentSpec> {
+    defs.iter()
+        .map(|d| {
+            let def = *d;
+            let p = params.clone();
+            ExperimentSpec::new(def.id, params.seed_for(def.seed), move |seed| {
+                (def.body)(&p, seed)
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_enumerates_figures_and_ablations() {
+        assert!(REGISTRY.len() >= 15, "12 figures + 3 ablations");
+        assert_eq!(figures().len(), 12);
+        assert_eq!(ablations().len(), 3);
+        let mut ids: Vec<&str> = REGISTRY.iter().map(|d| d.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), REGISTRY.len(), "ids must be unique");
+    }
+
+    #[test]
+    fn selectors_match_exact_ids_and_figure_prefixes() {
+        assert_eq!(matching("fig01").len(), 1);
+        assert_eq!(matching("fig01")[0].id, "fig01_attack");
+        assert_eq!(matching("fig08a_dl_throughput").len(), 1);
+        assert_eq!(matching("fig08a")[0].id, "fig08a_dl_throughput");
+        assert!(matching("fig08").is_empty(), "no underscore boundary");
+        assert!(matching("nope").is_empty());
+    }
+
+    #[test]
+    fn seed_override_flows_into_outputs() {
+        let def = find("ablation_sharing").expect("registered");
+        let out = def.run(&Params::default());
+        assert_eq!(out.seed, 0);
+        let p = Params::default().with_override("seed", "77").unwrap();
+        assert_eq!(def.run(&p).seed, 77);
+    }
+
+    /// The analytic ablation is cheap enough to run in tests and pins the
+    /// §3.1.1 claim: sharing beats the naive layout at every group count.
+    #[test]
+    fn sharing_ablation_reports_the_telescope_win() {
+        let out = find("ablation_sharing").unwrap().run(&Params::default());
+        let Json::Arr(rows) = out.data else {
+            panic!("array payload")
+        };
+        assert_eq!(rows.len(), 4);
+        for row in rows {
+            let Json::Obj(fields) = row else { panic!("object rows") };
+            let get = |k: &str| -> f64 {
+                match fields.iter().find(|(key, _)| key == k) {
+                    Some((_, Json::Num(x))) => *x,
+                    other => panic!("missing {k}: {other:?}"),
+                }
+            };
+            assert!(get("naive") > get("shared"), "sharing must win");
+        }
+    }
+}

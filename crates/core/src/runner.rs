@@ -29,7 +29,6 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use crate::experiments;
 use crate::metrics::Series;
 
 // ---------------------------------------------------------------------------
@@ -306,238 +305,42 @@ pub fn run_parallel(suite: &str, mode: &str, specs: &[ExperimentSpec], threads: 
     }
 }
 
-/// A sensible worker count: `MCC_THREADS` if set, else the machine's
-/// available parallelism.
-pub fn default_threads() -> usize {
-    std::env::var("MCC_THREADS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
-}
-
 // ---------------------------------------------------------------------------
-// The figure suite
+// The figure suite (registry-driven)
 // ---------------------------------------------------------------------------
 
 /// Experiment duration: `full` seconds normally, a shortened run in quick
-/// mode. The single source of truth — `mcc_bench::duration` delegates here,
-/// so the standalone `fig*` binaries and the parallel suite cannot drift.
+/// mode. Delegates to [`crate::config::Params`], the single source of
+/// truth, so the `figures` CLI and the tests cannot drift.
 pub fn duration_for(full: u64, quick: bool) -> u64 {
-    if quick {
-        (full / 4).max(30)
-    } else {
-        full
-    }
+    crate::config::Params::quick(quick).duration(full)
 }
 
-/// The session counts swept by Figures 8a–8d. Single source of truth —
-/// `mcc_bench::session_counts` delegates here.
+/// The session counts swept by Figures 8a-8d (see
+/// [`crate::config::Params::session_counts`]).
 pub fn session_counts_for(quick: bool) -> Vec<u32> {
-    if quick {
-        vec![1, 2, 6, 10]
-    } else {
-        vec![1, 2, 4, 6, 8, 10, 12, 14, 16, 18]
-    }
+    crate::config::Params::quick(quick).session_counts()
 }
 
-fn sessions_rows_json(rows: &[experiments::SessionsRow]) -> Json {
-    Json::Arr(
-        rows.iter()
-            .map(|r| {
-                Json::obj([
-                    ("n", Json::U64(r.n as u64)),
-                    ("avg_bps", Json::Num(r.avg_bps)),
-                    ("individual_bps", Json::nums(r.individual_bps.iter().copied())),
-                ])
-            })
-            .collect(),
-    )
-}
-
-fn overhead_rows_json(rows: &[experiments::OverheadRow]) -> Json {
-    Json::Arr(
-        rows.iter()
-            .map(|r| {
-                Json::obj([
-                    ("x", Json::Num(r.x)),
-                    ("delta_analytic", Json::Num(r.delta_analytic)),
-                    ("sigma_analytic", Json::Num(r.sigma_analytic)),
-                    ("delta_measured", Json::Num(r.delta_measured)),
-                    ("sigma_measured", Json::Num(r.sigma_measured)),
-                ])
-            })
-            .collect(),
-    )
-}
-
-fn attack_json(r: &experiments::AttackResult, attack_at: u64) -> Json {
-    Json::obj([
-        ("attack_at_secs", Json::U64(attack_at)),
-        (
-            "series",
-            Json::Arr(r.series.iter().map(series_json).collect()),
-        ),
-        (
-            "post_attack_avg_bps",
-            Json::nums(r.post_attack_avg_bps.iter().copied()),
-        ),
-    ])
-}
-
-fn convergence_json(r: &experiments::ConvergenceResult) -> Json {
-    Json::obj([
-        (
-            "throughput",
-            Json::Arr(r.throughput.iter().map(series_json).collect()),
-        ),
-        (
-            "levels",
-            Json::Arr(r.levels.iter().map(series_json).collect()),
-        ),
-    ])
-}
-
-/// The full figure-regeneration suite (Figures 1, 7, 8a–8h, 9a, 9b), one
-/// spec per figure, with the exact seeds and durations the standalone
-/// `fig*` binaries use. Independent by construction, so safe for
+/// The full figure-regeneration suite (Figures 1, 7, 8a-8h, 9a, 9b):
+/// every `Kind::Figure` entry of [`crate::registry`], in suite order,
+/// with its registered seed. Independent by construction, so safe for
 /// [`run_parallel`].
-///
-/// Figures 8c/8d deliberately re-run the 8a/8b sweeps inside their own
-/// specs rather than sharing results: every spec stays self-contained
-/// (droppable, reorderable, individually reproducible from its seed),
-/// which is exactly what makes the parallel/byte-identical contract
-/// trivial to keep. The cost is one duplicated session sweep per variant.
 pub fn figure_experiments(quick: bool) -> Vec<ExperimentSpec> {
-    let mut specs = Vec::new();
+    let params = crate::config::Params::quick(quick);
+    crate::registry::specs(&crate::registry::figures(), &params)
+}
 
-    let d200 = duration_for(200, quick);
-    specs.push(ExperimentSpec::new("fig01_attack", 1, move |seed| {
-        let attack_at = d200 / 2;
-        attack_json(
-            &experiments::attack_experiment(false, d200, attack_at, seed),
-            attack_at,
-        )
-    }));
-    specs.push(ExperimentSpec::new("fig07_protection", 1, move |seed| {
-        let attack_at = d200 / 2;
-        attack_json(
-            &experiments::attack_experiment(true, d200, attack_at, seed),
-            attack_at,
-        )
-    }));
-
-    let ns = session_counts_for(quick);
-    {
-        let ns = ns.clone();
-        specs.push(ExperimentSpec::new("fig08a_dl_throughput", 8, move |seed| {
-            sessions_rows_json(&experiments::throughput_vs_sessions(
-                false, &ns, false, d200, seed,
-            ))
-        }));
-    }
-    {
-        let ns = ns.clone();
-        specs.push(ExperimentSpec::new("fig08b_ds_throughput", 8, move |seed| {
-            sessions_rows_json(&experiments::throughput_vs_sessions(
-                true, &ns, false, d200, seed,
-            ))
-        }));
-    }
-    {
-        let ns = ns.clone();
-        specs.push(ExperimentSpec::new("fig08c_avg_no_cross", 8, move |seed| {
-            Json::obj([
-                (
-                    "flid_dl",
-                    sessions_rows_json(&experiments::throughput_vs_sessions(
-                        false, &ns, false, d200, seed,
-                    )),
-                ),
-                (
-                    "flid_ds",
-                    sessions_rows_json(&experiments::throughput_vs_sessions(
-                        true, &ns, false, d200, seed,
-                    )),
-                ),
-            ])
-        }));
-    }
-    {
-        let ns = ns.clone();
-        specs.push(ExperimentSpec::new("fig08d_avg_cross", 8, move |seed| {
-            Json::obj([
-                (
-                    "flid_dl",
-                    sessions_rows_json(&experiments::throughput_vs_sessions(
-                        false, &ns, true, d200, seed,
-                    )),
-                ),
-                (
-                    "flid_ds",
-                    sessions_rows_json(&experiments::throughput_vs_sessions(
-                        true, &ns, true, d200, seed,
-                    )),
-                ),
-            ])
-        }));
-    }
-
-    let d100 = duration_for(100, quick);
-    specs.push(ExperimentSpec::new("fig08e_responsiveness", 3, move |seed| {
-        let (from, to) = (d100 * 45 / 100, d100 * 75 / 100);
-        Json::obj([
-            ("burst_secs", Json::Arr(vec![Json::U64(from), Json::U64(to)])),
-            (
-                "series",
-                Json::Arr(vec![
-                    series_json(&experiments::responsiveness(false, d100, from, to, seed)),
-                    series_json(&experiments::responsiveness(true, d100, from, to, seed)),
-                ]),
-            ),
-        ])
-    }));
-
-    specs.push(ExperimentSpec::new("fig08f_rtt", 13, move |seed| {
-        let pairs = |protected| {
-            Json::Arr(
-                experiments::rtt_experiment(protected, d200, seed)
-                    .into_iter()
-                    .map(|(rtt, bps)| Json::Arr(vec![Json::Num(rtt), Json::Num(bps)]))
-                    .collect(),
-            )
-        };
-        Json::obj([("flid_dl", pairs(false)), ("flid_ds", pairs(true))])
-    }));
-
-    let d40 = duration_for(40, quick).max(40);
-    specs.push(ExperimentSpec::new("fig08g_convergence_dl", 11, move |seed| {
-        convergence_json(&experiments::convergence(false, d40, seed))
-    }));
-    specs.push(ExperimentSpec::new("fig08h_convergence_ds", 11, move |seed| {
-        convergence_json(&experiments::convergence(true, d40, seed))
-    }));
-
-    let d60 = duration_for(60, quick);
-    specs.push(ExperimentSpec::new("fig09a_overhead_groups", 5, move |seed| {
-        let ns: Vec<u32> = (1..=10).map(|i| 2 * i).collect();
-        overhead_rows_json(&experiments::overhead_vs_groups(&ns, d60, seed))
-    }));
-    specs.push(ExperimentSpec::new("fig09b_overhead_slot", 5, move |seed| {
-        let slots = [200u64, 300, 400, 500, 600, 700, 800, 900, 1000];
-        overhead_rows_json(&experiments::overhead_vs_slot(&slots, d60, seed))
-    }));
-
-    specs
+/// A sensible worker count: `MCC_THREADS` if set, else the machine's
+/// available parallelism (via [`crate::config::RunConfig::from_env`]).
+pub fn default_threads() -> usize {
+    crate::config::RunConfig::from_env().threads
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiments;
 
     fn toy_specs() -> Vec<ExperimentSpec> {
         // Bodies of very different cost, so parallel completion order is
@@ -592,13 +395,26 @@ mod tests {
     /// subset: the two overhead sweeps shortened to a few seconds).
     #[test]
     fn real_experiments_serial_vs_parallel() {
+        fn rows_json(rows: &[experiments::OverheadRow]) -> Json {
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("x", Json::Num(r.x)),
+                            ("delta_measured", Json::Num(r.delta_measured)),
+                            ("sigma_measured", Json::Num(r.sigma_measured)),
+                        ])
+                    })
+                    .collect(),
+            )
+        }
         let specs = || {
             vec![
                 ExperimentSpec::new("overhead_groups", 5, |seed| {
-                    overhead_rows_json(&experiments::overhead_vs_groups(&[2, 6], 5, seed))
+                    rows_json(&experiments::overhead_vs_groups(&[2, 6], 5, seed))
                 }),
                 ExperimentSpec::new("overhead_slot", 5, |seed| {
-                    overhead_rows_json(&experiments::overhead_vs_slot(&[250, 500], 5, seed))
+                    rows_json(&experiments::overhead_vs_slot(&[250, 500], 5, seed))
                 }),
                 ExperimentSpec::new("fec_ablation", 9, |seed| {
                     let rows =

@@ -1,0 +1,344 @@
+//! The declarative scenario layer: typed protocol variants, unit-suffix
+//! literals and fluent builders over [`crate::dumbbell`].
+//!
+//! A scenario is *data*, not a function signature. Instead of threading
+//! positional `bool`/`u64` arguments through bespoke free functions, the
+//! paper's evaluation topologies read like the prose that describes them:
+//!
+//! ```
+//! use mcc_core::scenario::{Scenario, Units, Variant};
+//!
+//! // Figures 1/7: two multicast + two TCP sessions on a 1 Mbps
+//! // bottleneck; the first multicast receiver inflates at t = 50 s.
+//! let spec = Scenario::dumbbell(1.mbps())
+//!     .seed(1)
+//!     .sessions(1, Variant::FlidDs)
+//!     .attacker_at(50.secs())
+//!     .tcp(2)
+//!     .spec();
+//! assert_eq!(spec.mcast.len(), 2);
+//! ```
+//!
+//! [`Variant`] replaces every `protected: bool` in the experiment
+//! surface: `Variant::FlidDl` is the original (attackable) protocol,
+//! `Variant::FlidDs` the DELTA + SIGMA hardened one.
+
+use crate::dumbbell::{CbrSpec, Dumbbell, DumbbellSpec, McastSessionSpec, ReceiverSpec};
+use mcc_flid::Behavior;
+use mcc_simcore::{SimDuration, SimTime};
+
+/// Which congestion-control protocol a multicast session runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// FLID-DL: the original protocol, vulnerable to inflated
+    /// subscription (paper §2).
+    FlidDl,
+    /// FLID-DS: hardened with DELTA key distribution and SIGMA edge
+    /// routers (paper §3).
+    FlidDs,
+}
+
+impl Variant {
+    /// Whether the edge router enforces subscriptions (SIGMA installed).
+    pub fn protected(self) -> bool {
+        matches!(self, Variant::FlidDs)
+    }
+
+    /// The paper's plot label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Variant::FlidDl => "FLID-DL",
+            Variant::FlidDs => "FLID-DS",
+        }
+    }
+
+    /// Both variants, DL first — the order every side-by-side figure
+    /// uses.
+    pub const BOTH: [Variant; 2] = [Variant::FlidDl, Variant::FlidDs];
+}
+
+impl std::fmt::Display for Variant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Unit suffixes for scenario literals: `1.mbps()`, `250.kbps()`,
+/// `50.secs()`, `20.ms()`.
+pub trait Units {
+    /// Megabit/s as bit/s.
+    fn mbps(self) -> u64;
+    /// Kilobit/s as bit/s.
+    fn kbps(self) -> u64;
+    /// Seconds as a [`SimTime`] instant.
+    fn secs(self) -> SimTime;
+    /// Seconds as a [`SimDuration`] span.
+    fn secs_dur(self) -> SimDuration;
+    /// Milliseconds as a [`SimDuration`].
+    fn ms(self) -> SimDuration;
+}
+
+impl Units for u64 {
+    fn mbps(self) -> u64 {
+        self * 1_000_000
+    }
+    fn kbps(self) -> u64 {
+        self * 1_000
+    }
+    fn secs(self) -> SimTime {
+        SimTime::from_secs(self)
+    }
+    fn secs_dur(self) -> SimDuration {
+        SimDuration::from_secs(self)
+    }
+    fn ms(self) -> SimDuration {
+        SimDuration::from_millis(self)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fluent builders on the spec types
+// ---------------------------------------------------------------------------
+
+impl ReceiverSpec {
+    /// An honest receiver joining at t = 0 with the paper's 10 ms access
+    /// link.
+    pub fn new() -> ReceiverSpec {
+        ReceiverSpec::default()
+    }
+
+    /// Join the session at `at`.
+    pub fn join_at(mut self, at: SimTime) -> ReceiverSpec {
+        self.join_at = at;
+        self
+    }
+
+    /// Override the access-link propagation delay (the RTT experiment).
+    pub fn access_delay(mut self, delay: SimDuration) -> ReceiverSpec {
+        self.access_delay = delay;
+        self
+    }
+
+    /// Misbehave: inflate the subscription to every group at `at`.
+    pub fn inflate_at(mut self, at: SimTime) -> ReceiverSpec {
+        self.behavior = Behavior::Inflate { at };
+        self
+    }
+
+    /// Misbehave: stop obeying decrease rules at `at`.
+    pub fn ignore_decrease_at(mut self, at: SimTime) -> ReceiverSpec {
+        self.behavior = Behavior::IgnoreDecrease { at };
+        self
+    }
+}
+
+impl McastSessionSpec {
+    /// An empty session of `variant` with the paper's 10 groups; add
+    /// receivers with [`McastSessionSpec::receiver`].
+    pub fn new(variant: Variant) -> McastSessionSpec {
+        McastSessionSpec {
+            variant,
+            n_groups: 10,
+            receivers: Vec::new(),
+        }
+    }
+
+    /// Override the group count.
+    pub fn groups(mut self, n: u32) -> McastSessionSpec {
+        self.n_groups = n;
+        self
+    }
+
+    /// Add one receiver.
+    pub fn receiver(mut self, r: ReceiverSpec) -> McastSessionSpec {
+        self.receivers.push(r);
+        self
+    }
+
+    /// Add many receivers.
+    pub fn with_receivers(
+        mut self,
+        rs: impl IntoIterator<Item = ReceiverSpec>,
+    ) -> McastSessionSpec {
+        self.receivers.extend(rs);
+        self
+    }
+}
+
+impl CbrSpec {
+    /// A steady CBR of `rate_bps` running for the whole experiment.
+    pub fn steady(rate_bps: u64) -> CbrSpec {
+        CbrSpec {
+            rate_bps,
+            on_off: None,
+            start: SimTime::ZERO,
+            stop: SimTime::MAX,
+        }
+    }
+
+    /// Restrict the source to the `[start, stop]` window (the Figure-8e
+    /// burst).
+    pub fn window(mut self, start: SimTime, stop: SimTime) -> CbrSpec {
+        self.start = start;
+        self.stop = stop;
+        self
+    }
+
+    /// Chop the source into `(on, off)` periods (the Figure-8d
+    /// background).
+    pub fn on_off(mut self, on: SimDuration, off: SimDuration) -> CbrSpec {
+        self.on_off = Some((on, off));
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario: the top-level builder
+// ---------------------------------------------------------------------------
+
+/// Fluent builder for the paper's dumbbell scenarios.
+///
+/// Wraps a [`DumbbellSpec`] and remembers the last session variant so
+/// follow-up calls like [`Scenario::attacker_at`] don't repeat it.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    spec: DumbbellSpec,
+    variant: Variant,
+}
+
+impl Scenario {
+    /// A dumbbell with the given bottleneck capacity and the §5.1
+    /// defaults (20 ms bottleneck, 10 ms side links, 2×BDP buffers).
+    pub fn dumbbell(bottleneck_bps: u64) -> Scenario {
+        Scenario {
+            spec: DumbbellSpec::new(0, bottleneck_bps),
+            variant: Variant::FlidDl,
+        }
+    }
+
+    /// The scenario seed (fully determines the run).
+    pub fn seed(mut self, seed: u64) -> Scenario {
+        self.spec.seed = seed;
+        self
+    }
+
+    /// Override the bottleneck propagation delay.
+    pub fn bottleneck_delay(mut self, delay: SimDuration) -> Scenario {
+        self.spec.bottleneck_delay = delay;
+        self
+    }
+
+    /// Add `n` honest single-receiver sessions of `variant`, which also
+    /// becomes the builder's default variant.
+    pub fn sessions(mut self, n: u32, variant: Variant) -> Scenario {
+        self.variant = variant;
+        self.spec
+            .mcast
+            .extend((0..n).map(|_| McastSessionSpec::honest(variant, 1)));
+        self
+    }
+
+    /// Add one fully specified session (also updates the default
+    /// variant).
+    pub fn session(mut self, session: McastSessionSpec) -> Scenario {
+        self.variant = session.variant;
+        self.spec.mcast.push(session);
+        self
+    }
+
+    /// Prepend a session whose single receiver inflates its subscription
+    /// at `at` — the Figure-1/7 attacker, always session 0 so result
+    /// indexing is stable.
+    pub fn attacker_at(mut self, at: SimTime) -> Scenario {
+        let attacker = McastSessionSpec::new(self.variant).receiver(ReceiverSpec::new().inflate_at(at));
+        self.spec.mcast.insert(0, attacker);
+        self
+    }
+
+    /// Add `n` TCP Reno cross-traffic sessions.
+    pub fn tcp(mut self, n: usize) -> Scenario {
+        self.spec.tcp = n;
+        self
+    }
+
+    /// Add a CBR background.
+    pub fn cbr(mut self, cbr: CbrSpec) -> Scenario {
+        self.spec.cbr = Some(cbr);
+        self
+    }
+
+    /// The assembled [`DumbbellSpec`].
+    pub fn spec(self) -> DumbbellSpec {
+        self.spec
+    }
+
+    /// Build the simulation.
+    pub fn build(self) -> Dumbbell {
+        Dumbbell::build(self.spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn units_read_like_the_paper() {
+        assert_eq!(1.mbps(), 1_000_000);
+        assert_eq!(250.kbps(), 250_000);
+        assert_eq!(50.secs(), SimTime::from_secs(50));
+        assert_eq!(20.ms(), SimDuration::from_millis(20));
+    }
+
+    #[test]
+    fn variant_replaces_the_protected_bool() {
+        assert!(!Variant::FlidDl.protected());
+        assert!(Variant::FlidDs.protected());
+        assert_eq!(Variant::FlidDs.label(), "FLID-DS");
+        assert_eq!(Variant::BOTH[0], Variant::FlidDl);
+    }
+
+    #[test]
+    fn builder_assembles_the_figure1_topology() {
+        let spec = Scenario::dumbbell(1.mbps())
+            .seed(1)
+            .sessions(1, Variant::FlidDl)
+            .attacker_at(100.secs())
+            .tcp(2)
+            .spec();
+        assert_eq!(spec.seed, 1);
+        assert_eq!(spec.bottleneck_bps, 1_000_000);
+        assert_eq!(spec.mcast.len(), 2);
+        assert_eq!(spec.tcp, 2);
+        // The attacker is session 0 and inherits the variant.
+        assert_eq!(spec.mcast[0].variant, Variant::FlidDl);
+        assert!(matches!(
+            spec.mcast[0].receivers[0].behavior,
+            Behavior::Inflate { at } if at == SimTime::from_secs(100)
+        ));
+        // The honest session is untouched.
+        assert!(matches!(
+            spec.mcast[1].receivers[0].behavior,
+            Behavior::Honest
+        ));
+    }
+
+    #[test]
+    fn session_and_receiver_builders_cover_the_sweeps() {
+        let s = McastSessionSpec::new(Variant::FlidDs)
+            .groups(4)
+            .receiver(ReceiverSpec::new().join_at(10.secs()))
+            .receiver(ReceiverSpec::new().access_delay(95.ms()));
+        assert_eq!(s.n_groups, 4);
+        assert_eq!(s.receivers.len(), 2);
+        assert_eq!(s.receivers[0].join_at, SimTime::from_secs(10));
+        assert_eq!(s.receivers[1].access_delay, SimDuration::from_millis(95));
+
+        let c = CbrSpec::steady(800_000)
+            .window(45.secs(), 75.secs())
+            .on_off(5.secs_dur(), 5.secs_dur());
+        assert_eq!(c.rate_bps, 800_000);
+        assert_eq!(c.start, SimTime::from_secs(45));
+        assert!(c.on_off.is_some());
+    }
+}

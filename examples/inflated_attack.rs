@@ -12,17 +12,20 @@
 //! cargo run --release --example inflated_attack
 //! ```
 
-use robust_multicast::core::experiments::attack_experiment;
 use robust_multicast::core::ascii_chart;
+use robust_multicast::core::experiments::attack_experiment;
+use robust_multicast::core::{Params, Variant};
 
 fn main() {
     let duration = 120;
     let attack_at = 60;
 
-    for (protected, fig) in [(false, "Figure 1 (FLID-DL, unprotected)"),
-                             (true, "Figure 7 (FLID-DS, protected)")] {
+    for (variant, fig) in [
+        (Variant::FlidDl, "Figure 1 (FLID-DL, unprotected)"),
+        (Variant::FlidDs, "Figure 7 (FLID-DS, protected)"),
+    ] {
         println!("==================== {fig} ====================");
-        let r = attack_experiment(protected, duration, attack_at, 7);
+        let r = attack_experiment(variant, duration, attack_at, 7, &Params::default());
         println!(
             "{}",
             ascii_chart(&r.series, 90, 16, "throughput (bps)")

@@ -10,7 +10,7 @@
 //! cargo run --release --example key_guessing_attack
 //! ```
 
-use robust_multicast::core::{Dumbbell, DumbbellSpec, McastSessionSpec, ReceiverSpec};
+use robust_multicast::core::{Dumbbell, DumbbellSpec, McastSessionSpec, ReceiverSpec, Variant};
 use robust_multicast::flid::Behavior;
 use robust_multicast::simcore::SimTime;
 
@@ -18,7 +18,7 @@ fn main() {
     // A protected session with one honest and one attacking receiver.
     let mut spec = DumbbellSpec::new(5, 500_000);
     spec.mcast = vec![McastSessionSpec {
-        protected: true,
+        variant: Variant::FlidDs,
         n_groups: 10,
         receivers: vec![
             ReceiverSpec {

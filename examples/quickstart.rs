@@ -8,13 +8,15 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use robust_multicast::core::{ascii_chart, Dumbbell, DumbbellSpec, McastSessionSpec, Series};
+use robust_multicast::core::{ascii_chart, Scenario, Series, Units, Variant};
 
 fn main() {
-    // A dumbbell with one protected session and a single honest receiver.
-    let mut spec = DumbbellSpec::new(42, 1_000_000);
-    spec.mcast = vec![McastSessionSpec::honest(true, 1)];
-    let mut d = Dumbbell::build(spec);
+    // A dumbbell with one protected session and a single honest receiver,
+    // declared with the fluent scenario builder.
+    let mut d = Scenario::dumbbell(1.mbps())
+        .seed(42)
+        .sessions(1, Variant::FlidDs)
+        .build();
 
     println!("Running 60 s of simulated time…");
     d.run_secs(60);

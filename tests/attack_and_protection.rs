@@ -3,14 +3,14 @@
 //! neutralized by DELTA + SIGMA under FLID-DS (Figure 7).
 
 use robust_multicast::core::experiments::attack_experiment;
-use robust_multicast::core::{Dumbbell, DumbbellSpec, McastSessionSpec, ReceiverSpec};
+use robust_multicast::core::{Dumbbell, DumbbellSpec, McastSessionSpec, Params, ReceiverSpec, Variant};
 use robust_multicast::flid::Behavior;
 use robust_multicast::sigma::SigmaEdgeModule;
 use robust_multicast::simcore::SimTime;
 
 #[test]
 fn figure1_shape_attack_pays_off_without_protection() {
-    let r = attack_experiment(false, 60, 25, 1);
+    let r = attack_experiment(Variant::FlidDl, 60, 25, 1, &Params::default());
     let f1 = r.post_attack_avg_bps[0];
     let others: f64 = r.post_attack_avg_bps[1..].iter().sum();
     assert!(
@@ -25,7 +25,7 @@ fn figure1_shape_attack_pays_off_without_protection() {
 
 #[test]
 fn figure7_shape_protection_restores_fairness() {
-    let r = attack_experiment(true, 60, 25, 1);
+    let r = attack_experiment(Variant::FlidDs, 60, 25, 1, &Params::default());
     let f1 = r.post_attack_avg_bps[0];
     let t1 = r.post_attack_avg_bps[2];
     let t2 = r.post_attack_avg_bps[3];
@@ -42,7 +42,7 @@ fn figure7_shape_protection_restores_fairness() {
 fn the_attack_is_visible_in_router_counters() {
     let mut spec = DumbbellSpec::new(3, 500_000);
     spec.mcast = vec![McastSessionSpec {
-        protected: true,
+        variant: Variant::FlidDs,
         n_groups: 10,
         receivers: vec![ReceiverSpec {
             behavior: Behavior::Inflate {
@@ -71,7 +71,7 @@ fn ignore_decrease_misbehaviour_is_not_profitable_under_ds() {
     // Two receivers; one stops obeying decrease rules at t = 15 s.
     let mut spec = DumbbellSpec::new(9, 500_000);
     spec.mcast = vec![McastSessionSpec {
-        protected: true,
+        variant: Variant::FlidDs,
         n_groups: 10,
         receivers: vec![
             ReceiverSpec {

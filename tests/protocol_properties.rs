@@ -4,12 +4,14 @@
 use robust_multicast::core::experiments::{
     convergence, overhead_vs_groups, responsiveness, throughput_vs_sessions,
 };
+use robust_multicast::core::{Params, Variant};
+use Variant::{FlidDl, FlidDs};
 
 #[test]
 fn figure8c_shape_dl_and_ds_throughput_parity() {
     let ns = [1u32, 4];
-    let dl = throughput_vs_sessions(false, &ns, false, 60, 7);
-    let ds = throughput_vs_sessions(true, &ns, false, 60, 7);
+    let dl = throughput_vs_sessions(FlidDl, &ns, false, 60, 7);
+    let ds = throughput_vs_sessions(FlidDs, &ns, false, 60, 7);
     for (a, b) in dl.iter().zip(&ds) {
         let ratio = a.avg_bps.max(b.avg_bps) / a.avg_bps.min(b.avg_bps).max(1.0);
         assert!(
@@ -24,7 +26,7 @@ fn figure8c_shape_dl_and_ds_throughput_parity() {
 
 #[test]
 fn figure8d_shape_multicast_survives_tcp_and_cbr_cross_traffic() {
-    let rows = throughput_vs_sessions(true, &[2], true, 60, 5);
+    let rows = throughput_vs_sessions(FlidDs, &[2], true, 60, 5);
     // With an equal TCP population and a CBR, multicast keeps a
     // substantial share (the paper shows it depends on n but stays alive).
     assert!(
@@ -36,8 +38,8 @@ fn figure8d_shape_multicast_survives_tcp_and_cbr_cross_traffic() {
 
 #[test]
 fn figure8e_shape_ds_responsiveness_tracks_dl() {
-    let dl = responsiveness(false, 60, 20, 35, 3);
-    let ds = responsiveness(true, 60, 20, 35, 3);
+    let dl = responsiveness(FlidDl, 60, 20, 35, 3, &Params::default());
+    let ds = responsiveness(FlidDs, 60, 20, 35, 3, &Params::default());
     for s in [&dl, &ds] {
         let before: f64 = s.points[12..18].iter().map(|p| p.1).sum::<f64>() / 6.0;
         let during: f64 = s.points[26..32].iter().map(|p| p.1).sum::<f64>() / 6.0;
@@ -57,7 +59,7 @@ fn figure8e_shape_ds_responsiveness_tracks_dl() {
 
 #[test]
 fn figure8h_shape_staggered_ds_receivers_converge() {
-    let r = convergence(true, 45, 11);
+    let r = convergence(FlidDs, 45, 11);
     let finals: Vec<f64> = r
         .levels
         .iter()

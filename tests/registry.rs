@@ -1,0 +1,106 @@
+//! The experiment registry's contract, exercised through the umbrella
+//! crate: every row of `DESIGN.md`'s experiment index resolves to a
+//! registered [`Experiment`] with a unique id, and registry-driven runs
+//! reproduce the pre-registry entry points byte for byte.
+
+use robust_multicast::core::experiments::attack_experiment;
+use robust_multicast::core::registry::{self, Experiment, Kind};
+use robust_multicast::core::runner::{run_serial, series_json, Json};
+use robust_multicast::core::{Params, Variant};
+
+/// The figure → id rows of DESIGN.md's experiment index, plus the three
+/// ablations. Editing either side without the other fails this test.
+const DESIGN_INDEX: &[(&str, &str)] = &[
+    ("Figure 1", "fig01_attack"),
+    ("Figure 7", "fig07_protection"),
+    ("Figure 8a", "fig08a_dl_throughput"),
+    ("Figure 8b", "fig08b_ds_throughput"),
+    ("Figure 8c", "fig08c_avg_no_cross"),
+    ("Figure 8d", "fig08d_avg_cross"),
+    ("Figure 8e", "fig08e_responsiveness"),
+    ("Figure 8f", "fig08f_rtt"),
+    ("Figure 8g", "fig08g_convergence_dl"),
+    ("Figure 8h", "fig08h_convergence_ds"),
+    ("Figure 9a", "fig09a_overhead_groups"),
+    ("Figure 9b", "fig09b_overhead_slot"),
+    ("", "ablation_sharing"),
+    ("", "ablation_fec"),
+    ("", "ablation_slot"),
+];
+
+#[test]
+fn every_design_index_row_resolves_to_a_registered_experiment() {
+    for (figure, id) in DESIGN_INDEX {
+        let def = registry::find(id)
+            .unwrap_or_else(|| panic!("DESIGN.md row {id} missing from registry"));
+        assert_eq!(def.figure(), *figure, "{id}: figure label drifted");
+        let kind = if figure.is_empty() {
+            Kind::Ablation
+        } else {
+            Kind::Figure
+        };
+        assert_eq!(def.kind(), kind, "{id}");
+        assert!(!def.describe().is_empty(), "{id} needs a description");
+    }
+    // …and nothing is registered that the index doesn't know about.
+    assert_eq!(registry::REGISTRY.len(), DESIGN_INDEX.len());
+    let mut ids: Vec<&str> = registry::REGISTRY.iter().map(|d| d.id()).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), DESIGN_INDEX.len(), "registry ids must be unique");
+}
+
+/// Back-compat pin: a quick-mode registry run of `fig01` serializes byte
+/// for byte like calling the old entry point (`attack_experiment` plus
+/// the hand-built JSON of the pre-registry suite) directly.
+#[test]
+fn fig01_registry_run_matches_the_old_entry_point() {
+    let params = Params::quick(true);
+
+    // The registry path, through the same runner the `figures` CLI uses.
+    let def = registry::find("fig01_attack").expect("registered");
+    let specs = registry::specs(&[def], &params);
+    let via_registry = run_serial("pin", "quick", &specs).to_json_string();
+
+    // The old entry point: explicit duration arithmetic, seed 1, the
+    // attack JSON layout of the pre-registry `figure_experiments`.
+    let dur = params.duration(200);
+    let attack_at = dur / 2;
+    let r = attack_experiment(Variant::FlidDl, dur, attack_at, 1, &params);
+    let data = Json::obj([
+        ("attack_at_secs", Json::U64(attack_at)),
+        (
+            "series",
+            Json::Arr(r.series.iter().map(series_json).collect()),
+        ),
+        (
+            "post_attack_avg_bps",
+            Json::nums(r.post_attack_avg_bps.iter().copied()),
+        ),
+    ]);
+    let by_hand = Json::obj([
+        ("suite", Json::Str("pin".into())),
+        ("mode", Json::Str("quick".into())),
+        (
+            "experiments",
+            Json::Arr(vec![Json::obj([
+                ("name", Json::Str("fig01_attack".into())),
+                ("seed", Json::U64(1)),
+                ("data", data),
+            ])]),
+        ),
+    ])
+    .to_string();
+
+    assert_eq!(via_registry, by_hand, "fig01 byte-compat pin broke");
+}
+
+/// The `Experiment` trait surface: outputs carry the effective seed and
+/// honour `Params` overrides.
+#[test]
+fn experiment_outputs_respect_seed_overrides() {
+    let def = registry::find("ablation_sharing").expect("registered");
+    assert_eq!(def.run(&Params::default()).seed, 0);
+    let swept = Params::default().with_override("seed", "123").unwrap();
+    assert_eq!(def.run(&swept).seed, 123);
+}

@@ -4,8 +4,9 @@
 //! `simcore::DetRng` — a seed fully determines a run, and the runner keeps
 //! scheduling out of both results and report order).
 
-use robust_multicast::core::runner::{run_parallel, run_serial, ExperimentSpec, Json};
 use robust_multicast::core::experiments::{attack_experiment, overhead_vs_groups};
+use robust_multicast::core::runner::{run_parallel, run_serial, ExperimentSpec, Json};
+use robust_multicast::core::{Params, Variant};
 
 /// A fast mixed workload: one real simulation (a shortened Figure-1
 /// attack), one analytic sweep, and toy bodies of lopsided cost so the
@@ -13,7 +14,7 @@ use robust_multicast::core::experiments::{attack_experiment, overhead_vs_groups}
 fn specs() -> Vec<ExperimentSpec> {
     let mut v = vec![
         ExperimentSpec::new("attack_short", 42, |seed| {
-            let r = attack_experiment(false, 12, 6, seed);
+            let r = attack_experiment(Variant::FlidDl, 12, 6, seed, &Params::default());
             Json::obj([
                 (
                     "post_attack_avg_bps",

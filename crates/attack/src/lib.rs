@@ -1,0 +1,241 @@
+//! # mcc-attack — the pluggable adversary subsystem
+//!
+//! The paper's contribution is robustness against receivers that inflate
+//! their subscription (§2), guess keys (§4.2), collude across interfaces
+//! (§4.2) or abuse join/leave latency. Before this crate those adversaries
+//! were scattered ad-hoc flags: `mcc_flid::Behavior` held inflate and
+//! ignore-decrease, the guessing attacker lived inside the receiver, and
+//! collusion existed only as a router test. This crate makes *attacker
+//! composition* a first-class, enumerable axis:
+//!
+//! * [`Adversary`] — the trait every attack strategy implements, with four
+//!   protocol hooks (per-slot, key-packet, congestion-signal, subscription
+//!   override) plus a timer-driven activation schedule,
+//! * [`AttackAction`] — the primitive misbehaviours a protocol receiver
+//!   knows how to execute (raw joins, guessed keys, inflation, churn,
+//!   smuggled-key submission), so one strategy library drives *every*
+//!   protocol variant (FLID, replicated, threshold),
+//! * [`strategies`] — the library: [`InflateTo`], [`IgnoreDecrease`],
+//!   [`KeyGuess`], [`Colluders`] (key sharing through a [`CollusionSet`]),
+//!   [`JoinLeaveFlap`], and the composable [`Timed`] / [`All`] /
+//!   [`staggered`] schedulers,
+//! * [`AttackPlan`] — a cloneable handle used by scenario specs
+//!   (`mcc_core::dumbbell::ReceiverSpec::adversary`).
+//!
+//! The legacy `mcc_flid::Behavior` enum survives as a thin alias whose
+//! variants compile down to plans from this library; the ported plans
+//! reproduce the historical Figure 1/7 runs byte for byte.
+
+pub mod strategies;
+
+pub use strategies::{
+    staggered, All, Colluders, CollusionSet, Honest, IgnoreDecrease, InflateTo, JoinLeaveFlap,
+    KeyGuess, Timed,
+};
+
+use mcc_delta::Key;
+use mcc_simcore::SimTime;
+
+/// Snapshot of the attacking receiver's world, handed to every hook.
+#[derive(Clone, Copy, Debug)]
+pub struct AttackEnv {
+    /// Current simulation time.
+    pub now: SimTime,
+    /// The protocol slot the hook refers to (the slot under evaluation for
+    /// [`Adversary::on_slot`], the current slot for activations).
+    pub slot: u64,
+    /// Number of groups in the session.
+    pub n_groups: u32,
+    /// The receiver's current honest subscription level / group.
+    pub level: u32,
+    /// Whether the session runs under SIGMA protection.
+    pub protected: bool,
+}
+
+/// A primitive misbehaviour a protocol receiver executes on the
+/// adversary's behalf. Strategies return these from their hooks; each
+/// receiver type (FLID, replicated, threshold) owns the execution.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AttackAction {
+    /// Inflate the subscription: join every group up to `layer` (clamped
+    /// to the session size) and claim that level from now on.
+    Inflate {
+        /// Highest 1-based group to grab; `u32::MAX` means "everything".
+        layer: u32,
+    },
+    /// Raw IGMP joins for groups `1..=layer` — the per-slot hammering of
+    /// the §4.2 attacker (SIGMA ignores these; classic IGMP obeys them).
+    RawJoins {
+        /// Highest 1-based group to join.
+        layer: u32,
+    },
+    /// Submit `per_group` random guessed keys for each group up to
+    /// `layer` ("numerous random keys in a hope that one … is correct",
+    /// paper §4.2). A no-op on unprotected sessions.
+    GuessKeys {
+        /// Guessed keys per group per submission.
+        per_group: u32,
+        /// Highest 1-based group to guess for.
+        layer: u32,
+    },
+    /// Drop back to the minimal level: leave everything above group 1 and
+    /// clear any inflation (the "down" phase of churn attacks).
+    LeaveHigh,
+    /// Submit keys obtained out-of-band (collusion): `(group, key)` pairs
+    /// for subscription slot `slot`, with 1-based group indices. The
+    /// executor also joins the groups so granted traffic is delivered.
+    SubmitKeys {
+        /// Subscription slot the keys unlock.
+        slot: u64,
+        /// `(1-based group index, key)` pairs.
+        pairs: Vec<(u32, Key)>,
+    },
+}
+
+/// An attack strategy: scheduling plus four protocol hooks.
+///
+/// Implementations must be deterministic — any randomness comes from the
+/// receiver's own [`DetRng`](mcc_simcore::DetRng) during action execution,
+/// never from the strategy itself — so runs replay bit for bit.
+pub trait Adversary: std::fmt::Debug + Send {
+    /// Short label for matrices and plots, e.g. `inflate(10)`.
+    fn label(&self) -> String;
+
+    /// A fresh boxed copy (strategies with shared state, e.g.
+    /// [`Colluders`], register a new member per clone).
+    fn clone_box(&self) -> Box<dyn Adversary>;
+
+    /// The next activation instant strictly after `after`, if any. The
+    /// receiver schedules a timer for it and calls
+    /// [`Adversary::on_activation`] when it fires.
+    fn next_activation(&self, after: SimTime) -> Option<SimTime> {
+        let _ = after;
+        None
+    }
+
+    /// Timer hook: actions to execute at an activation instant (also
+    /// called once when the receiver starts). Under a composite
+    /// ([`All`]) this fires at the *union* of the members' schedules, so
+    /// strategies with their own time grid must self-gate on `env.now`.
+    fn on_activation(&mut self, env: &AttackEnv) -> Vec<AttackAction> {
+        let _ = env;
+        Vec::new()
+    }
+
+    /// Per-slot hook: actions to execute after the receiver evaluated a
+    /// protocol slot.
+    fn on_slot(&mut self, env: &AttackEnv) -> Vec<AttackAction> {
+        let _ = env;
+        Vec::new()
+    }
+
+    /// Key hook: the receiver reconstructed `keys` (1-based group index,
+    /// key) valid for subscription slot `sub_slot`. Colluders publish
+    /// them out-of-band here.
+    fn on_key_packet(&mut self, env: &AttackEnv, sub_slot: u64, keys: &[(u32, Key)]) {
+        let _ = (env, sub_slot, keys);
+    }
+
+    /// Congestion-signal hook: return `true` to suppress the honest
+    /// decrease the protocol is about to take. May be called more than
+    /// once per slot (once per decision point).
+    fn on_congestion_signal(&mut self, env: &AttackEnv) -> bool {
+        let _ = env;
+        false
+    }
+
+    /// Subscription override: the level to claim instead of the honest
+    /// `honest_level`. Levels above the honest one are capped by the keys
+    /// actually held; levels below shrink the subscription (stealth).
+    fn subscription_override(&self, env: &AttackEnv, honest_level: u32) -> u32 {
+        let _ = env;
+        honest_level
+    }
+}
+
+impl Clone for Box<dyn Adversary> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// A cloneable adversary handle for scenario specs: what
+/// `ReceiverSpec::adversary` stores and receivers instantiate from.
+#[derive(Debug)]
+pub struct AttackPlan(Box<dyn Adversary>);
+
+impl AttackPlan {
+    /// Wrap a strategy.
+    pub fn new(strategy: impl Adversary + 'static) -> AttackPlan {
+        AttackPlan(Box::new(strategy))
+    }
+
+    /// The well-behaved receiver.
+    pub fn honest() -> AttackPlan {
+        AttackPlan::new(Honest)
+    }
+
+    /// The strategy's display label.
+    pub fn label(&self) -> String {
+        self.0.label()
+    }
+
+    /// A fresh strategy instance for one receiver agent.
+    pub fn build(&self) -> Box<dyn Adversary> {
+        self.0.clone_box()
+    }
+}
+
+impl Clone for AttackPlan {
+    fn clone(&self) -> Self {
+        AttackPlan(self.0.clone_box())
+    }
+}
+
+impl Default for AttackPlan {
+    fn default() -> Self {
+        AttackPlan::honest()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcc_simcore::SimDuration;
+
+    #[test]
+    fn honest_plan_is_inert() {
+        let mut a = AttackPlan::honest().build();
+        let env = AttackEnv {
+            now: SimTime::ZERO,
+            slot: 0,
+            n_groups: 10,
+            level: 1,
+            protected: true,
+        };
+        assert!(a.next_activation(SimTime::ZERO).is_none());
+        assert!(a.on_activation(&env).is_empty());
+        assert!(a.on_slot(&env).is_empty());
+        assert!(!a.on_congestion_signal(&env));
+        assert_eq!(a.subscription_override(&env, 4), 4);
+    }
+
+    #[test]
+    fn plans_clone_into_independent_instances() {
+        let plan = AttackPlan::new(Timed::at(
+            SimTime::from_secs(5),
+            JoinLeaveFlap::new(SimDuration::from_secs(2)),
+        ));
+        let a = plan.build();
+        let b = plan.clone().build();
+        assert_eq!(a.label(), b.label());
+        assert_eq!(
+            a.next_activation(SimTime::ZERO),
+            Some(SimTime::from_secs(5))
+        );
+        assert_eq!(
+            b.next_activation(SimTime::ZERO),
+            Some(SimTime::from_secs(5))
+        );
+    }
+}

@@ -58,5 +58,10 @@ fn receiver_decision(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, schedule_generation, component_stream, receiver_decision);
+criterion_group!(
+    benches,
+    schedule_generation,
+    component_stream,
+    receiver_decision
+);
 criterion_main!(benches);

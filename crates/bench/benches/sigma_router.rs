@@ -3,8 +3,8 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use mcc_delta::Key;
-use mcc_sigma::{KeyTable, KeyTuple};
 use mcc_netsim::GroupAddr;
+use mcc_sigma::{KeyTable, KeyTuple};
 
 fn validation(c: &mut Criterion) {
     let mut table = KeyTable::new();

@@ -18,7 +18,7 @@
 
 use std::path::PathBuf;
 
-use mcc_core::registry::{self, Experiment, ExperimentDef};
+use mcc_core::registry::{self, Experiment, ExperimentDef, Kind};
 use mcc_core::runner::{run_parallel, run_serial, ExperimentSpec};
 use mcc_core::{Params, RunConfig};
 
@@ -72,6 +72,15 @@ impl Cli {
                     let (key, values) = v
                         .split_once('=')
                         .ok_or_else(|| format!("--sweep {v:?}: expected key=a,b,c"))?;
+                    let key = key.trim();
+                    // Validate the key up front: an unknown key must fail
+                    // here, not after half the selection already ran.
+                    if !Params::SWEEP_KEYS.contains(&key) {
+                        return Err(format!(
+                            "--sweep key {key:?} is not supported (valid keys: {})",
+                            Params::SWEEP_KEYS.join(", ")
+                        ));
+                    }
                     let values: Vec<String> =
                         values.split(',').map(|s| s.trim().to_string()).collect();
                     if values.is_empty() || values.iter().any(|s| s.is_empty()) {
@@ -123,7 +132,8 @@ fn usage() -> String {
          OPTIONS:\n\
          \x20 -l, --list           list registered experiments and exit\n\
          \x20     --only IDS       comma-separated ids or figure prefixes\n\
-         \x20                      (fig01, fig08a_dl_throughput, ablations, all)\n\
+         \x20                      (fig01, fig08a_dl_throughput, matrix_robustness,\n\
+         \x20                      ablations, all)\n\
          \x20 -q, --quick          shortened runs (also: MCC_QUICK=1)\n\
          \x20 -j, --threads N      worker threads (also: MCC_THREADS)\n\
          \x20     --serial         run on one thread, no pool\n\
@@ -140,20 +150,21 @@ fn usage() -> String {
 pub fn list() -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{} registered experiments ({} figures, {} ablations):\n\n",
+        "{} registered experiments ({} figures, {} ablations, {} matrices):\n\n",
         registry::REGISTRY.len(),
         registry::figures().len(),
-        registry::ablations().len()
+        registry::ablations().len(),
+        registry::matrices().len()
     ));
     out.push_str(&format!(
         "  {:<24} {:<10} {:>4}  {}\n",
         "id", "figure", "seed", "description"
     ));
     for def in registry::REGISTRY {
-        let figure = if def.figure().is_empty() {
-            "ablation"
-        } else {
-            def.figure()
+        let figure = match def.kind() {
+            Kind::Figure => def.figure(),
+            Kind::Ablation => "ablation",
+            Kind::Matrix => "matrix",
         };
         out.push_str(&format!(
             "  {:<24} {:<10} {:>4}  {}\n",
@@ -289,7 +300,14 @@ mod tests {
     #[test]
     fn parses_the_documented_flags() {
         let cli = parse(&[
-            "--only", "fig07,fig08a", "--quick", "--threads", "3", "--out", "/tmp/x", "--sweep",
+            "--only",
+            "fig07,fig08a",
+            "--quick",
+            "--threads",
+            "3",
+            "--out",
+            "/tmp/x",
+            "--sweep",
             "seed=1,2",
         ])
         .unwrap();
@@ -310,6 +328,27 @@ mod tests {
         assert!(parse(&["--bogus"]).is_err());
     }
 
+    /// Satellite contract: an unknown `--sweep` key fails at parse time —
+    /// before any experiment runs — and names every valid key.
+    #[test]
+    fn sweep_keys_are_validated_up_front() {
+        let err = parse(&["--sweep", "sed=1,2"]).unwrap_err();
+        for key in Params::SWEEP_KEYS {
+            assert!(err.contains(key), "error must list {key:?}: {err}");
+        }
+        // Whitespace around a valid key is tolerated.
+        let cli = parse(&["--sweep", " seed =1,2"]).unwrap();
+        assert_eq!(cli.sweep.unwrap().0, "seed");
+    }
+
+    #[test]
+    fn matrix_is_selectable_by_prefix() {
+        let defs = parse(&["--only", "matrix"]).unwrap().selection().unwrap();
+        assert_eq!(defs.len(), 1);
+        assert_eq!(defs[0].id(), "matrix_robustness");
+        assert_eq!(defs[0].kind(), Kind::Matrix);
+    }
+
     #[test]
     fn selection_defaults_to_the_figure_suite() {
         let defs = parse(&[]).unwrap().selection().unwrap();
@@ -319,18 +358,27 @@ mod tests {
 
     #[test]
     fn selection_resolves_prefixes_groups_and_rejects_unknowns() {
-        let defs = parse(&["--only", "fig01,fig08a"]).unwrap().selection().unwrap();
+        let defs = parse(&["--only", "fig01,fig08a"])
+            .unwrap()
+            .selection()
+            .unwrap();
         let ids: Vec<&str> = defs.iter().map(|d| d.id()).collect();
         assert_eq!(ids, ["fig01_attack", "fig08a_dl_throughput"]);
 
-        let abl = parse(&["--only", "ablations"]).unwrap().selection().unwrap();
+        let abl = parse(&["--only", "ablations"])
+            .unwrap()
+            .selection()
+            .unwrap();
         assert_eq!(abl.len(), 3);
 
         let all = parse(&["--only", "all"]).unwrap().selection().unwrap();
         assert_eq!(all.len(), registry::REGISTRY.len());
 
         // Duplicates collapse; unknowns fail loudly.
-        let dup = parse(&["--only", "fig01,fig01_attack"]).unwrap().selection().unwrap();
+        let dup = parse(&["--only", "fig01,fig01_attack"])
+            .unwrap()
+            .selection()
+            .unwrap();
         assert_eq!(dup.len(), 1);
         assert!(parse(&["--only", "fig99"]).unwrap().selection().is_err());
     }

@@ -91,6 +91,9 @@ impl Params {
     pub const SMOOTHING_WINDOW: usize = 5;
     /// The narrower window of the convergence figures (8g/8h).
     pub const CONVERGENCE_SMOOTHING: usize = 3;
+    /// Every key `--sweep` / [`Params::with_override`] accepts — the CLI
+    /// validates against this list up front, before any experiment runs.
+    pub const SWEEP_KEYS: &'static [&'static str] = &["seed", "smoothing", "quick"];
 
     /// Paper-exact parameters with the given quick flag.
     pub fn quick(quick: bool) -> Params {
@@ -130,11 +133,7 @@ impl Params {
         let mut p = self.clone();
         match key {
             "seed" => {
-                p.seed_override = Some(
-                    value
-                        .parse()
-                        .map_err(|e| format!("seed {value:?}: {e}"))?,
-                );
+                p.seed_override = Some(value.parse().map_err(|e| format!("seed {value:?}: {e}"))?);
             }
             "smoothing" => {
                 p.smoothing = value
@@ -146,7 +145,8 @@ impl Params {
             }
             other => {
                 return Err(format!(
-                    "unknown sweep key {other:?} (expected seed, smoothing or quick)"
+                    "unknown sweep key {other:?} (valid keys: {})",
+                    Params::SWEEP_KEYS.join(", ")
                 ))
             }
         }
@@ -184,6 +184,24 @@ mod tests {
         assert!(p.with_override("quick", "1").unwrap().quick);
         assert!(p.with_override("seed", "x").is_err());
         assert!(p.with_override("bogus", "1").is_err());
+    }
+
+    /// `SWEEP_KEYS` (what the CLI validates against) and `with_override`'s
+    /// match arms are the same list: every advertised key must round-trip,
+    /// and the rejection message must advertise exactly these keys.
+    #[test]
+    fn sweep_keys_round_trip_through_with_override() {
+        let p = Params::default();
+        for key in Params::SWEEP_KEYS {
+            assert!(
+                p.with_override(key, "1").is_ok(),
+                "advertised sweep key {key:?} must be accepted"
+            );
+        }
+        let err = p.with_override("nope", "1").unwrap_err();
+        for key in Params::SWEEP_KEYS {
+            assert!(err.contains(key), "error must advertise {key:?}: {err}");
+        }
     }
 
     #[test]

@@ -16,20 +16,34 @@
 //! edge router; protected sessions install a SIGMA module there.
 
 use crate::scenario::Variant;
-use mcc_flid::{Behavior, FlidConfig, FlidReceiver, FlidSender, Mode};
+use mcc_attack::AttackPlan;
+use mcc_flid::{
+    FlidConfig, FlidReceiver, FlidSender, Mode, ReplicatedReceiver, ReplicatedSender,
+    ThresholdReceiver, ThresholdSender,
+};
 use mcc_netsim::prelude::*;
 use mcc_sigma::{SigmaConfig, SigmaEdgeModule};
 use mcc_simcore::{SimDuration, SimTime};
 use mcc_tcp::{RenoConfig, RenoSender, TcpSink};
 use mcc_traffic::{CbrConfig, CbrSource, CountingSink};
 
+/// Loss threshold θ of the RLM-style [`Variant::Threshold`] sessions
+/// (RLM's default, paper §3.1.2).
+const THRESHOLD_THETA: f64 = 0.25;
+
+/// The slot duration every protected dumbbell session (and its SIGMA
+/// edge module) runs at — the paper's 250 ms FLID-DS setting. Consumers
+/// converting router slot numbers to seconds must use this constant.
+pub const SIGMA_SLOT: SimDuration = SimDuration::from_millis(250);
+
 /// One receiver of a multicast session.
 #[derive(Clone, Debug)]
 pub struct ReceiverSpec {
     /// When the receiver joins the session.
     pub join_at: SimTime,
-    /// Honest or misbehaving.
-    pub behavior: Behavior,
+    /// The adversary strategy the receiver runs
+    /// ([`AttackPlan::honest`] for a well-behaved receiver).
+    pub adversary: AttackPlan,
     /// Propagation delay of the receiver's access link.
     pub access_delay: SimDuration,
 }
@@ -38,7 +52,7 @@ impl Default for ReceiverSpec {
     fn default() -> Self {
         ReceiverSpec {
             join_at: SimTime::ZERO,
-            behavior: Behavior::Honest,
+            adversary: AttackPlan::honest(),
             access_delay: SimDuration::from_millis(10),
         }
     }
@@ -188,37 +202,63 @@ impl Dumbbell {
             h
         };
 
+        // Per-session configurations, computed up front so the SIGMA
+        // module can be scoped (collusion guard) before agents exist.
+        let cfgs: Vec<FlidConfig> = spec
+            .mcast
+            .iter()
+            .enumerate()
+            .map(|(si, m)| {
+                let base = 1000 * (si as u32 + 1);
+                FlidConfig::paper(
+                    (1..=m.n_groups).map(|g| GroupAddr(base + g)).collect(),
+                    GroupAddr(base),
+                    FlowId(si as u32),
+                    m.variant.protected(),
+                )
+            })
+            .collect();
+
         // Any protected session installs SIGMA at the edge; the module is
         // generic, so one instance serves every session (smallest slot
-        // wins for maintenance granularity).
+        // wins for maintenance granularity). A `FlidDsGuard` session
+        // additionally scopes the §4.2 collusion guard to its groups —
+        // the guard is protocol-specific (it must know the layering), so
+        // it covers the first such session only.
         let protected_slot = spec
             .mcast
             .iter()
             .filter(|m| m.variant.protected())
-            .map(|_| SimDuration::from_millis(250))
+            .map(|_| SIGMA_SLOT)
             .min();
         if let Some(slot) = protected_slot {
-            sim.set_edge_module(b, Box::new(SigmaEdgeModule::new(SigmaConfig::new(slot))));
+            let mut sigma_cfg = SigmaConfig::new(slot);
+            if let Some((si, _)) = spec
+                .mcast
+                .iter()
+                .enumerate()
+                .find(|(_, m)| m.variant == Variant::FlidDsGuard)
+            {
+                sigma_cfg = sigma_cfg.with_guard(cfgs[si].groups.clone());
+            }
+            sim.set_edge_module(b, Box::new(SigmaEdgeModule::new(sigma_cfg)));
         }
 
         let mut sessions = Vec::new();
         for (si, m) in spec.mcast.iter().enumerate() {
-            let base = 1000 * (si as u32 + 1);
-            let cfg = FlidConfig::paper(
-                (1..=m.n_groups).map(|g| GroupAddr(base + g)).collect(),
-                GroupAddr(base),
-                FlowId(si as u32),
-                m.variant.protected(),
-            );
+            let cfg = cfgs[si].clone();
             let sender_host = add_sender_host(&mut sim);
             for g in cfg.groups.iter().chain([&cfg.control_group]) {
                 sim.register_group(*g, sender_host);
             }
-            let sender = sim.add_agent(
-                sender_host,
-                Box::new(FlidSender::new(cfg.clone())),
-                SimTime::ZERO,
-            );
+            let sender_agent: Box<dyn Agent> = match m.variant {
+                Variant::FlidDl | Variant::FlidDs | Variant::FlidDsGuard => {
+                    Box::new(FlidSender::new(cfg.clone()))
+                }
+                Variant::Replicated => Box::new(ReplicatedSender::new(cfg.clone())),
+                Variant::Threshold => Box::new(ThresholdSender::new(cfg.clone(), THRESHOLD_THETA)),
+            };
+            let sender = sim.add_agent(sender_host, sender_agent, SimTime::ZERO);
             let mut receivers = Vec::new();
             for r in &m.receivers {
                 let h = sim.add_node();
@@ -230,14 +270,31 @@ impl Dumbbell {
                     Queue::drop_tail(side_buffer),
                     Queue::drop_tail(side_buffer),
                 );
-                let mode = if m.variant.protected() {
-                    Mode::Ds { router: b }
-                } else {
-                    Mode::Dl
+                let router = m.variant.protected().then_some(b);
+                let agent: Box<dyn Agent> = match m.variant {
+                    Variant::FlidDl | Variant::FlidDs | Variant::FlidDsGuard => {
+                        let mode = match router {
+                            Some(b) => Mode::Ds { router: b },
+                            None => Mode::Dl,
+                        };
+                        let mut agent =
+                            FlidReceiver::with_adversary(cfg.clone(), mode, r.adversary.clone());
+                        agent.set_control_delay(r.access_delay);
+                        Box::new(agent)
+                    }
+                    Variant::Replicated => Box::new(ReplicatedReceiver::with_adversary(
+                        cfg.clone(),
+                        router,
+                        r.adversary.clone(),
+                    )),
+                    Variant::Threshold => Box::new(ThresholdReceiver::with_adversary(
+                        cfg.clone(),
+                        THRESHOLD_THETA,
+                        router,
+                        r.adversary.clone(),
+                    )),
                 };
-                let mut agent = FlidReceiver::new(cfg.clone(), mode, r.behavior);
-                agent.set_control_delay(r.access_delay);
-                receivers.push(sim.add_agent(h, Box::new(agent), r.join_at));
+                receivers.push(sim.add_agent(h, agent, r.join_at));
             }
             sessions.push(SessionHandle {
                 cfg,
@@ -403,8 +460,7 @@ mod tests {
             McastSessionSpec::honest(FlidDl, 1),
         ];
         let d = Dumbbell::build(spec);
-        let g0: std::collections::HashSet<_> =
-            d.sessions[0].cfg.groups.iter().copied().collect();
+        let g0: std::collections::HashSet<_> = d.sessions[0].cfg.groups.iter().copied().collect();
         assert!(d.sessions[1].cfg.groups.iter().all(|g| !g0.contains(g)));
     }
 }

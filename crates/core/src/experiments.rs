@@ -8,8 +8,12 @@
 
 use crate::config::Params;
 use crate::dumbbell::{CbrSpec, Dumbbell, McastSessionSpec, ReceiverSpec, SessionHandle};
-use crate::metrics::Series;
+use crate::metrics::{damage, Damage, Series};
 use crate::scenario::{Scenario, Units, Variant};
+use mcc_attack::{
+    All, AttackPlan, Colluders, CollusionSet, IgnoreDecrease, InflateTo, JoinLeaveFlap, KeyGuess,
+    Timed,
+};
 use mcc_delta::overhead::{delta_overhead, sigma_overhead, OverheadParams};
 use mcc_flid::{Behavior, FlidConfig};
 use mcc_netsim::{FlowId, GroupAddr};
@@ -199,11 +203,7 @@ pub fn convergence(variant: Variant, duration_secs: u64, seed: u64) -> Convergen
             let r = d.receiver(d.sessions[0].receivers[i]);
             Series {
                 label: format!("Receiver {}", i + 1),
-                points: r
-                    .level_trace
-                    .iter()
-                    .map(|&(t, l)| (t, l as f64))
-                    .collect(),
+                points: r.level_trace.iter().map(|&(t, l)| (t, l as f64)).collect(),
             }
         })
         .collect();
@@ -327,6 +327,271 @@ pub fn session(d: &Dumbbell, i: usize) -> &SessionHandle {
     &d.sessions[i]
 }
 
+// ---------------------------------------------------------------------------
+// The robustness matrix: adversary strategies × defense variants
+// ---------------------------------------------------------------------------
+
+/// The adversary strategies the `matrix_robustness` experiment sweeps, in
+/// matrix row order.
+pub const MATRIX_STRATEGIES: &[&str] = &[
+    "inflate",
+    "ignore_decrease",
+    "key_guess",
+    "colluders",
+    "join_leave_flap",
+];
+
+/// One cell of the robustness matrix: one adversary strategy attacking
+/// one defense variant.
+#[derive(Clone, Debug)]
+pub struct MatrixCell {
+    /// Defense label ([`Variant::label`]).
+    pub defense: &'static str,
+    /// Strategy name (one of [`MATRIX_STRATEGIES`]).
+    pub strategy: &'static str,
+    /// Attacker goodput over the post-onset window, bit/s.
+    pub attacker_bps: f64,
+    /// Honest receiver goodput under attack, bit/s.
+    pub honest_bps: f64,
+    /// Mean TCP cross-traffic goodput under attack, bit/s.
+    pub tcp_bps: f64,
+    /// Honest receiver goodput in the attack-free baseline run, bit/s.
+    pub baseline_honest_bps: f64,
+    /// Damage/containment metrics relative to the baseline.
+    pub damage: Damage,
+    /// Keys the edge router rejected (0 when unprotected).
+    pub rejected_keys: u64,
+    /// Raw IGMP joins the edge router ignored (0 when unprotected).
+    pub raw_igmp_blocked: u64,
+}
+
+/// The full matrix.
+#[derive(Clone, Debug)]
+pub struct MatrixResult {
+    /// Attack onset, seconds.
+    pub onset_secs: u64,
+    /// Run duration, seconds.
+    pub duration_secs: u64,
+    /// Fair share of each of the four competing flows, bit/s.
+    pub fair_share_bps: f64,
+    /// Defense column labels, in cell order.
+    pub defenses: Vec<&'static str>,
+    /// Strategy row labels, in cell order.
+    pub strategies: Vec<&'static str>,
+    /// Cells, defense-major then strategy.
+    pub cells: Vec<MatrixCell>,
+}
+
+/// Plans for one strategy cell: the attacker's plan and join time plus,
+/// for collusion, a second (feeder) receiver's plan. Built fresh per
+/// cell so shared state (the collusion pool) never leaks across
+/// simulations.
+struct CellPlans {
+    attacker: AttackPlan,
+    /// When the attacker joins; the colluding freeloader joins at the
+    /// onset so everything it reaches beyond the minimal level early on
+    /// is smuggled, not earned.
+    attacker_join_at: SimTime,
+    extra: Option<AttackPlan>,
+}
+
+fn strategy_cell_plans(name: &str, onset: SimTime) -> CellPlans {
+    let at_start = |attacker| CellPlans {
+        attacker,
+        attacker_join_at: SimTime::ZERO,
+        extra: None,
+    };
+    match name {
+        "inflate" => at_start(AttackPlan::new(Timed::boxed(
+            onset,
+            Box::new(All::of(vec![
+                Box::new(InflateTo::all()),
+                Box::new(KeyGuess { rate: 10 }),
+            ])),
+        ))),
+        "ignore_decrease" => at_start(AttackPlan::new(Timed::at(onset, IgnoreDecrease))),
+        "key_guess" => at_start(AttackPlan::new(Timed::at(onset, KeyGuess { rate: 10 }))),
+        "colluders" => {
+            let set = CollusionSet::new();
+            CellPlans {
+                attacker: AttackPlan::new(Colluders::new(set.clone())),
+                attacker_join_at: onset,
+                extra: Some(AttackPlan::new(Colluders::new(set))),
+            }
+        }
+        "join_leave_flap" => at_start(AttackPlan::new(Timed::at(
+            onset,
+            JoinLeaveFlap::new(5.secs_dur()),
+        ))),
+        other => panic!("unknown matrix strategy {other:?}"),
+    }
+}
+
+/// Raw measurements of one matrix run.
+#[derive(Clone)]
+struct CellRun {
+    attacker_bps: f64,
+    honest_bps: f64,
+    tcp_bps: f64,
+    rejected_keys: u64,
+    raw_igmp_blocked: u64,
+    detection_secs: Option<f64>,
+}
+
+/// One matrix run: two sessions of `variant` (session 0 holds the
+/// attacker, session 1 an honest receiver) plus two TCP flows on a 1 Mbps
+/// bottleneck — the Figure-1/7 population, generalized over variants.
+fn matrix_run(
+    variant: Variant,
+    attacker: AttackPlan,
+    attacker_join_at: SimTime,
+    extra: Option<AttackPlan>,
+    duration_secs: u64,
+    onset_secs: u64,
+    seed: u64,
+) -> CellRun {
+    // The replicated/threshold ladders carry each group's *full* rate, so
+    // ten groups would outgrow the bottleneck; six (≤ 759 kbps) fit.
+    let n_groups = match variant {
+        Variant::Replicated | Variant::Threshold => 6,
+        _ => 10,
+    };
+    let mut attack_session = McastSessionSpec::new(variant).groups(n_groups).receiver(
+        ReceiverSpec::new()
+            .adversary(attacker)
+            .join_at(attacker_join_at),
+    );
+    if let Some(plan) = extra {
+        attack_session = attack_session.receiver(ReceiverSpec::new().adversary(plan));
+    }
+    let mut d = Scenario::dumbbell(1.mbps())
+        .seed(seed)
+        .session(attack_session)
+        .session(
+            McastSessionSpec::new(variant)
+                .groups(n_groups)
+                .receiver(ReceiverSpec::new()),
+        )
+        .tcp(2)
+        .build();
+    d.run_secs(duration_secs);
+    // The attacker is measured from the onset itself — a strategy whose
+    // whole payoff is skipping the honest ramp (collusion) shows up in
+    // those first seconds. The victim flows get a settling margin so
+    // their loss reflects the sustained attack, not the transition.
+    let attacker_bps = d.throughput_bps(d.sessions[0].receivers[0], onset_secs, duration_secs);
+    let from = onset_secs + 5;
+    let honest_bps = d.throughput_bps(d.sessions[1].receivers[0], from, duration_secs);
+    let tcp_bps = (d.throughput_bps(d.tcp[0].sink, from, duration_secs)
+        + d.throughput_bps(d.tcp[1].sink, from, duration_secs))
+        / 2.0;
+    let (rejected_keys, raw_igmp_blocked, detection_secs) = match d.sigma() {
+        Some(m) => {
+            let slot_secs = crate::dumbbell::SIGMA_SLOT.as_secs_f64();
+            let detection = [m.stats.first_lockout_slot, m.stats.first_guess_alarm_slot]
+                .into_iter()
+                .flatten()
+                .min()
+                .map(|s| s as f64 * slot_secs);
+            (m.stats.rejected_keys, m.stats.raw_igmp_blocked, detection)
+        }
+        None => (0, 0, None),
+    };
+    CellRun {
+        attacker_bps,
+        honest_bps,
+        tcp_bps,
+        rejected_keys,
+        raw_igmp_blocked,
+        detection_secs,
+    }
+}
+
+/// The registered `matrix_robustness` experiment: sweep every
+/// [`MATRIX_STRATEGIES`] strategy against every [`Variant::DEFENSES`]
+/// defense, with one honest-baseline run per defense for the damage
+/// metrics.
+pub fn robustness_matrix(duration_secs: u64, onset_secs: u64, seed: u64) -> MatrixResult {
+    let fair_share_bps = 250_000.0; // 1 Mbps over 2 multicast + 2 TCP flows.
+    let mut cells = Vec::new();
+    for (di, &variant) in Variant::DEFENSES.iter().enumerate() {
+        // One seed per defense column: a cell and its baseline differ
+        // only in the adversary — never in the seed or the topology.
+        let column_seed = seed ^ ((di as u64 + 1) << 24);
+        let baseline = matrix_run(
+            variant,
+            AttackPlan::honest(),
+            SimTime::ZERO,
+            None,
+            duration_secs,
+            onset_secs,
+            column_seed,
+        );
+        // Strategy cells with an extra (feeder) receiver get their own
+        // topology-matched baseline (same receiver count and join times,
+        // everyone honest), computed lazily.
+        let mut two_receiver_baseline: Option<CellRun> = None;
+        for &name in MATRIX_STRATEGIES {
+            let plans = strategy_cell_plans(name, onset_secs.secs());
+            let base = if plans.extra.is_some() {
+                two_receiver_baseline
+                    .get_or_insert_with(|| {
+                        matrix_run(
+                            variant,
+                            AttackPlan::honest(),
+                            plans.attacker_join_at,
+                            Some(AttackPlan::honest()),
+                            duration_secs,
+                            onset_secs,
+                            column_seed,
+                        )
+                    })
+                    .clone()
+            } else {
+                baseline.clone()
+            };
+            let run = matrix_run(
+                variant,
+                plans.attacker,
+                plans.attacker_join_at,
+                plans.extra,
+                duration_secs,
+                onset_secs,
+                column_seed,
+            );
+            cells.push(MatrixCell {
+                defense: variant.label(),
+                strategy: name,
+                attacker_bps: run.attacker_bps,
+                honest_bps: run.honest_bps,
+                tcp_bps: run.tcp_bps,
+                baseline_honest_bps: base.honest_bps,
+                damage: damage(
+                    base.honest_bps,
+                    run.honest_bps,
+                    run.attacker_bps,
+                    // "What the misbehaviour bought": the counterfactual is
+                    // the same receiver behaving honestly, not the static
+                    // fair share (honest multicast already over-shares).
+                    base.attacker_bps,
+                    run.detection_secs,
+                    onset_secs as f64,
+                ),
+                rejected_keys: run.rejected_keys,
+                raw_igmp_blocked: run.raw_igmp_blocked,
+            });
+        }
+    }
+    MatrixResult {
+        onset_secs,
+        duration_secs,
+        fair_share_bps,
+        defenses: Variant::DEFENSES.iter().map(|v| v.label()).collect(),
+        strategies: MATRIX_STRATEGIES.to_vec(),
+        cells,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -383,10 +648,8 @@ mod tests {
     #[test]
     fn responsiveness_to_cbr_burst() {
         let s = responsiveness(FlidDs, 60, 20, 35, 3, &Params::default());
-        let before: f64 =
-            s.points[10..18].iter().map(|p| p.1).sum::<f64>() / 8.0;
-        let during: f64 =
-            s.points[25..33].iter().map(|p| p.1).sum::<f64>() / 8.0;
+        let before: f64 = s.points[10..18].iter().map(|p| p.1).sum::<f64>() / 8.0;
+        let during: f64 = s.points[25..33].iter().map(|p| p.1).sum::<f64>() / 8.0;
         let after: f64 = s.points[50..58].iter().map(|p| p.1).sum::<f64>() / 8.0;
         assert!(
             during < 0.6 * before,
@@ -592,7 +855,10 @@ pub fn slot_ablation(slot_ms: &[u64], seed: u64) -> Vec<SlotAblationRow> {
             for g in cfg.groups.iter().chain([&cfg.control_group]) {
                 sim.register_group(*g, s);
             }
-            sim.set_edge_module(b, Box::new(SigmaEdgeModule::new(SigmaConfig::new(cfg.slot))));
+            sim.set_edge_module(
+                b,
+                Box::new(SigmaEdgeModule::new(SigmaConfig::new(cfg.slot))),
+            );
             let r = sim.add_agent(
                 h,
                 Box::new(FlidReceiver::new(

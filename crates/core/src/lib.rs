@@ -44,7 +44,7 @@ pub use config::{Params, RunConfig};
 pub use dumbbell::{
     CbrSpec, Dumbbell, DumbbellSpec, McastSessionSpec, ReceiverSpec, SessionHandle, TcpHandle,
 };
-pub use metrics::{ascii_chart, series_csv, write_series_csv, Series, Table};
+pub use metrics::{ascii_chart, damage, series_csv, write_series_csv, Damage, Series, Table};
 pub use registry::{registry, Experiment, ExperimentDef, ExperimentOutput};
 pub use runner::{
     figure_experiments, run_parallel, run_serial, ExperimentRecord, ExperimentSpec, Json, Report,

@@ -1,8 +1,63 @@
-//! Result containers, CSV output and ASCII charts for the experiments.
+//! Result containers, CSV output, ASCII charts and the per-attack
+//! damage/containment metrics for the experiments.
 
 use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
+
+/// Damage and containment of one attack run, relative to an
+/// honest-baseline run of the same scenario — the per-cell metrics of the
+/// `matrix_robustness` experiment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Damage {
+    /// Honest-goodput loss in percent of the baseline: positive when the
+    /// attack hurt the honest receiver, near zero when contained
+    /// (negative values mean the honest flow did *better* under attack —
+    /// run-to-run noise).
+    pub honest_loss_pct: f64,
+    /// Attacker throughput in percent above its entitlement — the goodput
+    /// the same receiver earned in the honest-baseline run (or a static
+    /// fair share when no baseline exists): what the misbehaviour bought.
+    pub attacker_excess_pct: f64,
+    /// Seconds from attack onset until the edge router first locked the
+    /// attacker out or flagged its guessing tally; `None` when no
+    /// detection fired (e.g. unprotected variants).
+    pub time_to_lockout_secs: Option<f64>,
+}
+
+/// Compute [`Damage`] from raw throughputs.
+///
+/// `baseline_honest_bps` is the honest receiver's goodput in the
+/// attack-free baseline run, `honest_bps` the same receiver under attack,
+/// `attacker_bps` the attacker's delivered throughput and `entitled_bps`
+/// its counterfactual goodput (the honest-baseline run of the same
+/// receiver, or a fair share when no baseline exists). `detection_secs`
+/// is the absolute detection time; `onset_secs` the attack onset
+/// (detection is reported relative to it, clamped at zero).
+pub fn damage(
+    baseline_honest_bps: f64,
+    honest_bps: f64,
+    attacker_bps: f64,
+    entitled_bps: f64,
+    detection_secs: Option<f64>,
+    onset_secs: f64,
+) -> Damage {
+    let honest_loss_pct = if baseline_honest_bps > 0.0 {
+        (baseline_honest_bps - honest_bps) / baseline_honest_bps * 100.0
+    } else {
+        0.0
+    };
+    let attacker_excess_pct = if entitled_bps > 0.0 {
+        (attacker_bps - entitled_bps) / entitled_bps * 100.0
+    } else {
+        0.0
+    };
+    Damage {
+        honest_loss_pct,
+        attacker_excess_pct,
+        time_to_lockout_secs: detection_secs.map(|t| (t - onset_secs).max(0.0)),
+    }
+}
 
 /// A labeled time/value series.
 #[derive(Clone, Debug, PartialEq)]
@@ -35,8 +90,7 @@ impl Series {
             .map(|i| {
                 let lo = i.saturating_sub(w / 2);
                 let hi = (i + w.div_ceil(2)).min(n);
-                let mean =
-                    self.points[lo..hi].iter().map(|p| p.1).sum::<f64>() / (hi - lo) as f64;
+                let mean = self.points[lo..hi].iter().map(|p| p.1).sum::<f64>() / (hi - lo) as f64;
                 (self.points[i].0, mean)
             })
             .collect();
@@ -171,13 +225,7 @@ pub fn ascii_chart(series: &[Series], width: usize, height: usize, y_label: &str
         out.extend(row);
         out.push('\n');
     }
-    let _ = writeln!(
-        out,
-        "+{} x: {:.1} .. {:.1}",
-        "-".repeat(width),
-        xmin,
-        xmax
-    );
+    let _ = writeln!(out, "+{} x: {:.1} .. {:.1}", "-".repeat(width), xmin, xmax);
     for (si, s) in series.iter().enumerate() {
         let _ = writeln!(out, "  {} = {}", glyphs[si % glyphs.len()], s.label);
     }
@@ -239,5 +287,27 @@ mod tests {
     #[test]
     fn ascii_chart_handles_empty() {
         assert_eq!(ascii_chart(&[], 10, 5, "y"), "(no data)\n");
+    }
+
+    #[test]
+    fn damage_reports_loss_excess_and_detection_delay() {
+        let d = damage(200_000.0, 50_000.0, 750_000.0, 250_000.0, Some(30.0), 20.0);
+        assert!((d.honest_loss_pct - 75.0).abs() < 1e-9);
+        assert!((d.attacker_excess_pct - 200.0).abs() < 1e-9);
+        assert_eq!(d.time_to_lockout_secs, Some(10.0));
+    }
+
+    #[test]
+    fn damage_handles_contained_attacks_and_missing_detection() {
+        // Contained: honest flow untouched, attacker at fair share.
+        let d = damage(200_000.0, 200_000.0, 250_000.0, 250_000.0, None, 20.0);
+        assert_eq!(d.honest_loss_pct, 0.0);
+        assert_eq!(d.attacker_excess_pct, 0.0);
+        assert_eq!(d.time_to_lockout_secs, None);
+        // Detection before onset clamps at zero; zero baselines don't 1/0.
+        let d = damage(0.0, 10.0, 10.0, 0.0, Some(5.0), 20.0);
+        assert_eq!(d.honest_loss_pct, 0.0);
+        assert_eq!(d.attacker_excess_pct, 0.0);
+        assert_eq!(d.time_to_lockout_secs, Some(0.0));
     }
 }

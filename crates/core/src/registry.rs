@@ -26,6 +26,8 @@ pub enum Kind {
     Figure,
     /// A design-choice ablation (`DESIGN.md` §Ablations).
     Ablation,
+    /// A robustness matrix (adversary strategies × defense variants).
+    Matrix,
 }
 
 /// The outcome of running one registered experiment.
@@ -104,7 +106,10 @@ fn sessions_rows_json(rows: &[experiments::SessionsRow]) -> Json {
                 Json::obj([
                     ("n", Json::U64(r.n as u64)),
                     ("avg_bps", Json::Num(r.avg_bps)),
-                    ("individual_bps", Json::nums(r.individual_bps.iter().copied())),
+                    (
+                        "individual_bps",
+                        Json::nums(r.individual_bps.iter().copied()),
+                    ),
                 ])
             })
             .collect(),
@@ -188,15 +193,16 @@ fn responsiveness_body(p: &Params, seed: u64) -> Json {
     let dur = p.duration(100);
     let (from, to) = (dur * 45 / 100, dur * 75 / 100);
     Json::obj([
-        ("burst_secs", Json::Arr(vec![Json::U64(from), Json::U64(to)])),
+        (
+            "burst_secs",
+            Json::Arr(vec![Json::U64(from), Json::U64(to)]),
+        ),
         (
             "series",
             Json::Arr(
                 Variant::BOTH
                     .iter()
-                    .map(|&v| {
-                        series_json(&experiments::responsiveness(v, dur, from, to, seed, p))
-                    })
+                    .map(|&v| series_json(&experiments::responsiveness(v, dur, from, to, seed, p)))
                     .collect(),
             ),
         ),
@@ -291,6 +297,71 @@ fn ablation_slot_body(p: &Params, seed: u64) -> Json {
             })
             .collect(),
     )
+}
+
+// ---------------------------------------------------------------------------
+// Matrix bodies
+// ---------------------------------------------------------------------------
+
+fn matrix_robustness_body(p: &Params, seed: u64) -> Json {
+    let dur = p.duration(60);
+    let onset = dur / 3;
+    let m = experiments::robustness_matrix(dur, onset, seed);
+    Json::obj([
+        ("onset_secs", Json::U64(m.onset_secs)),
+        ("duration_secs", Json::U64(m.duration_secs)),
+        ("fair_share_bps", Json::Num(m.fair_share_bps)),
+        (
+            "defenses",
+            Json::Arr(
+                m.defenses
+                    .iter()
+                    .map(|d| Json::Str(d.to_string()))
+                    .collect(),
+            ),
+        ),
+        (
+            "strategies",
+            Json::Arr(
+                m.strategies
+                    .iter()
+                    .map(|s| Json::Str(s.to_string()))
+                    .collect(),
+            ),
+        ),
+        (
+            "cells",
+            Json::Arr(
+                m.cells
+                    .iter()
+                    .map(|c| {
+                        Json::obj([
+                            ("defense", Json::Str(c.defense.to_string())),
+                            ("strategy", Json::Str(c.strategy.to_string())),
+                            ("attacker_bps", Json::Num(c.attacker_bps)),
+                            ("honest_bps", Json::Num(c.honest_bps)),
+                            ("tcp_bps", Json::Num(c.tcp_bps)),
+                            ("baseline_honest_bps", Json::Num(c.baseline_honest_bps)),
+                            ("honest_loss_pct", Json::Num(c.damage.honest_loss_pct)),
+                            (
+                                "attacker_excess_pct",
+                                Json::Num(c.damage.attacker_excess_pct),
+                            ),
+                            (
+                                "time_to_lockout_secs",
+                                c.damage
+                                    .time_to_lockout_secs
+                                    .map(Json::Num)
+                                    .unwrap_or(Json::Null),
+                            ),
+                            ("rejected_keys", Json::U64(c.rejected_keys)),
+                            ("raw_igmp_blocked", Json::U64(c.raw_igmp_blocked)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 // ---------------------------------------------------------------------------
@@ -420,6 +491,14 @@ pub static REGISTRY: &[ExperimentDef] = &[
         seed: 4,
         body: ablation_slot_body,
     },
+    ExperimentDef {
+        id: "matrix_robustness",
+        figure: "",
+        describe: "adversary strategies x defense variants: damage + containment",
+        kind: Kind::Matrix,
+        seed: 17,
+        body: matrix_robustness_body,
+    },
 ];
 
 /// All registered experiments as trait objects.
@@ -448,6 +527,15 @@ pub fn ablations() -> Vec<ExperimentDef> {
         .collect()
 }
 
+/// The robustness-matrix entries.
+pub fn matrices() -> Vec<ExperimentDef> {
+    REGISTRY
+        .iter()
+        .filter(|d| d.kind == Kind::Matrix)
+        .copied()
+        .collect()
+}
+
 /// Look an experiment up by exact id.
 pub fn find(id: &str) -> Option<ExperimentDef> {
     REGISTRY.iter().find(|d| d.id == id).copied()
@@ -461,8 +549,7 @@ pub fn matching(selector: &str) -> Vec<ExperimentDef> {
         .iter()
         .filter(|d| {
             d.id == selector
-                || (d.id.starts_with(selector)
-                    && d.id[selector.len()..].starts_with('_'))
+                || (d.id.starts_with(selector) && d.id[selector.len()..].starts_with('_'))
         })
         .copied()
         .collect()
@@ -491,14 +578,23 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_enumerates_figures_and_ablations() {
-        assert!(REGISTRY.len() >= 15, "12 figures + 3 ablations");
+    fn registry_enumerates_figures_ablations_and_matrices() {
+        assert!(REGISTRY.len() >= 16, "12 figures + 3 ablations + 1 matrix");
         assert_eq!(figures().len(), 12);
         assert_eq!(ablations().len(), 3);
+        assert_eq!(matrices().len(), 1);
         let mut ids: Vec<&str> = REGISTRY.iter().map(|d| d.id).collect();
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), REGISTRY.len(), "ids must be unique");
+    }
+
+    #[test]
+    fn matrix_entry_is_selectable_but_not_a_default_figure() {
+        let def = find("matrix_robustness").expect("registered");
+        assert_eq!(def.kind(), Kind::Matrix);
+        assert!(figures().iter().all(|d| d.id() != "matrix_robustness"));
+        assert_eq!(matching("matrix").len(), 1, "prefix selector works");
     }
 
     #[test]
@@ -530,7 +626,9 @@ mod tests {
         };
         assert_eq!(rows.len(), 4);
         for row in rows {
-            let Json::Obj(fields) = row else { panic!("object rows") };
+            let Json::Obj(fields) = row else {
+                panic!("object rows")
+            };
             let get = |k: &str| -> f64 {
                 match fields.iter().find(|(key, _)| key == k) {
                     Some((_, Json::Num(x))) => *x,

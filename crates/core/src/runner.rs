@@ -385,8 +385,7 @@ mod tests {
     fn serial_and_parallel_reports_are_byte_identical() {
         let serial = run_serial("toys", "test", &toy_specs()).to_json_string();
         for threads in [2, 3, 8] {
-            let parallel =
-                run_parallel("toys", "test", &toy_specs(), threads).to_json_string();
+            let parallel = run_parallel("toys", "test", &toy_specs(), threads).to_json_string();
             assert_eq!(serial, parallel, "threads={threads}");
         }
     }
@@ -417,8 +416,7 @@ mod tests {
                     rows_json(&experiments::overhead_vs_slot(&[250, 500], 5, seed))
                 }),
                 ExperimentSpec::new("fec_ablation", 9, |seed| {
-                    let rows =
-                        experiments::fec_ablation(&[1, 2], &[0.25, 0.5], 200, seed);
+                    let rows = experiments::fec_ablation(&[1, 2], &[0.25, 0.5], 200, seed);
                     Json::Arr(
                         rows.iter()
                             .map(|r| {

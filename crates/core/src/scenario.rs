@@ -24,10 +24,12 @@
 //! `Variant::FlidDs` the DELTA + SIGMA hardened one.
 
 use crate::dumbbell::{CbrSpec, Dumbbell, DumbbellSpec, McastSessionSpec, ReceiverSpec};
+use mcc_attack::AttackPlan;
 use mcc_flid::Behavior;
 use mcc_simcore::{SimDuration, SimTime};
 
-/// Which congestion-control protocol a multicast session runs.
+/// Which congestion-control protocol (and defence level) a multicast
+/// session runs — the *defense* axis of the robustness matrix.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Variant {
     /// FLID-DL: the original protocol, vulnerable to inflated
@@ -36,25 +38,47 @@ pub enum Variant {
     /// FLID-DS: hardened with DELTA key distribution and SIGMA edge
     /// routers (paper §3).
     FlidDs,
+    /// FLID-DS with the interface-specific collusion guard installed for
+    /// this session's groups (paper §4.2).
+    FlidDsGuard,
+    /// The replicated (destination-set-grouping) protocol protected by
+    /// the Figure-5 DELTA instantiation (paper §3.1.2).
+    Replicated,
+    /// The RLM-style loss-threshold protocol protected by Shamir-share
+    /// key distribution (paper §3.1.2).
+    Threshold,
 }
 
 impl Variant {
     /// Whether the edge router enforces subscriptions (SIGMA installed).
     pub fn protected(self) -> bool {
-        matches!(self, Variant::FlidDs)
+        !matches!(self, Variant::FlidDl)
     }
 
-    /// The paper's plot label.
+    /// The plot/matrix label.
     pub fn label(self) -> &'static str {
         match self {
             Variant::FlidDl => "FLID-DL",
             Variant::FlidDs => "FLID-DS",
+            Variant::FlidDsGuard => "FLID-DS+guard",
+            Variant::Replicated => "Replicated",
+            Variant::Threshold => "Threshold",
         }
     }
 
-    /// Both variants, DL first — the order every side-by-side figure
-    /// uses.
+    /// The two paper variants, DL first — the order every side-by-side
+    /// figure uses.
     pub const BOTH: [Variant; 2] = [Variant::FlidDl, Variant::FlidDs];
+
+    /// The defense column set of the robustness matrix: unprotected
+    /// FLID-DL, then every hardened variant.
+    pub const DEFENSES: [Variant; 5] = [
+        Variant::FlidDl,
+        Variant::FlidDs,
+        Variant::FlidDsGuard,
+        Variant::Replicated,
+        Variant::Threshold,
+    ];
 }
 
 impl std::fmt::Display for Variant {
@@ -119,16 +143,21 @@ impl ReceiverSpec {
         self
     }
 
-    /// Misbehave: inflate the subscription to every group at `at`.
-    pub fn inflate_at(mut self, at: SimTime) -> ReceiverSpec {
-        self.behavior = Behavior::Inflate { at };
+    /// Misbehave: run `plan`'s adversary strategy (the general form; the
+    /// two legacy shorthands below compile down to it).
+    pub fn adversary(mut self, plan: AttackPlan) -> ReceiverSpec {
+        self.adversary = plan;
         self
     }
 
+    /// Misbehave: inflate the subscription to every group at `at`.
+    pub fn inflate_at(self, at: SimTime) -> ReceiverSpec {
+        self.adversary(Behavior::Inflate { at }.plan())
+    }
+
     /// Misbehave: stop obeying decrease rules at `at`.
-    pub fn ignore_decrease_at(mut self, at: SimTime) -> ReceiverSpec {
-        self.behavior = Behavior::IgnoreDecrease { at };
-        self
+    pub fn ignore_decrease_at(self, at: SimTime) -> ReceiverSpec {
+        self.adversary(Behavior::IgnoreDecrease { at }.plan())
     }
 }
 
@@ -250,7 +279,8 @@ impl Scenario {
     /// at `at` — the Figure-1/7 attacker, always session 0 so result
     /// indexing is stable.
     pub fn attacker_at(mut self, at: SimTime) -> Scenario {
-        let attacker = McastSessionSpec::new(self.variant).receiver(ReceiverSpec::new().inflate_at(at));
+        let attacker =
+            McastSessionSpec::new(self.variant).receiver(ReceiverSpec::new().inflate_at(at));
         self.spec.mcast.insert(0, attacker);
         self
     }
@@ -312,15 +342,12 @@ mod tests {
         assert_eq!(spec.tcp, 2);
         // The attacker is session 0 and inherits the variant.
         assert_eq!(spec.mcast[0].variant, Variant::FlidDl);
-        assert!(matches!(
-            spec.mcast[0].receivers[0].behavior,
-            Behavior::Inflate { at } if at == SimTime::from_secs(100)
-        ));
+        assert_eq!(
+            spec.mcast[0].receivers[0].adversary.label(),
+            "inflate+key_guess(10)@100s"
+        );
         // The honest session is untouched.
-        assert!(matches!(
-            spec.mcast[1].receivers[0].behavior,
-            Behavior::Honest
-        ));
+        assert_eq!(spec.mcast[1].receivers[0].adversary.label(), "honest");
     }
 
     #[test]

@@ -270,8 +270,7 @@ pub fn decide_layered(obs: &SlotObservation, current: u32, n: u32) -> Eligibilit
     // Congested, but losses confined to the top group with an authorized
     // upgrade to it: keep the level (synchronization resolution, §3.1.1).
     if prefix == current - 1 && obs.upgrades.authorized(current) {
-        let mut keys: Vec<(u32, Key)> =
-            (1..current).map(|g| (g, obs.top_key(g))).collect();
+        let mut keys: Vec<(u32, Key)> = (1..current).map(|g| (g, obs.top_key(g))).collect();
         keys.push((current, obs.top_key(current - 1)));
         return Eligibility::Subscribe {
             level: current,

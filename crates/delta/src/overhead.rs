@@ -48,8 +48,7 @@ impl OverheadParams {
         if self.n_groups <= 1 {
             return 1.0;
         }
-        (self.session_rate_bps / self.base_rate_bps)
-            .powf(1.0 / (self.n_groups as f64 - 1.0))
+        (self.session_rate_bps / self.base_rate_bps).powf(1.0 / (self.n_groups as f64 - 1.0))
     }
 }
 
@@ -75,7 +74,12 @@ pub fn delta_overhead(p: &OverheadParams) -> f64 {
 ///   summed over groups 2..N,
 /// * `fec_expansion` — the measured FEC bit-expansion factor `z`,
 /// * `header_bits` — total special-packet header bits per slot, `h`.
-pub fn sigma_overhead(p: &OverheadParams, sum_fg: f64, fec_expansion: f64, header_bits: f64) -> f64 {
+pub fn sigma_overhead(
+    p: &OverheadParams,
+    sum_fg: f64,
+    fec_expansion: f64,
+    header_bits: f64,
+) -> f64 {
     let n = p.n_groups as f64;
     let b = p.key_bits as f64;
     let l = p.slot_number_bits as f64;

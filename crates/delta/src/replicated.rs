@@ -122,7 +122,10 @@ pub fn decide_replicated(
             return ReplicatedEligibility::Rejoin;
         }
         match obs.decrease_field {
-            Some(d) => ReplicatedEligibility::Subscribe { group: g - 1, key: d },
+            Some(d) => ReplicatedEligibility::Subscribe {
+                group: g - 1,
+                key: d,
+            },
             // Lost every packet: nothing to read the decrease field from.
             None => ReplicatedEligibility::Rejoin,
         }

@@ -26,12 +26,16 @@
 pub mod config;
 pub mod receiver;
 pub mod replicated;
+pub mod rogue;
 pub mod sender;
 pub mod threshold_proto;
 
 pub use config::FlidConfig;
 pub use receiver::{Behavior, FlidReceiver, Mode, ReceiverStats};
+pub use replicated::{ReplicatedReceiver, ReplicatedSender};
+pub use rogue::RogueState;
 pub use sender::{FlidSender, OverheadCounters};
+pub use threshold_proto::{ThresholdReceiver, ThresholdSender};
 
 #[cfg(test)]
 mod integration {
@@ -86,7 +90,10 @@ mod integration {
             sim.register_group(*g, s);
         }
         if protected {
-            sim.set_edge_module(b, Box::new(SigmaEdgeModule::new(SigmaConfig::new(cfg.slot))));
+            sim.set_edge_module(
+                b,
+                Box::new(SigmaEdgeModule::new(SigmaConfig::new(cfg.slot))),
+            );
         }
         let mut receivers = Vec::new();
         for i in 0..n_receivers {
@@ -99,7 +106,11 @@ mod integration {
                 Queue::drop_tail(1_000_000),
                 Queue::drop_tail(1_000_000),
             );
-            let mode = if protected { Mode::Ds { router: b } } else { Mode::Dl };
+            let mode = if protected {
+                Mode::Ds { router: b }
+            } else {
+                Mode::Dl
+            };
             let behavior = behaviors.get(i).copied().unwrap_or(Behavior::Honest);
             let r = sim.add_agent(
                 h,
@@ -260,30 +271,74 @@ mod diag {
         let s = sim.add_node();
         let a = sim.add_node();
         let b = sim.add_node();
-        sim.add_duplex_link(s, a, 10_000_000, SimDuration::from_millis(10),
-            Queue::drop_tail(1_000_000), Queue::drop_tail(1_000_000));
+        sim.add_duplex_link(
+            s,
+            a,
+            10_000_000,
+            SimDuration::from_millis(10),
+            Queue::drop_tail(1_000_000),
+            Queue::drop_tail(1_000_000),
+        );
         let buf = (2.0 * 1_000_000.0_f64 * 0.080 / 8.0) as u64;
-        let (bl, _) = sim.add_duplex_link(a, b, 1_000_000, SimDuration::from_millis(20),
-            Queue::drop_tail(buf), Queue::drop_tail(buf));
-        let cfg = FlidConfig::paper((1..=10).map(GroupAddr).collect(), GroupAddr(0), FlowId(1), true);
-        for g in cfg.groups.iter().chain([&cfg.control_group]) { sim.register_group(*g, s); }
-        sim.set_edge_module(b, Box::new(SigmaEdgeModule::new(SigmaConfig::new(cfg.slot))));
+        let (bl, _) = sim.add_duplex_link(
+            a,
+            b,
+            1_000_000,
+            SimDuration::from_millis(20),
+            Queue::drop_tail(buf),
+            Queue::drop_tail(buf),
+        );
+        let cfg = FlidConfig::paper(
+            (1..=10).map(GroupAddr).collect(),
+            GroupAddr(0),
+            FlowId(1),
+            true,
+        );
+        for g in cfg.groups.iter().chain([&cfg.control_group]) {
+            sim.register_group(*g, s);
+        }
+        sim.set_edge_module(
+            b,
+            Box::new(SigmaEdgeModule::new(SigmaConfig::new(cfg.slot))),
+        );
         let h = sim.add_node();
-        sim.add_duplex_link(b, h, 10_000_000, SimDuration::from_millis(10),
-            Queue::drop_tail(1_000_000), Queue::drop_tail(1_000_000));
-        let r = sim.add_agent(h, Box::new(FlidReceiver::new(cfg.clone(), Mode::Ds { router: b }, Behavior::Honest)), SimTime::from_millis(5));
+        sim.add_duplex_link(
+            b,
+            h,
+            10_000_000,
+            SimDuration::from_millis(10),
+            Queue::drop_tail(1_000_000),
+            Queue::drop_tail(1_000_000),
+        );
+        let r = sim.add_agent(
+            h,
+            Box::new(FlidReceiver::new(
+                cfg.clone(),
+                Mode::Ds { router: b },
+                Behavior::Honest,
+            )),
+            SimTime::from_millis(5),
+        );
         sim.add_agent(s, Box::new(FlidSender::new(cfg)), SimTime::ZERO);
         sim.finalize();
         sim.run_until(SimTime::from_secs(60));
         let rec = sim.agent_as::<FlidReceiver>(r).unwrap();
         println!("stats: {:?}", rec.stats);
         println!("final level {}", rec.level());
-        for (t, l) in &rec.level_trace { println!("t={t:.2} level={l}"); }
+        for (t, l) in &rec.level_trace {
+            println!("t={t:.2} level={l}");
+        }
         let m = sim.edge_as::<SigmaEdgeModule>(b).unwrap();
         println!("module: {:?}", m.stats);
-        println!("bottleneck drops {} tx {}", sim.world.link_stats(bl).drops, sim.world.link_stats(bl).tx_packets);
+        println!(
+            "bottleneck drops {} tx {}",
+            sim.world.link_stats(bl).drops,
+            sim.world.link_stats(bl).tx_packets
+        );
         let series = sim.monitor().agent_series_bps(r, SimTime::from_secs(60));
-        for (i, v) in series.iter().enumerate() { println!("sec {i}: {:.0}", v); }
+        for (i, v) in series.iter().enumerate() {
+            println!("sec {i}: {:.0}", v);
+        }
     }
 }
 
@@ -340,7 +395,10 @@ mod enforcement {
         for g in cfg.groups.iter().chain([&cfg.control_group]) {
             sim.register_group(*g, s);
         }
-        sim.set_edge_module(b, Box::new(SigmaEdgeModule::new(SigmaConfig::new(cfg.slot))));
+        sim.set_edge_module(
+            b,
+            Box::new(SigmaEdgeModule::new(SigmaConfig::new(cfg.slot))),
+        );
         let r = sim.add_agent(
             h,
             Box::new(FlidReceiver::new(
@@ -382,11 +440,9 @@ mod enforcement {
         // session must not be pinned at the maximal level (enforcement
         // exists), yet goodput stays healthy (enforcement is not overkill).
         assert!(rec.level() < 10);
-        let g = sim.monitor().agent_throughput_bps(
-            r,
-            SimTime::from_secs(20),
-            SimTime::from_secs(60),
-        );
+        let g =
+            sim.monitor()
+                .agent_throughput_bps(r, SimTime::from_secs(20), SimTime::from_secs(60));
         assert!(g > 450_000.0, "goodput {g}");
     }
 

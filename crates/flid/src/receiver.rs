@@ -14,16 +14,24 @@
 //!   messages for slot `s+2`; the edge router enforces them, so ignoring
 //!   the rules is useless (Figure 7).
 //!
-//! Misbehaviour models ([`Behavior`]):
+//! Misbehaviour is pluggable: the receiver executes an
+//! [`mcc_attack::Adversary`] strategy through its hooks (activation
+//! timers, per-slot actions, congestion-signal vetoes, subscription
+//! overrides). The legacy [`Behavior`] enum survives as a thin alias whose
+//! variants compile down to `mcc-attack` plans:
 //!
-//! * [`Behavior::Inflate`] — at a chosen time the receiver joins every
-//!   group of the session and stops decreasing; under FLID-DS it also
-//!   keeps attempting raw IGMP joins and submits random guessed keys each
-//!   slot (the §4.2 guessing attack),
-//! * [`Behavior::IgnoreDecrease`] — the receiver refuses to lower its
-//!   subscription when congested.
+//! * [`Behavior::Inflate`] — `Timed(at, InflateTo::all() + KeyGuess(10))`:
+//!   joins every group and stops decreasing; under FLID-DS it also keeps
+//!   attempting raw IGMP joins and submits random guessed keys each slot
+//!   (the §4.2 guessing attack),
+//! * [`Behavior::IgnoreDecrease`] — `Timed(at, IgnoreDecrease)`: the
+//!   receiver refuses to lower its subscription when congested.
 
 use crate::config::FlidConfig;
+use mcc_attack::{
+    Adversary, All, AttackAction, AttackEnv, AttackPlan, IgnoreDecrease as IgnoreDecreases,
+    InflateTo, KeyGuess, Timed,
+};
 use mcc_delta::{decide_layered, Eligibility, Key, SlotObservation};
 use mcc_netsim::prelude::*;
 use mcc_sigma::{ProtectedData, SessionJoin, Subscription, SubscriptionAck, Unsubscription};
@@ -47,7 +55,10 @@ pub enum Mode {
     },
 }
 
-/// Receiver behaviour model.
+/// Legacy receiver behaviour model — a thin, deprecated alias over the
+/// `mcc-attack` strategy library. New code should build an [`AttackPlan`]
+/// directly; these variants remain so the historical call sites (and the
+/// Figure 1/7 experiments) keep compiling and running byte-identically.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Behavior {
     /// Follows the protocol.
@@ -62,6 +73,25 @@ pub enum Behavior {
         /// Misbehaviour start time.
         at: SimTime,
     },
+}
+
+impl Behavior {
+    /// The equivalent `mcc-attack` plan. `Inflate` is the composite the
+    /// paper's §4.2 attacker runs: grab everything, keep hammering raw
+    /// joins, and guess ten keys per group per slot.
+    pub fn plan(self) -> AttackPlan {
+        match self {
+            Behavior::Honest => AttackPlan::honest(),
+            Behavior::Inflate { at } => AttackPlan::new(Timed::boxed(
+                at,
+                Box::new(All::of(vec![
+                    Box::new(InflateTo::all()),
+                    Box::new(KeyGuess { rate: 10 }),
+                ])),
+            )),
+            Behavior::IgnoreDecrease { at } => AttackPlan::new(Timed::at(at, IgnoreDecreases)),
+        }
+    }
 }
 
 /// Counters for tests and experiment reports.
@@ -81,6 +111,8 @@ pub struct ReceiverStats {
     pub acks: u64,
     /// Guessing-attack subscriptions sent (attack mode).
     pub guess_subscriptions: u64,
+    /// Subscriptions sent with keys smuggled from colluders.
+    pub colluder_submissions: u64,
 }
 
 /// A FLID receiver agent.
@@ -89,7 +121,7 @@ pub struct FlidReceiver {
     /// Session configuration (must match the sender's).
     pub cfg: FlidConfig,
     mode: Mode,
-    behavior: Behavior,
+    adversary: Box<dyn Adversary>,
     /// Current subscription level (number of groups).
     level: u32,
     /// Per group (index `g-1`): the slot during which it was joined;
@@ -105,8 +137,9 @@ pub struct FlidReceiver {
     guard: SimDuration,
     /// Outstanding (unacked) subscription, with retry count.
     pending: Option<(Subscription, u32)>,
-    attack_on: bool,
-    ignore_decrease_on: bool,
+    /// Set by [`AttackAction::Inflate`]: the receiver has grabbed groups
+    /// beyond its entitlement and ignores the well-behaved control law.
+    inflated: bool,
     ever_received: bool,
     out_of_session: bool,
     /// Slots in which a congestion-marked packet arrived (ECN variant).
@@ -118,8 +151,15 @@ pub struct FlidReceiver {
 }
 
 impl FlidReceiver {
-    /// Build a receiver.
+    /// Build a receiver from a legacy [`Behavior`] (thin alias over
+    /// [`FlidReceiver::with_adversary`]).
     pub fn new(cfg: FlidConfig, mode: Mode, behavior: Behavior) -> Self {
+        FlidReceiver::with_adversary(cfg, mode, behavior.plan())
+    }
+
+    /// Build a receiver running `plan`'s adversary strategy
+    /// ([`AttackPlan::honest`] for a well-behaved receiver).
+    pub fn with_adversary(cfg: FlidConfig, mode: Mode, plan: AttackPlan) -> Self {
         let n = cfg.n() as usize;
         // Paper Figure 2: slot s+1 exists to give receivers time to
         // reconstruct keys and submit them before slot s+2 traffic arrives.
@@ -131,15 +171,14 @@ impl FlidReceiver {
         FlidReceiver {
             cfg,
             mode,
-            behavior,
+            adversary: plan.build(),
             level: 1,
             joined_slot: vec![None; n],
             obs: HashMap::new(),
             deaf_until: 0,
             guard,
             pending: None,
-            attack_on: false,
-            ignore_decrease_on: false,
+            inflated: false,
             ever_received: false,
             out_of_session: false,
             marked_slots: std::collections::HashSet::new(),
@@ -151,6 +190,14 @@ impl FlidReceiver {
     /// The current subscription level.
     pub fn level(&self) -> u32 {
         self.level
+    }
+
+    /// The SIGMA edge router, when running FLID-DS.
+    fn router(&self) -> Option<NodeId> {
+        match self.mode {
+            Mode::Ds { router } => Some(router),
+            Mode::Dl => None,
+        }
     }
 
     /// Tell the receiver how far (one-way) it sits from its edge router.
@@ -255,6 +302,93 @@ impl FlidReceiver {
         d
     }
 
+    /// The world snapshot handed to every adversary hook.
+    fn attack_env(&self, now: SimTime, slot: u64) -> AttackEnv {
+        AttackEnv {
+            now,
+            slot,
+            n_groups: self.cfg.n(),
+            level: self.level,
+            protected: matches!(self.mode, Mode::Ds { .. }),
+        }
+    }
+
+    /// Does the adversary veto the decrease about to happen for slot `s`?
+    fn decrease_vetoed(&mut self, now: SimTime, s: u64) -> bool {
+        let env = self.attack_env(now, s);
+        self.adversary.on_congestion_signal(&env)
+    }
+
+    /// Execute adversary actions. `slot` is the protocol slot the actions
+    /// refer to (the evaluated slot for per-slot actions, the current slot
+    /// for activations).
+    fn apply_actions(&mut self, ctx: &mut Ctx, slot: u64, actions: Vec<AttackAction>) {
+        for action in actions {
+            match action {
+                AttackAction::Inflate { layer } => {
+                    self.inflated = true;
+                    // Inflation never *lowers* the claim: a layer below the
+                    // honest level would strand already-joined groups.
+                    let to = layer.min(self.cfg.n()).max(self.level);
+                    for g in 1..=to {
+                        ctx.join_group(self.addr(g));
+                        self.joined_slot[(g - 1) as usize].get_or_insert(slot);
+                    }
+                    self.level = to;
+                    self.trace(ctx.now());
+                }
+                AttackAction::RawJoins { layer } => {
+                    // Keep hammering: raw IGMP joins (ignored by SIGMA).
+                    let to = layer.min(self.cfg.n());
+                    for g in 1..=to {
+                        ctx.join_group(self.addr(g));
+                    }
+                }
+                AttackAction::GuessKeys { per_group, layer } => {
+                    // "Numerous random keys in a hope that one of these
+                    // keys is correct" (paper §4.2) — what trips the
+                    // router's tally. Meaningless without a router.
+                    if crate::rogue::send_guesses(
+                        ctx,
+                        &self.cfg,
+                        self.router(),
+                        per_group,
+                        layer,
+                        slot,
+                    ) {
+                        self.stats.guess_subscriptions += 1;
+                    }
+                }
+                AttackAction::LeaveHigh => {
+                    let top = self.level;
+                    for g in 2..=top {
+                        self.leave_level(ctx, g);
+                    }
+                    self.level = 1;
+                    self.inflated = false;
+                    self.trace(ctx.now());
+                }
+                AttackAction::SubmitKeys { slot, pairs } => {
+                    if self.router().is_none() {
+                        continue; // Smuggled keys mean nothing to plain IGMP.
+                    }
+                    // Join first so the graft is in flight before the
+                    // subscription reaches the router.
+                    for &(g, _) in &pairs {
+                        if (1..=self.cfg.n()).contains(&g) {
+                            ctx.join_group(self.addr(g));
+                        }
+                    }
+                    if crate::rogue::send_smuggled(ctx, &self.cfg, self.router(), slot, &pairs)
+                        .is_some()
+                    {
+                        self.stats.colluder_submissions += 1;
+                    }
+                }
+            }
+        }
+    }
+
     fn handle_slot(&mut self, ctx: &mut Ctx, s: u64) {
         if self.out_of_session || !self.ever_received {
             self.obs.remove(&s);
@@ -277,7 +411,9 @@ impl FlidReceiver {
         if dlevel == 0 {
             return;
         }
-        if self.attack_on {
+        let env = self.attack_env(ctx.now(), s);
+        let attack_actions = self.adversary.on_slot(&env);
+        if self.inflated {
             match self.mode {
                 // FLID-DL attacker: joined everything, ignores all signals.
                 Mode::Dl => {}
@@ -287,33 +423,33 @@ impl FlidReceiver {
                 // while stacking inflation attempts on top.
                 Mode::Ds { .. } => {
                     self.handle_slot_ds(ctx, s, &obs, dlevel);
-                    self.attack_slot(ctx, s);
                 }
             }
-            return;
+        } else {
+            match self.mode {
+                Mode::Dl => {
+                    if marked {
+                        self.ecn_decrease_dl(ctx, s);
+                    } else {
+                        self.handle_slot_dl(ctx, s, &obs, dlevel)
+                    }
+                }
+                Mode::Ds { .. } => {
+                    if marked {
+                        self.ecn_decrease_ds(ctx, s, &obs, dlevel);
+                    } else {
+                        self.handle_slot_ds(ctx, s, &obs, dlevel)
+                    }
+                }
+            }
         }
-        match self.mode {
-            Mode::Dl => {
-                if marked {
-                    self.ecn_decrease_dl(ctx, s);
-                } else {
-                    self.handle_slot_dl(ctx, s, &obs, dlevel)
-                }
-            }
-            Mode::Ds { .. } => {
-                if marked {
-                    self.ecn_decrease_ds(ctx, s, &obs, dlevel);
-                } else {
-                    self.handle_slot_ds(ctx, s, &obs, dlevel)
-                }
-            }
-        }
+        self.apply_actions(ctx, s, attack_actions);
     }
 
     /// ECN congestion response, FLID-DL side: one-level decrease with the
     /// usual deaf period.
     fn ecn_decrease_dl(&mut self, ctx: &mut Ctx, s: u64) {
-        if self.ignore_decrease_on {
+        if self.decrease_vetoed(ctx.now(), s) {
             return;
         }
         if s >= self.deaf_until && self.level > 1 {
@@ -356,7 +492,7 @@ impl FlidReceiver {
                 pairs: keys,
             },
         );
-        if !self.ignore_decrease_on && level < self.level {
+        if level < self.level && !self.decrease_vetoed(ctx.now(), s) {
             for g in (level + 1)..=self.level {
                 self.leave_level(ctx, g);
             }
@@ -369,7 +505,7 @@ impl FlidReceiver {
     fn handle_slot_dl(&mut self, ctx: &mut Ctx, s: u64, obs: &SlotObservation, dlevel: u32) {
         let congested = obs.complete_prefix(dlevel) < dlevel;
         if congested {
-            if self.ignore_decrease_on {
+            if self.decrease_vetoed(ctx.now(), s) {
                 return;
             }
             if s >= self.deaf_until && self.level > 1 {
@@ -395,18 +531,21 @@ impl FlidReceiver {
     fn handle_slot_ds(&mut self, ctx: &mut Ctx, s: u64, obs: &SlotObservation, dlevel: u32) {
         match decide_layered(obs, dlevel, self.cfg.n()) {
             Eligibility::Subscribe { level: lvl, keys } => {
-                let pairs: Vec<(GroupAddr, Key)> =
-                    keys.into_iter().map(|(g, k)| (self.addr(g), k)).collect();
-                self.send_subscription(
-                    ctx,
-                    Subscription {
-                        slot: s + 2,
-                        pairs,
-                    },
-                );
+                // Colluders publish reconstructed keys out-of-band here.
+                let env = self.attack_env(ctx.now(), s);
+                self.adversary.on_key_packet(&env, s + 2, &keys);
+                // A stealthy adversary may claim less than it could; more
+                // than the keys reach is impossible by construction.
+                let claimed = self.adversary.subscription_override(&env, lvl).min(lvl);
+                let pairs: Vec<(GroupAddr, Key)> = keys
+                    .into_iter()
+                    .filter(|&(g, _)| g <= claimed)
+                    .map(|(g, k)| (self.addr(g), k))
+                    .collect();
+                self.send_subscription(ctx, Subscription { slot: s + 2, pairs });
                 if lvl < dlevel {
                     // Forced decrease (keys only reach level `lvl`).
-                    if !self.ignore_decrease_on {
+                    if !self.decrease_vetoed(ctx.now(), s) {
                         for g in (lvl + 1)..=self.level {
                             self.leave_level(ctx, g);
                         }
@@ -443,44 +582,6 @@ impl FlidReceiver {
             }
         }
     }
-
-    /// Per-slot actions of an inflating attacker.
-    fn attack_slot(&mut self, ctx: &mut Ctx, s: u64) {
-        match self.mode {
-            Mode::Dl => {
-                // Nothing to do: all groups joined at attack start, and the
-                // attacker simply never leaves.
-            }
-            Mode::Ds { .. } => {
-                // Keep hammering: raw IGMP joins (ignored by SIGMA) plus
-                // "numerous random keys in a hope that one of these keys
-                // is correct" (paper §4.2) — several guesses per group per
-                // slot, which is also what trips the router's tally.
-                for g in 1..=self.cfg.n() {
-                    ctx.join_group(self.addr(g));
-                }
-                let mut pairs: Vec<(GroupAddr, Key)> = Vec::new();
-                for g in 1..=self.cfg.n() {
-                    for _ in 0..10 {
-                        pairs.push((self.addr(g), Key(ctx.rng().next_u64())));
-                    }
-                }
-                let sub = Subscription { slot: s + 2, pairs };
-                let Mode::Ds { router } = self.mode else {
-                    unreachable!()
-                };
-                let pkt = Packet::app(
-                    sub.size_bits(),
-                    self.cfg.flow,
-                    ctx.agent,
-                    Dest::Router(router),
-                    sub,
-                );
-                ctx.send(pkt);
-                self.stats.guess_subscriptions += 1;
-            }
-        }
-    }
 }
 
 impl Agent for FlidReceiver {
@@ -492,10 +593,13 @@ impl Agent for FlidReceiver {
         let s = self.slot_of(ctx.now());
         let next = SimTime::from_nanos((s + 1) * self.cfg.slot.as_nanos()) + self.guard;
         ctx.timer_at(next, PROCESS);
-        match self.behavior {
-            Behavior::Inflate { at } => ctx.timer_at(at, ATTACK),
-            Behavior::IgnoreDecrease { at } => ctx.timer_at(at, ATTACK),
-            Behavior::Honest => {}
+        // Adversary: immediately-active strategies fire now; scheduled
+        // ones get their activation timer.
+        let env = self.attack_env(ctx.now(), s);
+        let actions = self.adversary.on_activation(&env);
+        self.apply_actions(ctx, s, actions);
+        if let Some(at) = self.adversary.next_activation(ctx.now()) {
+            ctx.timer_at(at, ATTACK);
         }
     }
 
@@ -561,22 +665,16 @@ impl Agent for FlidReceiver {
                     }
                 }
             }
-            ATTACK => match self.behavior {
-                Behavior::Inflate { .. } => {
-                    self.attack_on = true;
-                    let slot_now = self.slot_of(ctx.now());
-                    for g in 1..=self.cfg.n() {
-                        ctx.join_group(self.addr(g));
-                        self.joined_slot[(g - 1) as usize].get_or_insert(slot_now);
-                    }
-                    self.level = self.cfg.n();
-                    self.trace(ctx.now());
+            ATTACK => {
+                let now = ctx.now();
+                let slot_now = self.slot_of(now);
+                let env = self.attack_env(now, slot_now);
+                let actions = self.adversary.on_activation(&env);
+                self.apply_actions(ctx, slot_now, actions);
+                if let Some(at) = self.adversary.next_activation(now) {
+                    ctx.timer_at(at, ATTACK);
                 }
-                Behavior::IgnoreDecrease { .. } => {
-                    self.ignore_decrease_on = true;
-                }
-                Behavior::Honest => {}
-            },
+            }
             REJOIN => {
                 self.out_of_session = false;
                 self.ever_received = false;

@@ -12,20 +12,21 @@
 //! is the *previous* group's top key (paper Eq. 6).
 
 use crate::config::FlidConfig;
+use crate::rogue::RogueState;
+use mcc_attack::{Adversary, AttackAction, AttackEnv, AttackPlan};
 use mcc_delta::{
-    decide_replicated, DeltaFields, GroupObservation, ReplicatedEligibility,
-    ReplicatedKeySchedule, UpgradeMask,
+    decide_replicated, DeltaFields, GroupObservation, ReplicatedEligibility, ReplicatedKeySchedule,
+    UpgradeMask,
 };
 use mcc_netsim::prelude::*;
-use mcc_sigma::{
-    build_announcement, replicated_tuples, ProtectedData, SessionJoin, Subscription,
-};
+use mcc_sigma::{build_announcement, replicated_tuples, ProtectedData, SessionJoin, Subscription};
 use mcc_simcore::{SimDuration, SimTime};
 use std::collections::HashMap;
 
 const TICK: u64 = 0;
 const EMIT: u64 = 1;
 const PROCESS: u64 = 2;
+const ATTACK: u64 = 3;
 
 /// Sender of a replicated multicast session. Reuses [`FlidConfig`], with
 /// `cumulative_rate(g)` read as group `g`'s own full-content rate.
@@ -184,11 +185,19 @@ pub struct ReplicatedReceiver {
     pub trace: Vec<(f64, u32)>,
     /// Session rejoins after total blackout.
     pub rejoins: u64,
+    /// Out-of-protocol attack state and counters.
+    pub rogue: RogueState,
+    adversary: Box<dyn Adversary>,
 }
 
 impl ReplicatedReceiver {
-    /// Build a receiver starting in the minimal group.
+    /// Build an honest receiver starting in the minimal group.
     pub fn new(cfg: FlidConfig, router: Option<NodeId>) -> Self {
+        ReplicatedReceiver::with_adversary(cfg, router, AttackPlan::honest())
+    }
+
+    /// Build a receiver running `plan`'s adversary strategy.
+    pub fn with_adversary(cfg: FlidConfig, router: Option<NodeId>, plan: AttackPlan) -> Self {
         let guard = cfg.slot - SimDuration::from_millis(30);
         ReplicatedReceiver {
             cfg,
@@ -201,6 +210,8 @@ impl ReplicatedReceiver {
             joined_slot: 0,
             trace: Vec::new(),
             rejoins: 0,
+            rogue: RogueState::default(),
+            adversary: plan.build(),
         }
     }
 
@@ -246,6 +257,27 @@ impl ReplicatedReceiver {
         }
     }
 
+    fn attack_env(&self, now: SimTime, slot: u64) -> AttackEnv {
+        AttackEnv {
+            now,
+            slot,
+            n_groups: self.cfg.n(),
+            level: self.group,
+            protected: self.router.is_some(),
+        }
+    }
+
+    fn decrease_vetoed(&mut self, now: SimTime, s: u64) -> bool {
+        let env = self.attack_env(now, s);
+        self.adversary.on_congestion_signal(&env)
+    }
+
+    /// Execute adversary actions against this replicated session.
+    fn apply_actions(&mut self, ctx: &mut Ctx, slot: u64, actions: Vec<AttackAction>) {
+        self.rogue
+            .apply(ctx, &self.cfg, self.router, self.group, slot, actions);
+    }
+
     fn handle_slot(&mut self, ctx: &mut Ctx, s: u64) {
         let obs = self.obs.remove(&s).unwrap_or_default();
         let upgrades = self.upgrades.remove(&s).unwrap_or(UpgradeMask::NONE);
@@ -262,15 +294,23 @@ impl ReplicatedReceiver {
             // complete slot before judging congestion.
             return;
         }
+        let env = self.attack_env(ctx.now(), s);
+        let attack_actions = self.adversary.on_slot(&env);
         match decide_replicated(&obs, upgrades, self.group, self.cfg.n()) {
             ReplicatedEligibility::Subscribe { group, key } => {
+                self.adversary.on_key_packet(&env, s + 2, &[(group, key)]);
                 self.subscribe(ctx, s + 2, group, key);
                 if group != self.group {
-                    ctx.leave_group(self.addr(self.group));
-                    ctx.join_group(self.addr(group));
-                    self.group = group;
-                    self.joined_slot = u64::MAX; // latched on first packet
-                    self.trace.push((ctx.now().as_secs_f64(), group));
+                    if group < self.group && self.decrease_vetoed(ctx.now(), s) {
+                        // The adversary clings to the faster group; without
+                        // its key the router stops the traffic regardless.
+                    } else {
+                        ctx.leave_group(self.addr(self.group));
+                        ctx.join_group(self.addr(group));
+                        self.group = group;
+                        self.joined_slot = u64::MAX; // latched on first packet
+                        self.trace.push((ctx.now().as_secs_f64(), group));
+                    }
                 }
             }
             ReplicatedEligibility::Rejoin => {
@@ -285,6 +325,7 @@ impl ReplicatedReceiver {
                 self.session_join(ctx);
             }
         }
+        self.apply_actions(ctx, s, attack_actions);
     }
 }
 
@@ -296,6 +337,12 @@ impl Agent for ReplicatedReceiver {
         let s = self.slot_of(ctx.now());
         let next = SimTime::from_nanos((s + 1) * self.cfg.slot.as_nanos()) + self.guard;
         ctx.timer_at(next, PROCESS);
+        let env = self.attack_env(ctx.now(), s);
+        let actions = self.adversary.on_activation(&env);
+        self.apply_actions(ctx, s, actions);
+        if let Some(at) = self.adversary.next_activation(ctx.now()) {
+            ctx.timer_at(at, ATTACK);
+        }
     }
 
     fn on_packet(&mut self, _ctx: &mut Ctx, pkt: Packet) {
@@ -321,11 +368,24 @@ impl Agent for ReplicatedReceiver {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
-        if token == PROCESS {
-            let now = ctx.now();
-            let s = self.slot_of(now - self.guard).saturating_sub(1);
-            ctx.timer_at(now + self.cfg.slot, PROCESS);
-            self.handle_slot(ctx, s);
+        match token {
+            PROCESS => {
+                let now = ctx.now();
+                let s = self.slot_of(now - self.guard).saturating_sub(1);
+                ctx.timer_at(now + self.cfg.slot, PROCESS);
+                self.handle_slot(ctx, s);
+            }
+            ATTACK => {
+                let now = ctx.now();
+                let s = self.slot_of(now);
+                let env = self.attack_env(now, s);
+                let actions = self.adversary.on_activation(&env);
+                self.apply_actions(ctx, s, actions);
+                if let Some(at) = self.adversary.next_activation(now) {
+                    ctx.timer_at(at, ATTACK);
+                }
+            }
+            _ => {}
         }
     }
 }
@@ -378,7 +438,10 @@ mod tests {
             sim.register_group(*g, s);
         }
         if protected {
-            sim.set_edge_module(b, Box::new(SigmaEdgeModule::new(SigmaConfig::new(cfg.slot))));
+            sim.set_edge_module(
+                b,
+                Box::new(SigmaEdgeModule::new(SigmaConfig::new(cfg.slot))),
+            );
         }
         let router = protected.then_some(b);
         let r = sim.add_agent(
@@ -404,11 +467,9 @@ mod tests {
             rec.group,
             rec.trace
         );
-        let bps = sim.monitor().agent_throughput_bps(
-            r,
-            SimTime::from_secs(20),
-            SimTime::from_secs(40),
-        );
+        let bps =
+            sim.monitor()
+                .agent_throughput_bps(r, SimTime::from_secs(20), SimTime::from_secs(40));
         assert!(bps > 300_000.0, "replicated goodput {bps}");
     }
 
@@ -429,7 +490,12 @@ mod tests {
     fn works_unprotected_too() {
         let (sim, r) = run(false, 1_000_000, 30);
         let rec = sim.agent_as::<ReplicatedReceiver>(r).unwrap();
-        assert!(rec.group >= 3, "group {} (trace {:?})", rec.group, rec.trace);
+        assert!(
+            rec.group >= 3,
+            "group {} (trace {:?})",
+            rec.group,
+            rec.trace
+        );
     }
 }
 
@@ -446,18 +512,50 @@ mod diag {
         let a = sim.add_node();
         let b = sim.add_node();
         let h = sim.add_node();
-        sim.add_duplex_link(s, a, 10_000_000, SimDuration::from_millis(10),
-            Queue::drop_tail(1_000_000), Queue::drop_tail(1_000_000));
+        sim.add_duplex_link(
+            s,
+            a,
+            10_000_000,
+            SimDuration::from_millis(10),
+            Queue::drop_tail(1_000_000),
+            Queue::drop_tail(1_000_000),
+        );
         let buf = (2.0 * 1_000_000.0f64 * 0.08 / 8.0) as u64;
-        let (bl,_)=sim.add_duplex_link(a, b, 1_000_000, SimDuration::from_millis(20),
-            Queue::drop_tail(buf), Queue::drop_tail(buf));
-        sim.add_duplex_link(b, h, 10_000_000, SimDuration::from_millis(10),
-            Queue::drop_tail(1_000_000), Queue::drop_tail(1_000_000));
-        let mut cfg = FlidConfig::paper((1..=6).map(GroupAddr).collect(), GroupAddr(0), FlowId(2), true);
+        let (bl, _) = sim.add_duplex_link(
+            a,
+            b,
+            1_000_000,
+            SimDuration::from_millis(20),
+            Queue::drop_tail(buf),
+            Queue::drop_tail(buf),
+        );
+        sim.add_duplex_link(
+            b,
+            h,
+            10_000_000,
+            SimDuration::from_millis(10),
+            Queue::drop_tail(1_000_000),
+            Queue::drop_tail(1_000_000),
+        );
+        let mut cfg = FlidConfig::paper(
+            (1..=6).map(GroupAddr).collect(),
+            GroupAddr(0),
+            FlowId(2),
+            true,
+        );
         cfg.slot = SimDuration::from_millis(250);
-        for g in cfg.groups.iter().chain([&cfg.control_group]) { sim.register_group(*g, s); }
-        sim.set_edge_module(b, Box::new(SigmaEdgeModule::new(SigmaConfig::new(cfg.slot))));
-        let r = sim.add_agent(h, Box::new(ReplicatedReceiver::new(cfg.clone(), Some(b))), SimTime::from_millis(5));
+        for g in cfg.groups.iter().chain([&cfg.control_group]) {
+            sim.register_group(*g, s);
+        }
+        sim.set_edge_module(
+            b,
+            Box::new(SigmaEdgeModule::new(SigmaConfig::new(cfg.slot))),
+        );
+        let r = sim.add_agent(
+            h,
+            Box::new(ReplicatedReceiver::new(cfg.clone(), Some(b))),
+            SimTime::from_millis(5),
+        );
         sim.add_agent(s, Box::new(ReplicatedSender::new(cfg)), SimTime::ZERO);
         sim.finalize();
         sim.run_until(SimTime::from_secs(10));

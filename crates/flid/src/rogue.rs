@@ -1,0 +1,160 @@
+//! Shared execution of [`AttackAction`]s for the protocol variants.
+//!
+//! The FLID, replicated and threshold receivers all speak the same SIGMA
+//! control plane, so the out-of-protocol halves of an attack — raw group
+//! grabs, guessed-key floods, smuggled-key submissions — execute
+//! identically. [`RogueState`] owns that execution (plus the bookkeeping
+//! needed to undo it on [`AttackAction::LeaveHigh`]); the cumulative
+//! FLID receiver layers its own level/trace semantics on top and only
+//! reuses the subscription builders.
+
+use crate::config::FlidConfig;
+use mcc_attack::AttackAction;
+use mcc_delta::Key;
+use mcc_netsim::prelude::*;
+use mcc_sigma::Subscription;
+
+/// Build and send a guessed-key subscription: `per_group` random keys for
+/// every group up to `layer` (paper §4.2), for subscription slot
+/// `slot + 2`. Returns `false` (no packet) when the session has no router.
+pub(crate) fn send_guesses(
+    ctx: &mut Ctx,
+    cfg: &FlidConfig,
+    router: Option<NodeId>,
+    per_group: u32,
+    layer: u32,
+    slot: u64,
+) -> bool {
+    let Some(router) = router else {
+        return false;
+    };
+    let mut pairs: Vec<(GroupAddr, Key)> = Vec::new();
+    for g in 1..=layer.min(cfg.n()) {
+        for _ in 0..per_group {
+            pairs.push((cfg.groups[(g - 1) as usize], Key(ctx.rng().next_u64())));
+        }
+    }
+    let sub = Subscription {
+        slot: slot + 2,
+        pairs,
+    };
+    let pkt = Packet::app(
+        sub.size_bits(),
+        cfg.flow,
+        ctx.agent,
+        Dest::Router(router),
+        sub,
+    );
+    ctx.send(pkt);
+    true
+}
+
+/// Map smuggled `(1-based group, key)` pairs onto addresses and send them
+/// as a subscription for `slot`. Returns the mapped pairs when a packet
+/// went out (the caller joins the groups), `None` otherwise.
+pub(crate) fn send_smuggled(
+    ctx: &mut Ctx,
+    cfg: &FlidConfig,
+    router: Option<NodeId>,
+    slot: u64,
+    pairs: &[(u32, Key)],
+) -> Option<Vec<(GroupAddr, Key)>> {
+    let router = router?;
+    let mapped: Vec<(GroupAddr, Key)> = pairs
+        .iter()
+        .filter(|&&(g, _)| (1..=cfg.n()).contains(&g))
+        .map(|&(g, k)| (cfg.groups[(g - 1) as usize], k))
+        .collect();
+    if mapped.is_empty() {
+        return None;
+    }
+    let sub = Subscription {
+        slot,
+        pairs: mapped.clone(),
+    };
+    let pkt = Packet::app(
+        sub.size_bits(),
+        cfg.flow,
+        ctx.agent,
+        Dest::Router(router),
+        sub,
+    );
+    ctx.send(pkt);
+    Some(mapped)
+}
+
+/// Out-of-protocol attack state of a single-group (replicated/threshold)
+/// receiver: which groups were grabbed, and what the grabbing cost.
+#[derive(Debug, Default)]
+pub struct RogueState {
+    /// Groups grabbed out-of-protocol (1-based), for `LeaveHigh` undo.
+    raw_joined: Vec<u32>,
+    /// Guessed-key subscriptions sent (attack mode).
+    pub guess_subscriptions: u64,
+    /// Subscriptions sent with keys smuggled from colluders.
+    pub colluder_submissions: u64,
+}
+
+impl RogueState {
+    /// Grab group `g` out of protocol, remembering it for `LeaveHigh`.
+    fn raw_join(&mut self, ctx: &mut Ctx, cfg: &FlidConfig, g: u32) {
+        if !self.raw_joined.contains(&g) {
+            self.raw_joined.push(g);
+        }
+        ctx.join_group(cfg.groups[(g - 1) as usize]);
+    }
+
+    /// Execute adversary actions for a receiver whose honest subscription
+    /// is the single group `keep_group`. `slot` is the protocol slot the
+    /// actions refer to.
+    pub fn apply(
+        &mut self,
+        ctx: &mut Ctx,
+        cfg: &FlidConfig,
+        router: Option<NodeId>,
+        keep_group: u32,
+        slot: u64,
+        actions: Vec<AttackAction>,
+    ) {
+        for action in actions {
+            match action {
+                AttackAction::Inflate { layer } | AttackAction::RawJoins { layer } => {
+                    // A replicated/threshold receiver is entitled to
+                    // exactly one group; grabbing several *is* inflation.
+                    for g in 1..=layer.min(cfg.n()) {
+                        self.raw_join(ctx, cfg, g);
+                    }
+                }
+                AttackAction::GuessKeys { per_group, layer } => {
+                    if send_guesses(ctx, cfg, router, per_group, layer, slot) {
+                        self.guess_subscriptions += 1;
+                    }
+                }
+                AttackAction::LeaveHigh => {
+                    for g in std::mem::take(&mut self.raw_joined) {
+                        if g != keep_group {
+                            ctx.leave_group(cfg.groups[(g - 1) as usize]);
+                        }
+                    }
+                }
+                AttackAction::SubmitKeys { slot, pairs } => {
+                    if router.is_none() {
+                        continue; // Smuggled keys mean nothing to plain IGMP.
+                    }
+                    // Join first so the graft is in flight before the
+                    // subscription reaches the router.
+                    if pairs.iter().any(|&(g, _)| (1..=cfg.n()).contains(&g)) {
+                        for &(g, _) in &pairs {
+                            if (1..=cfg.n()).contains(&g) {
+                                self.raw_join(ctx, cfg, g);
+                            }
+                        }
+                        if send_smuggled(ctx, cfg, router, slot, &pairs).is_some() {
+                            self.colluder_submissions += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -171,7 +171,8 @@ impl FlidSender {
         let mut plan: Vec<(SimTime, Emission)> = Vec::new();
         for g in 1..=n {
             let gi = (g - 1) as usize;
-            self.credits[gi] += self.cfg.incremental_rate(g) * slot_secs / self.cfg.packet_bits as f64;
+            self.credits[gi] +=
+                self.cfg.incremental_rate(g) * slot_secs / self.cfg.packet_bits as f64;
             // Every group must carry at least one packet per slot: the
             // closing component and the decrease field ride on packets.
             let count = (self.credits[gi].floor() as u32).max(1);
@@ -363,11 +364,7 @@ mod tests {
             }),
             SimTime::ZERO,
         );
-        let sender = sim.add_agent(
-            h1,
-            Box::new(FlidSender::new(c)),
-            SimTime::from_millis(100),
-        );
+        let sender = sim.add_agent(h1, Box::new(FlidSender::new(c)), SimTime::from_millis(100));
         sim.finalize();
         sim.run_until(SimTime::from_secs(secs));
         (sim, tap, sender, groups)

@@ -19,6 +19,8 @@
 //! 3's generality.
 
 use crate::config::FlidConfig;
+use crate::rogue::RogueState;
+use mcc_attack::{Adversary, AttackAction, AttackEnv, AttackPlan};
 use mcc_delta::threshold::{reconstruct, Share, ThresholdLevelKeys};
 use mcc_delta::{DeltaFields, Key, UpgradeMask};
 use mcc_netsim::prelude::*;
@@ -30,6 +32,7 @@ use std::collections::HashMap;
 const TICK: u64 = 0;
 const EMIT: u64 = 1;
 const PROCESS: u64 = 2;
+const ATTACK: u64 = 3;
 
 /// Pack a Shamir share into a 64-bit component field.
 pub fn pack_share(s: Share) -> Key {
@@ -136,8 +139,7 @@ impl ThresholdSender {
                             // δ_{g}: nonce in group g+1's decrease fields.
                             decrease: (g < n).then(|| group_keys[gi + 1].decrease),
                             // ι_g = previous group's secret (upgrade path).
-                            increase: (g >= 2)
-                                .then(|| Key(group_keys[gi - 1].level.secret as u64)),
+                            increase: (g >= 2).then(|| Key(group_keys[gi - 1].level.secret as u64)),
                         },
                     )
                 })
@@ -240,11 +242,24 @@ pub struct ThresholdReceiver {
     pub trace: Vec<(f64, u32)>,
     /// Slots where the key could not be reconstructed.
     pub key_failures: u64,
+    /// Out-of-protocol attack state and counters.
+    pub rogue: RogueState,
+    adversary: Box<dyn Adversary>,
 }
 
 impl ThresholdReceiver {
-    /// Build a receiver.
+    /// Build an honest receiver.
     pub fn new(cfg: FlidConfig, theta: f64, router: Option<NodeId>) -> Self {
+        ThresholdReceiver::with_adversary(cfg, theta, router, AttackPlan::honest())
+    }
+
+    /// Build a receiver running `plan`'s adversary strategy.
+    pub fn with_adversary(
+        cfg: FlidConfig,
+        theta: f64,
+        router: Option<NodeId>,
+        plan: AttackPlan,
+    ) -> Self {
         let guard = cfg.slot - SimDuration::from_millis(30);
         ThresholdReceiver {
             cfg,
@@ -257,6 +272,8 @@ impl ThresholdReceiver {
             joined_slot: 0,
             trace: Vec::new(),
             key_failures: 0,
+            rogue: RogueState::default(),
+            adversary: plan.build(),
         }
     }
 
@@ -312,6 +329,27 @@ impl ThresholdReceiver {
         }
     }
 
+    fn attack_env(&self, now: SimTime, slot: u64) -> AttackEnv {
+        AttackEnv {
+            now,
+            slot,
+            n_groups: self.cfg.n(),
+            level: self.group,
+            protected: self.router.is_some(),
+        }
+    }
+
+    fn decrease_vetoed(&mut self, now: SimTime, s: u64) -> bool {
+        let env = self.attack_env(now, s);
+        self.adversary.on_congestion_signal(&env)
+    }
+
+    /// Execute adversary actions against this threshold session.
+    fn apply_actions(&mut self, ctx: &mut Ctx, slot: u64, actions: Vec<AttackAction>) {
+        self.rogue
+            .apply(ctx, &self.cfg, self.router, self.group, slot, actions);
+    }
+
     fn handle_slot(&mut self, ctx: &mut Ctx, s: u64) {
         let obs = self.obs.remove(&s).unwrap_or_default();
         self.obs.retain(|&k, _| k > s);
@@ -325,16 +363,20 @@ impl ThresholdReceiver {
             // Wait for the first complete slot after a switch.
             return;
         }
+        let env = self.attack_env(ctx.now(), s);
+        let attack_actions = self.adversary.on_slot(&env);
         // Loss rate over the slot; a missing final packet means the
         // expected count is unknown — treat conservatively as over
         // threshold unless enough shares arrived anyway.
         let received = obs.shares.len() as u32;
-        let within_threshold = obs.saw_last
-            && received as f64 >= (1.0 - self.theta) * obs.expected as f64;
+        let within_threshold =
+            obs.saw_last && received as f64 >= (1.0 - self.theta) * obs.expected as f64;
         if within_threshold {
             // Reconstruct the group key from the shares.
             let secret = reconstruct(&obs.shares);
             let key = Key(secret as u64);
+            self.adversary
+                .on_key_packet(&env, s + 2, &[(self.group, key)]);
             if self.group < self.cfg.n() {
                 // Probe upward: the reconstructed key doubles as the
                 // increase key of the next group.
@@ -349,8 +391,10 @@ impl ThresholdReceiver {
                 (1, _) => self.session_join(ctx),
                 (_, Some(d)) => {
                     self.subscribe(ctx, s + 2, self.group - 1, d);
-                    let to = self.group - 1;
-                    self.switch(ctx, to);
+                    if !self.decrease_vetoed(ctx.now(), s) {
+                        let to = self.group - 1;
+                        self.switch(ctx, to);
+                    }
                 }
                 (_, None) => {
                     self.switch(ctx, 1);
@@ -363,6 +407,7 @@ impl ThresholdReceiver {
             self.switch(ctx, 1);
             self.session_join(ctx);
         }
+        self.apply_actions(ctx, s, attack_actions);
     }
 }
 
@@ -374,6 +419,12 @@ impl Agent for ThresholdReceiver {
         let s = self.slot_of(ctx.now());
         let next = SimTime::from_nanos((s + 1) * self.cfg.slot.as_nanos()) + self.guard;
         ctx.timer_at(next, PROCESS);
+        let env = self.attack_env(ctx.now(), s);
+        let actions = self.adversary.on_activation(&env);
+        self.apply_actions(ctx, s, actions);
+        if let Some(at) = self.adversary.next_activation(ctx.now()) {
+            ctx.timer_at(at, ATTACK);
+        }
     }
 
     fn on_packet(&mut self, _ctx: &mut Ctx, pkt: Packet) {
@@ -399,11 +450,24 @@ impl Agent for ThresholdReceiver {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
-        if token == PROCESS {
-            let now = ctx.now();
-            let s = self.slot_of(now - self.guard).saturating_sub(1);
-            ctx.timer_at(now + self.cfg.slot, PROCESS);
-            self.handle_slot(ctx, s);
+        match token {
+            PROCESS => {
+                let now = ctx.now();
+                let s = self.slot_of(now - self.guard).saturating_sub(1);
+                ctx.timer_at(now + self.cfg.slot, PROCESS);
+                self.handle_slot(ctx, s);
+            }
+            ATTACK => {
+                let now = ctx.now();
+                let s = self.slot_of(now);
+                let env = self.attack_env(now, s);
+                let actions = self.adversary.on_activation(&env);
+                self.apply_actions(ctx, s, actions);
+                if let Some(at) = self.adversary.next_activation(now) {
+                    ctx.timer_at(at, ATTACK);
+                }
+            }
+            _ => {}
         }
     }
 }
@@ -460,7 +524,10 @@ mod tests {
         for g in cfg.groups.iter().chain([&cfg.control_group]) {
             sim.register_group(*g, s);
         }
-        sim.set_edge_module(b, Box::new(SigmaEdgeModule::new(SigmaConfig::new(cfg.slot))));
+        sim.set_edge_module(
+            b,
+            Box::new(SigmaEdgeModule::new(SigmaConfig::new(cfg.slot))),
+        );
         let r = sim.add_agent(
             h,
             Box::new(ThresholdReceiver::new(cfg.clone(), 0.25, Some(b))),
@@ -482,11 +549,9 @@ mod tests {
             rec.group,
             rec.trace
         );
-        let bps = sim.monitor().agent_throughput_bps(
-            r,
-            SimTime::from_secs(20),
-            SimTime::from_secs(40),
-        );
+        let bps =
+            sim.monitor()
+                .agent_throughput_bps(r, SimTime::from_secs(20), SimTime::from_secs(40));
         assert!(bps > 250_000.0, "threshold goodput {bps}");
     }
 

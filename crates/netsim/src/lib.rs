@@ -318,7 +318,12 @@ mod tests {
             fn on_packet(&mut self, ctx: &mut Ctx, pkt: Packet) {
                 self.got += 1;
                 // Reply to the sender.
-                ctx.send(Packet::opaque(512, FlowId(1), ctx.agent, Dest::Agent(pkt.src)));
+                ctx.send(Packet::opaque(
+                    512,
+                    FlowId(1),
+                    ctx.agent,
+                    Dest::Agent(pkt.src),
+                ));
             }
         }
         #[derive(Debug)]
@@ -328,7 +333,12 @@ mod tests {
         }
         impl Agent for Ping {
             fn on_start(&mut self, ctx: &mut Ctx) {
-                ctx.send(Packet::opaque(512, FlowId(1), ctx.agent, Dest::Agent(self.to)));
+                ctx.send(Packet::opaque(
+                    512,
+                    FlowId(1),
+                    ctx.agent,
+                    Dest::Agent(self.to),
+                ));
             }
             fn on_packet(&mut self, _ctx: &mut Ctx, _pkt: Packet) {
                 self.replies += 1;
@@ -404,7 +414,12 @@ mod tests {
         }
         impl Agent for Sender {
             fn on_start(&mut self, ctx: &mut Ctx) {
-                ctx.send(Packet::opaque(64, FlowId(0), ctx.agent, Dest::Agent(self.to)));
+                ctx.send(Packet::opaque(
+                    64,
+                    FlowId(0),
+                    ctx.agent,
+                    Dest::Agent(self.to),
+                ));
             }
         }
         let mut sim = Sim::new(1, SimDuration::from_secs(1));

@@ -146,7 +146,12 @@ mod tests {
     fn idle_tracks_service_and_queue() {
         let mut l = link(1_000_000, 20);
         assert!(l.is_idle());
-        l.in_service = Some(Packet::opaque(8, FlowId(0), AgentId(0), Dest::Agent(AgentId(1))));
+        l.in_service = Some(Packet::opaque(
+            8,
+            FlowId(0),
+            AgentId(0),
+            Dest::Agent(AgentId(1)),
+        ));
         assert!(!l.is_idle());
     }
 }

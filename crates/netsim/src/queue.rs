@@ -379,10 +379,7 @@ mod tests {
     #[test]
     fn virtual_dequeue_counts() {
         // 1 Mbps for 4 ms = 4000 bits = one 500-byte packet.
-        assert_eq!(
-            virtual_dequeues(SimDuration::from_millis(4), 1_000_000),
-            1
-        );
+        assert_eq!(virtual_dequeues(SimDuration::from_millis(4), 1_000_000), 1);
         assert_eq!(virtual_dequeues(SimDuration::from_millis(4), 0), 0);
     }
 }

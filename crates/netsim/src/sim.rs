@@ -94,14 +94,18 @@ impl<'w> Ctx<'w> {
     /// Fire `on_timer(token)` after `delay`.
     pub fn timer_in(&mut self, delay: SimDuration, token: u64) {
         let at = self.world.now + delay;
-        self.world.events.push(at, Event::AgentTimer(self.agent, token));
+        self.world
+            .events
+            .push(at, Event::AgentTimer(self.agent, token));
     }
 
     /// Fire `on_timer(token)` at the absolute instant `at` (clamped to
     /// `now` so simulated time never runs backwards).
     pub fn timer_at(&mut self, at: SimTime, token: u64) {
         let at = at.max(self.world.now);
-        self.world.events.push(at, Event::AgentTimer(self.agent, token));
+        self.world
+            .events
+            .push(at, Event::AgentTimer(self.agent, token));
     }
 
     /// Join a multicast group (IGMP host report). Grafting toward the
@@ -567,12 +571,7 @@ impl Sim {
     }
 
     /// Attach an agent to `node`; `on_start` fires at `start`.
-    pub fn add_agent(
-        &mut self,
-        node: NodeId,
-        agent: Box<dyn Agent>,
-        start: SimTime,
-    ) -> AgentId {
+    pub fn add_agent(&mut self, node: NodeId, agent: Box<dyn Agent>, start: SimTime) -> AgentId {
         let id = AgentId(self.agents.len() as u32);
         self.agents.push(Some(agent));
         self.world.agent_nodes.push(node);
@@ -659,9 +658,7 @@ impl Sim {
                         // Local unicast delivery is detected inside route().
                         let dst = pkt.dst;
                         match dst {
-                            Dest::Agent(a)
-                                if self.world.agent_nodes[a.index()] == node =>
-                            {
+                            Dest::Agent(a) if self.world.agent_nodes[a.index()] == node => {
                                 self.deliver(a, pkt)
                             }
                             _ => self.world.route(node, Some(l), pkt),
@@ -693,7 +690,9 @@ impl Sim {
         match &pkt.body {
             Body::App(_) | Body::Opaque => {
                 let now = self.world.now;
-                self.world.monitor.record(now, agent, pkt.flow, pkt.size_bits);
+                self.world
+                    .monitor
+                    .record(now, agent, pkt.flow, pkt.size_bits);
             }
             _ => {}
         }

@@ -143,7 +143,12 @@ mod tests {
     }
     impl Agent for Shot {
         fn on_start(&mut self, ctx: &mut Ctx) {
-            ctx.send(Packet::opaque(512, FlowId(0), ctx.agent, Dest::Agent(self.to)));
+            ctx.send(Packet::opaque(
+                512,
+                FlowId(0),
+                ctx.agent,
+                Dest::Agent(self.to),
+            ));
         }
     }
 
@@ -228,7 +233,12 @@ mod tests {
             }
             fn on_timer(&mut self, ctx: &mut Ctx, _t: u64) {
                 for _ in 0..5 {
-                    ctx.send(Packet::opaque(512, FlowId(1), ctx.agent, Dest::Group(self.group)));
+                    ctx.send(Packet::opaque(
+                        512,
+                        FlowId(1),
+                        ctx.agent,
+                        Dest::Group(self.group),
+                    ));
                 }
             }
         }

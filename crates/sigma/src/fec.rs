@@ -193,10 +193,7 @@ mod tests {
         assert_eq!(coded.len(), chunks.len() * 2);
         // The second copy runs in reverse: it starts with the last chunk.
         assert_eq!(coded[0].index, 0);
-        assert_eq!(
-            coded[chunks.len()].index,
-            (chunks.len() - 1) as u32
-        );
+        assert_eq!(coded[chunks.len()].index, (chunks.len() - 1) as u32);
         let acc = FecAccounting::measure(&chunks, &coded);
         assert!((acc.expansion() - 2.0).abs() < 1e-12);
         assert_eq!(acc.header_bits, coded.len() as u64 * SPECIAL_HEADER_BITS);

@@ -71,6 +71,12 @@ impl CollusionGuard {
         self.order.get(&group).copied()
     }
 
+    /// Whether `group` belongs to the session this guard was configured
+    /// with (foreign groups must fall back to plain validation).
+    pub fn covers(&self, group: GroupAddr) -> bool {
+        self.order.contains_key(&group)
+    }
+
     fn secret_for(&mut self, iface: LinkId, rng: &mut DetRng) -> u64 {
         *self.secrets.entry(iface).or_insert_with(|| rng.next_u64())
     }
@@ -154,9 +160,7 @@ impl CollusionGuard {
         }
         // Lower increase key: ι_g = γ_{g-1}.
         if let Some(inc) = tuple.increase {
-            if layer >= 2
-                && submitted == inc ^ self.top_perturbation(iface, data_slot, layer - 1)
-            {
+            if layer >= 2 && submitted == inc ^ self.top_perturbation(iface, data_slot, layer - 1) {
                 return true;
             }
         }
@@ -232,17 +236,38 @@ mod tests {
         for g in 1..=n {
             let lower_a = obs_a.top_key(g);
             assert!(
-                guard.validate(iface_a, addrs[(g - 1) as usize], sub_slot, lower_a, &table, &mut rng),
+                guard.validate(
+                    iface_a,
+                    addrs[(g - 1) as usize],
+                    sub_slot,
+                    lower_a,
+                    &table,
+                    &mut rng
+                ),
                 "own-iface γ_{g}"
             );
             // …and are rejected when smuggled to interface B (collusion).
             assert!(
-                !guard.validate(iface_b, addrs[(g - 1) as usize], sub_slot, lower_a, &table, &mut rng),
+                !guard.validate(
+                    iface_b,
+                    addrs[(g - 1) as usize],
+                    sub_slot,
+                    lower_a,
+                    &table,
+                    &mut rng
+                ),
                 "smuggled γ_{g} must fail"
             );
             // The raw (upper) key alone is also rejected on either iface.
             assert!(
-                !guard.validate(iface_a, addrs[(g - 1) as usize], sub_slot, sched.top_key(g), &table, &mut rng),
+                !guard.validate(
+                    iface_a,
+                    addrs[(g - 1) as usize],
+                    sub_slot,
+                    sched.top_key(g),
+                    &table,
+                    &mut rng
+                ),
                 "raw γ_{g} must fail under the guard"
             );
         }

@@ -110,10 +110,7 @@ mod tests {
             slot: 9,
             pairs: vec![(GroupAddr(1), Key(5)), (GroupAddr(2), Key(6))],
         };
-        assert_eq!(
-            sub.size_bits(),
-            CONTROL_HEADER_BITS + 8 + 2 * (32 + 16)
-        );
+        assert_eq!(sub.size_bits(), CONTROL_HEADER_BITS + 8 + 2 * (32 + 16));
 
         let unsub = Unsubscription {
             groups: vec![GroupAddr(1)],

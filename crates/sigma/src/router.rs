@@ -98,6 +98,11 @@ pub struct SigmaStats {
     pub data_denied: u64,
     /// Interface prunes issued at slot maintenance.
     pub prunes: u64,
+    /// Slot of the first keyless-access lockout, if any — the
+    /// "time-to-lockout" containment metric of the robustness matrix.
+    pub first_lockout_slot: Option<u64>,
+    /// Slot at which a guessing tally first crossed the alarm threshold.
+    pub first_guess_alarm_slot: Option<u64>,
 }
 
 /// Grace state for one (interface, group).
@@ -174,6 +179,23 @@ impl SigmaEdgeModule {
             .any(|(&(i, _, _), keys)| i == iface && keys.len() as u32 >= self.cfg.guess_alarm)
     }
 
+    /// The largest distinct-invalid-key tally currently held against
+    /// `iface` (over all groups and slots).
+    pub fn guess_tally(&self, iface: LinkId) -> u32 {
+        self.tally
+            .iter()
+            .filter(|(&(i, _, _), _)| i == iface)
+            .map(|(_, keys)| keys.len() as u32)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The first slot at which `(iface, group)` may regain keyless access,
+    /// while a lockout is active.
+    pub fn lockout_until(&self, iface: LinkId, group: GroupAddr) -> Option<u64> {
+        self.lockout.get(&(iface, group)).copied()
+    }
+
     /// Current slot as the router sees it.
     pub fn current_slot(&self) -> u64 {
         self.current_slot
@@ -198,9 +220,14 @@ impl SigmaEdgeModule {
         self.stats.subscriptions += 1;
         let mut accepted = Vec::new();
         for &(group, key) in &sub.pairs {
+            // The collusion guard is protocol-specific: it only judges the
+            // session whose layering it was configured with; foreign
+            // groups fall back to plain table validation (§3.2.3).
             let ok = match &mut self.guard {
-                Some(g) => g.validate(iface, group, sub.slot, key, &self.table, env.rng),
-                None => self.table.validate(group, sub.slot, key),
+                Some(g) if g.covers(group) => {
+                    g.validate(iface, group, sub.slot, key, &self.table, env.rng)
+                }
+                _ => self.table.validate(group, sub.slot, key),
             };
             if ok {
                 self.stats.accepted_keys += 1;
@@ -223,10 +250,13 @@ impl SigmaEdgeModule {
                 accepted.push((group, key));
             } else {
                 self.stats.rejected_keys += 1;
-                self.tally
-                    .entry((iface, group, sub.slot))
-                    .or_default()
-                    .insert(key);
+                let tally = self.tally.entry((iface, group, sub.slot)).or_default();
+                tally.insert(key);
+                if tally.len() as u32 >= self.cfg.guess_alarm
+                    && self.stats.first_guess_alarm_slot.is_none()
+                {
+                    self.stats.first_guess_alarm_slot = Some(self.current_slot);
+                }
             }
         }
         if !accepted.is_empty() {
@@ -316,6 +346,9 @@ impl EdgeModule for SigmaEdgeModule {
                 // at least one slot (paper §3.2.2).
                 self.grace.remove(&(iface, group));
                 self.lockout.insert((iface, group), pkt_slot + 1);
+                if self.stats.first_lockout_slot.is_none() {
+                    self.stats.first_lockout_slot = Some(self.current_slot);
+                }
                 self.stats.data_denied += 1;
                 false
             }
@@ -404,13 +437,12 @@ impl EdgeModule for SigmaEdgeModule {
         for (&(iface, group), slots) in self.grants.iter_mut() {
             slots.retain(|&s| s >= min_keep);
             let has_current = slots.iter().next_back().is_some_and(|&s| s >= cur);
-            let grace_live = self
-                .grace
-                .get(&(iface, group))
-                .is_some_and(|g| self.cfg.grace_slots > 0 && g.first_seen.map_or(
-                    cur <= g.opened_slot + 4,
-                    |s0| cur <= s0 + self.cfg.grace_slots,
-                ));
+            let grace_live = self.grace.get(&(iface, group)).is_some_and(|g| {
+                self.cfg.grace_slots > 0
+                    && g.first_seen.map_or(cur <= g.opened_slot + 4, |s0| {
+                        cur <= s0 + self.cfg.grace_slots
+                    })
+            });
             if !has_current && !grace_live {
                 to_prune.push((iface, group));
             }
@@ -492,7 +524,13 @@ mod tests {
             slot,
             pairs: vec![(group, key)],
         };
-        Packet::app(sub.size_bits(), FlowId(1), AgentId(7), Dest::Router(NodeId(0)), sub)
+        Packet::app(
+            sub.size_bits(),
+            FlowId(1),
+            AgentId(7),
+            Dest::Router(NodeId(0)),
+            sub,
+        )
     }
 
     fn install_tuple(m: &mut SigmaEdgeModule, group: GroupAddr, slot: u64, top: Key) {
@@ -592,7 +630,13 @@ mod tests {
             minimal_group: minimal,
             control_group: control,
         };
-        let jp = Packet::app(join.size_bits(), FlowId(0), AgentId(5), Dest::Router(NodeId(0)), join);
+        let jp = Packet::app(
+            join.size_bits(),
+            FlowId(0),
+            AgentId(5),
+            Dest::Router(NodeId(0)),
+            join,
+        );
         let mut e = env(&mut rng, SimTime::from_millis(2500)); // slot 10
         m.on_message(&mut e, iface, &jp);
         assert!(e
@@ -619,7 +663,13 @@ mod tests {
             minimal_group: minimal,
             control_group: control,
         };
-        let jp2 = Packet::app(join2.size_bits(), FlowId(0), AgentId(5), Dest::Router(NodeId(0)), join2);
+        let jp2 = Packet::app(
+            join2.size_bits(),
+            FlowId(0),
+            AgentId(5),
+            Dest::Router(NodeId(0)),
+            join2,
+        );
         let mut e = env(&mut rng, SimTime::from_millis(3300)); // slot 13 < lockout 14
         m.on_message(&mut e, iface, &jp2);
         assert_eq!(m.stats.session_joins_locked_out, 1);
@@ -682,7 +732,9 @@ mod tests {
         // FEC duplicates install once.
         assert_eq!(m.stats.tuples_installed, 3);
         assert!(m.table.validate(GroupAddr(2), 12, sched.top_key(2)));
-        assert!(m.table.validate(GroupAddr(1), 12, sched.decrease_key(1).unwrap()));
+        assert!(m
+            .table
+            .validate(GroupAddr(1), 12, sched.decrease_key(1).unwrap()));
         assert!(!m.table.validate(GroupAddr(3), 12, Key(0xdead)));
     }
 
@@ -760,6 +812,76 @@ mod tests {
         // But a third interface without any subscription stays dark.
         let mut e = env(&mut rng, SimTime::from_secs(2));
         assert!(!m.filter_data(&mut e, LinkId(5), &mut data_packet(g, 10)));
+    }
+
+    /// The collusion guard is scoped to its session: keys for foreign
+    /// groups fall back to plain table validation instead of being
+    /// rejected wholesale (incremental deployment, §3.2.3).
+    #[test]
+    fn guard_scopes_to_its_session_foreign_groups_validate_plainly() {
+        let cfg = SigmaConfig::new(SimDuration::from_millis(250)).with_guard(vec![GroupAddr(1)]);
+        let mut m = SigmaEdgeModule::new(cfg);
+        let mut rng = DetRng::new(12);
+        let foreign = GroupAddr(40); // another session's group
+        let iface = LinkId(3);
+        install_tuple(&mut m, foreign, 10, Key(55));
+        let mut e = env(&mut rng, SimTime::from_secs(2));
+        m.on_message(&mut e, iface, &subscription(foreign, 10, Key(55)));
+        assert!(
+            m.has_grant(iface, foreign, 10),
+            "foreign-session keys must not be swallowed by the guard"
+        );
+        // The guarded session's groups go through guard validation: once
+        // the iface saw perturbed traffic, a key smuggled from another
+        // iface (here: the unperturbed upper key XOR a wrong value) fails.
+        install_tuple(&mut m, GroupAddr(1), 10, Key(77));
+        let mut e = env(&mut rng, SimTime::from_secs(2));
+        m.on_message(
+            &mut e,
+            iface,
+            &subscription(GroupAddr(1), 10, Key(77 ^ 0xBEEF)),
+        );
+        assert!(!m.has_grant(iface, GroupAddr(1), 10));
+    }
+
+    /// Detection timestamps: the first lockout and the first guessing
+    /// alarm land in the stats for the matrix's time-to-lockout metric.
+    #[test]
+    fn detection_slots_are_recorded_once() {
+        let mut m = module();
+        let mut rng = DetRng::new(13);
+        let g = GroupAddr(5);
+        let iface = LinkId(3);
+        install_tuple(&mut m, g, 10, Key(77));
+        assert_eq!(m.stats.first_guess_alarm_slot, None);
+        for wrong in 0..10u64 {
+            let mut e = env(&mut rng, SimTime::from_secs(2)); // slot 8
+            m.on_message(&mut e, iface, &subscription(g, 10, Key(1000 + wrong)));
+        }
+        assert_eq!(m.stats.first_guess_alarm_slot, Some(8));
+        assert_eq!(m.guess_tally(iface), 10);
+
+        // Keyless grace → exhaustion → lockout stamps the other field.
+        let minimal = GroupAddr(1);
+        let join = SessionJoin {
+            minimal_group: minimal,
+            control_group: GroupAddr(0),
+        };
+        let jp = Packet::app(
+            join.size_bits(),
+            FlowId(0),
+            AgentId(5),
+            Dest::Router(NodeId(0)),
+            join,
+        );
+        let mut e = env(&mut rng, SimTime::from_millis(2500)); // slot 10
+        m.on_message(&mut e, iface, &jp);
+        let mut e = env(&mut rng, SimTime::from_millis(2500));
+        assert!(m.filter_data(&mut e, iface, &mut data_packet(minimal, 10)));
+        let mut e = env(&mut rng, SimTime::from_millis(3300)); // slot 13
+        assert!(!m.filter_data(&mut e, iface, &mut data_packet(minimal, 13)));
+        assert_eq!(m.stats.first_lockout_slot, Some(13));
+        assert_eq!(m.lockout_until(iface, minimal), Some(14));
     }
 
     #[test]

@@ -160,9 +160,7 @@ impl RenoSender {
     /// Send whatever the window currently allows.
     fn send_available(&mut self, ctx: &mut Ctx) {
         let cwnd = self.cwnd as u64;
-        while self.flight() + self.cfg.mss <= cwnd
-            && self.snd_nxt < self.cfg.limit_bytes
-        {
+        while self.flight() + self.cfg.mss <= cwnd && self.snd_nxt < self.cfg.limit_bytes {
             let seq = self.snd_nxt;
             let len = self.cfg.mss.min(self.cfg.limit_bytes - seq);
             self.send_segment(ctx, seq, false);
@@ -335,8 +333,12 @@ mod tests {
 
     #[test]
     fn slow_start_grows_cwnd_exponentially() {
-        let (mut sim, snd, _) =
-            tcp_over_bottleneck(10_000_000, SimDuration::from_millis(50), 1_000_000, u64::MAX);
+        let (mut sim, snd, _) = tcp_over_bottleneck(
+            10_000_000,
+            SimDuration::from_millis(50),
+            1_000_000,
+            u64::MAX,
+        );
         // After ~4 RTTs (400 ms) of slow start, cwnd should have grown from
         // 1 MSS to well beyond 8 MSS.
         sim.run_until(SimTime::from_millis(450));

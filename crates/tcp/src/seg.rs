@@ -39,7 +39,10 @@ mod tests {
 
     #[test]
     fn seg_end() {
-        let s = TcpData { seq: 1000, len: 536 };
+        let s = TcpData {
+            seq: 1000,
+            len: 536,
+        };
         assert_eq!(s.end(), 1536);
     }
 

@@ -232,9 +232,15 @@ mod tests {
         };
         let src = CbrSource::new(cfg);
         // At t=4 (phase 3, inside off) the next on-phase starts at t=6.
-        assert_eq!(src.next_on(SimTime::from_secs(4)), Some(SimTime::from_secs(6)));
+        assert_eq!(
+            src.next_on(SimTime::from_secs(4)),
+            Some(SimTime::from_secs(6))
+        );
         // Inside an on-phase the answer is "now".
-        assert_eq!(src.next_on(SimTime::from_secs(7)), Some(SimTime::from_secs(7)));
+        assert_eq!(
+            src.next_on(SimTime::from_secs(7)),
+            Some(SimTime::from_secs(7))
+        );
         // Past stop: never again.
         assert_eq!(src.next_on(SimTime::from_secs(31)), None);
     }

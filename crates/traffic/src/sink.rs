@@ -30,7 +30,12 @@ mod tests {
     }
     impl Agent for OneShot {
         fn on_start(&mut self, ctx: &mut Ctx) {
-            ctx.send(Packet::opaque(800, FlowId(0), ctx.agent, Dest::Agent(self.to)));
+            ctx.send(Packet::opaque(
+                800,
+                FlowId(0),
+                ctx.agent,
+                Dest::Agent(self.to),
+            ));
         }
     }
 

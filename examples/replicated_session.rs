@@ -58,14 +58,21 @@ fn main() {
     for g in cfg.groups.iter().chain([&cfg.control_group]) {
         sim.register_group(*g, s);
     }
-    sim.set_edge_module(b, Box::new(SigmaEdgeModule::new(SigmaConfig::new(cfg.slot))));
+    sim.set_edge_module(
+        b,
+        Box::new(SigmaEdgeModule::new(SigmaConfig::new(cfg.slot))),
+    );
 
     let receiver = sim.add_agent(
         h,
         Box::new(ReplicatedReceiver::new(cfg.clone(), Some(b))),
         SimTime::from_millis(5),
     );
-    sim.add_agent(s, Box::new(ReplicatedSender::new(cfg.clone())), SimTime::ZERO);
+    sim.add_agent(
+        s,
+        Box::new(ReplicatedSender::new(cfg.clone())),
+        SimTime::ZERO,
+    );
     sim.finalize();
 
     println!("Running 40 s of a replicated (DSG-style) session…\n");

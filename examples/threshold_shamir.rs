@@ -35,7 +35,10 @@ fn main() {
     assert_eq!(got, secret);
 
     let got = reconstruct(&shares[0..(k - 1) as usize]);
-    println!("  with {} shares (30 % loss): reconstructed {got:#06x}  ✘ (garbage)", k - 1);
+    println!(
+        "  with {} shares (30 % loss): reconstructed {got:#06x}  ✘ (garbage)",
+        k - 1
+    );
     assert_ne!(got, secret);
 
     // --- Part 2: the protocol ----------------------------------------
@@ -80,7 +83,10 @@ fn main() {
     for g in cfg.groups.iter().chain([&cfg.control_group]) {
         sim.register_group(*g, s);
     }
-    sim.set_edge_module(b, Box::new(SigmaEdgeModule::new(SigmaConfig::new(cfg.slot))));
+    sim.set_edge_module(
+        b,
+        Box::new(SigmaEdgeModule::new(SigmaConfig::new(cfg.slot))),
+    );
     let receiver = sim.add_agent(
         h,
         Box::new(ThresholdReceiver::new(cfg.clone(), theta, Some(b))),
@@ -92,7 +98,10 @@ fn main() {
 
     let r = sim.agent_as::<ThresholdReceiver>(receiver).unwrap();
     println!("group trace: {:?}", r.trace);
-    println!("final group: {} of 6, key failures: {}", r.group, r.key_failures);
+    println!(
+        "final group: {} of 6, key failures: {}",
+        r.group, r.key_failures
+    );
     let bps = sim.monitor().agent_throughput_bps(
         receiver,
         SimTime::from_secs(10),

@@ -109,13 +109,19 @@ pub mod prop {
         impl From<core::ops::Range<usize>> for SizeRange {
             fn from(r: core::ops::Range<usize>) -> Self {
                 assert!(r.start < r.end, "empty vec size range");
-                Self { lo: r.start, hi: r.end }
+                Self {
+                    lo: r.start,
+                    hi: r.end,
+                }
             }
         }
 
         impl From<core::ops::RangeInclusive<usize>> for SizeRange {
             fn from(r: core::ops::RangeInclusive<usize>) -> Self {
-                Self { lo: *r.start(), hi: *r.end() + 1 }
+                Self {
+                    lo: *r.start(),
+                    hi: *r.end() + 1,
+                }
             }
         }
 
@@ -125,7 +131,10 @@ pub mod prop {
         }
 
         pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-            VecStrategy { elem, size: size.into() }
+            VecStrategy {
+                elem,
+                size: size.into(),
+            }
         }
 
         impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -192,10 +201,9 @@ pub fn cases() -> u32 {
 
 /// Stable per-test seed so failures reproduce across runs and machines.
 pub fn seed_for(name: &str) -> u64 {
-    name.bytes()
-        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-            (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3)
-        })
+    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3)
+    })
 }
 
 #[macro_export]
@@ -258,7 +266,7 @@ macro_rules! prop_assert_ne {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
-    use super::{TestRng, Strategy};
+    use super::{Strategy, TestRng};
 
     #[test]
     fn ranges_stay_in_bounds() {

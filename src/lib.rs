@@ -15,9 +15,11 @@
 //! * [`traffic`] — CBR / on-off sources,
 //! * [`delta`] — DELTA in-band key distribution (paper §3.1),
 //! * [`sigma`] — SIGMA edge-router group management (paper §3.2),
+//! * [`attack`] — the pluggable adversary subsystem (strategies + schedulers),
 //! * [`flid`] — FLID-DL, FLID-DS and the replicated/threshold variants,
 //! * [`core`] — scenario builders, experiments and metrics.
 
+pub use mcc_attack as attack;
 pub use mcc_core as core;
 pub use mcc_delta as delta;
 pub use mcc_flid as flid;

@@ -3,10 +3,10 @@
 //! neutralized by DELTA + SIGMA under FLID-DS (Figure 7).
 
 use robust_multicast::core::experiments::attack_experiment;
-use robust_multicast::core::{Dumbbell, DumbbellSpec, McastSessionSpec, Params, ReceiverSpec, Variant};
-use robust_multicast::flid::Behavior;
+use robust_multicast::core::{
+    Dumbbell, DumbbellSpec, McastSessionSpec, Params, ReceiverSpec, Units, Variant,
+};
 use robust_multicast::sigma::SigmaEdgeModule;
-use robust_multicast::simcore::SimTime;
 
 #[test]
 fn figure1_shape_attack_pays_off_without_protection() {
@@ -44,12 +44,7 @@ fn the_attack_is_visible_in_router_counters() {
     spec.mcast = vec![McastSessionSpec {
         variant: Variant::FlidDs,
         n_groups: 10,
-        receivers: vec![ReceiverSpec {
-            behavior: Behavior::Inflate {
-                at: SimTime::from_secs(10),
-            },
-            ..ReceiverSpec::default()
-        }],
+        receivers: vec![ReceiverSpec::new().inflate_at(10.secs())],
     }];
     let mut d = Dumbbell::build(spec);
     d.run_secs(40);
@@ -74,12 +69,7 @@ fn ignore_decrease_misbehaviour_is_not_profitable_under_ds() {
         variant: Variant::FlidDs,
         n_groups: 10,
         receivers: vec![
-            ReceiverSpec {
-                behavior: Behavior::IgnoreDecrease {
-                    at: SimTime::from_secs(15),
-                },
-                ..ReceiverSpec::default()
-            },
+            ReceiverSpec::new().ignore_decrease_at(15.secs()),
             ReceiverSpec::default(),
         ],
     }];

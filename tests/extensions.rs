@@ -37,7 +37,14 @@ fn dumbbell_nodes(
             Queue::drop_tail(buf)
         }
     };
-    sim.add_duplex_link(a, b, bottleneck_bps, SimDuration::from_millis(20), mk(), mk());
+    sim.add_duplex_link(
+        a,
+        b,
+        bottleneck_bps,
+        SimDuration::from_millis(20),
+        mk(),
+        mk(),
+    );
     let hosts = (0..n_hosts)
         .map(|_| {
             let h = sim.add_node();
@@ -71,7 +78,10 @@ fn ecn_variant_controls_without_drops() {
     for g in cfg.groups.iter().chain([&cfg.control_group]) {
         sim.register_group(*g, s);
     }
-    sim.set_edge_module(b, Box::new(SigmaEdgeModule::new(SigmaConfig::new(cfg.slot))));
+    sim.set_edge_module(
+        b,
+        Box::new(SigmaEdgeModule::new(SigmaConfig::new(cfg.slot))),
+    );
     let r = sim.add_agent(
         hosts[0],
         Box::new(FlidReceiver::new(
@@ -87,11 +97,9 @@ fn ecn_variant_controls_without_drops() {
 
     let rec = sim.agent_as::<FlidReceiver>(r).unwrap();
     assert!(rec.stats.decreases > 0, "marks must cause decreases");
-    let goodput = sim.monitor().agent_throughput_bps(
-        r,
-        SimTime::from_secs(20),
-        SimTime::from_secs(60),
-    );
+    let goodput =
+        sim.monitor()
+            .agent_throughput_bps(r, SimTime::from_secs(20), SimTime::from_secs(60));
     assert!(goodput > 300_000.0, "ECN mode still delivers: {goodput}");
     // The bottleneck marked instead of dropping (both directions of the
     // duplex pair are RED; data flows A→B on the first).
@@ -137,11 +145,9 @@ fn collusion_guard_preserves_honest_operation() {
     sim.run_until(SimTime::from_secs(40));
 
     for &r in &receivers {
-        let g = sim.monitor().agent_throughput_bps(
-            r,
-            SimTime::from_secs(15),
-            SimTime::from_secs(40),
-        );
+        let g =
+            sim.monitor()
+                .agent_throughput_bps(r, SimTime::from_secs(15), SimTime::from_secs(40));
         assert!(g > 250_000.0, "guarded receiver starved: {g}");
     }
     let sigma = sim.edge_as::<SigmaEdgeModule>(b).unwrap();
@@ -290,7 +296,10 @@ fn replicated_and_threshold_variants_run_end_to_end() {
     for g in cfg.groups.iter().chain([&cfg.control_group]) {
         sim.register_group(*g, s);
     }
-    sim.set_edge_module(b, Box::new(SigmaEdgeModule::new(SigmaConfig::new(cfg.slot))));
+    sim.set_edge_module(
+        b,
+        Box::new(SigmaEdgeModule::new(SigmaConfig::new(cfg.slot))),
+    );
     let r = sim.add_agent(
         hosts[0],
         Box::new(ReplicatedReceiver::new(cfg.clone(), Some(b))),
@@ -315,7 +324,10 @@ fn replicated_and_threshold_variants_run_end_to_end() {
     for g in cfg.groups.iter().chain([&cfg.control_group]) {
         sim.register_group(*g, s);
     }
-    sim.set_edge_module(b, Box::new(SigmaEdgeModule::new(SigmaConfig::new(cfg.slot))));
+    sim.set_edge_module(
+        b,
+        Box::new(SigmaEdgeModule::new(SigmaConfig::new(cfg.slot))),
+    );
     let r = sim.add_agent(
         hosts[0],
         Box::new(ThresholdReceiver::new(cfg.clone(), 0.25, Some(b))),

@@ -9,7 +9,8 @@ use robust_multicast::core::runner::{run_serial, series_json, Json};
 use robust_multicast::core::{Params, Variant};
 
 /// The figure → id rows of DESIGN.md's experiment index, plus the three
-/// ablations. Editing either side without the other fails this test.
+/// ablations and the robustness matrix. Editing either side without the
+/// other fails this test.
 const DESIGN_INDEX: &[(&str, &str)] = &[
     ("Figure 1", "fig01_attack"),
     ("Figure 7", "fig07_protection"),
@@ -26,6 +27,7 @@ const DESIGN_INDEX: &[(&str, &str)] = &[
     ("", "ablation_sharing"),
     ("", "ablation_fec"),
     ("", "ablation_slot"),
+    ("", "matrix_robustness"),
 ];
 
 #[test]
@@ -34,10 +36,12 @@ fn every_design_index_row_resolves_to_a_registered_experiment() {
         let def = registry::find(id)
             .unwrap_or_else(|| panic!("DESIGN.md row {id} missing from registry"));
         assert_eq!(def.figure(), *figure, "{id}: figure label drifted");
-        let kind = if figure.is_empty() {
-            Kind::Ablation
-        } else {
+        let kind = if !figure.is_empty() {
             Kind::Figure
+        } else if id.starts_with("matrix") {
+            Kind::Matrix
+        } else {
+            Kind::Ablation
         };
         assert_eq!(def.kind(), kind, "{id}");
         assert!(!def.describe().is_empty(), "{id} needs a description");

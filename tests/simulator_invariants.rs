@@ -115,7 +115,13 @@ fn fifo_ordering_is_preserved_per_flow() {
             // A burst far exceeding the queue: drops happen, order must
             // survive for the packets that do get through.
             for seq in 0..self.n {
-                ctx.send(Packet::app(576 * 8, FlowId(0), ctx.agent, Dest::Agent(self.to), seq));
+                ctx.send(Packet::app(
+                    576 * 8,
+                    FlowId(0),
+                    ctx.agent,
+                    Dest::Agent(self.to),
+                    seq,
+                ));
             }
         }
     }

@@ -1,0 +1,48 @@
+//! Event-queue micro-benchmark: the departure/arrival churn pattern that
+//! dominates simulator hot loops, at a realistic pending-event depth.
+//!
+//! Pattern: pre-fill the queue to depth `DEPTH`, then repeatedly pop one
+//! event and push one or two near-future replacements — the shape
+//! `netsim` produces (a departure schedules an arrival; an arrival may
+//! schedule a delivery). Reported as ns per pop+push pair.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mcc_simcore::{EventQueue, SimTime};
+
+const DEPTH: usize = 40_000;
+const OPS: u64 = 200_000;
+
+/// A payload the size of a small inline packet event.
+#[derive(Debug, Clone, Copy)]
+struct FakeEvent(#[allow(dead_code)] [u64; 9]);
+
+fn churn(scatter: u64) -> u64 {
+    let mut q: EventQueue<FakeEvent> = EventQueue::new();
+    for i in 0..DEPTH as u64 {
+        q.push(SimTime::from_nanos(i * 1_000), FakeEvent([i; 9]));
+    }
+    let mut t = 0u64;
+    for n in 0..OPS {
+        let (at, ev) = q.pop().expect("pre-filled");
+        t = t.max(at.as_nanos());
+        // Re-push near the head; `scatter` controls how many distinct
+        // future timestamps are live (1 = perfect wave batching).
+        q.push(SimTime::from_nanos(t + 500 + (n % scatter) * 97), ev);
+    }
+    q.processed()
+}
+
+fn event_loop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_loop");
+    g.sample_size(10);
+    // One live future timestamp: the run fast path absorbs everything.
+    g.bench_function("churn_batched", |b| b.iter(|| black_box(churn(1))));
+    // Seven interleaved timestamps: runs + occasional heap traffic.
+    g.bench_function("churn_scattered", |b| b.iter(|| black_box(churn(7))));
+    // Every push a new timestamp region: stresses the heap fallback.
+    g.bench_function("churn_adversarial", |b| b.iter(|| black_box(churn(997))));
+    g.finish();
+}
+
+criterion_group!(benches, event_loop);
+criterion_main!(benches);

@@ -1,0 +1,131 @@
+//! Multicast fan-out macro-benchmark: one source blasting a group that
+//! fans out to N receiver hosts through a single router — the branching
+//! pattern behind the wide-dumbbell scenarios, isolated from protocol
+//! logic (sinks count packets, nothing else).
+//!
+//! This is the path the zero-copy payload refactor targets: per branch,
+//! the packet copy must be a pointer bump (`Arc` clone), the fan-out
+//! snapshot must reuse the `World`'s scratch buffers, and the last branch
+//! must take the packet by move.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mcc_netsim::prelude::*;
+use mcc_simcore::{SimDuration, SimTime};
+
+/// Sends `count` app packets to a group, one every `gap`.
+#[derive(Debug)]
+struct Blaster {
+    group: GroupAddr,
+    count: u64,
+    sent: u64,
+    gap: SimDuration,
+}
+
+#[derive(Clone, Debug)]
+struct Payload {
+    #[allow(dead_code)]
+    slot: u64,
+}
+
+impl Agent for Blaster {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        ctx.timer_in(SimDuration::from_millis(200), 0);
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx, _tok: u64) {
+        if self.sent < self.count {
+            ctx.send(Packet::app(
+                500 * 8,
+                FlowId(1),
+                ctx.agent,
+                Dest::Group(self.group),
+                Payload { slot: self.sent },
+            ));
+            self.sent += 1;
+            ctx.timer_in(self.gap, 0);
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Sink {
+    got: u64,
+}
+impl Agent for Sink {
+    fn on_packet(&mut self, _ctx: &mut Ctx, _pkt: Packet) {
+        self.got += 1;
+    }
+}
+
+/// Build and run the star fan-out; returns processed event count.
+fn fanout(receivers: usize, packets: u64) -> u64 {
+    let mut sim = Sim::new(1, SimDuration::from_secs(1));
+    let router = sim.add_node();
+    let src = sim.add_node();
+    sim.add_duplex_link(
+        src,
+        router,
+        100_000_000,
+        SimDuration::from_millis(1),
+        Queue::drop_tail(10_000_000),
+        Queue::drop_tail(10_000_000),
+    );
+    let g = GroupAddr(1);
+    sim.register_group(g, src);
+    let mut sinks = Vec::new();
+    for _ in 0..receivers {
+        let h = sim.add_node();
+        sim.add_duplex_link(
+            router,
+            h,
+            100_000_000,
+            SimDuration::from_millis(1),
+            Queue::drop_tail(10_000_000),
+            Queue::drop_tail(10_000_000),
+        );
+        sinks.push((
+            sim.add_agent(h, Box::new(Sink::default()), SimTime::ZERO),
+            h,
+        ));
+    }
+    // Join via the simulator's real graft machinery.
+    #[derive(Debug)]
+    struct Joiner {
+        group: GroupAddr,
+    }
+    impl Agent for Joiner {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            ctx.join_group(self.group);
+        }
+    }
+    for &(_, h) in &sinks {
+        sim.add_agent(h, Box::new(Joiner { group: g }), SimTime::ZERO);
+    }
+    sim.add_agent(
+        src,
+        Box::new(Blaster {
+            group: g,
+            count: packets,
+            sent: 0,
+            gap: SimDuration::from_micros(500),
+        }),
+        SimTime::ZERO,
+    );
+    sim.finalize();
+    sim.run_until(SimTime::from_secs(2));
+    sim.world.processed_events()
+}
+
+fn multicast_fanout(c: &mut Criterion) {
+    let mut g = c.benchmark_group("multicast_fanout");
+    g.sample_size(10);
+    g.bench_function("star_100rx_200pkt", |b| {
+        b.iter(|| black_box(fanout(100, 200)))
+    });
+    g.bench_function("star_1000rx_50pkt", |b| {
+        b.iter(|| black_box(fanout(1000, 50)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, multicast_fanout);
+criterion_main!(benches);

@@ -103,7 +103,17 @@ impl Cli {
         let mut defs: Vec<ExperimentDef> = Vec::new();
         for token in tokens {
             let matched = match token.as_str() {
-                "all" => registry::REGISTRY.to_vec(),
+                // `all` deliberately excludes Kind::Perf: its payload
+                // carries wall-clock fields, so folding it into a shared
+                // parallel run would both break the report's byte
+                // reproducibility and measure thread contention instead
+                // of simulator speed. Select it explicitly
+                // (`--only perf_events`) or use the `perf_events` binary.
+                "all" => registry::REGISTRY
+                    .iter()
+                    .filter(|d| d.kind() != Kind::Perf)
+                    .copied()
+                    .collect(),
                 "figures" => registry::figures(),
                 "ablations" => registry::ablations(),
                 t => registry::matching(t),
@@ -150,11 +160,12 @@ fn usage() -> String {
 pub fn list() -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{} registered experiments ({} figures, {} ablations, {} matrices):\n\n",
+        "{} registered experiments ({} figures, {} ablations, {} matrices, {} perf):\n\n",
         registry::REGISTRY.len(),
         registry::figures().len(),
         registry::ablations().len(),
-        registry::matrices().len()
+        registry::matrices().len(),
+        registry::perfs().len()
     ));
     out.push_str(&format!(
         "  {:<24} {:<10} {:>4}  {}\n",
@@ -165,6 +176,7 @@ pub fn list() -> String {
             Kind::Figure => def.figure(),
             Kind::Ablation => "ablation",
             Kind::Matrix => "matrix",
+            Kind::Perf => "perf",
         };
         out.push_str(&format!(
             "  {:<24} {:<10} {:>4}  {}\n",
@@ -371,8 +383,14 @@ mod tests {
             .unwrap();
         assert_eq!(abl.len(), 3);
 
+        // `all` covers everything except the perf macro-benchmark, whose
+        // wall-clock payload would break report reproducibility.
         let all = parse(&["--only", "all"]).unwrap().selection().unwrap();
-        assert_eq!(all.len(), registry::REGISTRY.len());
+        assert_eq!(
+            all.len(),
+            registry::REGISTRY.len() - registry::perfs().len()
+        );
+        assert!(all.iter().all(|d| d.kind() != Kind::Perf));
 
         // Duplicates collapse; unknowns fail loudly.
         let dup = parse(&["--only", "fig01,fig01_attack"])

@@ -930,3 +930,53 @@ pub fn slot_ablation(slot_ms: &[u64], seed: u64) -> Vec<SlotAblationRow> {
         })
         .collect()
 }
+
+/// The registered seed of the `perf_events` experiment.
+pub const PERF_SEED: u64 = 42;
+/// Full-size `perf_events` scenario: `(receivers, simulated seconds)`.
+pub const PERF_FULL: (usize, u64) = (2000, 30);
+/// Quick-mode (CI smoke) `perf_events` scenario.
+pub const PERF_QUICK: (usize, u64) = (300, 10);
+
+/// Result of the [`perf_events`] macro-benchmark: raw simulator speed on
+/// a wide-dumbbell fan-out, the hot path behind every figure.
+#[derive(Clone, Debug)]
+pub struct PerfRow {
+    /// Receiver population of the single FLID-DL session.
+    pub receivers: usize,
+    /// Simulated horizon in seconds.
+    pub sim_secs: u64,
+    /// Events the loop processed.
+    pub events: u64,
+    /// The deepest the future event list ever got.
+    pub peak_queue_depth: usize,
+    /// Wall-clock spent inside `run_until` (excludes scenario assembly).
+    pub wall_secs: f64,
+    /// `events / wall_secs` — the headline throughput number.
+    pub events_per_sec: f64,
+}
+
+/// Macro-benchmark: one FLID-DL session fanning out to `receivers` hosts
+/// across a 10 Mbps dumbbell, plus two TCP flows. Nothing throttles the
+/// receivers, so every data packet crossing the bottleneck is replicated
+/// onto every access link — the multicast branching and event-queue churn
+/// that dominates large-population scenarios. Deterministic in `seed`
+/// except for the wall-clock fields.
+pub fn perf_events(receivers: usize, duration_secs: u64, seed: u64) -> PerfRow {
+    let mut spec = crate::dumbbell::DumbbellSpec::new(seed, 10_000_000);
+    spec.mcast = vec![McastSessionSpec::honest(Variant::FlidDl, receivers)];
+    spec.tcp = 2;
+    let mut d = Dumbbell::build(spec);
+    let wall = std::time::Instant::now();
+    d.run_secs(duration_secs);
+    let wall = wall.elapsed().as_secs_f64();
+    let events = d.sim.world.processed_events();
+    PerfRow {
+        receivers,
+        sim_secs: duration_secs,
+        events,
+        peak_queue_depth: d.sim.world.peak_pending_events(),
+        wall_secs: wall,
+        events_per_sec: events as f64 / wall.max(1e-9),
+    }
+}

@@ -28,6 +28,10 @@ pub enum Kind {
     Ablation,
     /// A robustness matrix (adversary strategies × defense variants).
     Matrix,
+    /// A performance macro-benchmark (simulator speed, not paper data).
+    /// Its JSON includes wall-clock fields, so — unlike every other kind —
+    /// the payload is not byte-stable across runs.
+    Perf,
 }
 
 /// The outcome of running one registered experiment.
@@ -365,6 +369,33 @@ fn matrix_robustness_body(p: &Params, seed: u64) -> Json {
 }
 
 // ---------------------------------------------------------------------------
+// Perf bodies
+// ---------------------------------------------------------------------------
+
+/// Canonical JSON of one [`experiments::PerfRow`] — shared by the
+/// registry body below and the `perf_events` binary in `mcc-bench`, so
+/// the two reports cannot drift apart.
+pub fn perf_row_json(r: &experiments::PerfRow) -> Json {
+    Json::obj([
+        ("receivers", Json::U64(r.receivers as u64)),
+        ("sim_secs", Json::U64(r.sim_secs)),
+        ("events", Json::U64(r.events)),
+        ("peak_queue_depth", Json::U64(r.peak_queue_depth as u64)),
+        ("wall_secs", Json::Num(r.wall_secs)),
+        ("events_per_sec", Json::Num(r.events_per_sec)),
+    ])
+}
+
+fn perf_events_body(p: &Params, seed: u64) -> Json {
+    let (receivers, secs) = if p.quick {
+        experiments::PERF_QUICK
+    } else {
+        experiments::PERF_FULL
+    };
+    perf_row_json(&experiments::perf_events(receivers, secs, seed))
+}
+
+// ---------------------------------------------------------------------------
 // The registry
 // ---------------------------------------------------------------------------
 
@@ -499,6 +530,14 @@ pub static REGISTRY: &[ExperimentDef] = &[
         seed: 17,
         body: matrix_robustness_body,
     },
+    ExperimentDef {
+        id: "perf_events",
+        figure: "",
+        describe: "macro-benchmark: events/sec on a wide-dumbbell FLID fan-out",
+        kind: Kind::Perf,
+        seed: experiments::PERF_SEED,
+        body: perf_events_body,
+    },
 ];
 
 /// All registered experiments as trait objects.
@@ -532,6 +571,15 @@ pub fn matrices() -> Vec<ExperimentDef> {
     REGISTRY
         .iter()
         .filter(|d| d.kind == Kind::Matrix)
+        .copied()
+        .collect()
+}
+
+/// The performance macro-benchmark entries.
+pub fn perfs() -> Vec<ExperimentDef> {
+    REGISTRY
+        .iter()
+        .filter(|d| d.kind == Kind::Perf)
         .copied()
         .collect()
 }
@@ -579,10 +627,14 @@ mod tests {
 
     #[test]
     fn registry_enumerates_figures_ablations_and_matrices() {
-        assert!(REGISTRY.len() >= 16, "12 figures + 3 ablations + 1 matrix");
+        assert!(
+            REGISTRY.len() >= 17,
+            "12 figures + 3 ablations + 1 matrix + 1 perf"
+        );
         assert_eq!(figures().len(), 12);
         assert_eq!(ablations().len(), 3);
         assert_eq!(matrices().len(), 1);
+        assert_eq!(perfs().len(), 1);
         let mut ids: Vec<&str> = REGISTRY.iter().map(|d| d.id).collect();
         ids.sort_unstable();
         ids.dedup();
@@ -595,6 +647,15 @@ mod tests {
         assert_eq!(def.kind(), Kind::Matrix);
         assert!(figures().iter().all(|d| d.id() != "matrix_robustness"));
         assert_eq!(matching("matrix").len(), 1, "prefix selector works");
+    }
+
+    #[test]
+    fn perf_entry_is_selectable_but_not_a_default_figure() {
+        let def = find("perf_events").expect("registered");
+        assert_eq!(def.kind(), Kind::Perf);
+        assert_eq!(def.seed(), crate::experiments::PERF_SEED);
+        assert!(figures().iter().all(|d| d.id() != "perf_events"));
+        assert_eq!(matching("perf").len(), 1, "prefix selector works");
     }
 
     #[test]

@@ -36,7 +36,6 @@ use mcc_delta::{decide_layered, Eligibility, Key, SlotObservation};
 use mcc_netsim::prelude::*;
 use mcc_sigma::{ProtectedData, SessionJoin, Subscription, SubscriptionAck, Unsubscription};
 use mcc_simcore::{SimDuration, SimTime};
-use std::collections::HashMap;
 
 const PROCESS: u64 = 0;
 const RETX: u64 = 1;
@@ -128,8 +127,10 @@ pub struct FlidReceiver {
     /// `None` when not subscribed. A group only takes part in decisions
     /// from its first *complete* slot onward.
     joined_slot: Vec<Option<u64>>,
-    /// Per-slot DELTA/loss observations.
-    obs: HashMap<u64, SlotObservation>,
+    /// Per-slot DELTA/loss observations, keyed by slot number. Only the
+    /// three-slot pipeline window is ever live, so a tiny association list
+    /// beats a hash map on the per-packet path.
+    obs: Vec<(u64, SlotObservation)>,
     /// Slots before this one skip the decrease decision (FLID-DL deaf
     /// period).
     deaf_until: u64,
@@ -142,8 +143,9 @@ pub struct FlidReceiver {
     inflated: bool,
     ever_received: bool,
     out_of_session: bool,
-    /// Slots in which a congestion-marked packet arrived (ECN variant).
-    marked_slots: std::collections::HashSet<u64>,
+    /// Slots in which a congestion-marked packet arrived (ECN variant);
+    /// same tiny-window reasoning as `obs`.
+    marked_slots: Vec<u64>,
     /// `(time, level)` trace for the convergence figures.
     pub level_trace: Vec<(f64, u32)>,
     /// Counters.
@@ -174,14 +176,14 @@ impl FlidReceiver {
             adversary: plan.build(),
             level: 1,
             joined_slot: vec![None; n],
-            obs: HashMap::new(),
+            obs: Vec::new(),
             deaf_until: 0,
             guard,
             pending: None,
             inflated: false,
             ever_received: false,
             out_of_session: false,
-            marked_slots: std::collections::HashSet::new(),
+            marked_slots: Vec::new(),
             level_trace: Vec::new(),
             stats: ReceiverStats::default(),
         }
@@ -389,9 +391,27 @@ impl FlidReceiver {
         }
     }
 
+    /// Take slot `s`'s observation out of the window, if present.
+    fn obs_remove(&mut self, s: u64) -> Option<SlotObservation> {
+        let i = self.obs.iter().position(|&(k, _)| k == s)?;
+        Some(self.obs.swap_remove(i).1)
+    }
+
+    /// Slot `s`'s observation, created fresh if absent.
+    fn obs_entry(&mut self, s: u64, n: u32) -> &mut SlotObservation {
+        let i = match self.obs.iter().position(|&(k, _)| k == s) {
+            Some(i) => i,
+            None => {
+                self.obs.push((s, SlotObservation::new(s, n)));
+                self.obs.len() - 1
+            }
+        };
+        &mut self.obs[i].1
+    }
+
     fn handle_slot(&mut self, ctx: &mut Ctx, s: u64) {
         if self.out_of_session || !self.ever_received {
-            self.obs.remove(&s);
+            self.obs_remove(s);
             // Watchdog: a lost session-join (or an expired keyless grace)
             // would otherwise leave the receiver waiting forever.
             if !self.out_of_session && s % 4 == 3 {
@@ -400,12 +420,17 @@ impl FlidReceiver {
             return;
         }
         let obs = self
-            .obs
-            .remove(&s)
+            .obs_remove(s)
             .unwrap_or_else(|| SlotObservation::new(s, self.cfg.n()));
-        let marked = self.marked_slots.remove(&s);
+        let marked = match self.marked_slots.iter().position(|&k| k == s) {
+            Some(i) => {
+                self.marked_slots.swap_remove(i);
+                true
+            }
+            None => false,
+        };
         // Drop any stale observations.
-        self.obs.retain(|&k, _| k > s);
+        self.obs.retain(|&(k, _)| k > s);
         self.marked_slots.retain(|&k| k > s);
         let dlevel = self.decision_level(s);
         if dlevel == 0 {
@@ -610,7 +635,9 @@ impl Agent for FlidReceiver {
             if pkt.ecn == Ecn::Marked {
                 // ECN-driven congestion signal (paper §3.1.2): the edge
                 // router has already scrambled this packet's component.
-                self.marked_slots.insert(slot);
+                if !self.marked_slots.contains(&slot) {
+                    self.marked_slots.push(slot);
+                }
             }
             let n = self.cfg.n();
             let gi = (pd.fields.group - 1) as usize;
@@ -621,10 +648,7 @@ impl Agent for FlidReceiver {
                     *j = Some(slot);
                 }
             }
-            self.obs
-                .entry(slot)
-                .or_insert_with(|| SlotObservation::new(slot, n))
-                .observe(&pd.fields);
+            self.obs_entry(slot, n).observe(&pd.fields);
         } else if let Some(ack) = pkt.body_as::<SubscriptionAck>() {
             if self
                 .pending

@@ -55,6 +55,14 @@ id_type!(
     FlowId,
     "f"
 );
+id_type!(
+    /// The dense slab index of a multicast group, interned by the `World`
+    /// the first time a [`GroupAddr`] is registered or joined. All per-node
+    /// multicast state is indexed by `GroupIdx`, so the forwarding hot path
+    /// never hashes a group address.
+    GroupIdx,
+    "gi"
+);
 
 /// A multicast group address.
 ///

@@ -250,7 +250,7 @@ mod tests {
         // the prune stops the flow; the graft/prune latency allows slack.
         assert!(got > 20 && got < 80, "got {got}");
         // After the prune the first router must be off the tree.
-        assert!(!sim.world.nodes[r1.index()].groups.contains_key(&g));
+        assert!(sim.world.group_entry(r1, g).is_none());
     }
 
     #[test]
@@ -395,6 +395,169 @@ mod tests {
             )
         };
         assert_eq!(run(5), run(5));
+    }
+
+    /// A payload that counts its deep clones through a shared counter.
+    /// `clone_box` (the copy-on-write path) goes through `Clone`, so the
+    /// counter observes exactly the payload copies the simulator makes.
+    #[derive(Debug)]
+    struct CountingBody {
+        tag: u32,
+        clones: std::sync::Arc<std::sync::atomic::AtomicUsize>,
+    }
+    impl Clone for CountingBody {
+        fn clone(&self) -> Self {
+            self.clones
+                .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            CountingBody {
+                tag: self.tag,
+                clones: self.clones.clone(),
+            }
+        }
+    }
+
+    /// A star of `n` member hosts around one router, a source on its own
+    /// host, every member joined from t = 0; the source emits one packet
+    /// carrying a [`CountingBody`].
+    fn fanout_sim(
+        n: usize,
+        clones: std::sync::Arc<std::sync::atomic::AtomicUsize>,
+    ) -> (Sim, NodeId, Vec<AgentId>) {
+        #[derive(Debug)]
+        struct OneShot {
+            group: GroupAddr,
+            clones: std::sync::Arc<std::sync::atomic::AtomicUsize>,
+        }
+        impl Agent for OneShot {
+            fn on_start(&mut self, ctx: &mut Ctx) {
+                ctx.timer_in(SimDuration::from_millis(200), 0);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx, _tok: u64) {
+                ctx.send(Packet::app(
+                    512,
+                    FlowId(3),
+                    ctx.agent,
+                    Dest::Group(self.group),
+                    CountingBody {
+                        tag: 7,
+                        clones: self.clones.clone(),
+                    },
+                ));
+            }
+        }
+        #[derive(Debug)]
+        struct Member {
+            group: GroupAddr,
+            seen_tag: Option<u32>,
+        }
+        impl Agent for Member {
+            fn on_start(&mut self, ctx: &mut Ctx) {
+                ctx.join_group(self.group);
+            }
+            fn on_packet(&mut self, _ctx: &mut Ctx, pkt: Packet) {
+                self.seen_tag = pkt.body_as::<CountingBody>().map(|b| b.tag);
+            }
+        }
+        let mut sim = Sim::new(9, SimDuration::from_secs(1));
+        let router = sim.add_node();
+        let src_host = sim.add_node();
+        sim.add_duplex_link(
+            src_host,
+            router,
+            10_000_000,
+            SimDuration::from_millis(5),
+            Queue::drop_tail(100_000),
+            Queue::drop_tail(100_000),
+        );
+        let g = GroupAddr(4);
+        sim.register_group(g, src_host);
+        let mut members = Vec::new();
+        for _ in 0..n {
+            let h = sim.add_node();
+            sim.add_duplex_link(
+                router,
+                h,
+                10_000_000,
+                SimDuration::from_millis(5),
+                Queue::drop_tail(100_000),
+                Queue::drop_tail(100_000),
+            );
+            members.push(sim.add_agent(
+                h,
+                Box::new(Member {
+                    group: g,
+                    seen_tag: None,
+                }),
+                SimTime::ZERO,
+            ));
+        }
+        sim.add_agent(
+            src_host,
+            Box::new(OneShot { group: g, clones }),
+            SimTime::ZERO,
+        );
+        (sim, router, members)
+    }
+
+    /// Tentpole contract: fanning one packet out to N read-only branches
+    /// performs zero deep payload clones — every branch shares the Arc.
+    #[test]
+    fn multicast_fanout_is_zero_copy() {
+        let clones = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let (mut sim, _router, members) = fanout_sim(20, clones.clone());
+        sim.finalize();
+        sim.run_until(SimTime::from_secs(2));
+        for m in &members {
+            let got = sim
+                .monitor()
+                .agent_throughput_bps(*m, SimTime::ZERO, SimTime::from_secs(2));
+            assert!(got > 0.0, "member {m} never got the packet");
+        }
+        assert_eq!(
+            clones.load(std::sync::atomic::Ordering::SeqCst),
+            0,
+            "read-only fan-out must not deep-clone the payload"
+        );
+    }
+
+    /// …and a branch that mutates the body (an edge module rewriting the
+    /// payload on one interface) pays exactly one copy-on-write clone.
+    #[test]
+    fn mutating_one_branch_clones_exactly_once() {
+        #[derive(Debug)]
+        struct MutateOne {
+            victim: Option<LinkId>,
+        }
+        impl EdgeModule for MutateOne {
+            fn filter_data(&mut self, _env: &mut EdgeEnv, iface: LinkId, pkt: &mut Packet) -> bool {
+                // Mutate the body on the first host-facing branch only.
+                if self.victim.is_none() {
+                    self.victim = Some(iface);
+                }
+                if self.victim == Some(iface) {
+                    if let Some(b) = pkt.body_as_mut::<CountingBody>() {
+                        b.tag = 99;
+                    }
+                }
+                true
+            }
+        }
+        let clones = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let (mut sim, router, members) = fanout_sim(20, clones.clone());
+        sim.set_edge_module(router, Box::new(MutateOne { victim: None }));
+        sim.finalize();
+        sim.run_until(SimTime::from_secs(2));
+        for m in &members {
+            let got = sim
+                .monitor()
+                .agent_throughput_bps(*m, SimTime::ZERO, SimTime::from_secs(2));
+            assert!(got > 0.0, "member {m} never got the packet");
+        }
+        assert_eq!(
+            clones.load(std::sync::atomic::Ordering::SeqCst),
+            1,
+            "exactly one branch mutates → exactly one copy-on-write clone"
+        );
     }
 
     #[test]

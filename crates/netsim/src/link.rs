@@ -62,12 +62,27 @@ pub struct Link {
     pub host_facing: bool,
     /// Counters.
     pub stats: LinkStats,
+    /// One-entry memo `(size_bits, bps, tx nanos)` for
+    /// [`Link::tx_time_cached`]: a flow sends same-sized packets back to
+    /// back, and the 128-bit division inside `SimDuration::transmission`
+    /// is hot-path expensive. Keyed on the rate too, so mutating the
+    /// public `bps` field mid-run cannot serve stale times.
+    pub(crate) tx_memo: (u64, u64, u64),
 }
 
 impl Link {
     /// Serialization time of `pkt` on this link.
     pub fn tx_time(&self, pkt: &Packet) -> SimDuration {
         SimDuration::transmission(pkt.size_bits, self.bps)
+    }
+
+    /// [`Link::tx_time`] with a one-entry memo on (packet size, rate).
+    pub fn tx_time_cached(&mut self, pkt: &Packet) -> SimDuration {
+        if self.tx_memo.0 != pkt.size_bits || self.tx_memo.1 != self.bps {
+            let tx = SimDuration::transmission(pkt.size_bits, self.bps);
+            self.tx_memo = (pkt.size_bits, self.bps, tx.as_nanos());
+        }
+        SimDuration::from_nanos(self.tx_memo.2)
     }
 
     /// True when the transmitter is idle and the queue empty.
@@ -111,6 +126,7 @@ mod tests {
             in_service: None,
             host_facing: false,
             stats: LinkStats::default(),
+            tx_memo: (u64::MAX, 0, 0),
         }
     }
 

@@ -7,7 +7,6 @@
 
 use crate::addr::{AgentId, FlowId};
 use mcc_simcore::{SimDuration, SimTime};
-use std::collections::HashMap;
 
 /// Record of deliveries for one (receiver agent, flow) pair.
 #[derive(Clone, Debug, Default)]
@@ -25,11 +24,21 @@ pub struct DeliveryRecord {
 }
 
 /// Collects delivery statistics for a simulation run.
+///
+/// Storage is flat: a `Vec` indexed by agent id, each slot holding the
+/// agent's per-flow records in first-seen order (agents receive one or
+/// two flows, so a linear scan beats hashing). `record` sits on the
+/// simulator's delivery hot path — no hashing, no allocation once an
+/// (agent, flow) pair exists.
 #[derive(Debug)]
 pub struct Monitor {
     /// Width of each throughput bin.
     pub bin: SimDuration,
-    records: HashMap<(AgentId, FlowId), DeliveryRecord>,
+    /// `by_agent[agent][..] = (flow, record)`, flows in first-seen order.
+    by_agent: Vec<Vec<(FlowId, DeliveryRecord)>>,
+    /// `(now nanos, bin index)` memo: a multicast wave delivers thousands
+    /// of packets at one instant, and the division is hot-path visible.
+    bin_memo: (u64, usize),
 }
 
 impl Monitor {
@@ -38,36 +47,62 @@ impl Monitor {
         assert!(!bin.is_zero(), "bin width must be positive");
         Monitor {
             bin,
-            records: HashMap::new(),
+            by_agent: Vec::new(),
+            bin_memo: (u64::MAX, 0),
         }
     }
 
     /// Record a delivery of `bits` of flow `flow` to `agent` at `now`.
     pub fn record(&mut self, now: SimTime, agent: AgentId, flow: FlowId, bits: u64) {
-        let rec = self.records.entry((agent, flow)).or_default();
+        let ai = agent.index();
+        if self.by_agent.len() <= ai {
+            self.by_agent.resize_with(ai + 1, Vec::new);
+        }
+        let flows = &mut self.by_agent[ai];
+        let fi = match flows.iter().position(|(f, _)| *f == flow) {
+            Some(i) => i,
+            None => {
+                flows.push((flow, DeliveryRecord::default()));
+                flows.len() - 1
+            }
+        };
+        let rec = &mut flows[fi].1;
         rec.bits += bits;
         rec.packets += 1;
         rec.first.get_or_insert(now);
         rec.last = Some(now);
-        let idx = (now.as_nanos() / self.bin.as_nanos()) as usize;
+        if self.bin_memo.0 != now.as_nanos() {
+            self.bin_memo = (
+                now.as_nanos(),
+                (now.as_nanos() / self.bin.as_nanos()) as usize,
+            );
+        }
+        let idx = self.bin_memo.1;
         if rec.bins.len() <= idx {
             rec.bins.resize(idx + 1, 0);
         }
         rec.bins[idx] += bits;
     }
 
+    /// Flow records of one agent (empty if it never received anything).
+    fn agent_flows(&self, agent: AgentId) -> &[(FlowId, DeliveryRecord)] {
+        self.by_agent
+            .get(agent.index())
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
     /// The record for one (agent, flow), if any deliveries happened.
     pub fn get(&self, agent: AgentId, flow: FlowId) -> Option<&DeliveryRecord> {
-        self.records.get(&(agent, flow))
+        self.agent_flows(agent)
+            .iter()
+            .find(|(f, _)| *f == flow)
+            .map(|(_, r)| r)
     }
 
     /// Total bits delivered to `agent` across all flows.
     pub fn agent_bits(&self, agent: AgentId) -> u64 {
-        self.records
-            .iter()
-            .filter(|((a, _), _)| *a == agent)
-            .map(|(_, r)| r.bits)
-            .sum()
+        self.agent_flows(agent).iter().map(|(_, r)| r.bits).sum()
     }
 
     /// Average throughput of `agent` (all flows) over `[from, to)` in bit/s.
@@ -79,9 +114,8 @@ impl Monitor {
         let from_bin = (from.as_nanos() / self.bin.as_nanos()) as usize;
         let to_bin = (to.as_nanos().saturating_sub(1) / self.bin.as_nanos()) as usize;
         let bits: u64 = self
-            .records
+            .agent_flows(agent)
             .iter()
-            .filter(|((a, _), _)| *a == agent)
             .map(|(_, r)| {
                 r.bins
                     .iter()
@@ -99,10 +133,7 @@ impl Monitor {
     pub fn agent_series_bps(&self, agent: AgentId, horizon: SimTime) -> Vec<f64> {
         let nbins = (horizon.as_nanos()).div_ceil(self.bin.as_nanos()) as usize;
         let mut out = vec![0u64; nbins];
-        for ((a, _), r) in &self.records {
-            if *a != agent {
-                continue;
-            }
+        for (_, r) in self.agent_flows(agent) {
             for (i, b) in r.bins.iter().enumerate() {
                 if i < nbins {
                     out[i] += *b;
@@ -115,7 +146,12 @@ impl Monitor {
 
     /// All (agent, flow) pairs seen.
     pub fn pairs(&self) -> Vec<(AgentId, FlowId)> {
-        let mut v: Vec<_> = self.records.keys().copied().collect();
+        let mut v: Vec<(AgentId, FlowId)> = self
+            .by_agent
+            .iter()
+            .enumerate()
+            .flat_map(|(a, flows)| flows.iter().map(move |(f, _)| (AgentId(a as u32), *f)))
+            .collect();
         v.sort_unstable_by_key(|(a, f)| (a.0, f.0));
         v
     }

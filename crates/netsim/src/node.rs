@@ -4,21 +4,37 @@
 //! tables) and, when agents are attached, a host. Multicast state follows
 //! the source-rooted tree model: a node is *on the tree* for a group when it
 //! has downstream interfaces, local member agents, or an edge-module
-//! anchor; joining propagates hop-by-hop grafts toward the group source and
+//! anchor; joining propagates hop-by-hop grafts toward the source and
 //! the last leave propagates a prune.
+//!
+//! Per-node state is **flat**: unicast routes are a dense
+//! `Vec<Option<LinkId>>` indexed by destination [`NodeId`] (built by
+//! `Sim::finalize`), and multicast state is a slab of [`GroupEntry`] slots
+//! indexed by [`GroupIdx`](crate::addr::GroupIdx) — the dense index the
+//! `World` interns per [`GroupAddr`](crate::addr::GroupAddr). The forwarding
+//! hot path therefore costs two array indexings per hop, no hash lookups.
 
-use crate::addr::{AgentId, GroupAddr, LinkId, NodeId};
+use crate::addr::{AgentId, GroupIdx, LinkId, NodeId};
 use crate::edge::EdgeModule;
 use mcc_simcore::SimDuration;
-use std::collections::{BTreeSet, HashMap};
 
 /// Per-group forwarding state at one node.
+///
+/// The interface and member sets are **sorted `Vec`s** rather than
+/// `BTreeSet`s: the forwarding hot path iterates them once per packet
+/// (fan-out snapshot, member delivery) while membership churn is orders
+/// of magnitude rarer, so contiguous iteration wins. The fields are
+/// private: all mutation goes through the [`GroupEntry::add_iface`]-style
+/// helpers, which preserve the sorted-unique order the binary-search
+/// lookups — and, since grafts replay in iteration order, simulation
+/// determinism — depend on.
 #[derive(Debug, Default, Clone)]
 pub struct GroupEntry {
-    /// Downstream out-links the group is forwarded onto.
-    pub out_ifaces: BTreeSet<LinkId>,
-    /// Locally attached member agents (host side of the IGMP model).
-    pub local_members: BTreeSet<AgentId>,
+    /// Downstream out-links the group is forwarded onto (sorted, unique).
+    out_ifaces: Vec<LinkId>,
+    /// Locally attached member agents (sorted, unique; host side of the
+    /// IGMP model).
+    local_members: Vec<AgentId>,
     /// True when the node's edge module holds the membership (e.g. a SIGMA
     /// router subscribed to a session's key-distribution control group).
     pub module_member: bool,
@@ -29,6 +45,65 @@ impl GroupEntry {
     pub fn on_tree(&self) -> bool {
         !self.out_ifaces.is_empty() || !self.local_members.is_empty() || self.module_member
     }
+
+    /// Start forwarding onto `iface`; false if it was already present.
+    pub fn add_iface(&mut self, iface: LinkId) -> bool {
+        match self.out_ifaces.binary_search(&iface) {
+            Ok(_) => false,
+            Err(i) => {
+                self.out_ifaces.insert(i, iface);
+                true
+            }
+        }
+    }
+
+    /// Stop forwarding onto `iface`; false if it was not present.
+    pub fn remove_iface(&mut self, iface: LinkId) -> bool {
+        match self.out_ifaces.binary_search(&iface) {
+            Ok(i) => {
+                self.out_ifaces.remove(i);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Add a local member agent; false if already a member.
+    pub fn add_member(&mut self, agent: AgentId) -> bool {
+        match self.local_members.binary_search(&agent) {
+            Ok(_) => false,
+            Err(i) => {
+                self.local_members.insert(i, agent);
+                true
+            }
+        }
+    }
+
+    /// Remove a local member agent; false if it was not a member.
+    pub fn remove_member(&mut self, agent: AgentId) -> bool {
+        match self.local_members.binary_search(&agent) {
+            Ok(i) => {
+                self.local_members.remove(i);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Whether `agent` is a local member.
+    pub fn has_member(&self, agent: AgentId) -> bool {
+        self.local_members.binary_search(&agent).is_ok()
+    }
+
+    /// The downstream interfaces, sorted ascending.
+    pub fn ifaces(&self) -> &[LinkId] {
+        &self.out_ifaces
+    }
+
+    /// The local member agents, sorted ascending.
+    pub fn members(&self) -> &[AgentId] {
+        &self.local_members
+    }
 }
 
 /// A router/host in the topology.
@@ -38,11 +113,13 @@ pub struct Node {
     pub id: NodeId,
     /// All out-links originating here.
     pub out_links: Vec<LinkId>,
-    /// Unicast next hop: destination node → out-link. Filled by
-    /// `Sim::finalize` with shortest-delay routes.
-    pub routes: HashMap<NodeId, LinkId>,
-    /// Multicast forwarding state.
-    pub groups: HashMap<GroupAddr, GroupEntry>,
+    /// Unicast next hop, indexed by destination `NodeId`: `routes[d]` is
+    /// the out-link toward node `d`, `None` when unreachable (or `d` is
+    /// this node). Filled by `Sim::finalize` with shortest-delay routes.
+    pub routes: Vec<Option<LinkId>>,
+    /// Multicast forwarding state: a slab indexed by [`GroupIdx`], grown
+    /// lazily. `None` slots mean "not on the tree for that group".
+    pub groups: Vec<Option<GroupEntry>>,
     /// Agents attached to this node.
     pub local_agents: Vec<AgentId>,
     /// Optional edge module (SIGMA installs one on edge routers).
@@ -58,8 +135,8 @@ impl Node {
         Node {
             id,
             out_links: Vec::new(),
-            routes: HashMap::new(),
-            groups: HashMap::new(),
+            routes: Vec::new(),
+            groups: Vec::new(),
             local_agents: Vec::new(),
             edge: None,
             leave_delay: SimDuration::ZERO,
@@ -71,26 +148,61 @@ impl Node {
         !self.local_agents.is_empty()
     }
 
-    /// Current group entry, if the node is on the tree for `g`.
-    pub fn group(&self, g: GroupAddr) -> Option<&GroupEntry> {
-        self.groups.get(&g)
+    /// The out-link toward `dst`, if one was computed.
+    #[inline]
+    pub fn route_to(&self, dst: NodeId) -> Option<LinkId> {
+        self.routes.get(dst.index()).copied().flatten()
+    }
+
+    /// Current group entry, if the node is on the tree for the group at
+    /// slab slot `g`. (Resolve a [`GroupAddr`](crate::addr::GroupAddr) to
+    /// its `GroupIdx` via `World::group_idx`.)
+    pub fn group(&self, g: GroupIdx) -> Option<&GroupEntry> {
+        self.groups.get(g.index()).and_then(|slot| slot.as_ref())
+    }
+
+    /// Mutable group slot access.
+    pub(crate) fn group_mut(&mut self, g: GroupIdx) -> Option<&mut GroupEntry> {
+        self.groups
+            .get_mut(g.index())
+            .and_then(|slot| slot.as_mut())
+    }
+
+    /// The group's entry, created empty if absent (grows the slab).
+    pub(crate) fn group_or_default(&mut self, g: GroupIdx) -> &mut GroupEntry {
+        let i = g.index();
+        if i >= self.groups.len() {
+            self.groups.resize_with(i + 1, || None);
+        }
+        self.groups[i].get_or_insert_with(GroupEntry::default)
+    }
+
+    /// Drop the group's entry (the node left the tree).
+    pub(crate) fn group_remove(&mut self, g: GroupIdx) {
+        if let Some(slot) = self.groups.get_mut(g.index()) {
+            *slot = None;
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::addr::GroupIdx;
 
     #[test]
     fn on_tree_logic() {
         let mut e = GroupEntry::default();
         assert!(!e.on_tree());
-        e.local_members.insert(AgentId(1));
+        assert!(e.add_member(AgentId(1)));
+        assert!(!e.add_member(AgentId(1)), "duplicate member rejected");
+        assert!(e.has_member(AgentId(1)));
         assert!(e.on_tree());
-        e.local_members.clear();
-        e.out_ifaces.insert(LinkId(4));
+        assert!(e.remove_member(AgentId(1)));
+        assert!(e.add_iface(LinkId(4)));
         assert!(e.on_tree());
-        e.out_ifaces.clear();
+        assert!(e.remove_iface(LinkId(4)));
+        assert!(!e.remove_iface(LinkId(4)), "double remove rejected");
         e.module_member = true;
         assert!(e.on_tree());
         e.module_member = false;
@@ -103,6 +215,19 @@ mod tests {
         assert!(!n.is_host());
         n.local_agents.push(AgentId(0));
         assert!(n.is_host());
-        assert!(n.group(GroupAddr(1)).is_none());
+        assert!(n.group(GroupIdx(1)).is_none());
+        assert!(n.route_to(NodeId(5)).is_none());
+    }
+
+    #[test]
+    fn group_slab_grows_and_clears() {
+        let mut n = Node::new(NodeId(0));
+        n.group_or_default(GroupIdx(3)).module_member = true;
+        assert_eq!(n.groups.len(), 4);
+        assert!(n.group(GroupIdx(3)).unwrap().on_tree());
+        assert!(n.group(GroupIdx(2)).is_none(), "other slots stay empty");
+        n.group_remove(GroupIdx(3));
+        assert!(n.group(GroupIdx(3)).is_none());
+        assert_eq!(n.groups.len(), 4, "removal keeps the slab sized");
     }
 }

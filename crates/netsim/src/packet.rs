@@ -7,10 +7,19 @@
 //! body. Protocol crates define their own body types and attach them through
 //! the [`AppBody`] object-safe clone-able trait — `netsim` stays independent
 //! of every congestion-control protocol, mirroring the paper's Requirement 3.
+//!
+//! Payloads are **reference-counted with copy-on-write**: [`Body::App`]
+//! holds an `Arc<dyn AppBody>`, so cloning a packet (multicast fan-out
+//! copies one per branch) is a pointer bump, not a heap clone. The payload
+//! is only deep-cloned — via [`AppBody::clone_box`], at most once per
+//! shared packet — when someone actually mutates it through
+//! [`Packet::body_as_mut`] (e.g. the SIGMA edge module scrambling the ECN
+//! component fields of a marked packet).
 
 use crate::addr::{AgentId, FlowId, GroupAddr, NodeId};
 use std::any::Any;
 use std::fmt;
+use std::sync::Arc;
 
 /// Where a packet is headed.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -38,10 +47,13 @@ pub enum Ecn {
 
 /// Object-safe, clonable application payload.
 ///
-/// Implemented automatically for any `Clone + Debug + Send + 'static` type
-/// by the blanket impl below.
-pub trait AppBody: fmt::Debug + Send {
-    /// Clone into a fresh box (multicast fan-out copies packets per branch).
+/// Implemented automatically for any `Clone + Debug + Send + Sync +
+/// 'static` type by the blanket impl below (`Sync` because the payload
+/// sits behind an `Arc` shared across fan-out branches).
+pub trait AppBody: fmt::Debug + Send + Sync {
+    /// Deep-clone into a fresh box. Called only on copy-on-write — when a
+    /// shared payload is mutated through [`Packet::body_as_mut`] — never
+    /// on plain packet clones or multicast fan-out.
     fn clone_box(&self) -> Box<dyn AppBody>;
     /// Downcast support.
     fn as_any(&self) -> &dyn Any;
@@ -49,7 +61,7 @@ pub trait AppBody: fmt::Debug + Send {
     fn as_any_mut(&mut self) -> &mut dyn Any;
 }
 
-impl<T: Clone + fmt::Debug + Send + Any> AppBody for T {
+impl<T: Clone + fmt::Debug + Send + Sync + Any> AppBody for T {
     fn clone_box(&self) -> Box<dyn AppBody> {
         Box::new(self.clone())
     }
@@ -61,19 +73,13 @@ impl<T: Clone + fmt::Debug + Send + Any> AppBody for T {
     }
 }
 
-impl Clone for Box<dyn AppBody> {
-    fn clone(&self) -> Self {
-        // Explicit deref: `Box<dyn AppBody>` itself satisfies the blanket
-        // impl, so `self.clone_box()` would recurse on the box forever.
-        (**self).clone_box()
-    }
-}
-
 /// The payload of a packet.
 #[derive(Clone, Debug)]
 pub enum Body {
     /// Protocol-defined payload (TCP segment, FLID data, SIGMA message …).
-    App(Box<dyn AppBody>),
+    /// Reference-counted: cloning shares the payload, mutation through
+    /// [`Packet::body_as_mut`] copies on write.
+    App(Arc<dyn AppBody>),
     /// Host-originated group join report (IGMP model).
     IgmpJoin(GroupAddr),
     /// Host-originated group leave report (IGMP model).
@@ -127,7 +133,7 @@ impl Packet {
             ecn: Ecn::NotCapable,
             router_alert: false,
             uid: 0,
-            body: Body::App(Box::new(body)),
+            body: Body::App(Arc::new(body)),
         }
     }
 
@@ -156,9 +162,24 @@ impl Packet {
     }
 
     /// Mutably borrow the app body as a concrete type, if it is one.
+    ///
+    /// Copy-on-write: when the payload is shared (the packet was cloned,
+    /// e.g. by multicast fan-out), it is deep-cloned via
+    /// [`AppBody::clone_box`] exactly once before the mutable borrow is
+    /// handed out — other holders keep the unmutated original. A failed
+    /// downcast never clones.
     pub fn body_as_mut<T: Any>(&mut self) -> Option<&mut T> {
         match &mut self.body {
-            Body::App(b) => (**b).as_any_mut().downcast_mut::<T>(),
+            Body::App(b) => {
+                (**b).as_any().downcast_ref::<T>()?;
+                if Arc::get_mut(b).is_none() {
+                    *b = Arc::from((**b).clone_box());
+                }
+                Arc::get_mut(b)
+                    .expect("unique after copy-on-write")
+                    .as_any_mut()
+                    .downcast_mut::<T>()
+            }
             _ => None,
         }
     }
@@ -234,6 +255,111 @@ mod tests {
         let p = pkt().ecn_capable().with_router_alert();
         assert_eq!(p.ecn, Ecn::Capable);
         assert!(p.router_alert);
+    }
+
+    /// A payload whose clone count is observable: every deep clone
+    /// (`clone_box` goes through `Clone` via the blanket impl) bumps the
+    /// shared counter.
+    #[derive(Debug)]
+    struct Counting {
+        x: u32,
+        clones: std::sync::Arc<std::sync::atomic::AtomicUsize>,
+    }
+
+    impl Clone for Counting {
+        fn clone(&self) -> Self {
+            self.clones
+                .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            Counting {
+                x: self.x,
+                clones: self.clones.clone(),
+            }
+        }
+    }
+
+    #[test]
+    fn packet_clones_share_the_body_without_copying() {
+        let clones = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let p = Packet::app(
+            512,
+            FlowId(0),
+            AgentId(0),
+            Dest::Group(GroupAddr(1)),
+            Counting {
+                x: 1,
+                clones: clones.clone(),
+            },
+        );
+        let copies: Vec<Packet> = (0..50).map(|_| p.clone()).collect();
+        assert_eq!(
+            clones.load(std::sync::atomic::Ordering::SeqCst),
+            0,
+            "fan-out clones must be pointer bumps"
+        );
+        drop(copies);
+    }
+
+    #[test]
+    fn mutation_copies_on_write_exactly_once() {
+        let clones = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let p = Packet::app(
+            512,
+            FlowId(0),
+            AgentId(0),
+            Dest::Group(GroupAddr(1)),
+            Counting {
+                x: 1,
+                clones: clones.clone(),
+            },
+        );
+        let mut branch = p.clone();
+        branch.body_as_mut::<Counting>().unwrap().x = 9;
+        assert_eq!(
+            clones.load(std::sync::atomic::Ordering::SeqCst),
+            1,
+            "a shared body is deep-cloned exactly once on mutation"
+        );
+        // A second mutation of the now-unique body is in place.
+        branch.body_as_mut::<Counting>().unwrap().x = 10;
+        assert_eq!(clones.load(std::sync::atomic::Ordering::SeqCst), 1);
+        // The original kept the unmutated payload.
+        assert_eq!(p.body_as::<Counting>().unwrap().x, 1);
+        assert_eq!(branch.body_as::<Counting>().unwrap().x, 10);
+    }
+
+    #[test]
+    fn unique_body_mutates_in_place_without_cloning() {
+        let clones = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let mut p = Packet::app(
+            512,
+            FlowId(0),
+            AgentId(0),
+            Dest::Agent(AgentId(1)),
+            Counting {
+                x: 1,
+                clones: clones.clone(),
+            },
+        );
+        p.body_as_mut::<Counting>().unwrap().x = 2;
+        assert_eq!(clones.load(std::sync::atomic::Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn failed_downcast_never_clones() {
+        let clones = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let p = Packet::app(
+            512,
+            FlowId(0),
+            AgentId(0),
+            Dest::Agent(AgentId(1)),
+            Counting {
+                x: 1,
+                clones: clones.clone(),
+            },
+        );
+        let mut q = p.clone();
+        assert!(q.body_as_mut::<Demo>().is_none());
+        assert_eq!(clones.load(std::sync::atomic::Ordering::SeqCst), 0);
     }
 
     #[test]

@@ -14,17 +14,32 @@
 //!
 //! Everything is deterministic: the event queue is totally ordered and all
 //! randomness flows from the scenario seed.
+//!
+//! ## The hot path
+//!
+//! Steady-state forwarding is allocation-free:
+//!
+//! * group addresses are interned to dense [`GroupIdx`] slots the first
+//!   time they are registered or joined, so per-node multicast state is a
+//!   slab (`Vec<Option<GroupEntry>>`) and routing tables are dense
+//!   `Vec<Option<LinkId>>`s — array indexing, not hashing, per hop;
+//! * [`World::forward_multicast`] snapshots the fan-out into scratch
+//!   buffers owned by the `World` (taken with `mem::take` so re-entrant
+//!   forwarding triggered by edge actions cannot alias them, and restored
+//!   afterwards), instead of allocating fresh `Vec`s per packet;
+//! * packet payloads are `Arc`-shared ([`crate::packet::Body::App`]), so
+//!   each branch's copy is a pointer bump, and the packet itself is
+//!   *moved* into the last branch rather than cloned.
 
-use crate::addr::{AgentId, FlowId, GroupAddr, LinkId, NodeId};
+use crate::addr::{AgentId, FlowId, GroupAddr, GroupIdx, LinkId, NodeId};
 use crate::edge::{EdgeAction, EdgeEnv, EdgeModule};
 use crate::link::{Link, LinkStats};
 use crate::monitor::Monitor;
-use crate::node::Node;
+use crate::node::{GroupEntry, Node};
 use crate::packet::{Body, Dest, Packet};
 use crate::queue::{EnqueueOutcome, Queue};
-use mcc_simcore::{DetRng, EventQueue, SimDuration, SimTime};
+use mcc_simcore::{DetRng, EventQueue, FxHashMap, SimDuration, SimTime};
 use std::any::Any;
-use std::collections::HashMap;
 
 /// Flow id used by simulator-internal control packets (grafts/prunes).
 pub const CONTROL_FLOW: FlowId = FlowId(u32::MAX);
@@ -47,8 +62,8 @@ enum Event {
     EdgeTimer(NodeId, u64),
     /// Same-node delivery (sender and receiver share a host).
     LocalDeliver(AgentId, Packet),
-    /// Leave-latency expiry: re-check whether `node` still needs `group`.
-    LeaveCheck(NodeId, GroupAddr),
+    /// Leave-latency expiry: re-check whether `node` still needs the group.
+    LeaveCheck(NodeId, GroupIdx),
 }
 
 /// A protocol endpoint.
@@ -122,10 +137,9 @@ impl<'w> Ctx<'w> {
 
     /// Whether this agent is currently a member of `group`.
     pub fn is_member(&self, group: GroupAddr) -> bool {
-        self.world.nodes[self.node.index()]
-            .groups
-            .get(&group)
-            .is_some_and(|e| e.local_members.contains(&self.agent))
+        self.world
+            .group_entry(self.node, group)
+            .is_some_and(|e| e.has_member(self.agent))
     }
 }
 
@@ -140,14 +154,24 @@ pub struct World {
     pub nodes: Vec<Node>,
     /// Attachment node of each agent.
     pub agent_nodes: Vec<NodeId>,
-    /// Registered multicast sources (group → source's host node).
-    pub group_sources: HashMap<GroupAddr, NodeId>,
+    /// The group-address interner: address → dense slab index. Grows at
+    /// `register_group` and on first join; read once per multicast hop
+    /// (hence the cheap multiplicative hasher).
+    group_index: FxHashMap<GroupAddr, GroupIdx>,
+    /// Reverse of `group_index`, indexed by [`GroupIdx`].
+    group_addrs: Vec<GroupAddr>,
+    /// Registered multicast source host per group, indexed by [`GroupIdx`].
+    group_sources: Vec<Option<NodeId>>,
     /// Root randomness for the run.
     pub rng: DetRng,
     /// Delivery statistics.
     pub monitor: Monitor,
     uid: u64,
     finalized: bool,
+    // Reusable scratch buffers for `forward_multicast` (see module docs).
+    scratch_fanout: Vec<(LinkId, bool)>,
+    scratch_members: Vec<AgentId>,
+    scratch_actions: Vec<EdgeAction>,
 }
 
 impl World {
@@ -158,12 +182,51 @@ impl World {
             links: Vec::new(),
             nodes: Vec::new(),
             agent_nodes: Vec::new(),
-            group_sources: HashMap::new(),
+            group_index: FxHashMap::default(),
+            group_addrs: Vec::new(),
+            group_sources: Vec::new(),
             rng: DetRng::new(seed),
             monitor: Monitor::new(monitor_bin),
             uid: 0,
             finalized: false,
+            scratch_fanout: Vec::new(),
+            scratch_members: Vec::new(),
+            scratch_actions: Vec::new(),
         }
+    }
+
+    /// The dense slab index of `group`, interning it if new.
+    fn intern_group(&mut self, group: GroupAddr) -> GroupIdx {
+        if let Some(&gi) = self.group_index.get(&group) {
+            return gi;
+        }
+        let gi = GroupIdx(self.group_addrs.len() as u32);
+        self.group_index.insert(group, gi);
+        self.group_addrs.push(group);
+        self.group_sources.push(None);
+        gi
+    }
+
+    /// The slab index of `group`, if it was ever registered or joined.
+    pub fn group_idx(&self, group: GroupAddr) -> Option<GroupIdx> {
+        self.group_index.get(&group).copied()
+    }
+
+    /// The address interned at slab slot `gi`.
+    pub fn group_addr(&self, gi: GroupIdx) -> GroupAddr {
+        self.group_addrs[gi.index()]
+    }
+
+    /// The registered source host of `group`, if any.
+    pub fn group_source(&self, group: GroupAddr) -> Option<NodeId> {
+        self.group_idx(group)
+            .and_then(|gi| self.group_sources[gi.index()])
+    }
+
+    /// A node's forwarding state for `group`, if it is on the tree.
+    pub fn group_entry(&self, node: NodeId, group: GroupAddr) -> Option<&GroupEntry> {
+        self.group_idx(group)
+            .and_then(|gi| self.nodes[node.index()].group(gi))
     }
 
     /// Stamp and route a packet out of `node`.
@@ -198,7 +261,7 @@ impl World {
     }
 
     fn forward_toward(&mut self, node: NodeId, dst_node: NodeId, pkt: Packet) {
-        let Some(&out) = self.nodes[node.index()].routes.get(&dst_node) else {
+        let Some(out) = self.nodes[node.index()].route_to(dst_node) else {
             // No route: the packet dies silently, mirroring a routing hole.
             return;
         };
@@ -207,28 +270,73 @@ impl World {
 
     /// Multicast forwarding with edge filtering (paper §3.2.2) and
     /// router-alert interception (paper §3.2.1).
+    ///
+    /// Allocation-free in steady state: the fan-out and local-member sets
+    /// are snapshotted into `World`-owned scratch buffers, every branch's
+    /// copy shares the `Arc`'d payload, and the packet itself is moved
+    /// into the last branch instead of cloned.
     fn forward_multicast(&mut self, node: NodeId, in_link: Option<LinkId>, pkt: Packet) {
         let group = match pkt.dst {
             Dest::Group(g) => g,
             _ => unreachable!("forward_multicast on non-group packet"),
         };
+        let Some(gi) = self.group_idx(group) else {
+            return; // Never registered or joined anywhere: no tree exists.
+        };
         let back = in_link.map(|l| self.links[l.index()].reverse);
         let n = node.index();
-        let Some(entry) = self.nodes[n].groups.get(&group) else {
+        let Some(entry) = self.nodes[n].group(gi) else {
             return;
         };
-        let ifaces: Vec<LinkId> = entry
-            .out_ifaces
-            .iter()
-            .copied()
-            .filter(|&i| Some(i) != back)
-            .collect();
-        let members: Vec<AgentId> = entry.local_members.iter().copied().collect();
-        let has_edge = self.nodes[n].edge.is_some();
 
-        // Router-alert packets are shown to the edge module and are never
+        // Leaf-host fast path — the overwhelmingly common case in wide
+        // fan-outs: no downstream interfaces, no edge module, just local
+        // members. Deliver straight from the entry without staging
+        // through the scratch buffers.
+        if !pkt.router_alert
+            && entry.ifaces().is_empty()
+            && !entry.members().is_empty()
+            && self.nodes[n].edge.is_none()
+        {
+            let last = entry.members().len() - 1;
+            for (k, &agent) in entry.members().iter().enumerate() {
+                if k == last {
+                    self.events.push(self.now, Event::LocalDeliver(agent, pkt));
+                    return;
+                }
+                self.events
+                    .push(self.now, Event::LocalDeliver(agent, pkt.clone()));
+            }
+            return;
+        }
+
+        // Snapshot the fan-out into scratch buffers. `mem::take` detaches
+        // them from `self` so nested forwarding (edge actions can
+        // originate packets) sees empty buffers instead of aliasing ours;
+        // both are restored below. Router-alert packets are never
         // forwarded onto host-facing interfaces or to local agents.
-        if pkt.router_alert && has_edge {
+        let router_alert = pkt.router_alert;
+        let mut fanout = std::mem::take(&mut self.scratch_fanout);
+        let mut members = std::mem::take(&mut self.scratch_members);
+        fanout.clear();
+        members.clear();
+        for &iface in entry.ifaces() {
+            if Some(iface) == back {
+                continue;
+            }
+            let host_facing = self.links[iface.index()].host_facing;
+            if router_alert && host_facing {
+                continue;
+            }
+            fanout.push((iface, host_facing));
+        }
+        if !router_alert {
+            members.extend(entry.members().iter().copied());
+        }
+
+        // Router-alert packets are shown to the edge module.
+        let has_edge = self.nodes[n].edge.is_some();
+        if router_alert && has_edge {
             self.with_edge(node, |module, env| module.on_special(env, &pkt));
         }
 
@@ -237,23 +345,29 @@ impl World {
         } else {
             None
         };
-        let mut actions = Vec::new();
-        for iface in ifaces {
-            let host_facing = self.links[iface.index()].host_facing;
-            if pkt.router_alert && host_facing {
-                continue;
-            }
-            let mut copy = pkt.clone();
+        let mut actions = std::mem::take(&mut self.scratch_actions);
+        let flow = pkt.flow;
+        let branches = fanout.len();
+        let members_pending = !members.is_empty();
+        // Wrapped so the last consumer takes the packet by move.
+        let mut pkt = Some(pkt);
+        for (k, &(iface, host_facing)) in fanout.iter().enumerate() {
+            let last_consumer = k + 1 == branches && !members_pending;
+            let mut copy = if last_consumer {
+                pkt.take().expect("packet moved once")
+            } else {
+                pkt.as_ref().expect("packet present until last").clone()
+            };
             let allowed = if host_facing {
                 if let Some(m) = module.as_mut() {
                     let mut env = EdgeEnv {
                         now: self.now,
                         node,
                         rng: &mut self.rng,
-                        actions: Vec::new(),
+                        actions: std::mem::take(&mut actions),
                     };
                     let ok = m.filter_data(&mut env, iface, &mut copy);
-                    actions.append(&mut env.actions);
+                    actions = env.actions;
                     ok
                 } else {
                     true
@@ -264,34 +378,42 @@ impl World {
             if allowed {
                 self.enqueue_link(iface, copy);
             } else {
-                self.links[iface.index()].note_drop(pkt.flow);
+                self.links[iface.index()].note_drop(flow);
             }
         }
         if let Some(m) = module {
             self.nodes[n].edge = Some(m);
         }
-        self.apply_edge_actions(node, actions);
+        self.apply_edge_actions(node, &mut actions);
+        self.scratch_actions = actions;
 
-        if !pkt.router_alert {
-            for agent in members {
-                self.events
-                    .push(self.now, Event::LocalDeliver(agent, pkt.clone()));
+        if let Some(last) = members.len().checked_sub(1) {
+            for (k, &agent) in members.iter().enumerate() {
+                let copy = if k == last {
+                    pkt.take().expect("packet moved once")
+                } else {
+                    pkt.as_ref().expect("packet present until last").clone()
+                };
+                self.events.push(self.now, Event::LocalDeliver(agent, copy));
             }
         }
+        fanout.clear();
+        members.clear();
+        self.scratch_fanout = fanout;
+        self.scratch_members = members;
     }
 
     /// Offer a packet to a link's transmitter/queue.
     fn enqueue_link(&mut self, l: LinkId, pkt: Packet) {
-        let li = l.index();
-        if self.links[li].in_service.is_none() {
-            let tx = self.links[li].tx_time(&pkt);
-            self.links[li].in_service = Some(pkt);
-            self.events.push(self.now + tx, Event::Departure(l));
+        let now = self.now;
+        // Split borrows: the link and the RNG live in different fields.
+        let link = &mut self.links[l.index()];
+        if link.in_service.is_none() {
+            let tx = link.tx_time_cached(&pkt);
+            link.in_service = Some(pkt);
+            self.events.push(now + tx, Event::Departure(l));
         } else {
-            let now = self.now;
-            let bps = self.links[li].bps;
-            // Split borrows: the queue and the RNG live in different fields.
-            let link = &mut self.links[li];
+            let bps = link.bps;
             let (outcome, rejected) = link.queue.enqueue(pkt, now, bps, &mut self.rng);
             match outcome {
                 EnqueueOutcome::Dropped => {
@@ -306,34 +428,38 @@ impl World {
 
     /// A local agent joins a group at its host node.
     fn local_join(&mut self, node: NodeId, agent: AgentId, group: GroupAddr) {
-        let entry = self.nodes[node.index()].groups.entry(group).or_default();
+        let gi = self.intern_group(group);
+        let entry = self.nodes[node.index()].group_or_default(gi);
         let was_on_tree = entry.on_tree();
-        entry.local_members.insert(agent);
+        entry.add_member(agent);
         if !was_on_tree {
-            self.graft_upstream(node, group);
+            self.graft_upstream(node, gi);
         }
     }
 
     /// A local agent leaves; prune after the node's leave latency.
     fn local_leave(&mut self, node: NodeId, agent: AgentId, group: GroupAddr) {
+        let Some(gi) = self.group_idx(group) else {
+            return; // Never joined anywhere.
+        };
         let n = node.index();
-        if let Some(entry) = self.nodes[n].groups.get_mut(&group) {
-            entry.local_members.remove(&agent);
+        if let Some(entry) = self.nodes[n].group_mut(gi) {
+            entry.remove_member(agent);
             let delay = self.nodes[n].leave_delay;
             self.events
-                .push(self.now + delay, Event::LeaveCheck(node, group));
+                .push(self.now + delay, Event::LeaveCheck(node, gi));
         }
     }
 
     /// Grow the tree one hop toward the source.
-    fn graft_upstream(&mut self, node: NodeId, group: GroupAddr) {
-        let Some(&source) = self.group_sources.get(&group) else {
+    fn graft_upstream(&mut self, node: NodeId, gi: GroupIdx) {
+        let Some(source) = self.group_sources[gi.index()] else {
             return; // Unregistered group: membership stays local.
         };
         if source == node {
             return;
         }
-        let Some(&out) = self.nodes[node.index()].routes.get(&source) else {
+        let Some(out) = self.nodes[node.index()].route_to(source) else {
             return;
         };
         let graft = Packet {
@@ -344,21 +470,21 @@ impl World {
             ecn: Default::default(),
             router_alert: false,
             uid: 0,
-            body: Body::Graft(group),
+            body: Body::Graft(self.group_addrs[gi.index()]),
         };
         self.enqueue_link(out, graft);
     }
 
     /// Shrink the tree one hop toward the source and drop local state.
-    fn prune_upstream(&mut self, node: NodeId, group: GroupAddr) {
-        self.nodes[node.index()].groups.remove(&group);
-        let Some(&source) = self.group_sources.get(&group) else {
+    fn prune_upstream(&mut self, node: NodeId, gi: GroupIdx) {
+        self.nodes[node.index()].group_remove(gi);
+        let Some(source) = self.group_sources[gi.index()] else {
             return;
         };
         if source == node {
             return;
         }
-        let Some(&out) = self.nodes[node.index()].routes.get(&source) else {
+        let Some(out) = self.nodes[node.index()].route_to(source) else {
             return;
         };
         let prune = Packet {
@@ -369,7 +495,7 @@ impl World {
             ecn: Default::default(),
             router_alert: false,
             uid: 0,
-            body: Body::Prune(group),
+            body: Body::Prune(self.group_addrs[gi.index()]),
         };
         self.enqueue_link(out, prune);
     }
@@ -389,11 +515,12 @@ impl World {
                 return;
             }
         }
-        let entry = self.nodes[n].groups.entry(group).or_default();
+        let gi = self.intern_group(group);
+        let entry = self.nodes[n].group_or_default(gi);
         let was_on_tree = entry.on_tree();
-        entry.out_ifaces.insert(iface);
+        entry.add_iface(iface);
         if !was_on_tree {
-            self.graft_upstream(node, group);
+            self.graft_upstream(node, gi);
         }
     }
 
@@ -410,10 +537,13 @@ impl World {
                 return;
             }
         }
-        if let Some(entry) = self.nodes[n].groups.get_mut(&group) {
-            entry.out_ifaces.remove(&iface);
+        let Some(gi) = self.group_idx(group) else {
+            return;
+        };
+        if let Some(entry) = self.nodes[n].group_mut(gi) {
+            entry.remove_iface(iface);
             if !entry.on_tree() {
-                self.prune_upstream(node, group);
+                self.prune_upstream(node, gi);
             }
         }
     }
@@ -431,52 +561,57 @@ impl World {
             now: self.now,
             node,
             rng: &mut self.rng,
-            actions: Vec::new(),
+            actions: std::mem::take(&mut self.scratch_actions),
         };
         f(&mut module, &mut env);
-        let actions = env.actions;
+        let mut actions = env.actions;
         self.nodes[n].edge = Some(module);
-        self.apply_edge_actions(node, actions);
+        self.apply_edge_actions(node, &mut actions);
+        self.scratch_actions = actions;
     }
 
-    fn edge_message(&mut self, node: NodeId, from_iface: Option<LinkId>, pkt: &Packet) {
-        let Some(iface) = from_iface else { return };
-        self.with_edge(node, |m, env| m.on_message(env, iface, pkt));
-    }
-
-    fn apply_edge_actions(&mut self, node: NodeId, actions: Vec<EdgeAction>) {
-        for action in actions {
+    /// Apply queued edge actions in order, draining the buffer.
+    fn apply_edge_actions(&mut self, node: NodeId, actions: &mut Vec<EdgeAction>) {
+        for action in actions.drain(..) {
             match action {
                 EdgeAction::Send(pkt) => self.originate(node, pkt),
                 EdgeAction::GraftIface(group, iface) => {
-                    let entry = self.nodes[node.index()].groups.entry(group).or_default();
+                    let gi = self.intern_group(group);
+                    let entry = self.nodes[node.index()].group_or_default(gi);
                     let was_on_tree = entry.on_tree();
-                    entry.out_ifaces.insert(iface);
+                    entry.add_iface(iface);
                     if !was_on_tree {
-                        self.graft_upstream(node, group);
+                        self.graft_upstream(node, gi);
                     }
                 }
                 EdgeAction::PruneIface(group, iface) => {
-                    if let Some(entry) = self.nodes[node.index()].groups.get_mut(&group) {
-                        entry.out_ifaces.remove(&iface);
+                    let Some(gi) = self.group_idx(group) else {
+                        continue;
+                    };
+                    if let Some(entry) = self.nodes[node.index()].group_mut(gi) {
+                        entry.remove_iface(iface);
                         if !entry.on_tree() {
-                            self.prune_upstream(node, group);
+                            self.prune_upstream(node, gi);
                         }
                     }
                 }
                 EdgeAction::JoinModule(group) => {
-                    let entry = self.nodes[node.index()].groups.entry(group).or_default();
+                    let gi = self.intern_group(group);
+                    let entry = self.nodes[node.index()].group_or_default(gi);
                     let was_on_tree = entry.on_tree();
                     entry.module_member = true;
                     if !was_on_tree {
-                        self.graft_upstream(node, group);
+                        self.graft_upstream(node, gi);
                     }
                 }
                 EdgeAction::LeaveModule(group) => {
-                    if let Some(entry) = self.nodes[node.index()].groups.get_mut(&group) {
+                    let Some(gi) = self.group_idx(group) else {
+                        continue;
+                    };
+                    if let Some(entry) = self.nodes[node.index()].group_mut(gi) {
                         entry.module_member = false;
                         if !entry.on_tree() {
-                            self.prune_upstream(node, group);
+                            self.prune_upstream(node, gi);
                         }
                     }
                 }
@@ -486,6 +621,11 @@ impl World {
                 }
             }
         }
+    }
+
+    fn edge_message(&mut self, node: NodeId, from_iface: Option<LinkId>, pkt: &Packet) {
+        let Some(iface) = from_iface else { return };
+        self.with_edge(node, |m, env| m.on_message(env, iface, pkt));
     }
 
     /// Stats of a link.
@@ -501,6 +641,11 @@ impl World {
     /// Total events processed so far.
     pub fn processed_events(&self) -> u64 {
         self.events.processed()
+    }
+
+    /// The deepest the future event list has ever been (diagnostics).
+    pub fn peak_pending_events(&self) -> usize {
+        self.events.high_water()
     }
 }
 
@@ -552,6 +697,7 @@ impl Sim {
             in_service: None,
             host_facing: false,
             stats: LinkStats::default(),
+            tx_memo: (u64::MAX, 0, 0),
         });
         self.world.links.push(Link {
             id: ba,
@@ -564,6 +710,7 @@ impl Sim {
             in_service: None,
             host_facing: false,
             stats: LinkStats::default(),
+            tx_memo: (u64::MAX, 0, 0),
         });
         self.world.nodes[a.index()].out_links.push(ab);
         self.world.nodes[b.index()].out_links.push(ba);
@@ -587,7 +734,8 @@ impl Sim {
 
     /// Register `source_node` as the root of `group`'s distribution tree.
     pub fn register_group(&mut self, group: GroupAddr, source_node: NodeId) {
-        self.world.group_sources.insert(group, source_node);
+        let gi = self.world.intern_group(group);
+        self.world.group_sources[gi.index()] = Some(source_node);
     }
 
     /// Set a node's IGMP leave latency.
@@ -602,8 +750,8 @@ impl Sim {
         let n = self.world.nodes.len();
         // Dijkstra from every node (topologies here are small).
         for src in 0..n {
-            let dist_next = dijkstra(&self.world, NodeId(src as u32));
-            self.world.nodes[src].routes = dist_next;
+            let first_hop = dijkstra(&self.world, NodeId(src as u32));
+            self.world.nodes[src].routes = first_hop;
         }
         for l in 0..self.world.links.len() {
             let to = self.world.links[l].to;
@@ -616,11 +764,7 @@ impl Sim {
     /// `t`). Advances `world.now` to exactly `t` when the queue drains.
     pub fn run_until(&mut self, t: SimTime) {
         assert!(self.world.finalized, "call finalize() before running");
-        while let Some(at) = self.world.events.peek_time() {
-            if at > t {
-                break;
-            }
-            let (at, ev) = self.world.events.pop().expect("peeked event");
+        while let Some((at, ev)) = self.world.events.pop_until(t) {
             self.world.now = at;
             self.handle(ev);
         }
@@ -630,20 +774,25 @@ impl Sim {
     fn handle(&mut self, ev: Event) {
         match ev {
             Event::Departure(l) => {
-                let li = l.index();
-                let pkt = self.world.links[li]
+                let now = self.world.now;
+                // One borrow of the link for the whole transaction.
+                let link = &mut self.world.links[l.index()];
+                let pkt = link
                     .in_service
                     .take()
                     .expect("departure without packet in service");
-                self.world.links[li].note_tx(&pkt);
-                let delay = self.world.links[li].delay;
-                self.world
-                    .events
-                    .push(self.world.now + delay, Event::Arrival(l, pkt));
-                let now = self.world.now;
-                if let Some(next) = self.world.links[li].queue.dequeue(now) {
-                    let tx = self.world.links[li].tx_time(&next);
-                    self.world.links[li].in_service = Some(next);
+                link.note_tx(&pkt);
+                let delay = link.delay;
+                let next_tx = match link.queue.dequeue(now) {
+                    Some(next) => {
+                        let tx = link.tx_time_cached(&next);
+                        link.in_service = Some(next);
+                        Some(tx)
+                    }
+                    None => None,
+                };
+                self.world.events.push(now + delay, Event::Arrival(l, pkt));
+                if let Some(tx) = next_tx {
                     self.world.events.push(now + tx, Event::Departure(l));
                 }
             }
@@ -674,11 +823,11 @@ impl Sim {
                 self.world.with_edge(node, |m, env| m.on_timer(env, token));
             }
             Event::LocalDeliver(a, pkt) => self.deliver(a, pkt),
-            Event::LeaveCheck(node, group) => {
+            Event::LeaveCheck(node, gi) => {
                 let n = node.index();
-                if let Some(entry) = self.world.nodes[n].groups.get(&group) {
+                if let Some(entry) = self.world.nodes[n].group(gi) {
                     if !entry.on_tree() {
-                        self.world.prune_upstream(node, group);
+                        self.world.prune_upstream(node, gi);
                     }
                 }
             }
@@ -746,8 +895,9 @@ impl Sim {
     }
 }
 
-/// Shortest-delay next-hop table from `src` to every reachable node.
-fn dijkstra(world: &World, src: NodeId) -> HashMap<NodeId, LinkId> {
+/// Shortest-delay first-hop table from `src` to every node: `table[v]` is
+/// the out-link toward `v` (`None` for `src` itself and unreachable nodes).
+fn dijkstra(world: &World, src: NodeId) -> Vec<Option<LinkId>> {
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
 
@@ -780,13 +930,5 @@ fn dijkstra(world: &World, src: NodeId) -> HashMap<NodeId, LinkId> {
             }
         }
     }
-    let mut routes = HashMap::new();
-    for (v, hop) in first_hop.iter().enumerate() {
-        if v != src.index() {
-            if let Some(l) = hop {
-                routes.insert(NodeId(v as u32), *l);
-            }
-        }
-    }
-    routes
+    first_hop
 }

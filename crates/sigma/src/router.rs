@@ -358,16 +358,22 @@ impl EdgeModule for SigmaEdgeModule {
         };
         if allowed {
             let marked = pkt.ecn == Ecn::Marked;
-            let fields = &mut pkt
-                .body_as_mut::<ProtectedData>()
-                .expect("checked above")
-                .fields;
-            // ECN instantiation: marked packets lose their component.
-            if marked {
-                scramble_marked_component(fields, env.rng);
-            }
-            if let Some(guard) = &mut self.guard {
-                guard.perturb(iface, group, fields, env.rng);
+            // Only take the mutable borrow when something will actually be
+            // rewritten: `body_as_mut` is copy-on-write, so touching it on
+            // every granted packet would deep-clone the shared payload once
+            // per fan-out branch for nothing.
+            if marked || self.guard.is_some() {
+                let fields = &mut pkt
+                    .body_as_mut::<ProtectedData>()
+                    .expect("checked above")
+                    .fields;
+                // ECN instantiation: marked packets lose their component.
+                if marked {
+                    scramble_marked_component(fields, env.rng);
+                }
+                if let Some(guard) = &mut self.guard {
+                    guard.perturb(iface, group, fields, env.rng);
+                }
             }
         }
         allowed

@@ -1,0 +1,117 @@
+//! A tiny multiplicative hasher for hot-path maps keyed by small ids.
+//!
+//! `std`'s default SipHash is DoS-resistant but costs tens of nanoseconds
+//! per lookup — noticeable when a simulator hashes a group address on
+//! every multicast hop. Simulation state is never attacker-controlled
+//! input, so the firefox-style multiply-xor hash (the same construction
+//! as the widely used `fxhash`/`rustc-hash` crates, reimplemented here
+//! because the build is offline) is the right trade.
+//!
+//! Note on determinism: iteration order of an `FxHashMap` differs from the
+//! SipHash default *and* is stable across runs (no random keys). Code that
+//! iterates a map and lets the order reach results must sort regardless —
+//! same rule as with the default hasher.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` with the multiplicative hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` with the multiplicative hasher.
+pub type FxHashSet<K> = std::collections::HashSet<K, BuildHasherDefault<FxHasher>>;
+
+/// The multiply-xor state. 64-bit variant of the FNV-like mix used by
+/// rustc: `state = (state rotl 5 ^ word) * K` with a golden-ratio `K`.
+#[derive(Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.mix(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            self.mix(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.mix(n as u64);
+    }
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.mix(n as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.mix(n as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.mix(n);
+    }
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.mix(n as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_round_trips() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert(i, "x");
+        }
+        assert_eq!(m.len(), 1000);
+        assert!(m.contains_key(&999));
+        assert!(!m.contains_key(&1000));
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_spreads() {
+        let h = |n: u64| {
+            let mut hasher = FxHasher::default();
+            hasher.write_u64(n);
+            hasher.finish()
+        };
+        assert_eq!(h(42), h(42));
+        // Consecutive keys land in different buckets of a small table.
+        let buckets: std::collections::HashSet<u64> = (0..64).map(|i| h(i) % 64).collect();
+        assert!(buckets.len() > 32, "got {} distinct buckets", buckets.len());
+    }
+
+    #[test]
+    fn set_and_odd_width_writes() {
+        let mut s: FxHashSet<(u32, [u8; 3])> = FxHashSet::default();
+        s.insert((1, [1, 2, 3]));
+        s.insert((1, [1, 2, 4]));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(&(1, [1, 2, 3])));
+    }
+}

@@ -9,7 +9,9 @@
 //!   same order),
 //! * [`DetRng`] — a seedable, forkable deterministic random number generator
 //!   (SplitMix64 core), so every experiment in `EXPERIMENTS.md` is exactly
-//!   reproducible from its scenario seed.
+//!   reproducible from its scenario seed,
+//! * [`FxHashMap`]/[`FxHashSet`] — hot-path hash containers with a cheap
+//!   multiplicative hasher (simulation keys are never adversarial input).
 //!
 //! The engine is intentionally synchronous and single-threaded, in the spirit
 //! of event-driven network stacks such as smoltcp: simplicity and determinism
@@ -28,9 +30,11 @@
 //! ```
 
 pub mod event;
+pub mod fx;
 pub mod rng;
 pub mod time;
 
 pub use event::EventQueue;
+pub use fx::{FxHashMap, FxHashSet};
 pub use rng::DetRng;
 pub use time::{SimDuration, SimTime};

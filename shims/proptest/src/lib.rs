@@ -10,7 +10,8 @@
 //! * integer-range strategies (`0u64..1000`, `1u32..8`, …),
 //! * [`collection::vec`](prop::collection::vec) with an exact size or a size
 //!   range,
-//! * [`bool::weighted`](prop::bool::weighted),
+//! * [`bool::weighted`](prop::bool::weighted) and
+//!   [`option::weighted`](prop::option::weighted),
 //! * [`prop_assert!`], [`prop_assert_eq!`] and [`prop_assert_ne!`].
 //!
 //! Sampling is fully deterministic: the case stream is seeded from the test
@@ -164,6 +165,31 @@ pub mod prop {
             }
         }
     }
+
+    pub mod option {
+        use crate::{Strategy, TestRng};
+
+        /// `Some(inner)` with probability `p`, else `None`.
+        pub fn weighted<S>(p: f64, inner: S) -> OptionStrategy<S> {
+            OptionStrategy { p, inner }
+        }
+
+        pub struct OptionStrategy<S> {
+            p: f64,
+            inner: S,
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+                if rng.next_f64() < self.p {
+                    Some(self.inner.sample(rng))
+                } else {
+                    None
+                }
+            }
+        }
+    }
 }
 
 /// Per-invocation configuration, mirroring `proptest::test_runner::ProptestConfig`.
@@ -297,6 +323,19 @@ mod tests {
             .filter(|_| prop::bool::weighted(0.15).sample(&mut rng))
             .count();
         assert!((1000..2000).contains(&hits), "got {hits} of 10000");
+    }
+
+    #[test]
+    fn weighted_option_is_biased_and_samples_inner() {
+        let mut rng = TestRng::new(17);
+        let mut somes = 0;
+        for _ in 0..10_000 {
+            if let Some(v) = prop::option::weighted(0.6, 3u64..9).sample(&mut rng) {
+                assert!((3..9).contains(&v));
+                somes += 1;
+            }
+        }
+        assert!((5_000..7_000).contains(&somes), "got {somes} of 10000");
     }
 
     #[test]

@@ -28,6 +28,7 @@ const DESIGN_INDEX: &[(&str, &str)] = &[
     ("", "ablation_fec"),
     ("", "ablation_slot"),
     ("", "matrix_robustness"),
+    ("", "perf_events"),
 ];
 
 #[test]
@@ -40,6 +41,8 @@ fn every_design_index_row_resolves_to_a_registered_experiment() {
             Kind::Figure
         } else if id.starts_with("matrix") {
             Kind::Matrix
+        } else if id.starts_with("perf") {
+            Kind::Perf
         } else {
             Kind::Ablation
         };
@@ -97,6 +100,33 @@ fn fig01_registry_run_matches_the_old_entry_point() {
     .to_string();
 
     assert_eq!(via_registry, by_hand, "fig01 byte-compat pin broke");
+}
+
+/// Byte pin of the robustness matrix: the quick-mode JSON of
+/// `matrix_robustness` (every cell's damage and containment numbers) must
+/// not drift across refactors — the simulator rework that introduced
+/// zero-copy fan-out and the flat-state hot path was verified against
+/// exactly these bytes. Regenerate deliberately with `MCC_BLESS=1 cargo
+/// test --test registry matrix_robustness_quick`.
+#[test]
+fn matrix_robustness_quick_json_is_byte_pinned() {
+    let params = Params::quick(true);
+    let def = registry::find("matrix_robustness").expect("registered");
+    let specs = registry::specs(&[def], &params);
+    let got = run_serial("pin", "quick", &specs).to_json_string();
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/matrix_robustness_quick.json"
+    );
+    if std::env::var("MCC_BLESS").is_ok() {
+        std::fs::write(golden_path, &got).expect("write golden");
+    }
+    let want = std::fs::read_to_string(golden_path)
+        .expect("golden file missing — regenerate with MCC_BLESS=1");
+    assert_eq!(
+        got, want,
+        "matrix_robustness quick JSON drifted from the golden pin"
+    );
 }
 
 /// The `Experiment` trait surface: outputs carry the effective seed and

@@ -159,15 +159,52 @@ impl Clone for Box<dyn Adversary> {
     }
 }
 
+/// Where an attacking receiver attaches in a multi-router topology.
+///
+/// The paper's damage story is about *placement relative to shared
+/// bottlenecks*: a receiver hanging off a leaf edge router only congests
+/// its own branch, while one grafted onto an interior router of a
+/// distribution tree shares every upstream link with a whole subtree.
+/// Scenario builders resolve a placement against the topology's receiver
+/// attachment points (`mcc_core::topology` owns the mapping); on the
+/// single-edge dumbbell every placement degenerates to the edge router.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Placement {
+    /// Round-robin over the topology's attachment points (the honest
+    /// default: receivers tile the leaves).
+    #[default]
+    Auto,
+    /// Attachment point `i` (leaf `i` of a tree, arm `i` of a star, hop
+    /// `i` of a parking lot; wraps modulo the point count).
+    Leaf(usize),
+    /// The router at `depth` on the path from the tree root to leaf
+    /// `leaf` (`depth` equal to the tree depth is the leaf router
+    /// itself). Non-tree topologies clamp `depth` to their router chain.
+    Interior {
+        /// Distance from the root (0 = the root itself).
+        depth: u32,
+        /// Leaf whose root path is walked.
+        leaf: usize,
+    },
+}
+
 /// A cloneable adversary handle for scenario specs: what
-/// `ReceiverSpec::adversary` stores and receivers instantiate from.
+/// `ReceiverSpec::adversary` stores and receivers instantiate from. The
+/// plan also carries the attacker's [`Placement`], so a scenario spec can
+/// target the attack at a specific point of the topology.
 #[derive(Debug)]
-pub struct AttackPlan(Box<dyn Adversary>);
+pub struct AttackPlan {
+    strategy: Box<dyn Adversary>,
+    placement: Placement,
+}
 
 impl AttackPlan {
-    /// Wrap a strategy.
+    /// Wrap a strategy (attached at the default [`Placement::Auto`]).
     pub fn new(strategy: impl Adversary + 'static) -> AttackPlan {
-        AttackPlan(Box::new(strategy))
+        AttackPlan {
+            strategy: Box::new(strategy),
+            placement: Placement::Auto,
+        }
     }
 
     /// The well-behaved receiver.
@@ -175,20 +212,34 @@ impl AttackPlan {
         AttackPlan::new(Honest)
     }
 
+    /// Target the plan at a specific attachment point.
+    pub fn at(mut self, placement: Placement) -> AttackPlan {
+        self.placement = placement;
+        self
+    }
+
+    /// Where the receiver running this plan attaches.
+    pub fn placement(&self) -> Placement {
+        self.placement
+    }
+
     /// The strategy's display label.
     pub fn label(&self) -> String {
-        self.0.label()
+        self.strategy.label()
     }
 
     /// A fresh strategy instance for one receiver agent.
     pub fn build(&self) -> Box<dyn Adversary> {
-        self.0.clone_box()
+        self.strategy.clone_box()
     }
 }
 
 impl Clone for AttackPlan {
     fn clone(&self) -> Self {
-        AttackPlan(self.0.clone_box())
+        AttackPlan {
+            strategy: self.strategy.clone_box(),
+            placement: self.placement,
+        }
     }
 }
 
@@ -218,6 +269,27 @@ mod tests {
         assert!(a.on_slot(&env).is_empty());
         assert!(!a.on_congestion_signal(&env));
         assert_eq!(a.subscription_override(&env, 4), 4);
+    }
+
+    #[test]
+    fn plans_carry_their_placement() {
+        let plan = AttackPlan::new(InflateTo::all());
+        assert_eq!(plan.placement(), Placement::Auto);
+        let placed = plan.at(Placement::Interior { depth: 1, leaf: 0 });
+        assert_eq!(
+            placed.placement(),
+            Placement::Interior { depth: 1, leaf: 0 }
+        );
+        assert_eq!(
+            placed.clone().placement(),
+            Placement::Interior { depth: 1, leaf: 0 },
+            "clones keep the target"
+        );
+        assert_eq!(
+            AttackPlan::honest().placement(),
+            Placement::Auto,
+            "honest receivers tile the leaves"
+        );
     }
 
     #[test]

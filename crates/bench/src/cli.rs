@@ -116,6 +116,7 @@ impl Cli {
                     .collect(),
                 "figures" => registry::figures(),
                 "ablations" => registry::ablations(),
+                "topologies" => registry::topologies(),
                 t => registry::matching(t),
             };
             if matched.is_empty() {
@@ -143,7 +144,7 @@ fn usage() -> String {
          \x20 -l, --list           list registered experiments and exit\n\
          \x20     --only IDS       comma-separated ids or figure prefixes\n\
          \x20                      (fig01, fig08a_dl_throughput, matrix_robustness,\n\
-         \x20                      ablations, all)\n\
+         \x20                      tree_placement, ablations, topologies, all)\n\
          \x20 -q, --quick          shortened runs (also: MCC_QUICK=1)\n\
          \x20 -j, --threads N      worker threads (also: MCC_THREADS)\n\
          \x20     --serial         run on one thread, no pool\n\
@@ -160,11 +161,12 @@ fn usage() -> String {
 pub fn list() -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{} registered experiments ({} figures, {} ablations, {} matrices, {} perf):\n\n",
+        "{} registered experiments ({} figures, {} ablations, {} matrices, {} topologies, {} perf):\n\n",
         registry::REGISTRY.len(),
         registry::figures().len(),
         registry::ablations().len(),
         registry::matrices().len(),
+        registry::topologies().len(),
         registry::perfs().len()
     ));
     out.push_str(&format!(
@@ -176,6 +178,7 @@ pub fn list() -> String {
             Kind::Figure => def.figure(),
             Kind::Ablation => "ablation",
             Kind::Matrix => "matrix",
+            Kind::Topology => "topology",
             Kind::Perf => "perf",
         };
         out.push_str(&format!(

@@ -27,17 +27,17 @@ impl RunConfig {
     /// Parse the environment once. `MCC_QUICK=1` requests shortened
     /// runs, `MCC_THREADS=N` pins the worker count, `MCC_OUT=DIR`
     /// redirects output.
+    ///
+    /// A malformed `MCC_THREADS` (non-numeric, or `0`) is rejected
+    /// *loudly*: a stderr warning names the bad value before the
+    /// available-parallelism fallback kicks in, so a typo in a sweep
+    /// script cannot silently run at the wrong parallelism.
     pub fn from_env() -> RunConfig {
         let quick = std::env::var("MCC_QUICK").is_ok_and(|v| v != "0");
-        let threads = std::env::var("MCC_THREADS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-            });
+        let (threads, warning) = threads_from(std::env::var("MCC_THREADS").ok().as_deref());
+        if let Some(warning) = warning {
+            eprintln!("warning: {warning}");
+        }
         let out_dir = std::env::var("MCC_OUT")
             .map(PathBuf::from)
             .unwrap_or_else(|_| PathBuf::from("results"));
@@ -54,6 +54,36 @@ impl RunConfig {
             quick: self.quick,
             ..Params::default()
         }
+    }
+}
+
+/// The worker count implied by an `MCC_THREADS` value (`None` = unset),
+/// plus the warning to print when the value was present but malformed.
+/// Split from [`RunConfig::from_env`] so the rejection paths are unit
+/// testable without touching the process environment.
+fn threads_from(var: Option<&str>) -> (usize, Option<String>) {
+    let fallback = || {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    };
+    match var {
+        None => (fallback(), None),
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n > 0 => (n, None),
+            Ok(_) => (
+                fallback(),
+                Some(format!(
+                    "MCC_THREADS={v:?} must be at least 1; using available parallelism"
+                )),
+            ),
+            Err(e) => (
+                fallback(),
+                Some(format!(
+                    "MCC_THREADS={v:?} is not a thread count ({e}); using available parallelism"
+                )),
+            ),
+        },
     }
 }
 
@@ -202,6 +232,26 @@ mod tests {
         for key in Params::SWEEP_KEYS {
             assert!(err.contains(key), "error must advertise {key:?}: {err}");
         }
+    }
+
+    /// Malformed `MCC_THREADS` values fall back to available parallelism
+    /// *with* a warning naming the bad value — never silently.
+    #[test]
+    fn malformed_thread_counts_warn_and_fall_back() {
+        let (n, warn) = threads_from(Some("abc"));
+        assert!(n >= 1);
+        let warn = warn.expect("non-numeric value must warn");
+        assert!(warn.contains("abc"), "{warn}");
+
+        let (n, warn) = threads_from(Some("0"));
+        assert!(n >= 1);
+        let warn = warn.expect("zero must warn");
+        assert!(warn.contains("at least 1"), "{warn}");
+
+        assert_eq!(threads_from(Some("3")), (3, None), "valid values pin");
+        let (n, warn) = threads_from(None);
+        assert!(n >= 1);
+        assert!(warn.is_none(), "unset is not an error");
     }
 
     #[test]

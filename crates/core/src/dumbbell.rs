@@ -1,4 +1,5 @@
-//! The paper's single-bottleneck topology (§5.1).
+//! The paper's single-bottleneck topology (§5.1), as a thin wrapper over
+//! the generic [`crate::topology`] builder.
 //!
 //! Multicast (FLID-DL / FLID-DS) and unicast (TCP Reno, on-off CBR)
 //! sessions compete for one bottleneck link, the middle link of every
@@ -14,84 +15,20 @@
 //! for the heterogeneous-RTT experiment); every queue holds two
 //! bandwidth-delay products of the 80 ms base round-trip. Node `B` is the
 //! edge router; protected sessions install a SIGMA module there.
+//!
+//! [`DumbbellSpec`] is [`TopologySpec`] pinned to [`Topology::Dumbbell`]:
+//! `Dumbbell::build` converts and delegates, and the generic builder's
+//! dumbbell arm reproduces the historical construction order exactly —
+//! pre-refactor figure runs are byte-identical.
 
-use crate::scenario::Variant;
-use mcc_attack::AttackPlan;
-use mcc_flid::{
-    FlidConfig, FlidReceiver, FlidSender, Mode, ReplicatedReceiver, ReplicatedSender,
-    ThresholdReceiver, ThresholdSender,
+use crate::topology::{BuiltTopology, Topology, TopologySpec};
+pub use crate::topology::{
+    CbrSpec, McastSessionSpec, ReceiverSpec, SessionHandle, TcpHandle, SIGMA_SLOT,
 };
+use mcc_flid::{FlidReceiver, FlidSender};
 use mcc_netsim::prelude::*;
-use mcc_sigma::{SigmaConfig, SigmaEdgeModule};
+use mcc_sigma::SigmaEdgeModule;
 use mcc_simcore::{SimDuration, SimTime};
-use mcc_tcp::{RenoConfig, RenoSender, TcpSink};
-use mcc_traffic::{CbrConfig, CbrSource, CountingSink};
-
-/// Loss threshold θ of the RLM-style [`Variant::Threshold`] sessions
-/// (RLM's default, paper §3.1.2).
-const THRESHOLD_THETA: f64 = 0.25;
-
-/// The slot duration every protected dumbbell session (and its SIGMA
-/// edge module) runs at — the paper's 250 ms FLID-DS setting. Consumers
-/// converting router slot numbers to seconds must use this constant.
-pub const SIGMA_SLOT: SimDuration = SimDuration::from_millis(250);
-
-/// One receiver of a multicast session.
-#[derive(Clone, Debug)]
-pub struct ReceiverSpec {
-    /// When the receiver joins the session.
-    pub join_at: SimTime,
-    /// The adversary strategy the receiver runs
-    /// ([`AttackPlan::honest`] for a well-behaved receiver).
-    pub adversary: AttackPlan,
-    /// Propagation delay of the receiver's access link.
-    pub access_delay: SimDuration,
-}
-
-impl Default for ReceiverSpec {
-    fn default() -> Self {
-        ReceiverSpec {
-            join_at: SimTime::ZERO,
-            adversary: AttackPlan::honest(),
-            access_delay: SimDuration::from_millis(10),
-        }
-    }
-}
-
-/// One multicast session.
-#[derive(Clone, Debug)]
-pub struct McastSessionSpec {
-    /// FLID-DS (hardened) or FLID-DL (original).
-    pub variant: Variant,
-    /// Number of groups (paper default 10).
-    pub n_groups: u32,
-    /// The session's receivers.
-    pub receivers: Vec<ReceiverSpec>,
-}
-
-impl McastSessionSpec {
-    /// A session with `k` honest receivers joining at t = 0.
-    pub fn honest(variant: Variant, k: usize) -> Self {
-        McastSessionSpec {
-            variant,
-            n_groups: 10,
-            receivers: vec![ReceiverSpec::default(); k],
-        }
-    }
-}
-
-/// Optional on-off CBR background (Figures 8d/8e).
-#[derive(Clone, Debug)]
-pub struct CbrSpec {
-    /// Rate while on, bit/s.
-    pub rate_bps: u64,
-    /// `(on, off)` periods; `None` = always on within the window.
-    pub on_off: Option<(SimDuration, SimDuration)>,
-    /// Window start.
-    pub start: SimTime,
-    /// Window end.
-    pub stop: SimTime,
-}
 
 /// The whole scenario.
 #[derive(Clone, Debug)]
@@ -121,38 +58,44 @@ impl DumbbellSpec {
     /// Paper defaults: the caller sets the bottleneck and the competing
     /// sessions; everything else follows §5.1.
     pub fn new(seed: u64, bottleneck_bps: u64) -> Self {
-        DumbbellSpec {
-            seed,
-            bottleneck_bps,
-            bottleneck_delay: SimDuration::from_millis(20),
-            side_delay: SimDuration::from_millis(10),
-            buffer_rtt: SimDuration::from_millis(80),
-            mcast: Vec::new(),
-            tcp: 0,
-            cbr: None,
-            monitor_bin: SimDuration::from_secs(1),
+        TopologySpec::new(Topology::Dumbbell, seed, bottleneck_bps).into()
+    }
+}
+
+impl From<DumbbellSpec> for TopologySpec {
+    fn from(s: DumbbellSpec) -> TopologySpec {
+        TopologySpec {
+            topology: Topology::Dumbbell,
+            seed: s.seed,
+            bottleneck_bps: s.bottleneck_bps,
+            bottleneck_delay: s.bottleneck_delay,
+            side_delay: s.side_delay,
+            buffer_rtt: s.buffer_rtt,
+            mcast: s.mcast,
+            tcp: s.tcp,
+            cbr: s.cbr,
+            monitor_bin: s.monitor_bin,
         }
     }
 }
 
-/// Handles of one built multicast session.
-#[derive(Clone, Debug)]
-pub struct SessionHandle {
-    /// The session's configuration.
-    pub cfg: FlidConfig,
-    /// Sender agent.
-    pub sender: AgentId,
-    /// Receiver agents, in spec order.
-    pub receivers: Vec<AgentId>,
-}
-
-/// Handles of one TCP session.
-#[derive(Clone, Copy, Debug)]
-pub struct TcpHandle {
-    /// Reno sender agent.
-    pub sender: AgentId,
-    /// Sink agent (throughput is measured here).
-    pub sink: AgentId,
+impl From<TopologySpec> for DumbbellSpec {
+    /// The dumbbell view of a spec: the shared link parameters and
+    /// population (any non-dumbbell [`TopologySpec::topology`] is
+    /// dropped).
+    fn from(s: TopologySpec) -> DumbbellSpec {
+        DumbbellSpec {
+            seed: s.seed,
+            bottleneck_bps: s.bottleneck_bps,
+            bottleneck_delay: s.bottleneck_delay,
+            side_delay: s.side_delay,
+            buffer_rtt: s.buffer_rtt,
+            mcast: s.mcast,
+            tcp: s.tcp,
+            cbr: s.cbr,
+            monitor_bin: s.monitor_bin,
+        }
+    }
 }
 
 /// A built scenario.
@@ -174,189 +117,25 @@ pub struct Dumbbell {
 impl Dumbbell {
     /// Assemble a scenario.
     pub fn build(spec: DumbbellSpec) -> Dumbbell {
-        let mut sim = Sim::new(spec.seed, spec.monitor_bin);
-        let a = sim.add_node();
-        let b = sim.add_node();
-        let buffer =
-            (2.0 * spec.bottleneck_bps as f64 * spec.buffer_rtt.as_secs_f64() / 8.0) as u64;
-        let side_buffer = (2.0 * 10_000_000.0 * spec.buffer_rtt.as_secs_f64() / 8.0) as u64;
-        let (bottleneck, _) = sim.add_duplex_link(
-            a,
-            b,
-            spec.bottleneck_bps,
-            spec.bottleneck_delay,
-            Queue::drop_tail(buffer),
-            Queue::drop_tail(buffer),
-        );
+        Dumbbell::from_built(TopologySpec::from(spec).build())
+    }
 
-        let add_sender_host = |sim: &mut Sim| {
-            let h = sim.add_node();
-            sim.add_duplex_link(
-                h,
-                a,
-                10_000_000,
-                spec.side_delay,
-                Queue::drop_tail(side_buffer),
-                Queue::drop_tail(side_buffer),
-            );
-            h
-        };
-
-        // Per-session configurations, computed up front so the SIGMA
-        // module can be scoped (collusion guard) before agents exist.
-        let cfgs: Vec<FlidConfig> = spec
-            .mcast
-            .iter()
-            .enumerate()
-            .map(|(si, m)| {
-                let base = 1000 * (si as u32 + 1);
-                FlidConfig::paper(
-                    (1..=m.n_groups).map(|g| GroupAddr(base + g)).collect(),
-                    GroupAddr(base),
-                    FlowId(si as u32),
-                    m.variant.protected(),
-                )
-            })
-            .collect();
-
-        // Any protected session installs SIGMA at the edge; the module is
-        // generic, so one instance serves every session (smallest slot
-        // wins for maintenance granularity). A `FlidDsGuard` session
-        // additionally scopes the §4.2 collusion guard to its groups —
-        // the guard is protocol-specific (it must know the layering), so
-        // it covers the first such session only.
-        let protected_slot = spec
-            .mcast
-            .iter()
-            .filter(|m| m.variant.protected())
-            .map(|_| SIGMA_SLOT)
-            .min();
-        if let Some(slot) = protected_slot {
-            let mut sigma_cfg = SigmaConfig::new(slot);
-            if let Some((si, _)) = spec
-                .mcast
-                .iter()
-                .enumerate()
-                .find(|(_, m)| m.variant == Variant::FlidDsGuard)
-            {
-                sigma_cfg = sigma_cfg.with_guard(cfgs[si].groups.clone());
-            }
-            sim.set_edge_module(b, Box::new(SigmaEdgeModule::new(sigma_cfg)));
-        }
-
-        let mut sessions = Vec::new();
-        for (si, m) in spec.mcast.iter().enumerate() {
-            let cfg = cfgs[si].clone();
-            let sender_host = add_sender_host(&mut sim);
-            for g in cfg.groups.iter().chain([&cfg.control_group]) {
-                sim.register_group(*g, sender_host);
-            }
-            let sender_agent: Box<dyn Agent> = match m.variant {
-                Variant::FlidDl | Variant::FlidDs | Variant::FlidDsGuard => {
-                    Box::new(FlidSender::new(cfg.clone()))
-                }
-                Variant::Replicated => Box::new(ReplicatedSender::new(cfg.clone())),
-                Variant::Threshold => Box::new(ThresholdSender::new(cfg.clone(), THRESHOLD_THETA)),
-            };
-            let sender = sim.add_agent(sender_host, sender_agent, SimTime::ZERO);
-            let mut receivers = Vec::new();
-            for r in &m.receivers {
-                let h = sim.add_node();
-                sim.add_duplex_link(
-                    b,
-                    h,
-                    10_000_000,
-                    r.access_delay,
-                    Queue::drop_tail(side_buffer),
-                    Queue::drop_tail(side_buffer),
-                );
-                let router = m.variant.protected().then_some(b);
-                let agent: Box<dyn Agent> = match m.variant {
-                    Variant::FlidDl | Variant::FlidDs | Variant::FlidDsGuard => {
-                        let mode = match router {
-                            Some(b) => Mode::Ds { router: b },
-                            None => Mode::Dl,
-                        };
-                        let mut agent =
-                            FlidReceiver::with_adversary(cfg.clone(), mode, r.adversary.clone());
-                        agent.set_control_delay(r.access_delay);
-                        Box::new(agent)
-                    }
-                    Variant::Replicated => Box::new(ReplicatedReceiver::with_adversary(
-                        cfg.clone(),
-                        router,
-                        r.adversary.clone(),
-                    )),
-                    Variant::Threshold => Box::new(ThresholdReceiver::with_adversary(
-                        cfg.clone(),
-                        THRESHOLD_THETA,
-                        router,
-                        r.adversary.clone(),
-                    )),
-                };
-                receivers.push(sim.add_agent(h, agent, r.join_at));
-            }
-            sessions.push(SessionHandle {
-                cfg,
-                sender,
-                receivers,
-            });
-        }
-
-        let mut tcp = Vec::new();
-        for j in 0..spec.tcp {
-            let sh = add_sender_host(&mut sim);
-            let rh = sim.add_node();
-            sim.add_duplex_link(
-                b,
-                rh,
-                10_000_000,
-                spec.side_delay,
-                Queue::drop_tail(side_buffer),
-                Queue::drop_tail(side_buffer),
-            );
-            let sink = sim.add_agent(rh, Box::new(TcpSink::default()), SimTime::ZERO);
-            let cfg = RenoConfig::bulk(sink, FlowId(100 + j as u32));
-            let sender = sim.add_agent(
-                sh,
-                Box::new(RenoSender::new(cfg)),
-                // Staggered starts desynchronize the flows.
-                SimTime::from_millis(37 * j as u64 + 11),
-            );
-            tcp.push(TcpHandle { sender, sink });
-        }
-
-        let mut cbr_sink = None;
-        if let Some(c) = &spec.cbr {
-            let sh = add_sender_host(&mut sim);
-            let rh = sim.add_node();
-            sim.add_duplex_link(
-                b,
-                rh,
-                10_000_000,
-                spec.side_delay,
-                Queue::drop_tail(side_buffer),
-                Queue::drop_tail(side_buffer),
-            );
-            let sink = sim.add_agent(rh, Box::new(CountingSink::default()), SimTime::ZERO);
-            let cfg = CbrConfig {
-                rate_bps: c.rate_bps,
-                packet_bits: 576 * 8,
-                dest: Dest::Agent(sink),
-                flow: FlowId(200),
-                start: c.start,
-                stop: c.stop,
-                on_off: c.on_off,
-            };
-            sim.add_agent(sh, Box::new(CbrSource::new(cfg)), SimTime::ZERO);
-            cbr_sink = Some(sink);
-        }
-
-        sim.finalize();
+    /// The single-edge view of a built topology: `edge` is the first
+    /// attachment router, `bottleneck` the first bottleneck link.
+    pub fn from_built(built: BuiltTopology) -> Dumbbell {
+        let BuiltTopology {
+            sim,
+            attach,
+            bottlenecks,
+            sessions,
+            tcp,
+            cbr_sink,
+            ..
+        } = built;
         Dumbbell {
             sim,
-            edge: b,
-            bottleneck,
+            edge: attach[0],
+            bottleneck: bottlenecks[0],
             sessions,
             tcp,
             cbr_sink,
@@ -370,18 +149,12 @@ impl Dumbbell {
 
     /// Average delivered throughput of an agent over `[from, to)` seconds.
     pub fn throughput_bps(&self, agent: AgentId, from: u64, to: u64) -> f64 {
-        self.sim.monitor().agent_throughput_bps(
-            agent,
-            SimTime::from_secs(from),
-            SimTime::from_secs(to),
-        )
+        crate::topology::throughput_bps(&self.sim, agent, from, to)
     }
 
     /// Per-bin throughput series of an agent out to `horizon` seconds.
     pub fn series_bps(&self, agent: AgentId, horizon: u64) -> Vec<f64> {
-        self.sim
-            .monitor()
-            .agent_series_bps(agent, SimTime::from_secs(horizon))
+        crate::topology::series_bps(&self.sim, agent, horizon)
     }
 
     /// The SIGMA module at the edge, when installed.
@@ -391,22 +164,19 @@ impl Dumbbell {
 
     /// A receiver agent as its concrete type.
     pub fn receiver(&self, id: AgentId) -> &FlidReceiver {
-        self.sim
-            .agent_as::<FlidReceiver>(id)
-            .expect("agent is a FlidReceiver")
+        crate::topology::flid_receiver(&self.sim, id)
     }
 
     /// A sender agent as its concrete type.
     pub fn sender(&self, id: AgentId) -> &FlidSender {
-        self.sim
-            .agent_as::<FlidSender>(id)
-            .expect("agent is a FlidSender")
+        crate::topology::flid_sender(&self.sim, id)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenario::Variant;
     use Variant::{FlidDl, FlidDs};
 
     #[test]
@@ -462,5 +232,17 @@ mod tests {
         let d = Dumbbell::build(spec);
         let g0: std::collections::HashSet<_> = d.sessions[0].cfg.groups.iter().copied().collect();
         assert!(d.sessions[1].cfg.groups.iter().all(|g| !g0.contains(g)));
+    }
+
+    #[test]
+    fn spec_round_trips_through_the_generic_layer() {
+        let mut spec = DumbbellSpec::new(9, 2_000_000);
+        spec.tcp = 3;
+        let generic = TopologySpec::from(spec);
+        assert_eq!(generic.topology, Topology::Dumbbell);
+        let back = DumbbellSpec::from(generic);
+        assert_eq!(back.seed, 9);
+        assert_eq!(back.bottleneck_bps, 2_000_000);
+        assert_eq!(back.tcp, 3);
     }
 }

@@ -10,9 +10,10 @@ use crate::config::Params;
 use crate::dumbbell::{CbrSpec, Dumbbell, McastSessionSpec, ReceiverSpec, SessionHandle};
 use crate::metrics::{damage, Damage, Series};
 use crate::scenario::{Scenario, Units, Variant};
+use crate::topology::BuiltTopology;
 use mcc_attack::{
     All, AttackPlan, Colluders, CollusionSet, IgnoreDecrease, InflateTo, JoinLeaveFlap, KeyGuess,
-    Timed,
+    Placement, Timed,
 };
 use mcc_delta::overhead::{delta_overhead, sigma_overhead, OverheadParams};
 use mcc_flid::{Behavior, FlidConfig};
@@ -450,12 +451,7 @@ fn matrix_run(
     onset_secs: u64,
     seed: u64,
 ) -> CellRun {
-    // The replicated/threshold ladders carry each group's *full* rate, so
-    // ten groups would outgrow the bottleneck; six (≤ 759 kbps) fit.
-    let n_groups = match variant {
-        Variant::Replicated | Variant::Threshold => 6,
-        _ => 10,
-    };
+    let n_groups = variant_groups(variant);
     let mut attack_session = McastSessionSpec::new(variant).groups(n_groups).receiver(
         ReceiverSpec::new()
             .adversary(attacker)
@@ -592,6 +588,362 @@ pub fn robustness_matrix(duration_secs: u64, onset_secs: u64, seed: u64) -> Matr
     }
 }
 
+// ---------------------------------------------------------------------------
+// Topology experiments: trees and parking lots beyond the dumbbell
+// ---------------------------------------------------------------------------
+
+/// The session group count for `variant`, shared by the robustness
+/// matrix and the topology experiments: the replicated / threshold
+/// ladders carry each group's *full* rate, so ten groups would outgrow
+/// the bottleneck; six (≤ 759 kbps) fit.
+fn variant_groups(variant: Variant) -> u32 {
+    match variant {
+        Variant::Replicated | Variant::Threshold => 6,
+        _ => 10,
+    }
+}
+
+/// The matrix's "inflate" strategy (InflateTo::all + key guessing)
+/// activated at `onset`, targeted at `placement`.
+fn inflate_plan_at(onset: SimTime, placement: Placement) -> AttackPlan {
+    AttackPlan::new(Timed::boxed(
+        onset,
+        Box::new(All::of(vec![
+            Box::new(InflateTo::all()),
+            Box::new(KeyGuess { rate: 10 }),
+        ])),
+    ))
+    .at(placement)
+}
+
+/// Goodput loss of `bps` against `baseline_bps`, percent (0 when the
+/// baseline is empty).
+fn loss_pct(baseline_bps: f64, bps: f64) -> f64 {
+    if baseline_bps > 0.0 {
+        (baseline_bps - bps) / baseline_bps * 100.0
+    } else {
+        0.0
+    }
+}
+
+/// One row of the `tree_placement` experiment: one defense variant versus
+/// the inflate attacker attached at one depth of the tree.
+#[derive(Clone, Debug)]
+pub struct TreePlacementRow {
+    /// Defense label ([`Variant::label`]).
+    pub defense: &'static str,
+    /// Depth of the attacker's attachment router (tree depth = a leaf).
+    pub attacker_depth: u32,
+    /// Attacker goodput over the post-onset window, bit/s.
+    pub attacker_bps: f64,
+    /// The same receiver's goodput when behaving honestly, bit/s.
+    pub attacker_baseline_bps: f64,
+    /// Mean honest-leaf goodput under attack, bit/s.
+    pub honest_mean_bps: f64,
+    /// Mean honest-leaf goodput in the attack-free baseline, bit/s.
+    pub baseline_mean_bps: f64,
+    /// Mean honest loss across every leaf, percent of baseline.
+    pub honest_loss_pct: f64,
+    /// Mean loss of the leaves sharing the attacker's depth-1 subtree.
+    pub subtree_loss_pct: f64,
+    /// Mean loss of the leaves outside that subtree (collateral beyond
+    /// the attacker's branch — near zero when damage is local).
+    pub outside_loss_pct: f64,
+    /// Guessed keys the edge routers rejected (0 when unprotected).
+    pub rejected_keys: u64,
+}
+
+/// The full `tree_placement` result.
+#[derive(Clone, Debug)]
+pub struct TreePlacementResult {
+    /// Tree depth (levels below the root).
+    pub depth: u32,
+    /// Children per interior router.
+    pub fanout: u32,
+    /// Attack onset, seconds.
+    pub onset_secs: u64,
+    /// Run duration, seconds.
+    pub duration_secs: u64,
+    /// Rows, defense-major then attacker depth `1..=depth`.
+    pub rows: Vec<TreePlacementRow>,
+}
+
+/// Raw measurements of one tree run.
+struct TreeRun {
+    attacker_bps: f64,
+    honest_bps: Vec<f64>,
+    rejected_keys: u64,
+}
+
+/// One tree run: session 0 holds the (possibly attacking) placed
+/// receiver, session 1 one honest receiver per leaf, both of `variant`,
+/// over a 500 kbps balanced tree.
+fn tree_run(
+    variant: Variant,
+    depth: u32,
+    fanout: u32,
+    attacker: AttackPlan,
+    duration_secs: u64,
+    onset_secs: u64,
+    seed: u64,
+) -> TreeRun {
+    let n_groups = variant_groups(variant);
+    let leaves = (fanout as usize).pow(depth);
+    let mut t = Scenario::balanced_tree(depth, fanout, 500.kbps())
+        .seed(seed)
+        .session(
+            McastSessionSpec::new(variant)
+                .groups(n_groups)
+                .receiver(ReceiverSpec::new().adversary(attacker)),
+        )
+        .session(
+            McastSessionSpec::new(variant)
+                .groups(n_groups)
+                .with_receivers((0..leaves).map(|_| ReceiverSpec::new())),
+        )
+        .build_net();
+    t.run_secs(duration_secs);
+    let attacker_bps = t.throughput_bps(t.sessions[0].receivers[0], onset_secs, duration_secs);
+    let from = onset_secs + 5;
+    let honest_bps = t.sessions[1]
+        .receivers
+        .iter()
+        .map(|&r| t.throughput_bps(r, from, duration_secs))
+        .collect();
+    let rejected_keys = t.sigmas().map(|m| m.stats.rejected_keys).sum();
+    TreeRun {
+        attacker_bps,
+        honest_bps,
+        rejected_keys,
+    }
+}
+
+/// The registered `tree_placement` experiment: on a balanced
+/// `fanout`-ary tree with one honest receiver per leaf, attach the
+/// matrix's inflate attacker at every depth `1..=depth` of leaf 0's root
+/// path and measure honest damage — overall, inside the attacker's
+/// depth-1 subtree, and outside it — for every [`Variant::DEFENSES`]
+/// defense, against a per-(defense, depth) honest baseline.
+pub fn tree_placement(
+    depth: u32,
+    fanout: u32,
+    duration_secs: u64,
+    onset_secs: u64,
+    seed: u64,
+) -> TreePlacementResult {
+    assert!(depth >= 1, "placement needs at least one level");
+    let leaves = (fanout as usize).pow(depth);
+    let subtree = leaves / fanout as usize; // leaf 0's depth-1 subtree
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let mut rows = Vec::new();
+    for (di, &variant) in Variant::DEFENSES.iter().enumerate() {
+        let column_seed = seed ^ ((di as u64 + 1) << 24);
+        for d in 1..=depth {
+            let placement = Placement::Interior { depth: d, leaf: 0 };
+            // The baseline shares seed, topology and placement with the
+            // attack run — they differ only in the adversary.
+            let base = tree_run(
+                variant,
+                depth,
+                fanout,
+                AttackPlan::honest().at(placement),
+                duration_secs,
+                onset_secs,
+                column_seed,
+            );
+            let run = tree_run(
+                variant,
+                depth,
+                fanout,
+                inflate_plan_at(onset_secs.secs(), placement),
+                duration_secs,
+                onset_secs,
+                column_seed,
+            );
+            let honest_mean_bps = mean(&run.honest_bps);
+            let baseline_mean_bps = mean(&base.honest_bps);
+            rows.push(TreePlacementRow {
+                defense: variant.label(),
+                attacker_depth: d,
+                attacker_bps: run.attacker_bps,
+                attacker_baseline_bps: base.attacker_bps,
+                honest_mean_bps,
+                baseline_mean_bps,
+                honest_loss_pct: loss_pct(baseline_mean_bps, honest_mean_bps),
+                subtree_loss_pct: loss_pct(
+                    mean(&base.honest_bps[..subtree]),
+                    mean(&run.honest_bps[..subtree]),
+                ),
+                outside_loss_pct: loss_pct(
+                    mean(&base.honest_bps[subtree..]),
+                    mean(&run.honest_bps[subtree..]),
+                ),
+                rejected_keys: run.rejected_keys,
+            });
+        }
+    }
+    TreePlacementResult {
+        depth,
+        fanout,
+        onset_secs,
+        duration_secs,
+        rows,
+    }
+}
+
+/// Per-hop measurements of the `parking_lot_fairness` experiment.
+#[derive(Clone, Debug)]
+pub struct ParkingLotHop {
+    /// 1-based hop index: the honest receiver behind this many
+    /// bottlenecks.
+    pub hop: u32,
+    /// Its goodput under attack, bit/s.
+    pub honest_bps: f64,
+    /// Its goodput in the attack-free baseline, bit/s.
+    pub baseline_bps: f64,
+    /// Goodput loss, percent of baseline.
+    pub honest_loss_pct: f64,
+    /// The hop's local cross-traffic CBR goodput under attack, bit/s.
+    pub cbr_bps: f64,
+    /// The same CBR's goodput in the baseline, bit/s.
+    pub cbr_baseline_bps: f64,
+}
+
+/// One defense variant's share breakdown.
+#[derive(Clone, Debug)]
+pub struct ParkingLotVariantRows {
+    /// Variant label ([`Variant::label`]).
+    pub variant: &'static str,
+    /// Attacker goodput over the post-onset window, bit/s.
+    pub attacker_bps: f64,
+    /// The same receiver's honest-baseline goodput, bit/s.
+    pub attacker_baseline_bps: f64,
+    /// Per-hop honest and cross-traffic shares.
+    pub hops: Vec<ParkingLotHop>,
+}
+
+/// The full `parking_lot_fairness` result.
+#[derive(Clone, Debug)]
+pub struct ParkingLotResult {
+    /// Number of chained bottlenecks.
+    pub bottlenecks: usize,
+    /// Per-hop cross-traffic CBR rate, bit/s.
+    pub per_hop_cbr_bps: u64,
+    /// Attack onset, seconds.
+    pub onset_secs: u64,
+    /// Run duration, seconds.
+    pub duration_secs: u64,
+    /// One entry per [`Variant::BOTH`] variant, DL first.
+    pub variants: Vec<ParkingLotVariantRows>,
+}
+
+/// Raw measurements of one parking-lot run.
+struct ParkingLotRun {
+    attacker_bps: f64,
+    honest_bps: Vec<f64>,
+    cbr_bps: Vec<f64>,
+}
+
+/// One parking-lot run: the attacker session's receiver sits behind the
+/// last bottleneck (its traffic crosses every hop), the honest session
+/// has one receiver per hop, and a CBR enters and leaves at each hop.
+fn parking_lot_run(
+    variant: Variant,
+    bottlenecks: usize,
+    per_hop_cbr_bps: u64,
+    attacker: AttackPlan,
+    duration_secs: u64,
+    onset_secs: u64,
+    seed: u64,
+) -> ParkingLotRun {
+    let n_groups = variant_groups(variant);
+    let mut t = Scenario::parking_lot(bottlenecks, 1.mbps())
+        .per_hop_cbr(per_hop_cbr_bps)
+        .seed(seed)
+        .session(
+            McastSessionSpec::new(variant)
+                .groups(n_groups)
+                .receiver(ReceiverSpec::new().adversary(attacker)),
+        )
+        .session(
+            McastSessionSpec::new(variant)
+                .groups(n_groups)
+                .with_receivers((0..bottlenecks).map(|_| ReceiverSpec::new())),
+        )
+        .build_net();
+    t.run_secs(duration_secs);
+    let attacker_bps = t.throughput_bps(t.sessions[0].receivers[0], onset_secs, duration_secs);
+    let from = onset_secs + 5;
+    let measure = |agents: &[mcc_netsim::AgentId], t: &BuiltTopology| -> Vec<f64> {
+        agents
+            .iter()
+            .map(|&a| t.throughput_bps(a, from, duration_secs))
+            .collect()
+    };
+    let honest_bps = measure(&t.sessions[1].receivers, &t);
+    let cbr_bps = measure(&t.hop_cbr_sinks, &t);
+    ParkingLotRun {
+        attacker_bps,
+        honest_bps,
+        cbr_bps,
+    }
+}
+
+/// The registered `parking_lot_fairness` experiment: per-hop goodput
+/// shares on a multi-bottleneck parking lot, honest baseline versus an
+/// [`InflateTo`] attacker whose traffic crosses every hop, for FLID-DL
+/// (attack lands everywhere) and FLID-DS (contained at the edge).
+pub fn parking_lot_fairness(
+    bottlenecks: usize,
+    per_hop_cbr_bps: u64,
+    duration_secs: u64,
+    onset_secs: u64,
+    seed: u64,
+) -> ParkingLotResult {
+    let last_hop = Placement::Leaf(bottlenecks - 1);
+    let mut variants = Vec::new();
+    for (vi, &variant) in Variant::BOTH.iter().enumerate() {
+        let column_seed = seed ^ ((vi as u64 + 1) << 16);
+        let run_with = |attacker: AttackPlan| {
+            parking_lot_run(
+                variant,
+                bottlenecks,
+                per_hop_cbr_bps,
+                attacker,
+                duration_secs,
+                onset_secs,
+                column_seed,
+            )
+        };
+        let base = run_with(AttackPlan::honest().at(last_hop));
+        let attack = AttackPlan::new(Timed::at(onset_secs.secs(), InflateTo::all())).at(last_hop);
+        let run = run_with(attack);
+        let hops = (0..bottlenecks)
+            .map(|h| ParkingLotHop {
+                hop: h as u32 + 1,
+                honest_bps: run.honest_bps[h],
+                baseline_bps: base.honest_bps[h],
+                honest_loss_pct: loss_pct(base.honest_bps[h], run.honest_bps[h]),
+                cbr_bps: run.cbr_bps[h],
+                cbr_baseline_bps: base.cbr_bps[h],
+            })
+            .collect();
+        variants.push(ParkingLotVariantRows {
+            variant: variant.label(),
+            attacker_bps: run.attacker_bps,
+            attacker_baseline_bps: base.attacker_bps,
+            hops,
+        });
+    }
+    ParkingLotResult {
+        bottlenecks,
+        per_hop_cbr_bps,
+        onset_secs,
+        duration_secs,
+        variants,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -701,6 +1053,104 @@ mod tests {
             slot_rows[0].sigma_analytic > slot_rows[2].sigma_analytic,
             "SIGMA overhead falls with slot duration"
         );
+    }
+
+    /// Tree placement: an unprotected inflate attacker starves exactly
+    /// the leaves sharing its depth-1 subtree; the hardened variants
+    /// contain the damage at every depth.
+    #[test]
+    fn tree_placement_damage_is_local_and_contained_by_defenses() {
+        let r = tree_placement(2, 2, 30, 10, 42);
+        assert_eq!(r.rows.len(), Variant::DEFENSES.len() * 2);
+        for row in &r.rows {
+            match row.defense {
+                "FLID-DL" => {
+                    assert!(
+                        row.attacker_bps > 1.2 * row.attacker_baseline_bps,
+                        "depth {}: inflation must pay off unprotected: {} vs {}",
+                        row.attacker_depth,
+                        row.attacker_bps,
+                        row.attacker_baseline_bps
+                    );
+                    assert!(
+                        row.subtree_loss_pct > 60.0,
+                        "depth {}: subtree must starve: {}",
+                        row.attacker_depth,
+                        row.subtree_loss_pct
+                    );
+                    assert!(
+                        row.outside_loss_pct < 15.0,
+                        "depth {}: damage must stay in the branch: {}",
+                        row.attacker_depth,
+                        row.outside_loss_pct
+                    );
+                }
+                "FLID-DS" => {
+                    assert!(
+                        row.attacker_bps < 1.3 * row.attacker_baseline_bps,
+                        "depth {}: SIGMA must contain the attacker: {} vs {}",
+                        row.attacker_depth,
+                        row.attacker_bps,
+                        row.attacker_baseline_bps
+                    );
+                    assert!(
+                        row.honest_loss_pct < 20.0,
+                        "depth {}: honest leaves survive: {}",
+                        row.attacker_depth,
+                        row.honest_loss_pct
+                    );
+                    assert!(row.rejected_keys > 0, "guessed keys must be rejected");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Parking lot: the inflating end-to-end receiver squeezes honest
+    /// flows on every hop under FLID-DL; FLID-DS keeps per-hop shares at
+    /// their baselines.
+    #[test]
+    fn parking_lot_attack_lands_on_every_hop_unless_protected() {
+        let r = parking_lot_fairness(2, 100_000, 30, 10, 42);
+        assert_eq!(r.variants.len(), 2);
+        let dl = &r.variants[0];
+        assert_eq!(dl.variant, "FLID-DL");
+        assert!(
+            dl.attacker_bps > 1.4 * dl.attacker_baseline_bps,
+            "inflation must pay off: {} vs {}",
+            dl.attacker_bps,
+            dl.attacker_baseline_bps
+        );
+        for hop in &dl.hops {
+            assert!(
+                hop.honest_loss_pct > 50.0,
+                "hop {}: honest flow must be squeezed: {}",
+                hop.hop,
+                hop.honest_loss_pct
+            );
+        }
+        let ds = &r.variants[1];
+        assert_eq!(ds.variant, "FLID-DS");
+        assert!(
+            ds.attacker_bps < 1.2 * ds.attacker_baseline_bps,
+            "SIGMA must contain the attacker: {} vs {}",
+            ds.attacker_bps,
+            ds.attacker_baseline_bps
+        );
+        for hop in &ds.hops {
+            assert!(
+                hop.honest_loss_pct < 15.0,
+                "hop {}: honest share must hold: {}",
+                hop.hop,
+                hop.honest_loss_pct
+            );
+            assert!(
+                hop.cbr_bps > 60_000.0,
+                "hop {}: cross traffic must survive: {}",
+                hop.hop,
+                hop.cbr_bps
+            );
+        }
     }
 
     /// Figure 8f shape: throughput roughly independent of RTT under

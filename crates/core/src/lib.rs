@@ -6,9 +6,14 @@
 //! * [`scenario`] — the declarative layer: [`Variant`] (FLID-DL vs
 //!   FLID-DS), unit-suffix literals (`1.mbps()`, `50.secs()`) and the
 //!   fluent [`Scenario`] builder,
-//! * [`dumbbell`] — the single-bottleneck topology (§5.1): any mix of
-//!   FLID-DL / FLID-DS sessions, TCP Reno cross traffic and on-off CBR,
-//!   with per-receiver join times, access delays and misbehaviour,
+//! * [`topology`] — the generic topology layer: [`Topology`] shapes
+//!   (dumbbell, parking lot, star, balanced tree), [`TopologySpec`] and
+//!   the one builder every scenario goes through, with placement-aware
+//!   receiver attachment,
+//! * [`dumbbell`] — the single-bottleneck topology (§5.1) as a thin
+//!   wrapper over [`topology`]: any mix of FLID-DL / FLID-DS sessions,
+//!   TCP Reno cross traffic and on-off CBR, with per-receiver join
+//!   times, access delays and misbehaviour,
 //! * [`config`] — [`RunConfig::from_env`] (the one reader of `MCC_QUICK`
 //!   / `MCC_THREADS` / `MCC_OUT`) and the [`Params`] bag every
 //!   experiment runs under,
@@ -39,6 +44,7 @@ pub mod metrics;
 pub mod registry;
 pub mod runner;
 pub mod scenario;
+pub mod topology;
 
 pub use config::{Params, RunConfig};
 pub use dumbbell::{
@@ -50,3 +56,4 @@ pub use runner::{
     figure_experiments, run_parallel, run_serial, ExperimentRecord, ExperimentSpec, Json, Report,
 };
 pub use scenario::{Scenario, Units, Variant};
+pub use topology::{BuiltTopology, Topology, TopologySpec};

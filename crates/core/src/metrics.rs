@@ -83,13 +83,18 @@ impl Series {
 
     /// Centered moving average over `w` points (the paper's throughput
     /// curves are visibly smoothed).
+    ///
+    /// The window shrinks *symmetrically* near the edges: point `i`
+    /// averages `±min(w/2, i, n-1-i)` neighbours, so the first and last
+    /// points pass through unsmoothed instead of absorbing a one-sided
+    /// (forward- or backward-biased) window. The window is always
+    /// centered, so an even `w` behaves like `w + 1`.
     pub fn smoothed(&self, w: usize) -> Series {
-        let w = w.max(1);
         let n = self.points.len();
         let points = (0..n)
             .map(|i| {
-                let lo = i.saturating_sub(w / 2);
-                let hi = (i + w.div_ceil(2)).min(n);
+                let half = (w / 2).min(i).min(n - 1 - i);
+                let (lo, hi) = (i - half, i + half + 1);
                 let mean = self.points[lo..hi].iter().map(|p| p.1).sum::<f64>() / (hi - lo) as f64;
                 (self.points[i].0, mean)
             })
@@ -250,6 +255,33 @@ mod tests {
         assert!(sm.points[2].1 < 5.0);
         // Mass is conserved enough that the mean stays put.
         assert!((sm.mean() - s.mean()).abs() < 1.0);
+    }
+
+    /// Regression: the window must shrink symmetrically at the edges.
+    /// The old clamp averaged only *forward* points at `i = 0` (and only
+    /// backward points at `i = n-1`), biasing the first and last `w/2`
+    /// points of every paper curve toward the interior.
+    #[test]
+    fn smoothing_shrinks_symmetrically_at_edges() {
+        let s = Series::from_values("a", 0.0, 1.0, &[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let sm = s.smoothed(5);
+        // Endpoints pass through unsmoothed (half-width 0), the next
+        // points average three, the center all five.
+        let want = [1.0, 2.0, 3.0, 4.0, 5.0];
+        for (p, w) in sm.points.iter().zip(want) {
+            assert!((p.1 - w).abs() < 1e-12, "{:?}", sm.points);
+        }
+        // A symmetric series smooths to a symmetric series.
+        let s = Series::from_values("b", 0.0, 1.0, &[9.0, 0.0, 0.0, 0.0, 9.0]);
+        let sm = s.smoothed(3);
+        assert_eq!(sm.points[0].1, sm.points[4].1, "{:?}", sm.points);
+        assert_eq!(sm.points[1].1, sm.points[3].1, "{:?}", sm.points);
+        // Degenerate windows and empty series stay well-defined.
+        assert_eq!(s.smoothed(1).points, s.points);
+        assert!(Series::from_values("c", 0.0, 1.0, &[])
+            .smoothed(5)
+            .points
+            .is_empty());
     }
 
     #[test]

@@ -28,6 +28,9 @@ pub enum Kind {
     Ablation,
     /// A robustness matrix (adversary strategies × defense variants).
     Matrix,
+    /// A non-dumbbell topology experiment (trees, parking lots): scenario
+    /// diversity beyond the paper's §5.1 shape.
+    Topology,
     /// A performance macro-benchmark (simulator speed, not paper data).
     /// Its JSON includes wall-clock fields, so — unlike every other kind —
     /// the payload is not byte-stable across runs.
@@ -369,6 +372,94 @@ fn matrix_robustness_body(p: &Params, seed: u64) -> Json {
 }
 
 // ---------------------------------------------------------------------------
+// Topology bodies
+// ---------------------------------------------------------------------------
+
+fn tree_placement_body(p: &Params, seed: u64) -> Json {
+    let (depth, fanout) = if p.quick { (2, 2) } else { (3, 2) };
+    let dur = p.duration(60);
+    let onset = dur / 3;
+    let r = experiments::tree_placement(depth, fanout, dur, onset, seed);
+    Json::obj([
+        ("depth", Json::U64(r.depth as u64)),
+        ("fanout", Json::U64(r.fanout as u64)),
+        ("onset_secs", Json::U64(r.onset_secs)),
+        ("duration_secs", Json::U64(r.duration_secs)),
+        (
+            "rows",
+            Json::Arr(
+                r.rows
+                    .iter()
+                    .map(|row| {
+                        Json::obj([
+                            ("defense", Json::Str(row.defense.to_string())),
+                            ("attacker_depth", Json::U64(row.attacker_depth as u64)),
+                            ("attacker_bps", Json::Num(row.attacker_bps)),
+                            (
+                                "attacker_baseline_bps",
+                                Json::Num(row.attacker_baseline_bps),
+                            ),
+                            ("honest_mean_bps", Json::Num(row.honest_mean_bps)),
+                            ("baseline_mean_bps", Json::Num(row.baseline_mean_bps)),
+                            ("honest_loss_pct", Json::Num(row.honest_loss_pct)),
+                            ("subtree_loss_pct", Json::Num(row.subtree_loss_pct)),
+                            ("outside_loss_pct", Json::Num(row.outside_loss_pct)),
+                            ("rejected_keys", Json::U64(row.rejected_keys)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn parking_lot_body(p: &Params, seed: u64) -> Json {
+    let bottlenecks = if p.quick { 2 } else { 3 };
+    let dur = p.duration(60);
+    let onset = dur / 3;
+    let r = experiments::parking_lot_fairness(bottlenecks, 100_000, dur, onset, seed);
+    Json::obj([
+        ("bottlenecks", Json::U64(r.bottlenecks as u64)),
+        ("per_hop_cbr_bps", Json::U64(r.per_hop_cbr_bps)),
+        ("onset_secs", Json::U64(r.onset_secs)),
+        ("duration_secs", Json::U64(r.duration_secs)),
+        (
+            "variants",
+            Json::Arr(
+                r.variants
+                    .iter()
+                    .map(|v| {
+                        Json::obj([
+                            ("variant", Json::Str(v.variant.to_string())),
+                            ("attacker_bps", Json::Num(v.attacker_bps)),
+                            ("attacker_baseline_bps", Json::Num(v.attacker_baseline_bps)),
+                            (
+                                "hops",
+                                Json::Arr(
+                                    v.hops
+                                        .iter()
+                                        .map(|h| {
+                                            Json::obj([
+                                                ("hop", Json::U64(h.hop as u64)),
+                                                ("honest_bps", Json::Num(h.honest_bps)),
+                                                ("baseline_bps", Json::Num(h.baseline_bps)),
+                                                ("honest_loss_pct", Json::Num(h.honest_loss_pct)),
+                                                ("cbr_bps", Json::Num(h.cbr_bps)),
+                                                ("cbr_baseline_bps", Json::Num(h.cbr_baseline_bps)),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+// ---------------------------------------------------------------------------
 // Perf bodies
 // ---------------------------------------------------------------------------
 
@@ -531,6 +622,22 @@ pub static REGISTRY: &[ExperimentDef] = &[
         body: matrix_robustness_body,
     },
     ExperimentDef {
+        id: "tree_placement",
+        figure: "",
+        describe: "honest damage vs attacker depth on a balanced multicast tree",
+        kind: Kind::Topology,
+        seed: 21,
+        body: tree_placement_body,
+    },
+    ExperimentDef {
+        id: "parking_lot_fairness",
+        figure: "",
+        describe: "per-hop goodput shares on chained bottlenecks under InflateTo",
+        kind: Kind::Topology,
+        seed: 23,
+        body: parking_lot_body,
+    },
+    ExperimentDef {
         id: "perf_events",
         figure: "",
         describe: "macro-benchmark: events/sec on a wide-dumbbell FLID fan-out",
@@ -571,6 +678,15 @@ pub fn matrices() -> Vec<ExperimentDef> {
     REGISTRY
         .iter()
         .filter(|d| d.kind == Kind::Matrix)
+        .copied()
+        .collect()
+}
+
+/// The non-dumbbell topology entries.
+pub fn topologies() -> Vec<ExperimentDef> {
+    REGISTRY
+        .iter()
+        .filter(|d| d.kind == Kind::Topology)
         .copied()
         .collect()
 }
@@ -628,12 +744,13 @@ mod tests {
     #[test]
     fn registry_enumerates_figures_ablations_and_matrices() {
         assert!(
-            REGISTRY.len() >= 17,
-            "12 figures + 3 ablations + 1 matrix + 1 perf"
+            REGISTRY.len() >= 19,
+            "12 figures + 3 ablations + 1 matrix + 2 topologies + 1 perf"
         );
         assert_eq!(figures().len(), 12);
         assert_eq!(ablations().len(), 3);
         assert_eq!(matrices().len(), 1);
+        assert_eq!(topologies().len(), 2);
         assert_eq!(perfs().len(), 1);
         let mut ids: Vec<&str> = REGISTRY.iter().map(|d| d.id).collect();
         ids.sort_unstable();
@@ -647,6 +764,17 @@ mod tests {
         assert_eq!(def.kind(), Kind::Matrix);
         assert!(figures().iter().all(|d| d.id() != "matrix_robustness"));
         assert_eq!(matching("matrix").len(), 1, "prefix selector works");
+    }
+
+    #[test]
+    fn topology_entries_are_selectable_but_not_default_figures() {
+        for id in ["tree_placement", "parking_lot_fairness"] {
+            let def = find(id).expect("registered");
+            assert_eq!(def.kind(), Kind::Topology);
+            assert!(figures().iter().all(|d| d.id() != id));
+        }
+        assert_eq!(matching("tree").len(), 1, "prefix selector works");
+        assert_eq!(matching("parking_lot").len(), 1);
     }
 
     #[test]

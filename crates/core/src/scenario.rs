@@ -24,6 +24,7 @@
 //! `Variant::FlidDs` the DELTA + SIGMA hardened one.
 
 use crate::dumbbell::{CbrSpec, Dumbbell, DumbbellSpec, McastSessionSpec, ReceiverSpec};
+use crate::topology::{BuiltTopology, Topology, TopologySpec};
 use mcc_attack::AttackPlan;
 use mcc_flid::Behavior;
 use mcc_simcore::{SimDuration, SimTime};
@@ -225,24 +226,63 @@ impl CbrSpec {
 // Scenario: the top-level builder
 // ---------------------------------------------------------------------------
 
-/// Fluent builder for the paper's dumbbell scenarios.
+/// Fluent builder for the paper's evaluation scenarios, over any
+/// [`Topology`].
 ///
-/// Wraps a [`DumbbellSpec`] and remembers the last session variant so
+/// Wraps a [`TopologySpec`] and remembers the last session variant so
 /// follow-up calls like [`Scenario::attacker_at`] don't repeat it.
 #[derive(Clone, Debug)]
 pub struct Scenario {
-    spec: DumbbellSpec,
+    spec: TopologySpec,
     variant: Variant,
 }
 
 impl Scenario {
+    /// A scenario over an arbitrary [`Topology`] with the §5.1 link
+    /// defaults (20 ms bottlenecks, 10 ms side links, 2×BDP buffers).
+    pub fn topology(topology: Topology, bottleneck_bps: u64) -> Scenario {
+        Scenario {
+            spec: TopologySpec::new(topology, 0, bottleneck_bps),
+            variant: Variant::FlidDl,
+        }
+    }
+
     /// A dumbbell with the given bottleneck capacity and the §5.1
     /// defaults (20 ms bottleneck, 10 ms side links, 2×BDP buffers).
     pub fn dumbbell(bottleneck_bps: u64) -> Scenario {
-        Scenario {
-            spec: DumbbellSpec::new(0, bottleneck_bps),
-            variant: Variant::FlidDl,
+        Scenario::topology(Topology::Dumbbell, bottleneck_bps)
+    }
+
+    /// A parking lot of `bottlenecks` chained bottleneck links.
+    pub fn parking_lot(bottlenecks: usize, bottleneck_bps: u64) -> Scenario {
+        Scenario::topology(
+            Topology::ParkingLot {
+                bottlenecks,
+                per_hop_cbr: None,
+            },
+            bottleneck_bps,
+        )
+    }
+
+    /// A star of `arms` bottleneck spokes around one hub.
+    pub fn star(arms: usize, bottleneck_bps: u64) -> Scenario {
+        Scenario::topology(Topology::Star { arms }, bottleneck_bps)
+    }
+
+    /// A balanced `fanout`-ary multicast tree of the given `depth`;
+    /// receivers attach at the leaves.
+    pub fn balanced_tree(depth: u32, fanout: u32, bottleneck_bps: u64) -> Scenario {
+        Scenario::topology(Topology::BalancedTree { depth, fanout }, bottleneck_bps)
+    }
+
+    /// Parking lot only: run a CBR of `rate_bps` across each hop
+    /// (entering at the hop's upstream router, leaving right after it).
+    pub fn per_hop_cbr(mut self, rate_bps: u64) -> Scenario {
+        match &mut self.spec.topology {
+            Topology::ParkingLot { per_hop_cbr, .. } => *per_hop_cbr = Some(rate_bps),
+            other => panic!("per_hop_cbr only applies to a parking lot, not {other:?}"),
         }
+        self
     }
 
     /// The scenario seed (fully determines the run).
@@ -297,14 +337,28 @@ impl Scenario {
         self
     }
 
-    /// The assembled [`DumbbellSpec`].
+    /// The assembled [`DumbbellSpec`] (the dumbbell view; use
+    /// [`Scenario::topology_spec`] to keep a non-dumbbell shape).
     pub fn spec(self) -> DumbbellSpec {
+        self.spec.into()
+    }
+
+    /// The assembled generic [`TopologySpec`].
+    pub fn topology_spec(self) -> TopologySpec {
         self.spec
     }
 
-    /// Build the simulation.
+    /// Build the simulation behind the classic single-edge [`Dumbbell`]
+    /// handle (`edge`/`bottleneck` are the first attachment router and
+    /// bottleneck link; use [`Scenario::build_net`] for the full
+    /// multi-router handles).
     pub fn build(self) -> Dumbbell {
-        Dumbbell::build(self.spec)
+        Dumbbell::from_built(self.spec.build())
+    }
+
+    /// Build the simulation with the full [`BuiltTopology`] handles.
+    pub fn build_net(self) -> BuiltTopology {
+        self.spec.build()
     }
 }
 

@@ -1,0 +1,810 @@
+//! The topology subsystem: one generic spec/builder layer behind every
+//! scenario shape.
+//!
+//! The paper's evaluation runs on a single-bottleneck dumbbell (§5.1),
+//! but its robustness claims are about multicast *trees*: how much damage
+//! an inflated-subscription attacker does depends on its placement
+//! relative to the bottleneck links it shares with honest receivers. This
+//! module generalizes the hard-wired dumbbell into a family of
+//! parameterized topologies built by one code path:
+//!
+//! * [`Topology::Dumbbell`] — the paper's shape; `Dumbbell::build` in
+//!   [`crate::dumbbell`] is now a thin wrapper over this builder and
+//!   produces byte-identical runs,
+//! * [`Topology::ParkingLot`] — `N` chained bottleneck links with
+//!   cross-traffic CBRs entering and leaving at each hop (the classic
+//!   multi-bottleneck fairness shape),
+//! * [`Topology::Star`] — one hub, `arms` bottleneck spokes,
+//! * [`Topology::BalancedTree`] — a balanced `fanout`-ary distribution
+//!   tree with receivers at the leaves and configurable attacker
+//!   placement (leaf versus interior subtree) via
+//!   [`Placement`](mcc_attack::Placement).
+//!
+//! A [`TopologySpec`] holds the shape plus the session population
+//! ([`McastSessionSpec`], TCP count, optional CBR); [`TopologySpec::build`]
+//! assembles the simulator and returns [`BuiltTopology`] handles. Receiver
+//! attachment is resolved from each receiver's
+//! [`AttackPlan::placement`](mcc_attack::AttackPlan::placement): honest
+//! receivers round-robin over the topology's attachment points, attackers
+//! can be pinned to a leaf or an interior router.
+
+use crate::scenario::Variant;
+use mcc_attack::{AttackPlan, Placement};
+use mcc_flid::{
+    FlidConfig, FlidReceiver, FlidSender, Mode, ReplicatedReceiver, ReplicatedSender,
+    ThresholdReceiver, ThresholdSender,
+};
+use mcc_netsim::prelude::*;
+use mcc_netsim::topology::{nary_parent, nary_tree_size};
+use mcc_sigma::{SigmaConfig, SigmaEdgeModule};
+use mcc_simcore::{SimDuration, SimTime};
+use mcc_tcp::{RenoConfig, RenoSender, TcpSink};
+use mcc_traffic::{CbrConfig, CbrSource, CountingSink};
+
+/// Loss threshold θ of the RLM-style [`Variant::Threshold`] sessions
+/// (RLM's default, paper §3.1.2).
+pub(crate) const THRESHOLD_THETA: f64 = 0.25;
+
+/// The slot duration every protected session (and its SIGMA edge
+/// modules) runs at — the paper's 250 ms FLID-DS setting. Consumers
+/// converting router slot numbers to seconds must use this constant.
+pub const SIGMA_SLOT: SimDuration = SimDuration::from_millis(250);
+
+/// Rate and flow-id base of the per-hop cross-traffic CBRs of
+/// [`Topology::ParkingLot`] (the spec-level [`CbrSpec`] keeps flow 200).
+const PER_HOP_CBR_FLOW_BASE: u32 = 210;
+
+/// One receiver of a multicast session.
+#[derive(Clone, Debug)]
+pub struct ReceiverSpec {
+    /// When the receiver joins the session.
+    pub join_at: SimTime,
+    /// The adversary strategy the receiver runs
+    /// ([`AttackPlan::honest`] for a well-behaved receiver). The plan's
+    /// [`Placement`] selects the attachment point in multi-router
+    /// topologies.
+    pub adversary: AttackPlan,
+    /// Propagation delay of the receiver's access link.
+    pub access_delay: SimDuration,
+}
+
+impl Default for ReceiverSpec {
+    fn default() -> Self {
+        ReceiverSpec {
+            join_at: SimTime::ZERO,
+            adversary: AttackPlan::honest(),
+            access_delay: SimDuration::from_millis(10),
+        }
+    }
+}
+
+/// One multicast session.
+#[derive(Clone, Debug)]
+pub struct McastSessionSpec {
+    /// FLID-DS (hardened) or FLID-DL (original).
+    pub variant: Variant,
+    /// Number of groups (paper default 10).
+    pub n_groups: u32,
+    /// The session's receivers.
+    pub receivers: Vec<ReceiverSpec>,
+}
+
+impl McastSessionSpec {
+    /// A session with `k` honest receivers joining at t = 0.
+    pub fn honest(variant: Variant, k: usize) -> Self {
+        McastSessionSpec {
+            variant,
+            n_groups: 10,
+            receivers: vec![ReceiverSpec::default(); k],
+        }
+    }
+}
+
+/// Optional on-off CBR background (Figures 8d/8e).
+#[derive(Clone, Debug)]
+pub struct CbrSpec {
+    /// Rate while on, bit/s.
+    pub rate_bps: u64,
+    /// `(on, off)` periods; `None` = always on within the window.
+    pub on_off: Option<(SimDuration, SimDuration)>,
+    /// Window start.
+    pub start: SimTime,
+    /// Window end.
+    pub stop: SimTime,
+}
+
+/// Handles of one built multicast session.
+#[derive(Clone, Debug)]
+pub struct SessionHandle {
+    /// The session's configuration.
+    pub cfg: FlidConfig,
+    /// Sender agent.
+    pub sender: AgentId,
+    /// Receiver agents, in spec order.
+    pub receivers: Vec<AgentId>,
+}
+
+/// Handles of one TCP session.
+#[derive(Clone, Copy, Debug)]
+pub struct TcpHandle {
+    /// Reno sender agent.
+    pub sender: AgentId,
+    /// Sink agent (throughput is measured here).
+    pub sink: AgentId,
+}
+
+/// The shape of the core (router) graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Topology {
+    /// The paper's single-bottleneck dumbbell (§5.1): senders behind
+    /// router `A`, receivers behind edge router `B`, one bottleneck in
+    /// between.
+    Dumbbell,
+    /// `bottlenecks` chained bottleneck links `R0 ═ R1 ═ … ═ Rk`.
+    /// Senders attach at `R0`; the receiver attachment points are
+    /// `R1..=Rk` (hop `i` sits behind `i + 1` bottlenecks). With
+    /// `per_hop_cbr` set, a CBR of that rate enters at `R_i` and leaves
+    /// at `R_{i+1}` for every hop — local cross traffic on each
+    /// bottleneck.
+    ParkingLot {
+        /// Number of chained bottleneck links (≥ 1).
+        bottlenecks: usize,
+        /// Per-hop cross-traffic CBR rate, bit/s (`None` = no cross
+        /// traffic).
+        per_hop_cbr: Option<u64>,
+    },
+    /// One hub with `arms` bottleneck spokes; senders attach at the hub,
+    /// receivers round-robin over the arm routers.
+    Star {
+        /// Number of spokes (≥ 1).
+        arms: usize,
+    },
+    /// A balanced `fanout`-ary multicast tree of the given `depth`
+    /// (depth 0 = just the root). Every parent→child link is a
+    /// bottleneck-class link; senders attach at the root and receivers
+    /// round-robin over the `fanout^depth` leaf routers.
+    BalancedTree {
+        /// Levels below the root.
+        depth: u32,
+        /// Children per interior router (≥ 1).
+        fanout: u32,
+    },
+}
+
+impl Topology {
+    /// A short label for reports and plots.
+    pub fn label(&self) -> String {
+        match self {
+            Topology::Dumbbell => "dumbbell".into(),
+            Topology::ParkingLot { bottlenecks, .. } => format!("parking_lot({bottlenecks})"),
+            Topology::Star { arms } => format!("star({arms})"),
+            Topology::BalancedTree { depth, fanout } => format!("tree(d{depth},f{fanout})"),
+        }
+    }
+}
+
+/// The whole scenario: a [`Topology`] plus link parameters and the
+/// session population — the generic form of the historical
+/// `DumbbellSpec`.
+#[derive(Clone, Debug)]
+pub struct TopologySpec {
+    /// The core graph shape.
+    pub topology: Topology,
+    /// Scenario seed (fully determines the run).
+    pub seed: u64,
+    /// Capacity of every bottleneck-class link, bit/s.
+    pub bottleneck_bps: u64,
+    /// Propagation delay of every bottleneck-class link.
+    pub bottleneck_delay: SimDuration,
+    /// Side-link propagation delay (sender side; receiver side comes from
+    /// each [`ReceiverSpec`]).
+    pub side_delay: SimDuration,
+    /// Round-trip used to size buffers (buffer = 2 × rate × rtt).
+    pub buffer_rtt: SimDuration,
+    /// Multicast sessions.
+    pub mcast: Vec<McastSessionSpec>,
+    /// Number of TCP Reno sessions.
+    pub tcp: usize,
+    /// Optional CBR background (source at the ingress, sink behind the
+    /// first attachment point).
+    pub cbr: Option<CbrSpec>,
+    /// Monitor bin width.
+    pub monitor_bin: SimDuration,
+}
+
+impl TopologySpec {
+    /// Paper §5.1 defaults around the given shape: 20 ms bottlenecks,
+    /// 10 ms / 10 Mbps side links, 2×BDP buffers on an 80 ms round trip.
+    pub fn new(topology: Topology, seed: u64, bottleneck_bps: u64) -> Self {
+        TopologySpec {
+            topology,
+            seed,
+            bottleneck_bps,
+            bottleneck_delay: SimDuration::from_millis(20),
+            side_delay: SimDuration::from_millis(10),
+            buffer_rtt: SimDuration::from_millis(80),
+            mcast: Vec::new(),
+            tcp: 0,
+            cbr: None,
+            monitor_bin: SimDuration::from_secs(1),
+        }
+    }
+}
+
+/// The assembled core (router) graph, before sessions are attached.
+struct Core {
+    /// All core routers: `[A, B]` for the dumbbell, chain order for the
+    /// parking lot, `[hub, arms…]` for the star, breadth-first for trees.
+    routers: Vec<NodeId>,
+    /// Where sender hosts (multicast, TCP, CBR sources) attach.
+    ingress: NodeId,
+    /// Receiver attachment cycle: [`Placement::Auto`] receivers
+    /// round-robin over these.
+    attach: Vec<NodeId>,
+    /// Forward-direction bottleneck links, in construction order.
+    bottlenecks: Vec<LinkId>,
+}
+
+impl Core {
+    /// Resolve a receiver placement to its attachment router.
+    /// `auto_seq` is the receiver's index in the round-robin sequence of
+    /// `Auto` receivers.
+    fn resolve(&self, topology: &Topology, placement: Placement, auto_seq: usize) -> NodeId {
+        match placement {
+            Placement::Auto => self.attach[auto_seq % self.attach.len()],
+            Placement::Leaf(i) => self.attach[i % self.attach.len()],
+            Placement::Interior { depth, leaf } => match *topology {
+                Topology::Dumbbell => self.attach[0],
+                Topology::ParkingLot { .. } => {
+                    self.routers[(depth as usize).min(self.routers.len() - 1)]
+                }
+                Topology::Star { arms } => {
+                    if depth == 0 {
+                        self.routers[0]
+                    } else {
+                        self.attach[leaf % arms]
+                    }
+                }
+                Topology::BalancedTree {
+                    depth: tree_depth,
+                    fanout,
+                } => {
+                    let leaves = (fanout as usize).pow(tree_depth);
+                    let mut i = self.routers.len() - leaves + (leaf % leaves);
+                    for _ in depth..tree_depth {
+                        i = nary_parent(i, fanout);
+                    }
+                    self.routers[i]
+                }
+            },
+        }
+    }
+}
+
+/// A built scenario over any [`Topology`].
+pub struct BuiltTopology {
+    /// The simulator (run it!).
+    pub sim: Sim,
+    /// The shape this was built from.
+    pub topology: Topology,
+    /// All core routers (see [`Topology`] for the order).
+    pub routers: Vec<NodeId>,
+    /// Receiver attachment cycle (the dumbbell's edge router `B` is
+    /// `attach[0]`).
+    pub attach: Vec<NodeId>,
+    /// Routers that host receiver access links — where SIGMA modules are
+    /// installed when a protected session exists, in first-use order.
+    pub edges: Vec<NodeId>,
+    /// Forward-direction bottleneck links.
+    pub bottlenecks: Vec<LinkId>,
+    /// Multicast sessions.
+    pub sessions: Vec<SessionHandle>,
+    /// Per session, per receiver: the router its access link hangs off.
+    pub receiver_routers: Vec<Vec<NodeId>>,
+    /// TCP sessions.
+    pub tcp: Vec<TcpHandle>,
+    /// Sink of the spec-level [`CbrSpec`] background, when requested.
+    pub cbr_sink: Option<AgentId>,
+    /// One cross-traffic sink per parking-lot hop, in hop order (empty
+    /// unless [`Topology::ParkingLot`] set `per_hop_cbr`).
+    pub hop_cbr_sinks: Vec<AgentId>,
+}
+
+impl TopologySpec {
+    /// Assemble the scenario. Construction order (nodes, links, agents,
+    /// group registrations) is a function of the spec alone, so equal
+    /// specs build bit-identical simulations.
+    pub fn build(self) -> BuiltTopology {
+        let spec = self;
+        let mut sim = Sim::new(spec.seed, spec.monitor_bin);
+        let bottleneck_buffer =
+            (2.0 * spec.bottleneck_bps as f64 * spec.buffer_rtt.as_secs_f64() / 8.0) as u64;
+        let side_buffer = (2.0 * 10_000_000.0 * spec.buffer_rtt.as_secs_f64() / 8.0) as u64;
+
+        let bottleneck_link = |sim: &mut Sim, from: NodeId, to: NodeId| {
+            let (fwd, _) = sim.add_duplex_link(
+                from,
+                to,
+                spec.bottleneck_bps,
+                spec.bottleneck_delay,
+                Queue::drop_tail(bottleneck_buffer),
+                Queue::drop_tail(bottleneck_buffer),
+            );
+            fwd
+        };
+
+        // The core graph. Node and link creation order per shape is part
+        // of the byte-compat contract (the dumbbell arm reproduces the
+        // historical `Dumbbell::build` exactly).
+        let core = match spec.topology {
+            Topology::Dumbbell => {
+                let a = sim.add_node();
+                let b = sim.add_node();
+                let bn = bottleneck_link(&mut sim, a, b);
+                Core {
+                    routers: vec![a, b],
+                    ingress: a,
+                    attach: vec![b],
+                    bottlenecks: vec![bn],
+                }
+            }
+            Topology::ParkingLot { bottlenecks, .. } => {
+                assert!(bottlenecks >= 1, "a parking lot needs at least one hop");
+                let routers: Vec<NodeId> = (0..=bottlenecks).map(|_| sim.add_node()).collect();
+                let links = routers
+                    .windows(2)
+                    .map(|w| bottleneck_link(&mut sim, w[0], w[1]))
+                    .collect();
+                Core {
+                    ingress: routers[0],
+                    attach: routers[1..].to_vec(),
+                    bottlenecks: links,
+                    routers,
+                }
+            }
+            Topology::Star { arms } => {
+                assert!(arms >= 1, "a star needs at least one arm");
+                let hub = sim.add_node();
+                let mut routers = vec![hub];
+                let mut links = Vec::new();
+                for _ in 0..arms {
+                    let arm = sim.add_node();
+                    links.push(bottleneck_link(&mut sim, hub, arm));
+                    routers.push(arm);
+                }
+                Core {
+                    ingress: hub,
+                    attach: routers[1..].to_vec(),
+                    bottlenecks: links,
+                    routers,
+                }
+            }
+            Topology::BalancedTree { depth, fanout } => {
+                assert!(fanout >= 1, "a tree needs a positive fanout");
+                let total = nary_tree_size(depth, fanout);
+                let routers: Vec<NodeId> = (0..total).map(|_| sim.add_node()).collect();
+                let links = (1..total)
+                    .map(|i| bottleneck_link(&mut sim, routers[nary_parent(i, fanout)], routers[i]))
+                    .collect();
+                let leaves = (fanout as usize).pow(depth);
+                Core {
+                    ingress: routers[0],
+                    attach: routers[total - leaves..].to_vec(),
+                    bottlenecks: links,
+                    routers,
+                }
+            }
+        };
+
+        let add_sender_host = |sim: &mut Sim| {
+            let h = sim.add_node();
+            sim.add_duplex_link(
+                h,
+                core.ingress,
+                10_000_000,
+                spec.side_delay,
+                Queue::drop_tail(side_buffer),
+                Queue::drop_tail(side_buffer),
+            );
+            h
+        };
+
+        // Per-session configurations, computed up front so the SIGMA
+        // modules can be scoped (collusion guard) before agents exist.
+        let cfgs: Vec<FlidConfig> = spec
+            .mcast
+            .iter()
+            .enumerate()
+            .map(|(si, m)| {
+                let base = 1000 * (si as u32 + 1);
+                FlidConfig::paper(
+                    (1..=m.n_groups).map(|g| GroupAddr(base + g)).collect(),
+                    GroupAddr(base),
+                    FlowId(si as u32),
+                    m.variant.protected(),
+                )
+            })
+            .collect();
+
+        // Resolve every receiver's attachment router up front (pure
+        // computation): the SIGMA install set is the distinct routers in
+        // first-use order.
+        let mut auto_seq = 0usize;
+        let receiver_routers: Vec<Vec<NodeId>> = spec
+            .mcast
+            .iter()
+            .map(|m| {
+                m.receivers
+                    .iter()
+                    .map(|r| {
+                        let placement = r.adversary.placement();
+                        let node = core.resolve(&spec.topology, placement, auto_seq);
+                        if placement == Placement::Auto {
+                            auto_seq += 1;
+                        }
+                        node
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut edges: Vec<NodeId> = Vec::new();
+        for node in receiver_routers.iter().flatten() {
+            if !edges.contains(node) {
+                edges.push(*node);
+            }
+        }
+        if edges.is_empty() {
+            edges.push(core.attach[0]);
+        }
+
+        // Any protected session installs SIGMA at every edge router; the
+        // module is generic, so one instance per router serves every
+        // session (smallest slot wins for maintenance granularity). A
+        // `FlidDsGuard` session additionally scopes the §4.2 collusion
+        // guard to its groups — the guard is protocol-specific (it must
+        // know the layering), so it covers the first such session only.
+        let protected_slot = spec
+            .mcast
+            .iter()
+            .filter(|m| m.variant.protected())
+            .map(|_| SIGMA_SLOT)
+            .min();
+        if let Some(slot) = protected_slot {
+            let mut sigma_cfg = SigmaConfig::new(slot);
+            if let Some((si, _)) = spec
+                .mcast
+                .iter()
+                .enumerate()
+                .find(|(_, m)| m.variant == Variant::FlidDsGuard)
+            {
+                sigma_cfg = sigma_cfg.with_guard(cfgs[si].groups.clone());
+            }
+            for &edge in &edges {
+                sim.set_edge_module(edge, Box::new(SigmaEdgeModule::new(sigma_cfg.clone())));
+            }
+        }
+
+        let mut sessions = Vec::new();
+        for (si, m) in spec.mcast.iter().enumerate() {
+            let cfg = cfgs[si].clone();
+            let sender_host = add_sender_host(&mut sim);
+            for g in cfg.groups.iter().chain([&cfg.control_group]) {
+                sim.register_group(*g, sender_host);
+            }
+            let sender_agent: Box<dyn Agent> = match m.variant {
+                Variant::FlidDl | Variant::FlidDs | Variant::FlidDsGuard => {
+                    Box::new(FlidSender::new(cfg.clone()))
+                }
+                Variant::Replicated => Box::new(ReplicatedSender::new(cfg.clone())),
+                Variant::Threshold => Box::new(ThresholdSender::new(cfg.clone(), THRESHOLD_THETA)),
+            };
+            let sender = sim.add_agent(sender_host, sender_agent, SimTime::ZERO);
+            let mut receivers = Vec::new();
+            for (ri, r) in m.receivers.iter().enumerate() {
+                let edge = receiver_routers[si][ri];
+                let h = sim.add_node();
+                sim.add_duplex_link(
+                    edge,
+                    h,
+                    10_000_000,
+                    r.access_delay,
+                    Queue::drop_tail(side_buffer),
+                    Queue::drop_tail(side_buffer),
+                );
+                let router = m.variant.protected().then_some(edge);
+                let agent: Box<dyn Agent> = match m.variant {
+                    Variant::FlidDl | Variant::FlidDs | Variant::FlidDsGuard => {
+                        let mode = match router {
+                            Some(edge) => Mode::Ds { router: edge },
+                            None => Mode::Dl,
+                        };
+                        let mut agent =
+                            FlidReceiver::with_adversary(cfg.clone(), mode, r.adversary.clone());
+                        agent.set_control_delay(r.access_delay);
+                        Box::new(agent)
+                    }
+                    Variant::Replicated => Box::new(ReplicatedReceiver::with_adversary(
+                        cfg.clone(),
+                        router,
+                        r.adversary.clone(),
+                    )),
+                    Variant::Threshold => Box::new(ThresholdReceiver::with_adversary(
+                        cfg.clone(),
+                        THRESHOLD_THETA,
+                        router,
+                        r.adversary.clone(),
+                    )),
+                };
+                receivers.push(sim.add_agent(h, agent, r.join_at));
+            }
+            sessions.push(SessionHandle {
+                cfg,
+                sender,
+                receivers,
+            });
+        }
+
+        let mut tcp = Vec::new();
+        for j in 0..spec.tcp {
+            let sh = add_sender_host(&mut sim);
+            let rh = sim.add_node();
+            sim.add_duplex_link(
+                core.attach[j % core.attach.len()],
+                rh,
+                10_000_000,
+                spec.side_delay,
+                Queue::drop_tail(side_buffer),
+                Queue::drop_tail(side_buffer),
+            );
+            let sink = sim.add_agent(rh, Box::new(TcpSink::default()), SimTime::ZERO);
+            let cfg = RenoConfig::bulk(sink, FlowId(100 + j as u32));
+            let sender = sim.add_agent(
+                sh,
+                Box::new(RenoSender::new(cfg)),
+                // Staggered starts desynchronize the flows.
+                SimTime::from_millis(37 * j as u64 + 11),
+            );
+            tcp.push(TcpHandle { sender, sink });
+        }
+
+        let mut cbr_sink = None;
+        if let Some(c) = &spec.cbr {
+            let sh = add_sender_host(&mut sim);
+            let rh = sim.add_node();
+            sim.add_duplex_link(
+                core.attach[0],
+                rh,
+                10_000_000,
+                spec.side_delay,
+                Queue::drop_tail(side_buffer),
+                Queue::drop_tail(side_buffer),
+            );
+            let sink = sim.add_agent(rh, Box::new(CountingSink::default()), SimTime::ZERO);
+            let cfg = CbrConfig {
+                rate_bps: c.rate_bps,
+                packet_bits: 576 * 8,
+                dest: Dest::Agent(sink),
+                flow: FlowId(200),
+                start: c.start,
+                stop: c.stop,
+                on_off: c.on_off,
+            };
+            sim.add_agent(sh, Box::new(CbrSource::new(cfg)), SimTime::ZERO);
+            cbr_sink = Some(sink);
+        }
+
+        // Parking-lot cross traffic: one CBR per hop, entering at the
+        // hop's upstream router and leaving right after the bottleneck.
+        let mut hop_cbr_sinks = Vec::new();
+        if let Topology::ParkingLot {
+            per_hop_cbr: Some(rate),
+            ..
+        } = spec.topology
+        {
+            for (hop, w) in core.routers.windows(2).enumerate() {
+                let sh = sim.add_node();
+                sim.add_duplex_link(
+                    sh,
+                    w[0],
+                    10_000_000,
+                    spec.side_delay,
+                    Queue::drop_tail(side_buffer),
+                    Queue::drop_tail(side_buffer),
+                );
+                let rh = sim.add_node();
+                sim.add_duplex_link(
+                    w[1],
+                    rh,
+                    10_000_000,
+                    spec.side_delay,
+                    Queue::drop_tail(side_buffer),
+                    Queue::drop_tail(side_buffer),
+                );
+                let sink = sim.add_agent(rh, Box::new(CountingSink::default()), SimTime::ZERO);
+                let cfg = CbrConfig::steady(
+                    rate,
+                    576 * 8,
+                    Dest::Agent(sink),
+                    FlowId(PER_HOP_CBR_FLOW_BASE + hop as u32),
+                    SimTime::ZERO,
+                    SimTime::MAX,
+                );
+                sim.add_agent(sh, Box::new(CbrSource::new(cfg)), SimTime::ZERO);
+                hop_cbr_sinks.push(sink);
+            }
+        }
+
+        sim.finalize();
+        BuiltTopology {
+            sim,
+            topology: spec.topology,
+            routers: core.routers,
+            attach: core.attach,
+            edges,
+            bottlenecks: core.bottlenecks,
+            sessions,
+            receiver_routers,
+            tcp,
+            cbr_sink,
+            hop_cbr_sinks,
+        }
+    }
+}
+
+/// Average delivered throughput of an agent over `[from, to)` seconds —
+/// the one measurement-window convention shared by every handle type
+/// ([`BuiltTopology`] and [`crate::dumbbell::Dumbbell`] both delegate
+/// here).
+pub fn throughput_bps(sim: &Sim, agent: AgentId, from: u64, to: u64) -> f64 {
+    sim.monitor()
+        .agent_throughput_bps(agent, SimTime::from_secs(from), SimTime::from_secs(to))
+}
+
+/// Per-bin throughput series of an agent out to `horizon` seconds.
+pub fn series_bps(sim: &Sim, agent: AgentId, horizon: u64) -> Vec<f64> {
+    sim.monitor()
+        .agent_series_bps(agent, SimTime::from_secs(horizon))
+}
+
+/// A receiver agent as its concrete FLID type.
+pub fn flid_receiver(sim: &Sim, id: AgentId) -> &FlidReceiver {
+    sim.agent_as::<FlidReceiver>(id)
+        .expect("agent is a FlidReceiver")
+}
+
+/// A sender agent as its concrete FLID type.
+pub fn flid_sender(sim: &Sim, id: AgentId) -> &FlidSender {
+    sim.agent_as::<FlidSender>(id)
+        .expect("agent is a FlidSender")
+}
+
+impl BuiltTopology {
+    /// Run until `secs` of simulated time.
+    pub fn run_secs(&mut self, secs: u64) {
+        self.sim.run_until(SimTime::from_secs(secs));
+    }
+
+    /// Average delivered throughput of an agent over `[from, to)` seconds.
+    pub fn throughput_bps(&self, agent: AgentId, from: u64, to: u64) -> f64 {
+        throughput_bps(&self.sim, agent, from, to)
+    }
+
+    /// Per-bin throughput series of an agent out to `horizon` seconds.
+    pub fn series_bps(&self, agent: AgentId, horizon: u64) -> Vec<f64> {
+        series_bps(&self.sim, agent, horizon)
+    }
+
+    /// The SIGMA module at one edge router, when installed.
+    pub fn sigma_at(&self, node: NodeId) -> Option<&SigmaEdgeModule> {
+        self.sim.edge_as::<SigmaEdgeModule>(node)
+    }
+
+    /// All installed SIGMA modules, in edge order.
+    pub fn sigmas(&self) -> impl Iterator<Item = &SigmaEdgeModule> {
+        self.edges.iter().filter_map(|&e| self.sigma_at(e))
+    }
+
+    /// A receiver agent as its concrete type.
+    pub fn receiver(&self, id: AgentId) -> &FlidReceiver {
+        flid_receiver(&self.sim, id)
+    }
+
+    /// A sender agent as its concrete type.
+    pub fn sender(&self, id: AgentId) -> &FlidSender {
+        flid_sender(&self.sim, id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Units;
+
+    fn tree_spec(depth: u32, fanout: u32, receivers: usize) -> TopologySpec {
+        let mut spec = TopologySpec::new(Topology::BalancedTree { depth, fanout }, 1, 500.kbps());
+        spec.mcast = vec![McastSessionSpec::honest(Variant::FlidDs, receivers)];
+        spec
+    }
+
+    #[test]
+    fn tree_core_counts_and_leaf_attach() {
+        let t = tree_spec(2, 2, 4).build();
+        // 7 routers, 6 bottleneck links, receivers on the 4 leaves.
+        assert_eq!(t.routers.len(), 7);
+        assert_eq!(t.bottlenecks.len(), 6);
+        assert_eq!(t.attach.len(), 4);
+        assert_eq!(t.attach, t.routers[3..].to_vec());
+        // Auto receivers tile the leaves one each.
+        assert_eq!(t.receiver_routers[0], t.attach);
+        // Every leaf edge router got a SIGMA module (protected session).
+        assert_eq!(t.edges, t.attach);
+        assert_eq!(t.sigmas().count(), 4);
+    }
+
+    #[test]
+    fn interior_placement_resolves_to_the_leaf_ancestor() {
+        let mut spec = tree_spec(2, 2, 2);
+        spec.mcast[0].receivers.push(
+            ReceiverSpec::default()
+                .adversary(AttackPlan::honest().at(Placement::Interior { depth: 1, leaf: 3 })),
+        );
+        let t = spec.build();
+        // Leaf 3 is routers[6]; its depth-1 ancestor is routers[2].
+        assert_eq!(t.receiver_routers[0][2], t.routers[2]);
+        // The interior router is now an edge (SIGMA installed there too).
+        assert!(t.edges.contains(&t.routers[2]));
+    }
+
+    #[test]
+    fn parking_lot_chains_bottlenecks_and_places_per_hop_cbr() {
+        let mut spec = TopologySpec::new(
+            Topology::ParkingLot {
+                bottlenecks: 3,
+                per_hop_cbr: Some(100_000),
+            },
+            2,
+            1.mbps(),
+        );
+        spec.mcast = vec![McastSessionSpec::honest(Variant::FlidDl, 3)];
+        let mut t = spec.build();
+        assert_eq!(t.routers.len(), 4);
+        assert_eq!(t.bottlenecks.len(), 3);
+        assert_eq!(t.attach, t.routers[1..].to_vec());
+        assert_eq!(t.hop_cbr_sinks.len(), 3, "one cross-traffic sink per hop");
+        t.run_secs(10);
+        for (hop, &sink) in t.hop_cbr_sinks.iter().enumerate() {
+            let bps = t.throughput_bps(sink, 2, 10);
+            assert!(bps > 60_000.0, "hop {hop} cross traffic starved: {bps}");
+        }
+    }
+
+    #[test]
+    fn star_arms_attach_round_robin() {
+        let mut spec = TopologySpec::new(Topology::Star { arms: 3 }, 3, 500.kbps());
+        spec.mcast = vec![McastSessionSpec::honest(Variant::FlidDl, 6)];
+        let t = spec.build();
+        assert_eq!(t.routers.len(), 4);
+        assert_eq!(t.attach.len(), 3);
+        assert_eq!(
+            t.receiver_routers[0],
+            vec![
+                t.attach[0],
+                t.attach[1],
+                t.attach[2],
+                t.attach[0],
+                t.attach[1],
+                t.attach[2]
+            ]
+        );
+    }
+
+    #[test]
+    fn tree_session_delivers_to_every_leaf() {
+        let mut t = tree_spec(2, 2, 4).build();
+        t.run_secs(20);
+        for (i, &r) in t.sessions[0].receivers.iter().enumerate() {
+            let bps = t.throughput_bps(r, 5, 20);
+            assert!(bps > 50_000.0, "leaf {i} starved: {bps}");
+        }
+    }
+}

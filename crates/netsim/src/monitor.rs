@@ -106,26 +106,44 @@ impl Monitor {
     }
 
     /// Average throughput of `agent` (all flows) over `[from, to)` in bit/s.
+    ///
+    /// Bins that only partially overlap the window are pro-rated (a bin's
+    /// bits are attributed uniformly across it), so fractional windows
+    /// divide a matching share of bits by the span. Bin-aligned windows —
+    /// every figure and matrix measurement — are unaffected: full bins
+    /// contribute exactly their integer bit count.
     pub fn agent_throughput_bps(&self, agent: AgentId, from: SimTime, to: SimTime) -> f64 {
         let span = to.since(from).as_secs_f64();
         if span <= 0.0 {
             return 0.0;
         }
-        let from_bin = (from.as_nanos() / self.bin.as_nanos()) as usize;
-        let to_bin = (to.as_nanos().saturating_sub(1) / self.bin.as_nanos()) as usize;
-        let bits: u64 = self
+        let bin = self.bin.as_nanos();
+        let (from_ns, to_ns) = (from.as_nanos(), to.as_nanos());
+        let from_bin = (from_ns / bin) as usize;
+        let to_bin = (to_ns.saturating_sub(1) / bin) as usize;
+        let bits: f64 = self
             .agent_flows(agent)
             .iter()
             .map(|(_, r)| {
                 r.bins
                     .iter()
                     .enumerate()
-                    .filter(|(i, _)| *i >= from_bin && *i <= to_bin)
-                    .map(|(_, b)| *b)
-                    .sum::<u64>()
+                    .take(to_bin + 1)
+                    .skip(from_bin)
+                    .map(|(i, &b)| {
+                        let lo = i as u64 * bin;
+                        let overlap = (lo + bin).min(to_ns) - lo.max(from_ns);
+                        b as f64 * (overlap as f64 / bin as f64)
+                    })
+                    .sum::<f64>()
             })
             .sum();
-        bits as f64 / span
+        if bits == 0.0 {
+            // An empty `f64` sum is `-0.0`; report a clean positive zero
+            // so serialized reports don't flip between `0` and `-0`.
+            return 0.0;
+        }
+        bits / span
     }
 
     /// Throughput time series of `agent` (all flows): one bit/s value per bin,
@@ -193,6 +211,28 @@ mod tests {
         // Over [1 s, 2 s): 16 kbps.
         let t = mon.agent_throughput_bps(a, SimTime::from_secs(1), SimTime::from_secs(2));
         assert!((t - 16_000.0).abs() < 1e-9);
+    }
+
+    /// Regression: a fractional window must pro-rate the partial first
+    /// and last bins. `[0.5 s, 1.5 s)` over 1 s bins used to count both
+    /// bins in full while dividing by the 1 s span — here that would
+    /// have reported 12 kbps instead of 6 kbps.
+    #[test]
+    fn fractional_windows_pro_rate_partial_bins() {
+        let mut mon = m();
+        let a = AgentId(7);
+        let f = FlowId(0);
+        mon.record(SimTime::from_millis(100), a, f, 8_000); // bin 0
+        mon.record(SimTime::from_millis(1100), a, f, 4_000); // bin 1
+        let t = mon.agent_throughput_bps(a, SimTime::from_millis(500), SimTime::from_millis(1500));
+        // Half of each bin: (0.5 × 8000 + 0.5 × 4000) / 1 s.
+        assert!((t - 6_000.0).abs() < 1e-9, "{t}");
+        // A window inside one bin takes the matching share of that bin.
+        let t = mon.agent_throughput_bps(a, SimTime::from_millis(250), SimTime::from_millis(750));
+        assert!((t - 8_000.0).abs() < 1e-9, "{t}");
+        // Bin-aligned windows are exact integers, as before.
+        let t = mon.agent_throughput_bps(a, SimTime::ZERO, SimTime::from_secs(2));
+        assert!((t - 6_000.0).abs() < 1e-9, "{t}");
     }
 
     #[test]

@@ -83,10 +83,29 @@ pub fn star(sim: &mut Sim, leaves: usize, link: LinkSpec) -> (NodeId, Vec<NodeId
 /// Returns the nodes in breadth-first order; leaves occupy the tail
 /// `2^depth` entries.
 pub fn binary_tree(sim: &mut Sim, depth: u32, link: LinkSpec) -> Vec<NodeId> {
-    let total = (1usize << (depth + 1)) - 1;
+    nary_tree(sim, depth, 2, link)
+}
+
+/// Number of nodes in a balanced `fanout`-ary tree of the given `depth`.
+pub fn nary_tree_size(depth: u32, fanout: u32) -> usize {
+    (0..=depth).map(|d| (fanout as usize).pow(d)).sum()
+}
+
+/// The breadth-first index of a node's parent (`i >= 1`).
+pub fn nary_parent(i: usize, fanout: u32) -> usize {
+    (i - 1) / fanout as usize
+}
+
+/// A balanced `fanout`-ary tree of the given `depth` (depth 0 = just the
+/// root). Returns the nodes in breadth-first order; leaves occupy the
+/// tail `fanout^depth` entries and the parent of node `i` is node
+/// [`nary_parent(i, fanout)`](nary_parent).
+pub fn nary_tree(sim: &mut Sim, depth: u32, fanout: u32, link: LinkSpec) -> Vec<NodeId> {
+    assert!(fanout >= 1, "a tree needs a positive fanout");
+    let total = nary_tree_size(depth, fanout);
     let nodes: Vec<NodeId> = (0..total).map(|_| sim.add_node()).collect();
     for i in 1..total {
-        let parent = nodes[(i - 1) / 2];
+        let parent = nodes[nary_parent(i, fanout)];
         link.install(sim, parent, nodes[i]);
     }
     nodes
@@ -191,6 +210,21 @@ mod tests {
         assert_eq!(nodes.len(), 7);
         // 6 edges → 12 unidirectional links.
         assert_eq!(sim.world.links.len(), 12);
+    }
+
+    #[test]
+    fn nary_tree_shape_and_routing() {
+        assert_eq!(nary_tree_size(2, 3), 13);
+        assert_eq!(nary_tree_size(0, 4), 1);
+        assert_eq!(nary_parent(4, 3), 1);
+        let mut sim = Sim::new(7, SimDuration::from_secs(1));
+        let nodes = nary_tree(&mut sim, 2, 3, LinkSpec::access());
+        assert_eq!(nodes.len(), 13);
+        // 12 edges → 24 unidirectional links.
+        assert_eq!(sim.world.links.len(), 24);
+        // Route across subtrees: first leaf to last leaf.
+        let (first, last) = (nodes[4], nodes[12]);
+        assert!(ping_works(&mut sim, first, last));
     }
 
     #[test]

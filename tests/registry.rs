@@ -28,6 +28,8 @@ const DESIGN_INDEX: &[(&str, &str)] = &[
     ("", "ablation_fec"),
     ("", "ablation_slot"),
     ("", "matrix_robustness"),
+    ("", "tree_placement"),
+    ("", "parking_lot_fairness"),
     ("", "perf_events"),
 ];
 
@@ -41,6 +43,8 @@ fn every_design_index_row_resolves_to_a_registered_experiment() {
             Kind::Figure
         } else if id.starts_with("matrix") {
             Kind::Matrix
+        } else if id.starts_with("tree") || id.starts_with("parking") {
+            Kind::Topology
         } else if id.starts_with("perf") {
             Kind::Perf
         } else {
@@ -102,6 +106,25 @@ fn fig01_registry_run_matches_the_old_entry_point() {
     assert_eq!(via_registry, by_hand, "fig01 byte-compat pin broke");
 }
 
+/// Compare one experiment's quick-mode serial JSON against its golden
+/// file, regenerating the pin when `MCC_BLESS` is set.
+fn assert_quick_json_pinned(id: &str) {
+    let params = Params::quick(true);
+    let def = registry::find(id).expect("registered");
+    let specs = registry::specs(&[def], &params);
+    let got = run_serial("pin", "quick", &specs).to_json_string();
+    let golden_path = format!(
+        "{}/tests/golden/{id}_quick.json",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    if std::env::var("MCC_BLESS").is_ok() {
+        std::fs::write(&golden_path, &got).expect("write golden");
+    }
+    let want = std::fs::read_to_string(&golden_path)
+        .expect("golden file missing — regenerate with MCC_BLESS=1");
+    assert_eq!(got, want, "{id} quick JSON drifted from the golden pin");
+}
+
 /// Byte pin of the robustness matrix: the quick-mode JSON of
 /// `matrix_robustness` (every cell's damage and containment numbers) must
 /// not drift across refactors — the simulator rework that introduced
@@ -110,23 +133,22 @@ fn fig01_registry_run_matches_the_old_entry_point() {
 /// test --test registry matrix_robustness_quick`.
 #[test]
 fn matrix_robustness_quick_json_is_byte_pinned() {
-    let params = Params::quick(true);
-    let def = registry::find("matrix_robustness").expect("registered");
-    let specs = registry::specs(&[def], &params);
-    let got = run_serial("pin", "quick", &specs).to_json_string();
-    let golden_path = concat!(
-        env!("CARGO_MANIFEST_DIR"),
-        "/tests/golden/matrix_robustness_quick.json"
-    );
-    if std::env::var("MCC_BLESS").is_ok() {
-        std::fs::write(golden_path, &got).expect("write golden");
-    }
-    let want = std::fs::read_to_string(golden_path)
-        .expect("golden file missing — regenerate with MCC_BLESS=1");
-    assert_eq!(
-        got, want,
-        "matrix_robustness quick JSON drifted from the golden pin"
-    );
+    assert_quick_json_pinned("matrix_robustness");
+}
+
+/// Byte pins of the topology experiments: the quick-mode JSON of the
+/// balanced-tree placement sweep and the parking-lot fairness breakdown.
+/// These cover the generic `mcc_core::topology` builder the same way the
+/// matrix pin covers the dumbbell path. Regenerate deliberately with
+/// `MCC_BLESS=1 cargo test --test registry quick_json_is_byte_pinned`.
+#[test]
+fn tree_placement_quick_json_is_byte_pinned() {
+    assert_quick_json_pinned("tree_placement");
+}
+
+#[test]
+fn parking_lot_fairness_quick_json_is_byte_pinned() {
+    assert_quick_json_pinned("parking_lot_fairness");
 }
 
 /// The `Experiment` trait surface: outputs carry the effective seed and

@@ -1,0 +1,159 @@
+//! Property-based invariants of the generic topology layer
+//! (`mcc_core::topology`): for any balanced tree or parking lot the
+//! builder can produce, routing is complete, multicast membership matches
+//! the receiver set, and delivery never exceeds what the bottleneck links
+//! could have carried.
+
+use proptest::prelude::*;
+use robust_multicast::core::topology::{BuiltTopology, McastSessionSpec, Topology, TopologySpec};
+use robust_multicast::core::{Units, Variant};
+
+/// Build a single-session FLID-DL scenario over `topology` with `k`
+/// honest receivers and run it for `secs` seconds.
+fn build_and_run(topology: Topology, k: usize, bottleneck_bps: u64, secs: u64) -> BuiltTopology {
+    let mut spec = TopologySpec::new(topology, 1, bottleneck_bps);
+    spec.mcast = vec![McastSessionSpec::honest(Variant::FlidDl, k)];
+    let mut t = spec.build();
+    t.run_secs(secs);
+    t
+}
+
+/// Invariant 1: every receiver host has a (forward and reverse) route to
+/// its session's sender host.
+fn routes_are_complete(t: &BuiltTopology) {
+    let world = &t.sim.world;
+    for s in &t.sessions {
+        let sender_node = world.agent_nodes[s.sender.index()];
+        for &r in &s.receivers {
+            let receiver_node = world.agent_nodes[r.index()];
+            assert!(
+                world.nodes[sender_node.index()]
+                    .route_to(receiver_node)
+                    .is_some(),
+                "no route sender {sender_node:?} -> receiver {receiver_node:?}"
+            );
+            assert!(
+                world.nodes[receiver_node.index()]
+                    .route_to(sender_node)
+                    .is_some(),
+                "no route receiver {receiver_node:?} -> sender {sender_node:?}"
+            );
+        }
+    }
+}
+
+/// Invariant 2: after the run, the minimal group's local membership
+/// across all nodes is exactly the session's receiver set (every honest
+/// FLID receiver joins group 1 at start and never drops below level 1).
+fn membership_matches_receivers(t: &BuiltTopology) {
+    let world = &t.sim.world;
+    for s in &t.sessions {
+        let mut members = Vec::new();
+        for node in &world.nodes {
+            if let Some(entry) = world.group_entry(node.id, s.cfg.groups[0]) {
+                members.extend(entry.members().iter().copied());
+            }
+        }
+        members.sort_unstable_by_key(|a| a.0);
+        let mut want = s.receivers.clone();
+        want.sort_unstable_by_key(|a| a.0);
+        assert_eq!(
+            members, want,
+            "minimal-group membership must equal the receiver set"
+        );
+    }
+}
+
+/// Invariant 3: no receiver can have been delivered more bits than one
+/// bottleneck-class link could carry in the run (every copy it got
+/// crossed the tree/chain link into its edge router exactly once).
+fn delivery_respects_capacity(t: &BuiltTopology, bottleneck_bps: u64, secs: u64) {
+    let budget = (bottleneck_bps * secs) as f64 * 1.05 + 50_000.0;
+    for s in &t.sessions {
+        for &r in &s.receivers {
+            let bits = t.sim.monitor().agent_bits(r) as f64;
+            assert!(
+                bits <= budget,
+                "receiver {r:?} got {bits} bits > bottleneck budget {budget}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Balanced trees: any (depth, fanout, receiver count) the spec
+    /// accepts yields complete routes, exact membership and capacity-
+    /// bounded delivery at the leaves.
+    #[test]
+    fn balanced_tree_invariants(
+        depth in 1u32..=3,
+        fanout in 1u32..=3,
+        receivers in 1usize..=6,
+        bottleneck_kbps in 200u64..=600,
+    ) {
+        let bps = bottleneck_kbps * 1_000;
+        let secs = 6;
+        let t = build_and_run(
+            Topology::BalancedTree { depth, fanout },
+            receivers,
+            bps,
+            secs,
+        );
+        let leaves = (fanout as usize).pow(depth);
+        prop_assert_eq!(t.attach.len(), leaves);
+        prop_assert_eq!(t.bottlenecks.len(), t.routers.len() - 1);
+        routes_are_complete(&t);
+        membership_matches_receivers(&t);
+        delivery_respects_capacity(&t, bps, secs);
+    }
+
+    /// Parking lots: any hop count and receiver population routes end to
+    /// end and stays within per-hop capacity.
+    #[test]
+    fn parking_lot_invariants(
+        hops in 1usize..=4,
+        receivers in 1usize..=5,
+        cbr in prop::option::weighted(0.5, 50_000u64..=150_000),
+    ) {
+        let bps = 1.mbps();
+        let secs = 6;
+        let t = build_and_run(
+            Topology::ParkingLot { bottlenecks: hops, per_hop_cbr: cbr },
+            receivers,
+            bps,
+            secs,
+        );
+        prop_assert_eq!(t.routers.len(), hops + 1);
+        prop_assert_eq!(t.bottlenecks.len(), hops);
+        prop_assert_eq!(t.hop_cbr_sinks.len(), if cbr.is_some() { hops } else { 0 });
+        routes_are_complete(&t);
+        membership_matches_receivers(&t);
+        delivery_respects_capacity(&t, bps, secs);
+    }
+}
+
+/// Determinism across the generic layer: the same spec builds the same
+/// run (the byte-stability the registry pins rely on).
+#[test]
+fn tree_runs_are_deterministic() {
+    let run = || {
+        let t = build_and_run(
+            Topology::BalancedTree {
+                depth: 2,
+                fanout: 2,
+            },
+            4,
+            400_000,
+            8,
+        );
+        let bits: Vec<u64> = t.sessions[0]
+            .receivers
+            .iter()
+            .map(|&r| t.sim.monitor().agent_bits(r))
+            .collect();
+        (t.sim.world.processed_events(), bits)
+    };
+    assert_eq!(run(), run());
+}

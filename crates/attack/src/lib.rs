@@ -151,6 +151,16 @@ pub trait Adversary: std::fmt::Debug + Send {
         let _ = env;
         honest_level
     }
+
+    /// True when this strategy keeps its receiver eligible for the
+    /// parallel-in-time core: it never draws from the world RNG and
+    /// shares no state with receivers on other hosts. [`KeyGuess`]
+    /// (random key trials) and [`Colluders`] (a shared key pool) must
+    /// stay on the root shard, so the default is the safe `false`;
+    /// composites delegate to their members.
+    fn parallel_safe(&self) -> bool {
+        false
+    }
 }
 
 impl Clone for Box<dyn Adversary> {

@@ -27,6 +27,9 @@ impl Adversary for Honest {
     fn clone_box(&self) -> Box<dyn Adversary> {
         Box::new(*self)
     }
+    fn parallel_safe(&self) -> bool {
+        true
+    }
 }
 
 /// Inflated subscription (paper §2): grab every group up to `layer` and
@@ -77,6 +80,9 @@ impl Adversary for InflateTo {
     fn subscription_override(&self, _env: &AttackEnv, honest_level: u32) -> u32 {
         honest_level.max(self.layer)
     }
+    fn parallel_safe(&self) -> bool {
+        true
+    }
 }
 
 /// Refuse to lower the subscription when congested (paper §2's second
@@ -92,6 +98,9 @@ impl Adversary for IgnoreDecrease {
         Box::new(*self)
     }
     fn on_congestion_signal(&mut self, _env: &AttackEnv) -> bool {
+        true
+    }
+    fn parallel_safe(&self) -> bool {
         true
     }
 }
@@ -169,6 +178,9 @@ impl Adversary for JoinLeaveFlap {
     fn on_congestion_signal(&mut self, _env: &AttackEnv) -> bool {
         // While flapped up, congestion signals are ignored wholesale.
         self.up
+    }
+    fn parallel_safe(&self) -> bool {
+        true
     }
 }
 
@@ -376,6 +388,9 @@ impl Adversary for Timed {
             honest_level
         }
     }
+    fn parallel_safe(&self) -> bool {
+        self.inner.parallel_safe()
+    }
 }
 
 /// Run several strategies simultaneously: actions concatenate in order,
@@ -432,6 +447,9 @@ impl Adversary for All {
         self.0
             .iter()
             .fold(honest_level, |lvl, a| a.subscription_override(env, lvl))
+    }
+    fn parallel_safe(&self) -> bool {
+        self.0.iter().all(|a| a.parallel_safe())
     }
 }
 

@@ -1,0 +1,147 @@
+//! Cross-shard exchange micro-benchmark: what does the parallel-in-time
+//! core pay to move a packet across a shard boundary?
+//!
+//! The scenario is a star fan-out whose source sits with the router on
+//! the root shard while every sink host lives on a leaf shard — so every
+//! data packet crosses at least one shard boundary and takes the stamped
+//! Outbox → merge → per-shard queue path. Running the *same* scenario
+//! serially and with explicit leaf-shard counts at `workers = 1`
+//! (sequential shard execution, no thread spawns) isolates the exchange
+//! and window-barrier overhead from both protocol logic and threading:
+//! the serial column is the floor, and the per-shard deltas are the
+//! drain cost the `shard` module's Outbox batching must keep small.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mcc_netsim::prelude::*;
+use mcc_netsim::shard::run_until_with_shards;
+use mcc_simcore::{SimDuration, SimTime};
+
+/// Sends `count` app packets to a group, one every `gap`.
+#[derive(Debug)]
+struct Blaster {
+    group: GroupAddr,
+    count: u64,
+    sent: u64,
+    gap: SimDuration,
+}
+
+#[derive(Clone, Debug)]
+struct Payload;
+
+impl Agent for Blaster {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        ctx.timer_in(SimDuration::from_millis(200), 0);
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx, _tok: u64) {
+        if self.sent < self.count {
+            ctx.send(Packet::app(
+                500 * 8,
+                FlowId(1),
+                ctx.agent,
+                Dest::Group(self.group),
+                Payload,
+            ));
+            self.sent += 1;
+            ctx.timer_in(self.gap, 0);
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Sink {
+    got: u64,
+}
+impl Agent for Sink {
+    fn on_packet(&mut self, _ctx: &mut Ctx, _pkt: Packet) {
+        self.got += 1;
+    }
+}
+
+#[derive(Debug)]
+struct Joiner {
+    group: GroupAddr,
+}
+impl Agent for Joiner {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        ctx.join_group(self.group);
+    }
+}
+
+/// Build the star: source + router central, `receivers` sink hosts.
+fn build(receivers: usize, packets: u64) -> Sim {
+    let mut sim = Sim::new(1, SimDuration::from_secs(1));
+    let router = sim.add_node();
+    let src = sim.add_node();
+    sim.add_duplex_link(
+        src,
+        router,
+        100_000_000,
+        SimDuration::from_millis(1),
+        Queue::drop_tail(10_000_000),
+        Queue::drop_tail(10_000_000),
+    );
+    let g = GroupAddr(1);
+    sim.register_group(g, src);
+    for _ in 0..receivers {
+        let h = sim.add_node();
+        sim.add_duplex_link(
+            router,
+            h,
+            100_000_000,
+            SimDuration::from_millis(1),
+            Queue::drop_tail(10_000_000),
+            Queue::drop_tail(10_000_000),
+        );
+        sim.add_agent(h, Box::new(Sink::default()), SimTime::ZERO);
+        sim.add_agent(h, Box::new(Joiner { group: g }), SimTime::ZERO);
+    }
+    sim.add_agent(
+        src,
+        Box::new(Blaster {
+            group: g,
+            count: packets,
+            sent: 0,
+            gap: SimDuration::from_micros(500),
+        }),
+        SimTime::ZERO,
+    );
+    sim.finalize();
+    sim
+}
+
+const RECEIVERS: usize = 64;
+const PACKETS: u64 = 200;
+const HORIZON: SimTime = SimTime::from_secs(2);
+
+fn shard_exchange(c: &mut Criterion) {
+    // Every configuration must process the identical event stream; pin
+    // the count once so a bench run doubles as a determinism check.
+    let mut reference = build(RECEIVERS, PACKETS);
+    reference.run_until(HORIZON);
+    let want = reference.world.processed_events();
+
+    let mut g = c.benchmark_group("shard_exchange");
+    g.sample_size(10);
+    g.bench_function("serial_floor", |b| {
+        b.iter(|| {
+            let mut sim = build(RECEIVERS, PACKETS);
+            sim.run_until(HORIZON);
+            assert_eq!(sim.world.processed_events(), want);
+            black_box(want)
+        })
+    });
+    for leaf_shards in [2usize, 4, 8] {
+        g.bench_function(&format!("leaf_shards_{leaf_shards}"), |b| {
+            b.iter(|| {
+                let mut sim = build(RECEIVERS, PACKETS);
+                run_until_with_shards(&mut sim, HORIZON, leaf_shards, 1);
+                assert_eq!(sim.world.processed_events(), want);
+                black_box(want)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, shard_exchange);
+criterion_main!(benches);

@@ -2,25 +2,29 @@
 //!
 //! Runs the registered `perf_events` scenario (a wide dumbbell: one
 //! FLID-DL session fanning out to thousands of receivers, two TCP flows)
-//! and writes `BENCH_perf.json` with the measured events/sec and peak
-//! event-queue depth; full-size runs additionally carry the recorded
-//! pre-refactor baseline and the speedup over it (quick runs omit the
-//! comparison — the baseline is a full-size point). CI smoke-runs
-//! `--quick` into a scratch dir and uploads it next to the committed
-//! full-size trajectory point in `results/BENCH_perf.json`.
+//! twice — once through the serial event loop and once through the
+//! conservative parallel-in-time core — asserts the two runs processed
+//! the identical event count, and **appends** one entry to the
+//! `BENCH_perf.json` trajectory: per-PR history instead of a single
+//! overwritten snapshot. Each entry records the commit it was measured
+//! at, both events/sec columns, and (full size only) the speedup over
+//! the pinned pre-refactor baseline. CI smoke-runs `--quick` into a
+//! scratch dir and separately gates the *committed* trajectory in
+//! `results/BENCH_perf.json` against >10% regressions.
 //!
 //! ```text
-//! perf_events                  # full population (2000 receivers, 30 s)
-//! perf_events --quick          # CI smoke size (300 receivers, 10 s)
+//! perf_events                    # full population (2000 receivers, 30 s)
+//! perf_events --quick            # CI smoke size (300 receivers, 10 s)
+//! perf_events --shard-workers 4  # worker threads for the sharded pass
 //! perf_events --receivers 500 --secs 10 --out /tmp
 //! ```
 
 use std::path::PathBuf;
 
 use mcc_core::experiments::{
-    perf_events, PERF_FULL as FULL, PERF_QUICK as QUICK, PERF_SEED as SEED,
+    perf_events, perf_events_sharded, PERF_FULL as FULL, PERF_QUICK as QUICK, PERF_SEED as SEED,
 };
-use mcc_core::registry::perf_row_json;
+use mcc_core::registry::{perf_row_json, sharded_row_json};
 use mcc_core::runner::Json;
 use mcc_core::RunConfig;
 
@@ -32,7 +36,7 @@ use mcc_core::RunConfig;
 /// was recorded by *interleaving* pre- and post-refactor binaries on the
 /// reference machine (old: 9.4–10.1 s ≈ 3.07 M events/s; an earlier
 /// quiet-machine recording gave 3.42 M/s — the interleaved number is the
-/// fair comparison point for `current` and is what's pinned here).
+/// fair comparison point and is what's pinned here).
 pub const BASELINE_FULL: Baseline = Baseline {
     events: 29_842_803,
     peak_queue_depth: 46_205,
@@ -46,6 +50,69 @@ pub struct Baseline {
     pub events_per_sec: f64,
 }
 
+/// Short hash of the commit being measured, for the trajectory entry.
+/// Falls back to `"unknown"` outside a git checkout.
+fn commit_short() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// Header of a fresh trajectory file, minus the entries array.
+fn trajectory_header() -> Vec<(&'static str, Json)> {
+    let b = BASELINE_FULL;
+    vec![
+        ("suite", Json::Str("robust-multicast-perf".into())),
+        ("scenario", Json::Str("wide_dumbbell_flid_dl".into())),
+        ("seed", Json::U64(SEED)),
+        (
+            "baseline_pre_refactor",
+            Json::obj([
+                ("events", Json::U64(b.events)),
+                ("peak_queue_depth", Json::U64(b.peak_queue_depth as u64)),
+                ("events_per_sec", Json::Num(b.events_per_sec)),
+            ]),
+        ),
+    ]
+}
+
+/// Append `entry` to the trajectory at `path`. An existing trajectory
+/// (this binary's own compact format: `..."entries":[...]}`) is spliced
+/// in place so history survives; anything else — missing file, the
+/// pre-trajectory single-snapshot schema — starts a fresh one-entry
+/// trajectory.
+fn append_entry(path: &std::path::Path, entry: &Json) -> std::io::Result<()> {
+    let entry = entry.to_string();
+    let spliced = std::fs::read_to_string(path).ok().and_then(|old| {
+        let old = old.trim_end().to_string();
+        if !old.contains("\"entries\":[") || !old.ends_with("]}") {
+            return None;
+        }
+        let body = &old[..old.len() - 2];
+        let sep = if body.ends_with('[') { "" } else { "," };
+        Some(format!("{body}{sep}{entry}]}}"))
+    });
+    let content = spliced.unwrap_or_else(|| {
+        let mut fields = trajectory_header();
+        fields.push(("entries", Json::Arr(vec![Json::Null])));
+        let skeleton = Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+        .to_string();
+        skeleton.replace("\"entries\":[null]", &format!("\"entries\":[{entry}]"))
+    });
+    std::fs::write(path, content + "\n")
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let env = RunConfig::from_env();
@@ -53,6 +120,7 @@ fn main() {
     let mut out_dir = env.out_dir;
     let mut receivers: Option<usize> = None;
     let mut secs: Option<u64> = None;
+    let mut workers = env.shard_workers.max(2);
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| {
@@ -68,9 +136,14 @@ fn main() {
             "--out" | "-o" => out_dir = PathBuf::from(value("--out")),
             "--receivers" => receivers = Some(value("--receivers").parse().expect("usize")),
             "--secs" => secs = Some(value("--secs").parse().expect("u64")),
+            "--shard-workers" => {
+                workers = value("--shard-workers").parse().expect("usize");
+                workers = workers.max(1);
+            }
             other => {
                 eprintln!(
-                    "unknown argument {other:?} (try --quick, --receivers N, --secs S, --out DIR)"
+                    "unknown argument {other:?} (try --quick, --receivers N, --secs S, \
+                     --shard-workers W, --out DIR)"
                 );
                 std::process::exit(2);
             }
@@ -81,55 +154,51 @@ fn main() {
     let secs = secs.unwrap_or(def_secs);
 
     println!("perf_events: {receivers} receivers, {secs} s simulated, seed {SEED}...");
-    let row = perf_events(receivers, secs, SEED);
+    let serial = perf_events(receivers, secs, SEED);
     println!(
-        "  {} events in {:.2} s wall — {:.0} events/sec, peak queue depth {}",
-        row.events, row.wall_secs, row.events_per_sec, row.peak_queue_depth
+        "  serial:  {} events in {:.2} s wall — {:.0} events/sec, peak queue depth {}",
+        serial.events, serial.wall_secs, serial.events_per_sec, serial.peak_queue_depth
+    );
+    let (sharded, shards) = perf_events_sharded(receivers, secs, SEED, workers);
+    println!(
+        "  sharded: {} events in {:.2} s wall — {:.0} events/sec ({} shards, {} workers)",
+        sharded.events, sharded.wall_secs, sharded.events_per_sec, shards, workers
+    );
+    assert_eq!(
+        serial.events, sharded.events,
+        "sharded run diverged from serial ({} vs {} events)",
+        sharded.events, serial.events
     );
 
+    let headline = serial.events_per_sec.max(sharded.events_per_sec);
     let mut fields = vec![
-        ("suite", Json::Str("robust-multicast-perf".into())),
-        ("scenario", Json::Str("wide_dumbbell_flid_dl".into())),
+        ("commit", Json::Str(commit_short())),
         (
             "mode",
             Json::Str(if quick { "quick" } else { "full" }.into()),
         ),
-        ("seed", Json::U64(SEED)),
-        ("current", perf_row_json(&row)),
+        ("serial", perf_row_json(&serial)),
+        ("sharded", sharded_row_json(&sharded, shards, workers)),
+        ("events_per_sec", Json::Num(headline)),
     ];
     // The recorded baseline is a FULL-size point; comparing across sizes
-    // would be meaningless, so quick runs carry the current number only.
-    if receivers == FULL.0 && secs == FULL.1 {
-        let b = BASELINE_FULL;
-        fields.push((
-            "baseline_pre_refactor",
-            Json::obj([
-                ("events", Json::U64(b.events)),
-                ("peak_queue_depth", Json::U64(b.peak_queue_depth as u64)),
-                ("events_per_sec", Json::Num(b.events_per_sec)),
-            ]),
-        ));
-        if b.events_per_sec > 0.0 {
-            let speedup = row.events_per_sec / b.events_per_sec;
-            fields.push(("speedup", Json::Num(speedup)));
-            println!("  speedup over pre-refactor baseline: {speedup:.2}x");
-        }
+    // would be meaningless, so quick entries carry the columns only.
+    if receivers == FULL.0 && secs == FULL.1 && BASELINE_FULL.events_per_sec > 0.0 {
+        let speedup = headline / BASELINE_FULL.events_per_sec;
+        fields.push(("speedup_vs_pre_refactor", Json::Num(speedup)));
+        println!("  speedup over pre-refactor baseline: {speedup:.2}x");
     }
+    let entry = Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    );
 
     let path = out_dir.join("BENCH_perf.json");
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent).expect("create output dir");
     }
-    std::fs::write(
-        &path,
-        Json::Obj(
-            fields
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect(),
-        )
-        .to_string(),
-    )
-    .expect("write BENCH_perf.json");
-    println!("Report written to {}.", path.display());
+    append_entry(&path, &entry).expect("write BENCH_perf.json");
+    println!("Trajectory entry appended to {}.", path.display());
 }

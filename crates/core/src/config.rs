@@ -10,6 +10,7 @@
 //! construction*.
 
 use std::path::PathBuf;
+use std::sync::OnceLock;
 
 /// Environment-derived run configuration. The only place in the
 /// workspace that reads `MCC_QUICK`, `MCC_THREADS` and `MCC_OUT`.
@@ -17,24 +18,39 @@ use std::path::PathBuf;
 pub struct RunConfig {
     /// Shortened runs (`MCC_QUICK` set to anything but `0`).
     pub quick: bool,
-    /// Worker threads (`MCC_THREADS`, else available parallelism).
+    /// Experiment-level worker threads (`MCC_THREADS`, or the `A` of an
+    /// `MCC_THREADS=AxB` split; else available parallelism).
     pub threads: usize,
+    /// Shard-level workers inside one simulation (the `B` of
+    /// `MCC_THREADS=AxB`; plain `MCC_THREADS=N` means `B = 1`). Values
+    /// above 1 route `run_secs` through the conservative parallel-in-
+    /// time core — results are bit-identical either way, only the
+    /// events/sec changes.
+    pub shard_workers: usize,
     /// Where reports and CSVs land (`MCC_OUT`, else `results`).
     pub out_dir: PathBuf,
 }
 
 impl RunConfig {
     /// Parse the environment once. `MCC_QUICK=1` requests shortened
-    /// runs, `MCC_THREADS=N` pins the worker count, `MCC_OUT=DIR`
-    /// redirects output.
+    /// runs, `MCC_OUT=DIR` redirects output, and `MCC_THREADS` splits
+    /// the worker budget:
     ///
-    /// A malformed `MCC_THREADS` (non-numeric, or `0`) is rejected
-    /// *loudly*: a stderr warning names the bad value before the
-    /// available-parallelism fallback kicks in, so a typo in a sweep
-    /// script cannot silently run at the wrong parallelism.
+    /// * `MCC_THREADS=N` — `N` experiment-level workers, serial core
+    ///   (exactly the pre-split behaviour);
+    /// * `MCC_THREADS=AxB` — `A` experiment-level workers, each
+    ///   simulation sharded over `B` workers (`4x2` = 4 experiments in
+    ///   flight, 2 shard workers each).
+    ///
+    /// A malformed `MCC_THREADS` (non-numeric, `0`, or a bad `AxB`
+    /// half) is rejected *loudly*: a stderr warning names the bad value
+    /// before the available-parallelism/serial-core fallback kicks in,
+    /// so a typo in a sweep script cannot silently run at the wrong
+    /// parallelism. It never panics.
     pub fn from_env() -> RunConfig {
         let quick = std::env::var("MCC_QUICK").is_ok_and(|v| v != "0");
-        let (threads, warning) = threads_from(std::env::var("MCC_THREADS").ok().as_deref());
+        let (threads, shard_workers, warning) =
+            threads_from(std::env::var("MCC_THREADS").ok().as_deref());
         if let Some(warning) = warning {
             eprintln!("warning: {warning}");
         }
@@ -44,6 +60,7 @@ impl RunConfig {
         RunConfig {
             quick,
             threads,
+            shard_workers,
             out_dir,
         }
     }
@@ -57,28 +74,67 @@ impl RunConfig {
     }
 }
 
-/// The worker count implied by an `MCC_THREADS` value (`None` = unset),
-/// plus the warning to print when the value was present but malformed.
-/// Split from [`RunConfig::from_env`] so the rejection paths are unit
-/// testable without touching the process environment.
-fn threads_from(var: Option<&str>) -> (usize, Option<String>) {
+/// The shard-level worker count (the `B` of `MCC_THREADS=AxB`), read
+/// once per process and cached. `run_secs`-style hot paths call this on
+/// every invocation, so it must not re-read the environment each time;
+/// the first caller pins the value for the process lifetime. Malformed
+/// values fall back to 1 (serial core) here — [`RunConfig::from_env`]
+/// owns the loud warning.
+pub fn shard_workers() -> usize {
+    *SHARD_WORKERS.get_or_init(|| threads_from(std::env::var("MCC_THREADS").ok().as_deref()).1)
+}
+
+/// Pin the shard-level worker count before any simulation runs — the
+/// `figures` CLI's `--threads AxB` override. A no-op once
+/// [`shard_workers`] has been read (first setting wins, matching the
+/// OnceLock semantics); call it before launching experiments.
+pub fn set_shard_workers(workers: usize) {
+    let _ = SHARD_WORKERS.set(workers.max(1));
+}
+
+static SHARD_WORKERS: OnceLock<usize> = OnceLock::new();
+
+/// The `(experiment workers, shard workers)` implied by an
+/// `MCC_THREADS` value (`None` = unset), plus the warning to print when
+/// the value was present but malformed. Split from
+/// [`RunConfig::from_env`] so the rejection paths are unit testable
+/// without touching the process environment.
+fn threads_from(var: Option<&str>) -> (usize, usize, Option<String>) {
     let fallback = || {
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
     };
     match var {
-        None => (fallback(), None),
+        None => (fallback(), 1, None),
+        // The AxB split: A experiment workers, B shard workers each.
+        Some(v) if v.contains(['x', 'X']) => {
+            let (a, b) = v.split_once(['x', 'X']).expect("checked above");
+            match (a.trim().parse::<usize>(), b.trim().parse::<usize>()) {
+                (Ok(a), Ok(b)) if a > 0 && b > 0 => (a, b, None),
+                _ => (
+                    fallback(),
+                    1,
+                    Some(format!(
+                        "MCC_THREADS={v:?} is not an AxB worker split (both halves \
+                         must be counts of at least 1, e.g. 4x2); using available \
+                         parallelism with a serial core"
+                    )),
+                ),
+            }
+        }
         Some(v) => match v.parse::<usize>() {
-            Ok(n) if n > 0 => (n, None),
+            Ok(n) if n > 0 => (n, 1, None),
             Ok(_) => (
                 fallback(),
+                1,
                 Some(format!(
                     "MCC_THREADS={v:?} must be at least 1; using available parallelism"
                 )),
             ),
             Err(e) => (
                 fallback(),
+                1,
                 Some(format!(
                     "MCC_THREADS={v:?} is not a thread count ({e}); using available parallelism"
                 )),
@@ -238,20 +294,51 @@ mod tests {
     /// *with* a warning naming the bad value — never silently.
     #[test]
     fn malformed_thread_counts_warn_and_fall_back() {
-        let (n, warn) = threads_from(Some("abc"));
+        let (n, b, warn) = threads_from(Some("abc"));
         assert!(n >= 1);
+        assert_eq!(b, 1);
         let warn = warn.expect("non-numeric value must warn");
         assert!(warn.contains("abc"), "{warn}");
 
-        let (n, warn) = threads_from(Some("0"));
+        let (n, _, warn) = threads_from(Some("0"));
         assert!(n >= 1);
         let warn = warn.expect("zero must warn");
         assert!(warn.contains("at least 1"), "{warn}");
 
-        assert_eq!(threads_from(Some("3")), (3, None), "valid values pin");
-        let (n, warn) = threads_from(None);
+        assert_eq!(threads_from(Some("3")), (3, 1, None), "valid values pin");
+        let (n, _, warn) = threads_from(None);
         assert!(n >= 1);
         assert!(warn.is_none(), "unset is not an error");
+    }
+
+    /// The `AxB` split: well-formed values pin both halves, malformed
+    /// halves warn (naming the expected shape) and fall back to a
+    /// serial core — never a panic.
+    #[test]
+    fn axb_thread_splits_parse_and_fall_back() {
+        assert_eq!(threads_from(Some("4x2")), (4, 2, None));
+        assert_eq!(threads_from(Some("1X4")), (1, 4, None), "capital X works");
+        assert_eq!(threads_from(Some(" 2 x 3 ")), (2, 3, None), "spaces ok");
+
+        for bad in ["4x0", "0x2", "x2", "4x", "axb", "4x2x1", "-1x2"] {
+            let (n, b, warn) = threads_from(Some(bad));
+            assert!(n >= 1, "{bad}");
+            assert_eq!(b, 1, "{bad} must fall back to a serial core");
+            let warn = warn.unwrap_or_else(|| panic!("{bad:?} must warn"));
+            assert!(warn.contains(bad), "warning must name the value: {warn}");
+            assert!(warn.contains("4x2"), "warning must show the shape: {warn}");
+        }
+    }
+
+    /// The cached accessor agrees with a fresh parse of the same
+    /// environment (whatever it is) and holds its floor.
+    #[test]
+    fn shard_workers_accessor_is_sane() {
+        let cached = shard_workers();
+        assert!(cached >= 1);
+        assert_eq!(cached, shard_workers(), "cached value is stable");
+        let (_, fresh, _) = threads_from(std::env::var("MCC_THREADS").ok().as_deref());
+        assert_eq!(cached, fresh);
     }
 
     #[test]

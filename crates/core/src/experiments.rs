@@ -1418,7 +1418,7 @@ pub fn perf_events(receivers: usize, duration_secs: u64, seed: u64) -> PerfRow {
     spec.tcp = 2;
     let mut d = Dumbbell::build(spec);
     let wall = std::time::Instant::now();
-    d.run_secs(duration_secs);
+    d.sim.run_until(SimTime::from_secs(duration_secs));
     let wall = wall.elapsed().as_secs_f64();
     let events = d.sim.world.processed_events();
     PerfRow {
@@ -1429,4 +1429,41 @@ pub fn perf_events(receivers: usize, duration_secs: u64, seed: u64) -> PerfRow {
         wall_secs: wall,
         events_per_sec: events as f64 / wall.max(1e-9),
     }
+}
+
+/// Sharded counterpart of [`perf_events`]: the identical scenario driven
+/// through the conservative parallel-in-time core. `workers == 1`
+/// executes the shards sequentially on the calling thread (pure
+/// cache-blocking, no thread spawns); `workers > 1` fans the shards out
+/// over that many scoped threads per window. The second return value is
+/// the shard count the automatic partitioner picked (1 means it declined
+/// and the run fell back to the serial loop). The `events` count is
+/// bit-identical to the serial run's by construction.
+pub fn perf_events_sharded(
+    receivers: usize,
+    duration_secs: u64,
+    seed: u64,
+    workers: usize,
+) -> (PerfRow, usize) {
+    let mut spec = crate::dumbbell::DumbbellSpec::new(seed, 10_000_000);
+    spec.mcast = vec![McastSessionSpec::honest(Variant::FlidDl, receivers)];
+    spec.tcp = 2;
+    let mut d = Dumbbell::build(spec);
+    let wall = std::time::Instant::now();
+    let shards = mcc_netsim::shard::run_until_sharded(
+        &mut d.sim,
+        SimTime::from_secs(duration_secs),
+        workers,
+    );
+    let wall = wall.elapsed().as_secs_f64();
+    let events = d.sim.world.processed_events();
+    let row = PerfRow {
+        receivers,
+        sim_secs: duration_secs,
+        events,
+        peak_queue_depth: d.sim.world.peak_pending_events(),
+        wall_secs: wall,
+        events_per_sec: events as f64 / wall.max(1e-9),
+    };
+    (row, shards)
 }

@@ -46,7 +46,7 @@ pub mod runner;
 pub mod scenario;
 pub mod topology;
 
-pub use config::{Params, RunConfig};
+pub use config::{set_shard_workers, shard_workers, Params, RunConfig};
 pub use dumbbell::{
     CbrSpec, Dumbbell, DumbbellSpec, McastSessionSpec, ReceiverSpec, SessionHandle, TcpHandle,
 };

@@ -477,13 +477,38 @@ pub fn perf_row_json(r: &experiments::PerfRow) -> Json {
     ])
 }
 
+/// Canonical JSON of a sharded [`experiments::PerfRow`]: the row fields
+/// plus the shard count the partitioner picked and the worker threads
+/// that drove it.
+pub fn sharded_row_json(r: &experiments::PerfRow, shards: usize, workers: usize) -> Json {
+    Json::obj([
+        ("shards", Json::U64(shards as u64)),
+        ("workers", Json::U64(workers as u64)),
+        ("events", Json::U64(r.events)),
+        ("peak_queue_depth", Json::U64(r.peak_queue_depth as u64)),
+        ("wall_secs", Json::Num(r.wall_secs)),
+        ("events_per_sec", Json::Num(r.events_per_sec)),
+    ])
+}
+
 fn perf_events_body(p: &Params, seed: u64) -> Json {
     let (receivers, secs) = if p.quick {
         experiments::PERF_QUICK
     } else {
         experiments::PERF_FULL
     };
-    perf_row_json(&experiments::perf_events(receivers, secs, seed))
+    let serial = experiments::perf_events(receivers, secs, seed);
+    let workers = crate::config::shard_workers().max(2);
+    let (sharded, shards) = experiments::perf_events_sharded(receivers, secs, seed, workers);
+    assert_eq!(
+        serial.events, sharded.events,
+        "sharded run diverged from serial ({} vs {} events)",
+        sharded.events, serial.events
+    );
+    Json::obj([
+        ("serial", perf_row_json(&serial)),
+        ("sharded", sharded_row_json(&sharded, shards, workers)),
+    ])
 }
 
 // ---------------------------------------------------------------------------

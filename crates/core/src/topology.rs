@@ -679,9 +679,17 @@ pub fn flid_sender(sim: &Sim, id: AgentId) -> &FlidSender {
 }
 
 impl BuiltTopology {
-    /// Run until `secs` of simulated time.
+    /// Run until `secs` of simulated time. With `MCC_THREADS=AxB`
+    /// (`B > 1`) the run goes through the conservative parallel-in-time
+    /// core — automatically partitioned, bit-identical results, serial
+    /// fallback when the scenario is too small to shard.
     pub fn run_secs(&mut self, secs: u64) {
-        self.sim.run_until(SimTime::from_secs(secs));
+        let workers = crate::config::shard_workers();
+        if workers > 1 {
+            mcc_netsim::shard::run_until_sharded(&mut self.sim, SimTime::from_secs(secs), workers);
+        } else {
+            self.sim.run_until(SimTime::from_secs(secs));
+        }
     }
 
     /// Average delivered throughput of an agent over `[from, to)` seconds.

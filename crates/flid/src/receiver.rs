@@ -610,6 +610,14 @@ impl FlidReceiver {
 }
 
 impl Agent for FlidReceiver {
+    // The receiver itself never draws from the world RNG and keeps all
+    // state local, so its shard eligibility is exactly its adversary's:
+    // key-guessing (RNG) and colluding (shared pool) strategies pin the
+    // host to the root shard.
+    fn parallel_safe(&self) -> bool {
+        self.adversary.parallel_safe()
+    }
+
     fn on_start(&mut self, ctx: &mut Ctx) {
         self.join_level(ctx, 1);
         self.send_session_join(ctx);

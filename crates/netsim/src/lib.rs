@@ -57,6 +57,7 @@ pub mod monitor;
 pub mod node;
 pub mod packet;
 pub mod queue;
+pub mod shard;
 pub mod sim;
 pub mod topology;
 
@@ -73,6 +74,7 @@ pub mod prelude {
 pub use addr::{AgentId, FlowId, GroupAddr, LinkId, NodeId};
 pub use packet::{Body, Dest, Ecn, Packet};
 pub use queue::Queue;
+pub use shard::{run_until_sharded, run_until_with_shards, Partition};
 pub use sim::{Agent, Ctx, Sim, World};
 
 #[cfg(test)]

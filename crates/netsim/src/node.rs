@@ -18,9 +18,90 @@ use crate::addr::{AgentId, GroupIdx, LinkId, NodeId};
 use crate::edge::EdgeModule;
 use mcc_simcore::SimDuration;
 
+/// Inline capacity of [`Members`]: group membership at one *host* is
+/// almost always a single agent (plus the occasional colluder pair), and
+/// keeping the set inside the [`GroupEntry`] saves the delivery hot path
+/// one heap dereference per arriving multicast packet.
+const MEMBERS_INLINE: usize = 3;
+
+/// A sorted-unique set of member agents: inline up to
+/// [`MEMBERS_INLINE`], spilling to a `Vec` beyond that. Only the storage
+/// differs from a plain sorted `Vec` — iteration order, and therefore
+/// simulation determinism, is identical in both representations.
+#[derive(Debug, Clone)]
+enum Members {
+    Inline {
+        len: u8,
+        buf: [AgentId; MEMBERS_INLINE],
+    },
+    Heap(Vec<AgentId>),
+}
+
+impl Default for Members {
+    fn default() -> Self {
+        Members::Inline {
+            len: 0,
+            buf: [AgentId(0); MEMBERS_INLINE],
+        }
+    }
+}
+
+impl Members {
+    #[inline]
+    fn as_slice(&self) -> &[AgentId] {
+        match self {
+            Members::Inline { len, buf } => &buf[..*len as usize],
+            Members::Heap(v) => v,
+        }
+    }
+
+    /// Sorted-unique insert; false if already present.
+    fn insert(&mut self, agent: AgentId) -> bool {
+        let Err(i) = self.as_slice().binary_search(&agent) else {
+            return false;
+        };
+        match self {
+            Members::Inline { len, buf } => {
+                let n = *len as usize;
+                if n < MEMBERS_INLINE {
+                    buf[i..=n].rotate_right(1);
+                    buf[i] = agent;
+                    *len += 1;
+                } else {
+                    let mut v = buf.to_vec();
+                    v.insert(i, agent);
+                    *self = Members::Heap(v);
+                }
+            }
+            Members::Heap(v) => v.insert(i, agent),
+        }
+        true
+    }
+
+    /// Remove; false if not present. A spilled set stays heap-backed —
+    /// membership churn that once exceeded the inline capacity tends to
+    /// come back (join-leave flapping), and correctness only needs order.
+    fn remove(&mut self, agent: AgentId) -> bool {
+        let Ok(i) = self.as_slice().binary_search(&agent) else {
+            return false;
+        };
+        match self {
+            Members::Inline { len, buf } => {
+                let n = *len as usize;
+                buf[i..n].rotate_left(1);
+                *len -= 1;
+            }
+            Members::Heap(v) => {
+                v.remove(i);
+            }
+        }
+        true
+    }
+}
+
 /// Per-group forwarding state at one node.
 ///
-/// The interface and member sets are **sorted `Vec`s** rather than
+/// The interface and member sets are **sorted** flat storage rather than
 /// `BTreeSet`s: the forwarding hot path iterates them once per packet
 /// (fan-out snapshot, member delivery) while membership churn is orders
 /// of magnitude rarer, so contiguous iteration wins. The fields are
@@ -34,7 +115,7 @@ pub struct GroupEntry {
     out_ifaces: Vec<LinkId>,
     /// Locally attached member agents (sorted, unique; host side of the
     /// IGMP model).
-    local_members: Vec<AgentId>,
+    local_members: Members,
     /// True when the node's edge module holds the membership (e.g. a SIGMA
     /// router subscribed to a session's key-distribution control group).
     pub module_member: bool,
@@ -43,7 +124,9 @@ pub struct GroupEntry {
 impl GroupEntry {
     /// True while anything downstream or local still wants the group.
     pub fn on_tree(&self) -> bool {
-        !self.out_ifaces.is_empty() || !self.local_members.is_empty() || self.module_member
+        !self.out_ifaces.is_empty()
+            || !self.local_members.as_slice().is_empty()
+            || self.module_member
     }
 
     /// Start forwarding onto `iface`; false if it was already present.
@@ -70,29 +153,17 @@ impl GroupEntry {
 
     /// Add a local member agent; false if already a member.
     pub fn add_member(&mut self, agent: AgentId) -> bool {
-        match self.local_members.binary_search(&agent) {
-            Ok(_) => false,
-            Err(i) => {
-                self.local_members.insert(i, agent);
-                true
-            }
-        }
+        self.local_members.insert(agent)
     }
 
     /// Remove a local member agent; false if it was not a member.
     pub fn remove_member(&mut self, agent: AgentId) -> bool {
-        match self.local_members.binary_search(&agent) {
-            Ok(i) => {
-                self.local_members.remove(i);
-                true
-            }
-            Err(_) => false,
-        }
+        self.local_members.remove(agent)
     }
 
     /// Whether `agent` is a local member.
     pub fn has_member(&self, agent: AgentId) -> bool {
-        self.local_members.binary_search(&agent).is_ok()
+        self.local_members.as_slice().binary_search(&agent).is_ok()
     }
 
     /// The downstream interfaces, sorted ascending.
@@ -101,8 +172,9 @@ impl GroupEntry {
     }
 
     /// The local member agents, sorted ascending.
+    #[inline]
     pub fn members(&self) -> &[AgentId] {
-        &self.local_members
+        self.local_members.as_slice()
     }
 }
 

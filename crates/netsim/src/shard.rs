@@ -1,0 +1,843 @@
+//! Conservative parallel-in-time execution: partition the [`World`] by
+//! subtree, run lookahead-bounded windows, merge back bit-for-bit.
+//!
+//! ## Shard ownership
+//!
+//! The partitioner cuts the topology at access links: every router (and
+//! every host that cannot prove isolation) stays on the **root shard 0**,
+//! while leaf hosts whose agents opted into [`Agent`]`::parallel_safe`
+//! are grouped into contiguous blocks — ordered by their lowest agent
+//! id — on shards `1..`. A host is only eligible when
+//!
+//! * all of its agents return `parallel_safe()` (no `Ctx::rng` draws, no
+//!   state shared with other hosts),
+//! * it has no edge module (SIGMA draws from the root RNG),
+//! * both directions of every adjacent link have a positive propagation
+//!   delay (the lookahead) and a drop-tail queue (RED draws from the
+//!   root RNG on enqueue), and
+//! * its neighbours are routers and it roots no multicast group.
+//!
+//! Everything that consumes the run's [`DetRng`] therefore executes on
+//! shard 0 in the serial order, which is how the refactor keeps golden
+//! JSON byte-identical: randomness is consumed in event order, so it
+//! must not be re-interleaved.
+//!
+//! ## The lookahead rule
+//!
+//! The only event that can cross a cut is a packet **arrival**: a
+//! departure on a cut link schedules the arrival `delay` later on the
+//! neighbour shard (`Sim::handle` stages it in a stamped outbox). At
+//! each barrier every shard announces a lower bound on the timestamp of
+//! anything it may still emit (its LBTS): the minimum of its next
+//! pending event and every inbound channel's announced bound plus that
+//! channel's lookahead, iterated to a fixpoint so transitive feedback
+//! (root output → leaf reaction → root input) is accounted for. A
+//! shard's [`ShardClock`] then yields
+//! `safe = min over inbound channels (announced LBTS + lookahead)` and
+//! the shard may process every event **strictly before** it — the
+//! Chandy–Misra–Bryant bound with link propagation delay as lookahead.
+//! The shard holding the globally earliest event always clears its own
+//! bound, so windows make progress.
+//!
+//! ## The deterministic merge invariant
+//!
+//! Cross-shard arrivals harvested at a barrier are delivered in
+//! `(arrival time, source shard, source sequence)` order
+//! ([`merge_stamped`]). Source sequences are FIFO per shard, and shards
+//! are contiguous agent-id blocks, so simultaneous waves (a slot's
+//! worth of grafts from two thousand receivers) enter the destination
+//! queue in the same relative order the serial simulator would have
+//! pushed them. Within a shard the `EventQueue`'s `(time, seq)` total
+//! order is untouched. Worker threads only change *who executes* a
+//! window, never the window boundaries or the merge order, so results
+//! are identical for every worker count — byte stability across
+//! `MCC_THREADS` values is a structural property, not a scheduling
+//! accident.
+
+use crate::addr::{LinkId, NodeId};
+use crate::link::{Link, LinkStats};
+use crate::monitor::Monitor;
+use crate::node::Node;
+use crate::queue::Queue;
+use crate::sim::{Agent, Event, ShardRouting, Sim, World};
+use mcc_simcore::{merge_stamped, DetRng, Outbox, ShardClock, ShardId, SimDuration, SimTime};
+
+/// How many eligible hosts the automatic planner aims to put on each
+/// leaf shard: small enough that a shard's working set (hosts, access
+/// links, queue slab) stays cache-resident across a window, large
+/// enough to amortize the barrier.
+pub const TARGET_HOSTS_PER_SHARD: usize = 256;
+/// Below this many eligible hosts per leaf shard, coordination costs
+/// more than locality buys: the automatic planner falls back to serial.
+pub const MIN_HOSTS_PER_SHARD: usize = 8;
+/// Upper bound on automatically planned leaf shards.
+pub const MAX_LEAF_SHARDS: usize = 16;
+
+/// A planned partition: node → shard ownership plus the cut metadata
+/// the executor needs.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// Owner shard of every node, indexed by [`NodeId`].
+    owner: Vec<ShardId>,
+    /// Total shard count (root shard 0 plus the leaf blocks).
+    shards: usize,
+    /// `lookahead[dst][src]`: smallest propagation delay over cut links
+    /// from shard `src` into shard `dst`; `None` when no such link.
+    lookahead: Vec<Vec<Option<SimDuration>>>,
+}
+
+impl Partition {
+    /// Plan automatically: eligible leaf hosts in
+    /// [`TARGET_HOSTS_PER_SHARD`]-sized blocks, or `None` when the
+    /// scenario is too small to pay for coordination.
+    pub fn auto(sim: &Sim) -> Option<Partition> {
+        let hosts = shardable_hosts(sim);
+        if hosts.len() < 2 * MIN_HOSTS_PER_SHARD {
+            return None;
+        }
+        let blocks = (hosts.len() / TARGET_HOSTS_PER_SHARD)
+            .clamp(2, MAX_LEAF_SHARDS)
+            .min(hosts.len() / MIN_HOSTS_PER_SHARD);
+        Partition::from_blocks(sim, &hosts, blocks)
+    }
+
+    /// Plan with an explicit leaf-shard count, waiving the minimum-size
+    /// fallback (tests force multi-shard execution on tiny topologies).
+    /// `None` when no host is eligible at all.
+    pub fn explicit(sim: &Sim, leaf_shards: usize) -> Option<Partition> {
+        let hosts = shardable_hosts(sim);
+        if hosts.is_empty() || leaf_shards == 0 {
+            return None;
+        }
+        Partition::from_blocks(sim, &hosts, leaf_shards.min(hosts.len()))
+    }
+
+    /// Number of shards (root + leaf blocks).
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Owner shard of `node`.
+    pub fn owner(&self, node: NodeId) -> ShardId {
+        self.owner[node.index()]
+    }
+
+    fn from_blocks(sim: &Sim, hosts: &[NodeId], blocks: usize) -> Option<Partition> {
+        let n = sim.world.nodes.len();
+        let mut owner = vec![0u32; n];
+        let base = hosts.len() / blocks;
+        let extra = hosts.len() % blocks;
+        let mut next = 0usize;
+        for b in 0..blocks {
+            let size = base + usize::from(b < extra);
+            for &h in &hosts[next..next + size] {
+                owner[h.index()] = (b + 1) as ShardId;
+            }
+            next += size;
+        }
+        let shards = blocks + 1;
+        let mut lookahead = vec![vec![None; shards]; shards];
+        for link in &sim.world.links {
+            let (src, dst) = (owner[link.from.index()], owner[link.to.index()]);
+            if src != dst {
+                debug_assert!(!link.delay.is_zero(), "cut links carry the lookahead");
+                let slot = &mut lookahead[dst as usize][src as usize];
+                *slot = Some(slot.map_or(link.delay, |d: SimDuration| d.min(link.delay)));
+            }
+        }
+        Some(Partition {
+            owner,
+            shards,
+            lookahead,
+        })
+    }
+}
+
+/// The leaf hosts the partitioner may move off shard 0, ordered by
+/// their lowest agent id (the order that aligns cross-shard
+/// tie-breaking with the serial simulator's agent-id-ordered waves).
+fn shardable_hosts(sim: &Sim) -> Vec<NodeId> {
+    let world = &sim.world;
+    let mut hosts: Vec<(u32, NodeId)> = Vec::new();
+    'nodes: for node in &world.nodes {
+        if node.local_agents.is_empty() || node.edge.is_some() {
+            continue;
+        }
+        for &a in &node.local_agents {
+            match sim.agents.get(a.index()).and_then(|s| s.as_deref()) {
+                Some(agent) if agent.parallel_safe() => {}
+                _ => continue 'nodes,
+            }
+        }
+        for &l in &node.out_links {
+            let out = &world.links[l.index()];
+            let back = &world.links[out.reverse.index()];
+            let rng_free = |q: &Queue| matches!(q, Queue::DropTail { .. });
+            if out.delay.is_zero()
+                || back.delay.is_zero()
+                || !rng_free(&out.queue)
+                || !rng_free(&back.queue)
+                || world.nodes[out.to.index()].is_host()
+            {
+                continue 'nodes;
+            }
+        }
+        if world.group_sources.contains(&Some(node.id)) {
+            continue 'nodes;
+        }
+        let min_agent = node
+            .local_agents
+            .iter()
+            .map(|a| a.0)
+            .min()
+            .expect("non-empty");
+        hosts.push((min_agent, node.id));
+    }
+    hosts.sort_unstable();
+    hosts.into_iter().map(|(_, h)| h).collect()
+}
+
+/// Run `sim` to `t` (inclusive), automatically partitioned,
+/// multiplexing the shards over `workers` OS threads. Falls back to the
+/// serial [`Sim::run_until`] when the scenario is too small to shard.
+/// Returns the number of shards used (1 = serial).
+pub fn run_until_sharded(sim: &mut Sim, t: SimTime, workers: usize) -> usize {
+    match Partition::auto(sim) {
+        Some(p) => {
+            run_partitioned(sim, t, &p, workers);
+            p.shards()
+        }
+        None => {
+            sim.run_until(t);
+            1
+        }
+    }
+}
+
+/// [`run_until_sharded`] with an explicit leaf-shard count (size
+/// fallback waived) — the knob property tests use to force multi-shard
+/// execution on small random topologies. Returns the number of shards
+/// used.
+pub fn run_until_with_shards(
+    sim: &mut Sim,
+    t: SimTime,
+    leaf_shards: usize,
+    workers: usize,
+) -> usize {
+    match Partition::explicit(sim, leaf_shards) {
+        Some(p) => {
+            run_partitioned(sim, t, &p, workers);
+            p.shards()
+        }
+        None => {
+            sim.run_until(t);
+            1
+        }
+    }
+}
+
+/// Execute `sim` under a planned partition: split, window loop, merge.
+pub fn run_partitioned(sim: &mut Sim, t: SimTime, partition: &Partition, workers: usize) {
+    assert!(sim.world.finalized, "call finalize() before running");
+    assert_eq!(
+        partition.owner.len(),
+        sim.world.nodes.len(),
+        "partition planned for a different topology"
+    );
+    let mut shards = split(sim, partition);
+    window_loop(&mut shards, t, partition, workers.max(1));
+    merge(sim, shards, t, partition);
+}
+
+/// Per-link metadata snapshot used for event routing and link mirrors.
+struct LinkMeta {
+    from: NodeId,
+    to: NodeId,
+    reverse: LinkId,
+    bps: u64,
+    delay: SimDuration,
+    host_facing: bool,
+}
+
+impl LinkMeta {
+    /// A foreign-slot stand-in: real immutable metadata (arrival
+    /// handling on the neighbour shard reads `to`, `reverse` and
+    /// `host_facing` even for links it does not own) with inert mutable
+    /// state.
+    fn mirror(&self, id: LinkId) -> Link {
+        Link {
+            id,
+            from: self.from,
+            to: self.to,
+            reverse: self.reverse,
+            bps: self.bps,
+            delay: self.delay,
+            queue: Queue::drop_tail(0),
+            in_service: None,
+            host_facing: self.host_facing,
+            stats: LinkStats::default(),
+            tx_memo: (u64::MAX, 0, 0),
+        }
+    }
+}
+
+/// Tear one simulator into per-shard simulators: owned nodes, links and
+/// agents move (no clones of hot state), foreign slots get cheap
+/// dummies or metadata mirrors, and the pending event population is
+/// redistributed by ownership in `(time, seq)` order.
+fn split(sim: &mut Sim, partition: &Partition) -> Vec<Sim> {
+    let owner = &partition.owner;
+    let k = partition.shards;
+    let now = sim.world.now;
+    let bin = sim.world.monitor.bin;
+    let base_uid = sim.world.uid;
+
+    let meta: Vec<LinkMeta> = sim
+        .world
+        .links
+        .iter()
+        .map(|l| LinkMeta {
+            from: l.from,
+            to: l.to,
+            reverse: l.reverse,
+            bps: l.bps,
+            delay: l.delay,
+            host_facing: l.host_facing,
+        })
+        .collect();
+    let arrival_owner: Vec<ShardId> = meta.iter().map(|m| owner[m.to.index()]).collect();
+
+    let mut links: Vec<Option<Link>> = std::mem::take(&mut sim.world.links)
+        .into_iter()
+        .map(Some)
+        .collect();
+    let mut nodes: Vec<Option<Node>> = std::mem::take(&mut sim.world.nodes)
+        .into_iter()
+        .map(Some)
+        .collect();
+    let mut agents: Vec<Option<Box<dyn Agent>>> = std::mem::take(&mut sim.agents);
+    let base_monitor = std::mem::replace(&mut sim.world.monitor, Monitor::new(bin));
+    let base_rng = std::mem::replace(&mut sim.world.rng, DetRng::new(0));
+
+    let drained = sim.world.events.take_all();
+
+    let mut shards: Vec<Sim> = (0..k)
+        .map(|s| {
+            let mut w = World::new(0, bin);
+            w.now = now;
+            w.finalized = true;
+            w.uid = base_uid;
+            w.agent_nodes = sim.world.agent_nodes.clone();
+            w.link_to = sim.world.link_to.clone();
+            w.link_reverse = sim.world.link_reverse.clone();
+            w.link_host_facing = sim.world.link_host_facing.clone();
+            w.group_index = sim.world.group_index.clone();
+            w.group_dense = sim.world.group_dense.clone();
+            w.group_addrs = sim.world.group_addrs.clone();
+            w.group_sources = sim.world.group_sources.clone();
+            w.nodes = nodes
+                .iter_mut()
+                .enumerate()
+                .map(|(i, slot)| {
+                    if owner[i] as usize == s {
+                        slot.take().expect("each node moves to exactly one shard")
+                    } else {
+                        Node::new(NodeId(i as u32))
+                    }
+                })
+                .collect();
+            w.links = links
+                .iter_mut()
+                .enumerate()
+                .map(|(i, slot)| {
+                    let id = LinkId(i as u32);
+                    if owner[meta[i].from.index()] as usize == s {
+                        slot.take().expect("each link moves to exactly one shard")
+                    } else {
+                        meta[i].mirror(id)
+                    }
+                })
+                .collect();
+            let shard_agents = agents
+                .iter_mut()
+                .enumerate()
+                .map(|(a, slot)| {
+                    if owner[sim.world.agent_nodes[a].index()] as usize == s {
+                        slot.take()
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            Sim {
+                world: w,
+                agents: shard_agents,
+                shard: Some(Box::new(ShardRouting {
+                    me: s as ShardId,
+                    arrival_owner: arrival_owner.clone(),
+                    outbox: Outbox::new(s as ShardId),
+                })),
+            }
+        })
+        .collect();
+
+    // Shard 0 inherits the run's randomness and measurement state: all
+    // RNG consumers live there, in serial event order.
+    shards[0].world.rng = base_rng;
+    shards[0].world.monitor = base_monitor;
+
+    for (at, ev) in drained {
+        let dst = match &ev {
+            Event::Departure(l) => owner[meta[l.index()].from.index()],
+            Event::Arrival(l, _) => arrival_owner[l.index()],
+            Event::AgentStart(a) | Event::AgentTimer(a, _) | Event::LocalDeliver(a, _) => {
+                owner[sim.world.agent_nodes[a.index()].index()]
+            }
+            Event::EdgeTimer(n, _) | Event::LeaveCheck(n, _) => owner[n.index()],
+        };
+        shards[dst as usize].world.events.push(at, ev);
+    }
+    shards
+}
+
+/// The barrier loop: fixpoint the per-shard LBTS, announce, run every
+/// shard to its safe bound, deliver the stamped cross arrivals, repeat
+/// until the horizon.
+fn window_loop(shards: &mut [Sim], t: SimTime, partition: &Partition, workers: usize) {
+    let k = shards.len();
+    // One clock per shard, one channel per neighbour shard with cut
+    // links into it; remember which (shard, channel) each pair maps to.
+    let mut clocks: Vec<ShardClock> = Vec::with_capacity(k);
+    let mut channel_of: Vec<Vec<Option<usize>>> = Vec::with_capacity(k);
+    for dst in 0..k {
+        let mut clock = ShardClock::new();
+        let mut map = vec![None; k];
+        for (src, d) in partition.lookahead[dst].iter().enumerate() {
+            if let Some(d) = d {
+                map[src] = Some(clock.add_channel(*d));
+            }
+        }
+        clocks.push(clock);
+        channel_of.push(map);
+    }
+    // Beyond the horizon nothing matters: bounds are capped there.
+    let cap = t + SimDuration::from_nanos(1);
+
+    loop {
+        let next: Vec<SimTime> = shards
+            .iter()
+            .map(|s| s.world.events.peek_time().unwrap_or(cap).min(cap))
+            .collect();
+        if next.iter().all(|&n| n > t) {
+            break;
+        }
+        // Each shard's LBTS: the earliest instant it could still emit
+        // anything, accounting for inputs it has not yet received.
+        // Iterate to a fixpoint so feedback chains (root → leaf → root)
+        // are bounded too; lookaheads are positive, so this terminates
+        // within the cut graph's diameter.
+        let mut lbts = next.clone();
+        loop {
+            let mut changed = false;
+            for dst in 0..k {
+                for src in 0..k {
+                    if let Some(la) = partition.lookahead[dst][src] {
+                        let via = lbts[src] + la;
+                        if via < lbts[dst] {
+                            lbts[dst] = via;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        for dst in 0..k {
+            for src in 0..k {
+                if let Some(ch) = channel_of[dst][src] {
+                    clocks[dst].announce(ch, lbts[src]);
+                }
+            }
+        }
+        // Safe bound per shard: strictly before the clock's safe time
+        // (an event exactly at it could tie with an incoming arrival).
+        let bounds: Vec<SimTime> = (0..k)
+            .map(|s| {
+                let safe = clocks[s].safe_time().unwrap_or(cap);
+                SimTime::from_nanos(safe.as_nanos().saturating_sub(1)).min(t)
+            })
+            .collect();
+
+        if workers > 1 && k > 1 {
+            let chunk = k.div_ceil(workers);
+            std::thread::scope(|scope| {
+                for (ci, shard_chunk) in shards.chunks_mut(chunk).enumerate() {
+                    let bounds = &bounds;
+                    scope.spawn(move || {
+                        for (i, shard) in shard_chunk.iter_mut().enumerate() {
+                            shard.run_window(bounds[ci * chunk + i]);
+                        }
+                    });
+                }
+            });
+        } else {
+            for (s, shard) in shards.iter_mut().enumerate() {
+                shard.run_window(bounds[s]);
+            }
+        }
+
+        // Barrier: harvest and deliver cross arrivals deterministically.
+        let mut crossing = Vec::new();
+        for shard in shards.iter_mut() {
+            let routing = shard
+                .shard
+                .as_deref_mut()
+                .expect("shard sims carry routing");
+            crossing.append(&mut routing.outbox.take());
+        }
+        merge_stamped(&mut crossing);
+        for m in crossing {
+            let (l, pkt) = m.msg;
+            shards[m.dst as usize]
+                .world
+                .events
+                .push(m.at, Event::Arrival(l, pkt));
+        }
+    }
+}
+
+/// Reassemble the original simulator from its shards: owned state moves
+/// back, monitors merge exactly in shard order, leftover future events
+/// interleave stably by time, and the aggregate event counters survive.
+fn merge(sim: &mut Sim, shards: Vec<Sim>, t: SimTime, partition: &Partition) {
+    let owner = &partition.owner;
+    let base_uid = sim.world.uid;
+    let mut uid_delta = 0u64;
+
+    let mut nodes: Vec<Option<Node>> = Vec::new();
+    let mut links: Vec<Option<Link>> = Vec::new();
+    let mut agents: Vec<Option<Box<dyn Agent>>> = Vec::new();
+    let mut leftovers: Vec<(SimTime, Event)> = Vec::new();
+    let mut processed = 0u64;
+    let mut peak = 0usize;
+
+    for (s, mut shard) in shards.into_iter().enumerate() {
+        let routing = shard.shard.take().expect("shard sims carry routing");
+        assert!(
+            routing.outbox.is_empty(),
+            "cross arrivals must be delivered before merging"
+        );
+        assert_eq!(
+            shard.world.group_addrs, sim.world.group_addrs,
+            "groups must be registered before running (a shard interned a new one)"
+        );
+        if nodes.is_empty() {
+            nodes.resize_with(shard.world.nodes.len(), || None);
+            links.resize_with(shard.world.links.len(), || None);
+            agents.resize_with(shard.agents.len(), || None);
+        }
+        for (i, node) in shard.world.nodes.drain(..).enumerate() {
+            if owner[i] as usize == s {
+                nodes[i] = Some(node);
+            }
+        }
+        for (i, link) in shard.world.links.drain(..).enumerate() {
+            if owner[link.from.index()] as usize == s {
+                links[i] = Some(link);
+            }
+        }
+        for (a, slot) in shard.agents.drain(..).enumerate() {
+            if owner[sim.world.agent_nodes[a].index()] as usize == s {
+                agents[a] = slot;
+            }
+        }
+        uid_delta += shard.world.uid - base_uid;
+        processed += shard.world.events.processed();
+        peak += shard.world.events.high_water();
+        leftovers.extend(shard.world.events.take_all());
+        if s == 0 {
+            sim.world.rng = std::mem::replace(&mut shard.world.rng, DetRng::new(0));
+            sim.world.monitor = std::mem::replace(
+                &mut shard.world.monitor,
+                Monitor::new(sim.world.monitor.bin),
+            );
+        } else {
+            let other = std::mem::replace(
+                &mut shard.world.monitor,
+                Monitor::new(sim.world.monitor.bin),
+            );
+            sim.world.monitor.merge_from(other);
+        }
+    }
+
+    sim.world.nodes = nodes
+        .into_iter()
+        .map(|n| n.expect("every node has exactly one owner"))
+        .collect();
+    sim.world.links = links
+        .into_iter()
+        .map(|l| l.expect("every link has exactly one owner"))
+        .collect();
+    sim.agents = agents;
+    sim.world.uid = base_uid + uid_delta;
+
+    // Leftover future events: stable by time keeps (shard, seq) order
+    // on ties — the same discipline the barrier merge uses.
+    leftovers.sort_by_key(|&(at, _)| at);
+    for (at, ev) in leftovers {
+        sim.world.events.push(at, ev);
+    }
+    sim.world.events.add_processed(processed);
+    sim.world.events.raise_high_water(peak);
+    sim.world.now = t;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{AgentId, FlowId, GroupAddr};
+    use crate::packet::{Dest, Packet};
+    use crate::sim::Ctx;
+
+    /// Multicast source: `count` packets to `group`, one every `gap`.
+    /// Deliberately NOT `parallel_safe` (and it roots the group), so it
+    /// always stays on shard 0.
+    #[derive(Debug)]
+    struct Blaster {
+        group: GroupAddr,
+        count: u64,
+        gap: SimDuration,
+        sent: u64,
+        acks: u64,
+    }
+    impl Agent for Blaster {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            ctx.timer_in(SimDuration::ZERO, 0);
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx, _tok: u64) {
+            if self.sent < self.count {
+                ctx.send(Packet::opaque(
+                    1000 * 8,
+                    FlowId(7),
+                    ctx.agent,
+                    Dest::Group(self.group),
+                ));
+                self.sent += 1;
+                ctx.timer_in(self.gap, 0);
+            }
+        }
+        fn on_packet(&mut self, _ctx: &mut Ctx, _pkt: Packet) {
+            self.acks += 1;
+        }
+    }
+
+    /// A parallel-safe member: joins at start, acks every third delivery
+    /// back to the source (leaf → root cross traffic), optionally leaves
+    /// mid-run (prune waves cross the cut in both directions).
+    #[derive(Debug)]
+    struct Member {
+        group: GroupAddr,
+        reply_to: AgentId,
+        flow: FlowId,
+        leave_at: Option<SimTime>,
+        got: u64,
+    }
+    impl Agent for Member {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            ctx.join_group(self.group);
+            if let Some(t) = self.leave_at {
+                ctx.timer_at(t, 1);
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx, _tok: u64) {
+            ctx.leave_group(self.group);
+        }
+        fn on_packet(&mut self, ctx: &mut Ctx, _pkt: Packet) {
+            self.got += 1;
+            if self.got.is_multiple_of(3) {
+                ctx.send(Packet::opaque(
+                    64 * 8,
+                    self.flow,
+                    ctx.agent,
+                    Dest::Agent(self.reply_to),
+                ));
+            }
+        }
+        fn parallel_safe(&self) -> bool {
+            true
+        }
+    }
+
+    /// Star: source host — router — `n` member hosts. Odd members leave
+    /// at 400 ms; the source blasts 100 packets every 5 ms from 100 ms.
+    fn star(n: usize) -> (Sim, Vec<AgentId>) {
+        let mut sim = Sim::new(11, SimDuration::from_millis(100));
+        let router = sim.add_node();
+        let src_host = sim.add_node();
+        sim.add_duplex_link(
+            src_host,
+            router,
+            10_000_000,
+            SimDuration::from_millis(5),
+            Queue::drop_tail(200_000),
+            Queue::drop_tail(200_000),
+        );
+        let g = GroupAddr(4);
+        sim.register_group(g, src_host);
+        let src = sim.add_agent(
+            src_host,
+            Box::new(Blaster {
+                group: g,
+                count: 100,
+                gap: SimDuration::from_millis(5),
+                sent: 0,
+                acks: 0,
+            }),
+            SimTime::from_millis(100),
+        );
+        let mut members = Vec::new();
+        for i in 0..n {
+            let h = sim.add_node();
+            sim.add_duplex_link(
+                router,
+                h,
+                10_000_000,
+                SimDuration::from_millis(2),
+                Queue::drop_tail(50_000),
+                Queue::drop_tail(50_000),
+            );
+            members.push(sim.add_agent(
+                h,
+                Box::new(Member {
+                    group: g,
+                    reply_to: src,
+                    flow: FlowId(100 + i as u32),
+                    leave_at: (i % 2 == 1).then(|| SimTime::from_millis(400)),
+                    got: 0,
+                }),
+                SimTime::ZERO,
+            ));
+        }
+        sim.finalize();
+        (sim, members)
+    }
+
+    /// Everything observable, serialized: event/uid counters, every
+    /// monitor record bit-for-bit, every link counter, every member's
+    /// protocol state.
+    fn digest(sim: &Sim, members: &[AgentId]) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        writeln!(
+            s,
+            "processed={} uid={}",
+            sim.world.processed_events(),
+            sim.world.uid
+        )
+        .unwrap();
+        for (a, f) in sim.monitor().pairs() {
+            let r = sim.monitor().get(a, f).unwrap();
+            writeln!(
+                s,
+                "{a}/{f}: bits={} pkts={} first={:?} last={:?} bins={:?}",
+                r.bits, r.packets, r.first, r.last, r.bins
+            )
+            .unwrap();
+        }
+        for l in &sim.world.links {
+            writeln!(
+                s,
+                "{}: tx={} bits={} drops={} marks={}",
+                l.id, l.stats.tx_packets, l.stats.tx_bits, l.stats.drops, l.stats.marks
+            )
+            .unwrap();
+        }
+        for &m in members {
+            let mem = sim.agent_as::<Member>(m).unwrap();
+            writeln!(s, "{m}: got={}", mem.got).unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn sharded_run_matches_serial_byte_for_byte() {
+        let horizon = SimTime::from_secs(1);
+        let (mut serial, members) = star(12);
+        serial.run_until(horizon);
+        let want = digest(&serial, &members);
+        assert!(
+            want.contains("got=100"),
+            "sanity: members saw traffic\n{want}"
+        );
+
+        for leaf_shards in [1, 2, 3, 5] {
+            let (mut sharded, members) = star(12);
+            let used = run_until_with_shards(&mut sharded, horizon, leaf_shards, 1);
+            assert_eq!(used, leaf_shards + 1, "leaf shards + root");
+            assert_eq!(
+                digest(&sharded, &members),
+                want,
+                "{leaf_shards} leaf shards diverged from serial"
+            );
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let horizon = SimTime::from_secs(1);
+        let (mut one, members) = star(12);
+        run_until_with_shards(&mut one, horizon, 4, 1);
+        let want = digest(&one, &members);
+        for workers in [2, 3, 8] {
+            let (mut many, members) = star(12);
+            run_until_with_shards(&mut many, horizon, 4, workers);
+            assert_eq!(digest(&many, &members), want, "{workers} workers diverged");
+        }
+    }
+
+    #[test]
+    fn merged_sim_resumes_serially() {
+        // Split mid-flight (packets in queues, timers pending), merge,
+        // continue serially: indistinguishable from never sharding.
+        let horizon = SimTime::from_millis(1500);
+        let (mut serial, members) = star(12);
+        serial.run_until(horizon);
+        let want = digest(&serial, &members);
+
+        let (mut mixed, members) = star(12);
+        run_until_with_shards(&mut mixed, SimTime::from_millis(350), 3, 1);
+        mixed.run_until(horizon);
+        assert_eq!(digest(&mixed, &members), want, "merge lost queue state");
+    }
+
+    #[test]
+    fn auto_partitioner_declines_small_scenarios() {
+        let (sim, _) = star(12);
+        assert!(
+            Partition::auto(&sim).is_none(),
+            "12 hosts is below the 2×MIN_HOSTS_PER_SHARD floor"
+        );
+        let (mut sim, members) = star(12);
+        assert_eq!(run_until_sharded(&mut sim, SimTime::from_secs(1), 4), 1);
+        let _ = digest(&sim, &members); // still a sane, complete world
+    }
+
+    #[test]
+    fn auto_partitioner_shards_large_scenarios() {
+        let (sim, _) = star(2 * MIN_HOSTS_PER_SHARD);
+        let p = Partition::auto(&sim).expect("large enough to shard");
+        assert_eq!(p.shards(), 3, "16 hosts / MIN=8 → 2 leaf blocks + root");
+        // Router and source host stay on the root shard.
+        assert_eq!(p.owner(NodeId(0)), 0);
+        assert_eq!(p.owner(NodeId(1)), 0);
+    }
+
+    #[test]
+    fn explicit_shard_count_is_clamped_to_hosts() {
+        let (sim, _) = star(3);
+        let p = Partition::explicit(&sim, 64).expect("members are shardable");
+        assert_eq!(p.shards(), 4, "3 eligible hosts cap the leaf shards at 3");
+    }
+}

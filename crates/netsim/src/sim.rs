@@ -49,7 +49,7 @@ pub const CONTROL_PACKET_BITS: u64 = 512;
 
 /// Scheduled occurrences.
 #[derive(Debug)]
-enum Event {
+pub(crate) enum Event {
     /// Head-of-line packet on a link finished serializing.
     Departure(LinkId),
     /// A packet finished propagating and arrives at the link's `to` node.
@@ -77,6 +77,17 @@ pub trait Agent: Any + Send {
     fn on_packet(&mut self, _ctx: &mut Ctx, _pkt: Packet) {}
     /// A timer set through [`Ctx::timer_in`]/[`Ctx::timer_at`] fired.
     fn on_timer(&mut self, _ctx: &mut Ctx, _token: u64) {}
+    /// Whether this agent's host may be moved off the root shard by the
+    /// parallel-in-time executor (see `crate::shard`).
+    ///
+    /// Returning `true` is a promise: the agent never draws from
+    /// [`Ctx::rng`] and shares no mutable state with agents on other
+    /// hosts, so replaying its event stream in isolation reproduces the
+    /// serial run bit for bit. The default is the safe `false`; only
+    /// leaf-receiver-style agents that audit their hooks should opt in.
+    fn parallel_safe(&self) -> bool {
+        false
+    }
 }
 
 /// The capabilities an agent has over the outside world.
@@ -147,7 +158,7 @@ impl<'w> Ctx<'w> {
 pub struct World {
     /// Current simulation time.
     pub now: SimTime,
-    events: EventQueue<Event>,
+    pub(crate) events: EventQueue<Event>,
     /// All links, indexed by [`LinkId`].
     pub links: Vec<Link>,
     /// All nodes, indexed by [`NodeId`].
@@ -157,17 +168,32 @@ pub struct World {
     /// The group-address interner: address → dense slab index. Grows at
     /// `register_group` and on first join; read once per multicast hop
     /// (hence the cheap multiplicative hasher).
-    group_index: FxHashMap<GroupAddr, GroupIdx>,
+    pub(crate) group_index: FxHashMap<GroupAddr, GroupIdx>,
+    /// Direct-indexed mirror of `group_index` for small addresses
+    /// (`addr < GROUP_DENSE_CAP`, which covers every address the topology
+    /// builders allocate): `group_dense[addr]` is the slab index or
+    /// `u32::MAX`. The multicast hot path does one interner lookup per
+    /// hop, and an array load beats even a cheap hash.
+    pub(crate) group_dense: Vec<u32>,
     /// Reverse of `group_index`, indexed by [`GroupIdx`].
-    group_addrs: Vec<GroupAddr>,
+    pub(crate) group_addrs: Vec<GroupAddr>,
     /// Registered multicast source host per group, indexed by [`GroupIdx`].
-    group_sources: Vec<Option<NodeId>>,
+    pub(crate) group_sources: Vec<Option<NodeId>>,
     /// Root randomness for the run.
     pub rng: DetRng,
     /// Delivery statistics.
     pub monitor: Monitor,
-    uid: u64,
-    finalized: bool,
+    pub(crate) uid: u64,
+    pub(crate) finalized: bool,
+    /// Hot-path sidecars: dense copies of `Link::to`, `Link::reverse` and
+    /// `Link::host_facing`, rebuilt by `finalize`. A `Link` record spans
+    /// several cache lines (queue, in-service packet, stats); arrival
+    /// dispatch and the multicast fan-out snapshot only need these three
+    /// scalars, so they read a packed array instead of gathering across
+    /// the fat records.
+    pub(crate) link_to: Vec<NodeId>,
+    pub(crate) link_reverse: Vec<LinkId>,
+    pub(crate) link_host_facing: Vec<bool>,
     // Reusable scratch buffers for `forward_multicast` (see module docs).
     scratch_fanout: Vec<(LinkId, bool)>,
     scratch_members: Vec<AgentId>,
@@ -175,7 +201,7 @@ pub struct World {
 }
 
 impl World {
-    fn new(seed: u64, monitor_bin: SimDuration) -> Self {
+    pub(crate) fn new(seed: u64, monitor_bin: SimDuration) -> Self {
         World {
             now: SimTime::ZERO,
             events: EventQueue::new(),
@@ -183,17 +209,26 @@ impl World {
             nodes: Vec::new(),
             agent_nodes: Vec::new(),
             group_index: FxHashMap::default(),
+            group_dense: Vec::new(),
             group_addrs: Vec::new(),
             group_sources: Vec::new(),
             rng: DetRng::new(seed),
             monitor: Monitor::new(monitor_bin),
             uid: 0,
             finalized: false,
+            link_to: Vec::new(),
+            link_reverse: Vec::new(),
+            link_host_facing: Vec::new(),
             scratch_fanout: Vec::new(),
             scratch_members: Vec::new(),
             scratch_actions: Vec::new(),
         }
     }
+
+    /// Addresses below this get a slot in the direct-indexed
+    /// `group_dense` mirror (at most 256 KiB, touched only at the few hot
+    /// entries). Larger addresses still work through the hash map.
+    const GROUP_DENSE_CAP: usize = 1 << 16;
 
     /// The dense slab index of `group`, interning it if new.
     fn intern_group(&mut self, group: GroupAddr) -> GroupIdx {
@@ -202,13 +237,30 @@ impl World {
         }
         let gi = GroupIdx(self.group_addrs.len() as u32);
         self.group_index.insert(group, gi);
+        let a = group.0 as usize;
+        if a < Self::GROUP_DENSE_CAP {
+            if a >= self.group_dense.len() {
+                self.group_dense.resize(a + 1, u32::MAX);
+            }
+            self.group_dense[a] = gi.0;
+        }
         self.group_addrs.push(group);
         self.group_sources.push(None);
         gi
     }
 
     /// The slab index of `group`, if it was ever registered or joined.
+    #[inline]
     pub fn group_idx(&self, group: GroupAddr) -> Option<GroupIdx> {
+        let a = group.0 as usize;
+        if a < Self::GROUP_DENSE_CAP {
+            // The dense mirror is authoritative for small addresses:
+            // `intern_group` always writes it for them.
+            return match self.group_dense.get(a) {
+                Some(&gi) if gi != u32::MAX => Some(GroupIdx(gi)),
+                _ => None,
+            };
+        }
         self.group_index.get(&group).copied()
     }
 
@@ -250,7 +302,7 @@ impl World {
             Dest::Router(dst_node) => {
                 if dst_node == node {
                     // Control message for this router's edge module.
-                    let from_iface = in_link.map(|l| self.links[l.index()].reverse);
+                    let from_iface = in_link.map(|l| self.link_reverse[l.index()]);
                     self.edge_message(node, from_iface, &pkt);
                 } else {
                     self.forward_toward(node, dst_node, pkt);
@@ -283,7 +335,7 @@ impl World {
         let Some(gi) = self.group_idx(group) else {
             return; // Never registered or joined anywhere: no tree exists.
         };
-        let back = in_link.map(|l| self.links[l.index()].reverse);
+        let back = in_link.map(|l| self.link_reverse[l.index()]);
         let n = node.index();
         let Some(entry) = self.nodes[n].group(gi) else {
             return;
@@ -324,7 +376,7 @@ impl World {
             if Some(iface) == back {
                 continue;
             }
-            let host_facing = self.links[iface.index()].host_facing;
+            let host_facing = self.link_host_facing[iface.index()];
             if router_alert && host_facing {
                 continue;
             }
@@ -649,11 +701,26 @@ impl World {
     }
 }
 
+/// Cross-shard routing state carried by a shard's `Sim` during a
+/// parallel-in-time run (see `crate::shard`). `None` on ordinary serial
+/// simulators: the event loop then behaves exactly as before.
+pub(crate) struct ShardRouting {
+    /// This shard's id.
+    pub(crate) me: mcc_simcore::ShardId,
+    /// Owner shard of every link's `to` node, indexed by [`LinkId`]: the
+    /// one lookup the departure hot path needs to spot a cut link.
+    pub(crate) arrival_owner: Vec<mcc_simcore::ShardId>,
+    /// Staged cross-shard arrivals, stamped for the deterministic merge.
+    pub(crate) outbox: mcc_simcore::Outbox<(LinkId, Packet)>,
+}
+
 /// The simulator: a [`World`] plus the boxed agents and the event loop.
 pub struct Sim {
     /// The network state; public for scenario assembly and inspection.
     pub world: World,
-    agents: Vec<Option<Box<dyn Agent>>>,
+    pub(crate) agents: Vec<Option<Box<dyn Agent>>>,
+    /// Set only while this `Sim` is one shard of a parallel run.
+    pub(crate) shard: Option<Box<ShardRouting>>,
 }
 
 impl Sim {
@@ -662,6 +729,7 @@ impl Sim {
         Sim {
             world: World::new(seed, monitor_bin),
             agents: Vec::new(),
+            shard: None,
         }
     }
 
@@ -757,7 +825,11 @@ impl Sim {
             let to = self.world.links[l].to;
             self.world.links[l].host_facing = self.world.nodes[to.index()].is_host();
         }
-        self.world.finalized = true;
+        let w = &mut self.world;
+        w.link_to = w.links.iter().map(|l| l.to).collect();
+        w.link_reverse = w.links.iter().map(|l| l.reverse).collect();
+        w.link_host_facing = w.links.iter().map(|l| l.host_facing).collect();
+        w.finalized = true;
     }
 
     /// Run the event loop until simulated time `t` (inclusive of events at
@@ -769,6 +841,16 @@ impl Sim {
             self.handle(ev);
         }
         self.world.now = t;
+    }
+
+    /// One conservative window: process every pending event at or before
+    /// `bound` without fast-forwarding `world.now` past the last event.
+    /// Only the sharded executor calls this; `bound` is its safe horizon.
+    pub(crate) fn run_window(&mut self, bound: SimTime) {
+        while let Some((at, ev)) = self.world.events.pop_until(bound) {
+            self.world.now = at;
+            self.handle(ev);
+        }
     }
 
     fn handle(&mut self, ev: Event) {
@@ -791,13 +873,23 @@ impl Sim {
                     }
                     None => None,
                 };
-                self.world.events.push(now + delay, Event::Arrival(l, pkt));
+                // The one place an event can cross shards: a packet
+                // leaving a cut link arrives on the neighbour's shard.
+                // Stage it in the stamped outbox instead of the local
+                // queue; the barrier merge delivers it deterministically.
+                match self.shard.as_deref_mut() {
+                    Some(sc) if sc.arrival_owner[l.index()] != sc.me => {
+                        sc.outbox
+                            .push(sc.arrival_owner[l.index()], now + delay, (l, pkt));
+                    }
+                    _ => self.world.events.push(now + delay, Event::Arrival(l, pkt)),
+                }
                 if let Some(tx) = next_tx {
                     self.world.events.push(now + tx, Event::Departure(l));
                 }
             }
             Event::Arrival(l, pkt) => {
-                let node = self.world.links[l.index()].to;
+                let node = self.world.link_to[l.index()];
                 match &pkt.body {
                     Body::Graft(g) => self.world.handle_graft(node, l, *g),
                     Body::Prune(g) => self.world.handle_prune(node, l, *g),

@@ -113,6 +113,12 @@ pub struct EventQueue<E> {
     runs: VecDeque<Run<E>>,
     /// Recycled run deques (capacity kept warm).
     spare_runs: Vec<VecDeque<(u64, E)>>,
+    /// Guess for the run index of the next push — fan-out waves push
+    /// hundreds of events at one timestamp, so the previous push's run is
+    /// almost always the next one's. Validated by timestamp before use
+    /// (run timestamps are unique), so a stale index is a miss, never a
+    /// wrong answer.
+    run_memo: usize,
     /// The instant of the most recent pop (`ZERO` before the first).
     current: SimTime,
     /// Total pending events across heap, fifo and runs.
@@ -139,6 +145,7 @@ impl<E> EventQueue<E> {
             fifo_at: SimTime::ZERO,
             runs: VecDeque::new(),
             spare_runs: Vec::new(),
+            run_memo: 0,
             current: SimTime::ZERO,
             count: 0,
             next_seq: 0,
@@ -166,10 +173,18 @@ impl<E> EventQueue<E> {
         // stream's per-packet times) spills for the price of an ordinary
         // heap insert, while the wide fan-out waves worth protecting are
         // exactly the runs that keep growing.
+        if let Some(r) = self.runs.get_mut(self.run_memo) {
+            if r.at == at {
+                r.dq.push_back((seq, event));
+                r.last_use = seq;
+                return;
+            }
+        }
         match self.runs.binary_search_by(|r| r.at.cmp(&at)) {
             Ok(i) => {
                 self.runs[i].dq.push_back((seq, event));
                 self.runs[i].last_use = seq;
+                self.run_memo = i;
             }
             Err(i) => {
                 let mut i = i;
@@ -196,6 +211,7 @@ impl<E> EventQueue<E> {
                         last_use: seq,
                     },
                 );
+                self.run_memo = i;
             }
         }
     }
@@ -239,21 +255,30 @@ impl<E> EventQueue<E> {
         // The minimum (at, seq) over the three source fronts: each source
         // is sorted by that key (runs are sorted by time and hold unique
         // timestamps, so only the first run can hold the minimum), making
-        // the minimum of fronts the global minimum.
-        let heap_ord = self.heap.first().map(|k| k.ord());
-        let fifo_ord = self.fifo.front().map(|&(seq, _)| (self.fifo_at, seq));
-        let run_ord = self
-            .runs
-            .front()
-            .map(|r| (r.at, r.dq.front().expect("runs are never empty").0));
-        let best = [heap_ord, fifo_ord, run_ord].into_iter().flatten().min()?;
-        if best.0 > t {
+        // the minimum of fronts the global minimum. Branchy rather than
+        // iterator-combined: this runs once per simulated event and the
+        // common case (fifo or front run wins) should cost two compares.
+        const NONE: (SimTime, u64) = (SimTime::from_nanos(u64::MAX), u64::MAX);
+        let fifo_ord = match self.fifo.front() {
+            Some(&(seq, _)) => (self.fifo_at, seq),
+            None => NONE,
+        };
+        let run_ord = match self.runs.front() {
+            Some(r) => (r.at, r.dq.front().expect("runs are never empty").0),
+            None => NONE,
+        };
+        let heap_ord = match self.heap.first() {
+            Some(k) => k.ord(),
+            None => NONE,
+        };
+        let best = fifo_ord.min(run_ord).min(heap_ord);
+        if best == NONE || best.0 > t {
             return None;
         }
         self.popped += 1;
         self.count -= 1;
         self.current = best.0;
-        if run_ord == Some(best) {
+        if run_ord == best {
             let run = &mut self.runs[0];
             let (_, event) = run.dq.pop_front().expect("checked front");
             if run.dq.is_empty() {
@@ -262,7 +287,7 @@ impl<E> EventQueue<E> {
             }
             return Some((best.0, event));
         }
-        if fifo_ord == Some(best) {
+        if fifo_ord == best {
             let (_, event) = self.fifo.pop_front().expect("checked front");
             return Some((best.0, event));
         }
@@ -308,6 +333,38 @@ impl<E> EventQueue<E> {
     /// The deepest the queue has ever been (diagnostics/benchmarks).
     pub fn high_water(&self) -> usize {
         self.high_water
+    }
+
+    /// Remove every pending event in `(at, seq)` order **without**
+    /// counting them as processed or advancing the current instant.
+    ///
+    /// This is the redistribution primitive of the sharded executor: a
+    /// split drains the global queue and re-pushes each event into its
+    /// owner shard's queue, and a merge does the reverse with the
+    /// leftovers. Draining in key order means per-shard relative order —
+    /// including FIFO ties — survives both trips.
+    pub fn take_all(&mut self) -> Vec<(SimTime, E)> {
+        let popped = self.popped;
+        let current = self.current;
+        let mut out = Vec::with_capacity(self.count);
+        while let Some(entry) = self.pop() {
+            out.push(entry);
+        }
+        self.popped = popped;
+        self.current = current;
+        out
+    }
+
+    /// Fold another queue's processed count into this one (a merge after
+    /// a sharded run keeps the aggregate event count meaningful).
+    pub fn add_processed(&mut self, n: u64) {
+        self.popped += n;
+    }
+
+    /// Raise the high-water mark to at least `depth` (merge accounting:
+    /// the aggregate peak of a sharded run is the sum of shard peaks).
+    pub fn raise_high_water(&mut self, depth: usize) {
+        self.high_water = self.high_water.max(depth);
     }
 
     fn sift_up(&mut self, mut i: usize) {
@@ -425,6 +482,33 @@ mod tests {
         q.push(SimTime::from_millis(99), 99);
         assert_eq!(q.high_water(), 10, "peak, not current, depth");
         assert_eq!(q.len(), 1);
+    }
+
+    /// `take_all` drains in `(at, seq)` order but leaves the processed
+    /// counter and the same-instant fast-path anchor untouched, so a
+    /// split/merge round trip cannot skew diagnostics or tie-breaking.
+    #[test]
+    fn take_all_drains_in_order_without_counting() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(2), 'b');
+        q.push(SimTime::from_millis(1), 'a');
+        assert_eq!(q.pop().unwrap().1, 'a');
+        q.push(SimTime::from_millis(1), 'c'); // same-instant fifo
+        q.push(SimTime::from_millis(3), 'd');
+        let drained = q.take_all();
+        let order: Vec<char> = drained.iter().map(|&(_, e)| e).collect();
+        assert_eq!(order, vec!['c', 'b', 'd']);
+        assert!(q.is_empty());
+        assert_eq!(q.processed(), 1, "take_all is not processing");
+        // The queue stays usable: the same-instant anchor is preserved.
+        q.push(SimTime::from_millis(1), 'e');
+        assert_eq!(q.pop().unwrap(), (SimTime::from_millis(1), 'e'));
+        q.add_processed(10);
+        assert_eq!(q.processed(), 12);
+        q.raise_high_water(40);
+        assert_eq!(q.high_water(), 40);
+        q.raise_high_water(5);
+        assert_eq!(q.high_water(), 40, "raise never lowers");
     }
 
     /// `pop_until` only surfaces events inside the horizon and leaves

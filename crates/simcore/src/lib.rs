@@ -32,9 +32,11 @@
 pub mod event;
 pub mod fx;
 pub mod rng;
+pub mod shard;
 pub mod time;
 
 pub use event::EventQueue;
 pub use fx::{FxHashMap, FxHashSet};
 pub use rng::DetRng;
+pub use shard::{merge_stamped, Outbox, ShardClock, ShardId, Stamped};
 pub use time::{SimDuration, SimTime};

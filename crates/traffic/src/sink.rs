@@ -17,6 +17,9 @@ impl Agent for CountingSink {
         self.packets += 1;
         self.bits += pkt.size_bits;
     }
+    fn parallel_safe(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

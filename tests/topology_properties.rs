@@ -5,8 +5,13 @@
 //! could have carried.
 
 use proptest::prelude::*;
+use robust_multicast::attack::{
+    AttackPlan, IgnoreDecrease, InflateTo, JoinLeaveFlap, KeyGuess, Placement,
+};
 use robust_multicast::core::topology::{BuiltTopology, McastSessionSpec, Topology, TopologySpec};
 use robust_multicast::core::{Units, Variant};
+use robust_multicast::netsim::shard::run_until_with_shards;
+use robust_multicast::simcore::{SimDuration, SimTime};
 
 /// Build a single-session FLID-DL scenario over `topology` with `k`
 /// honest receivers and run it for `secs` seconds.
@@ -131,6 +136,114 @@ proptest! {
         routes_are_complete(&t);
         membership_matches_receivers(&t);
         delivery_respects_capacity(&t, bps, secs);
+    }
+}
+
+/// Per-receiver monitor series as exact bit patterns, and per-link
+/// `(tx_packets, tx_bits, drops, marks)` counters.
+type RunDigest = (u64, Vec<Vec<u64>>, Vec<(u64, u64, u64, u64)>);
+
+/// Everything observable about a finished run, as exact bit patterns:
+/// processed-event count, every receiver's monitor series, and every
+/// link's transmit/drop/mark counters. Queue-depth peaks are *excluded*
+/// on purpose — a sharded run reports the sum of per-shard peaks, which
+/// legitimately differs from the serial peak.
+fn run_digest(t: &BuiltTopology, horizon: SimTime) -> RunDigest {
+    let series = t
+        .sessions
+        .iter()
+        .flat_map(|s| {
+            s.receivers.iter().map(|&r| {
+                t.sim
+                    .monitor()
+                    .agent_series_bps(r, horizon)
+                    .iter()
+                    .map(|b| b.to_bits())
+                    .collect::<Vec<u64>>()
+            })
+        })
+        .collect();
+    let links = t
+        .sim
+        .world
+        .links
+        .iter()
+        .map(|l| {
+            (
+                l.stats.tx_packets,
+                l.stats.tx_bits,
+                l.stats.drops,
+                l.stats.marks,
+            )
+        })
+        .collect();
+    (t.sim.world.processed_events(), series, links)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The parallel-in-time core is an *implementation detail*: for any
+    /// random topology, receiver population and adversary placement, a
+    /// sharded run (explicit leaf-shard count, so even tiny topologies
+    /// split) produces bit-identical monitor series, link counters and
+    /// event counts to the serial reference. Attacker codes decode to a
+    /// mix of parallel-safe strategies and the occasional `KeyGuess`,
+    /// which is *not* parallel-safe and must force its host onto the
+    /// root shard rather than diverge.
+    #[test]
+    fn sharded_run_matches_serial_exactly(
+        tree in prop::bool::weighted(0.5),
+        depth in 1u32..=3,
+        fanout in 2u32..=3,
+        hops in 1usize..=3,
+        receivers in 2usize..=7,
+        attacker_codes in prop::collection::vec(0u64..1_000_000, 0usize..=3),
+        leaf_shards in 2usize..=4,
+        workers in 1usize..=2,
+    ) {
+        let secs = 5u64;
+        let horizon = SimTime::from_secs(secs);
+        let topology = if tree {
+            Topology::BalancedTree { depth, fanout }
+        } else {
+            Topology::ParkingLot { bottlenecks: hops, per_hop_cbr: None }
+        };
+        let build = || {
+            let mut spec = TopologySpec::new(topology, 3, 500_000);
+            let mut session = McastSessionSpec::honest(Variant::FlidDl, receivers);
+            for &code in &attacker_codes {
+                let idx = (code % receivers as u64) as usize;
+                let plan = match (code / 7) % 4 {
+                    0 => AttackPlan::new(InflateTo::all()),
+                    1 => AttackPlan::new(IgnoreDecrease),
+                    2 => AttackPlan::new(JoinLeaveFlap::new(
+                        SimDuration::from_millis(600 + (code % 5) * 100),
+                    )),
+                    _ => AttackPlan::new(KeyGuess { rate: 2 }),
+                };
+                let place = match (code / 31) % 3 {
+                    0 => Placement::Auto,
+                    1 => Placement::Leaf((code / 97) as usize % 8),
+                    _ => Placement::Interior {
+                        depth: 1 + ((code / 97) % 2) as u32,
+                        leaf: (code / 397) as usize % 8,
+                    },
+                };
+                session.receivers[idx].adversary = plan.at(place);
+            }
+            spec.mcast = vec![session];
+            spec.build()
+        };
+
+        let mut serial = build();
+        serial.sim.run_until(horizon);
+
+        let mut sharded = build();
+        let shards = run_until_with_shards(&mut sharded.sim, horizon, leaf_shards, workers);
+        prop_assert!(shards >= 1);
+
+        prop_assert_eq!(run_digest(&serial, horizon), run_digest(&sharded, horizon));
     }
 }
 

@@ -279,6 +279,7 @@ pub fn run(cli: &Cli) -> Result<Option<PathBuf>, String> {
         mode
     );
 
+    // detlint: allow(wall-clock) — suite wall/cpu reporting only
     let wall = std::time::Instant::now();
     let report = if threads <= 1 {
         run_serial(SUITE, mode, &specs)

@@ -16,7 +16,7 @@ use std::sync::OnceLock;
 /// workspace that reads `MCC_QUICK`, `MCC_THREADS` and `MCC_OUT`.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RunConfig {
-    /// Shortened runs (`MCC_QUICK` set to anything but `0`).
+    /// Shortened runs (`MCC_QUICK` set non-empty to anything but `0`).
     pub quick: bool,
     /// Experiment-level worker threads (`MCC_THREADS`, or the `A` of an
     /// `MCC_THREADS=AxB` split; else available parallelism).
@@ -48,15 +48,12 @@ impl RunConfig {
     /// so a typo in a sweep script cannot silently run at the wrong
     /// parallelism. It never panics.
     pub fn from_env() -> RunConfig {
-        let quick = std::env::var("MCC_QUICK").is_ok_and(|v| v != "0");
-        let (threads, shard_workers, warning) =
-            threads_from(std::env::var("MCC_THREADS").ok().as_deref());
+        let quick = quick_from(env_var("MCC_QUICK").as_deref());
+        let (threads, shard_workers, warning) = threads_from(env_var("MCC_THREADS").as_deref());
         if let Some(warning) = warning {
             eprintln!("warning: {warning}");
         }
-        let out_dir = std::env::var("MCC_OUT")
-            .map(PathBuf::from)
-            .unwrap_or_else(|_| PathBuf::from("results"));
+        let out_dir = out_dir_from(env_var("MCC_OUT").as_deref());
         RunConfig {
             quick,
             threads,
@@ -81,7 +78,7 @@ impl RunConfig {
 /// values fall back to 1 (serial core) here — [`RunConfig::from_env`]
 /// owns the loud warning.
 pub fn shard_workers() -> usize {
-    *SHARD_WORKERS.get_or_init(|| threads_from(std::env::var("MCC_THREADS").ok().as_deref()).1)
+    *SHARD_WORKERS.get_or_init(|| threads_from(env_var("MCC_THREADS").as_deref()).1)
 }
 
 /// Pin the shard-level worker count before any simulation runs — the
@@ -93,6 +90,28 @@ pub fn set_shard_workers(workers: usize) {
 }
 
 static SHARD_WORKERS: OnceLock<usize> = OnceLock::new();
+
+/// The single audited environment read of the simulation crates —
+/// `detlint`'s `env-read` rule keeps every other crate away from
+/// `std::env`, so auditing determinism means auditing the callers of
+/// this one function. An unset *or empty* variable is `None`: a sweep
+/// script clearing a knob with `MCC_QUICK= cmd` must behave like unset,
+/// not like "quick mode on" (the raw reads this replaces treated empty
+/// as set).
+fn env_var(name: &str) -> Option<String> {
+    std::env::var(name).ok().filter(|v| !v.is_empty())
+}
+
+/// Whether a (present, non-empty) `MCC_QUICK` value requests shortened
+/// runs: anything but `"0"` does.
+fn quick_from(var: Option<&str>) -> bool {
+    var.is_some_and(|v| v != "0")
+}
+
+/// The output directory implied by an `MCC_OUT` value (`None` = unset).
+fn out_dir_from(var: Option<&str>) -> PathBuf {
+    var.map_or_else(|| PathBuf::from("results"), PathBuf::from)
+}
 
 /// The `(experiment workers, shard workers)` implied by an
 /// `MCC_THREADS` value (`None` = unset), plus the warning to print when
@@ -337,8 +356,22 @@ mod tests {
         let cached = shard_workers();
         assert!(cached >= 1);
         assert_eq!(cached, shard_workers(), "cached value is stable");
-        let (_, fresh, _) = threads_from(std::env::var("MCC_THREADS").ok().as_deref());
+        let (_, fresh, _) = threads_from(env_var("MCC_THREADS").as_deref());
         assert_eq!(cached, fresh);
+    }
+
+    /// The pure halves of `from_env`: quick-mode parsing treats `"0"` as
+    /// off and anything else (non-empty — `env_var` filters empties) as
+    /// on, and the output dir falls back to `results`.
+    #[test]
+    fn quick_and_out_dir_parse_purely() {
+        assert!(!quick_from(None), "unset is not quick");
+        assert!(!quick_from(Some("0")), "explicit off");
+        assert!(quick_from(Some("1")));
+        assert!(quick_from(Some("yes")), "any other value opts in");
+
+        assert_eq!(out_dir_from(None), PathBuf::from("results"));
+        assert_eq!(out_dir_from(Some("/tmp/mcc")), PathBuf::from("/tmp/mcc"));
     }
 
     #[test]

@@ -1195,7 +1195,7 @@ pub fn fec_ablation(repeats: &[u32], losses: &[f64], slots: u32, seed: u64) -> V
     use mcc_simcore::DetRng;
 
     let mut rng = DetRng::new(seed);
-    let tuples: Vec<(GroupAddr, mcc_sigma::KeyTuple)> = (0..10)
+    let tuples: Vec<(GroupAddr, KeyTuple)> = (0..10)
         .map(|i| {
             (
                 GroupAddr(i),
@@ -1417,6 +1417,7 @@ pub fn perf_events(receivers: usize, duration_secs: u64, seed: u64) -> PerfRow {
     spec.mcast = vec![McastSessionSpec::honest(Variant::FlidDl, receivers)];
     spec.tcp = 2;
     let mut d = Dumbbell::build(spec);
+    // detlint: allow(wall-clock) — events/sec reporting; never feeds sim state
     let wall = std::time::Instant::now();
     d.sim.run_until(SimTime::from_secs(duration_secs));
     let wall = wall.elapsed().as_secs_f64();
@@ -1449,6 +1450,7 @@ pub fn perf_events_sharded(
     spec.mcast = vec![McastSessionSpec::honest(Variant::FlidDl, receivers)];
     spec.tcp = 2;
     let mut d = Dumbbell::build(spec);
+    // detlint: allow(wall-clock) — events/sec reporting; never feeds sim state
     let wall = std::time::Instant::now();
     let shards = mcc_netsim::shard::run_until_sharded(
         &mut d.sim,

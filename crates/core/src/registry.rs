@@ -806,7 +806,7 @@ mod tests {
     fn perf_entry_is_selectable_but_not_a_default_figure() {
         let def = find("perf_events").expect("registered");
         assert_eq!(def.kind(), Kind::Perf);
-        assert_eq!(def.seed(), crate::experiments::PERF_SEED);
+        assert_eq!(def.seed(), experiments::PERF_SEED);
         assert!(figures().iter().all(|d| d.id() != "perf_events"));
         assert_eq!(matching("perf").len(), 1, "prefix selector works");
     }

@@ -235,6 +235,7 @@ impl Report {
 // ---------------------------------------------------------------------------
 
 fn run_spec(spec: &ExperimentSpec) -> ExperimentRecord {
+    // detlint: allow(wall-clock) — per-experiment elapsed reporting only
     let start = Instant::now();
     let data = (spec.body)(spec.seed);
     ExperimentRecord {
@@ -475,9 +476,7 @@ mod tests {
                 })
             })
             .collect();
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_parallel("boom", "test", &specs, 4)
-        }));
+        let result = catch_unwind(AssertUnwindSafe(|| run_parallel("boom", "test", &specs, 4)));
         assert!(result.is_err(), "panic must propagate out of run_parallel");
     }
 

@@ -1,0 +1,278 @@
+//! A minimal Rust surface lexer: split source into per-line *code* and
+//! *comment* channels, with string/char-literal contents masked out.
+//!
+//! The build environment is offline (no registry), so `detlint` cannot use
+//! `syn`; instead the rules operate on this lexed view, which is exact for
+//! what they need — token scans never match inside string literals or
+//! comments, and justification/`SAFETY:` comments are recovered verbatim.
+//! The lexer understands line comments, (nested) block comments, string
+//! and raw-string literals (`r"…"`, `r#"…"#`, byte variants), char and
+//! byte-char literals, and distinguishes lifetimes (`'a`) from chars.
+
+/// One source line, split into channels.
+#[derive(Debug, Default, Clone)]
+pub struct Line {
+    /// Code with comments removed and literal *contents* replaced by
+    /// spaces (the delimiting quotes survive, so token positions in the
+    /// surrounding code are stable).
+    pub code: String,
+    /// Concatenated comment text on this line, `//`/`/*` markers stripped.
+    pub comment: String,
+}
+
+impl Line {
+    fn push_code(&mut self, c: char) {
+        self.code.push(c);
+    }
+    fn push_comment(&mut self, c: char) {
+        self.comment.push(c);
+    }
+}
+
+enum State {
+    Code,
+    /// Inside `/* … */`, with nesting depth.
+    Block(u32),
+    /// Inside `"…"`; `true` while the next char is escaped.
+    Str(bool),
+    /// Inside `r##"…"##`, with the hash count.
+    RawStr(u32),
+}
+
+/// Lex `src` into lines. Invalid Rust does not panic — the lexer degrades
+/// to treating the remainder as code, which at worst produces an extra
+/// finding (never a silently-missed one).
+pub fn lex(src: &str) -> Vec<Line> {
+    let mut lines: Vec<Line> = Vec::new();
+    let mut cur = Line::default();
+    let mut state = State::Code;
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            lines.push(std::mem::take(&mut cur));
+            // Line comments end at the newline; everything else carries on.
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                match c {
+                    '/' if next == Some('/') => {
+                        // Line comment (incl. doc comments): comment channel
+                        // until end of line.
+                        i += 2;
+                        while i < chars.len() && chars[i] != '\n' {
+                            cur.push_comment(chars[i]);
+                            i += 1;
+                        }
+                        continue;
+                    }
+                    '/' if next == Some('*') => {
+                        state = State::Block(1);
+                        cur.push_code(' ');
+                        i += 2;
+                        continue;
+                    }
+                    '"' => {
+                        cur.push_code('"');
+                        state = State::Str(false);
+                    }
+                    'r' | 'b' if is_literal_prefix(&chars, i) => {
+                        // r"…" / r#"…"# / b"…" / br"…" / brb combinations:
+                        // emit the prefix, then enter the right string state.
+                        let mut j = i;
+                        while matches!(chars.get(j), Some('r') | Some('b')) {
+                            cur.push_code(chars[j]);
+                            j += 1;
+                        }
+                        let raw = chars[i..j].contains(&'r');
+                        let mut hashes = 0u32;
+                        while chars.get(j) == Some(&'#') {
+                            cur.push_code('#');
+                            hashes += 1;
+                            j += 1;
+                        }
+                        debug_assert_eq!(chars.get(j), Some(&'"'), "checked by prefix probe");
+                        cur.push_code('"');
+                        state = if raw || hashes > 0 {
+                            State::RawStr(hashes)
+                        } else {
+                            State::Str(false)
+                        };
+                        i = j;
+                    }
+                    '\'' => {
+                        // Char literal or lifetime?
+                        if is_char_literal(&chars, i) {
+                            cur.push_code('\'');
+                            i += 1;
+                            let mut escaped = false;
+                            while i < chars.len() {
+                                let d = chars[i];
+                                if d == '\n' {
+                                    break; // malformed; newline handled above
+                                }
+                                if !escaped && d == '\'' {
+                                    cur.push_code('\'');
+                                    break;
+                                }
+                                escaped = !escaped && d == '\\';
+                                cur.push_code(' ');
+                                i += 1;
+                            }
+                        } else {
+                            cur.push_code('\''); // lifetime tick
+                        }
+                    }
+                    _ => cur.push_code(c),
+                }
+            }
+            State::Block(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::Block(depth - 1)
+                    };
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    state = State::Block(depth + 1);
+                    i += 2;
+                    continue;
+                }
+                cur.push_comment(c);
+            }
+            State::Str(escaped) => {
+                if !escaped && c == '"' {
+                    cur.push_code('"');
+                    state = State::Code;
+                } else {
+                    cur.push_code(' ');
+                    state = State::Str(!escaped && c == '\\');
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw(&chars, i, hashes) {
+                    cur.push_code('"');
+                    for _ in 0..hashes {
+                        cur.push_code('#');
+                        i += 1;
+                    }
+                    state = State::Code;
+                } else {
+                    cur.push_code(' ');
+                }
+            }
+        }
+        i += 1;
+    }
+    lines.push(cur);
+    lines
+}
+
+/// Does `chars[i]` start an `r`/`b`-prefixed string literal? (As opposed
+/// to an identifier that merely begins with those letters.)
+fn is_literal_prefix(chars: &[char], i: usize) -> bool {
+    // Not a prefix if glued to the tail of an identifier (`attr` / `sub`).
+    if i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_') {
+        return false;
+    }
+    let mut j = i;
+    while matches!(chars.get(j), Some('r') | Some('b')) && j - i < 2 {
+        j += 1;
+    }
+    // b'…' byte-char: let the '\'' arm treat it as a char literal.
+    if chars.get(j) == Some(&'\'') {
+        return false;
+    }
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"') && (chars[i..j].contains(&'#') || j > i)
+}
+
+/// After a `'` at position `i`: char literal (`'x'`, `'\n'`) vs lifetime
+/// (`'a`, `'static`). A quote two-or-three chars ahead, or a backslash
+/// right after, means char literal.
+fn is_char_literal(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        Some('\\') => true,
+        Some(_) => chars.get(i + 2) == Some(&'\''),
+        None => false,
+    }
+}
+
+/// Does the `"` at position `i` close a raw string opened with `hashes`
+/// hashes?
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(src: &str) -> Vec<String> {
+        lex(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn comments_leave_the_code_channel() {
+        let ls = lex("let x = 1; // Instant::now\n/* SystemTime */ let y;");
+        assert_eq!(ls[0].code, "let x = 1; ");
+        assert_eq!(ls[0].comment, " Instant::now");
+        assert!(!ls[1].code.contains("SystemTime"));
+        assert!(ls[1].comment.contains("SystemTime"));
+        assert!(ls[1].code.contains("let y;"));
+    }
+
+    #[test]
+    fn string_contents_are_masked() {
+        let c = codes("let s = \"Instant::now\"; call(s);");
+        assert!(!c[0].contains("Instant"));
+        assert!(c[0].contains("call(s);"));
+        // Escaped quote does not terminate the literal.
+        let c = codes(r#"let s = "a\"Instant"; x()"#);
+        assert!(!c[0].contains("Instant"));
+        assert!(c[0].contains("x()"));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let c = codes("let s = r#\"thread_rng \" inner\"#; y()");
+        assert!(!c[0].contains("thread_rng"));
+        assert!(c[0].contains("y()"));
+        let c = codes("let s = r\"env::var\"; z()");
+        assert!(!c[0].contains("env::var"));
+        assert!(c[0].contains("z()"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let c = codes("a /* x /* y */ z */ b");
+        assert_eq!(c[0].replace(' ', ""), "ab");
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let c = codes("fn f<'a>(x: &'a str) { let q = 'x'; let n = '\\n'; g(q, n) }");
+        assert!(c[0].contains("<'a>"));
+        assert!(c[0].contains("&'a str"));
+        assert!(c[0].contains("g(q, n)"));
+        // The literal contents themselves are masked.
+        assert!(!c[0].contains("'x'"));
+    }
+
+    #[test]
+    fn multiline_strings_span_lines() {
+        let c = codes("let s = \"one\ntwo SystemTime\nthree\"; done()");
+        assert!(!c[1].contains("SystemTime"));
+        assert!(c[2].contains("done()"));
+    }
+}

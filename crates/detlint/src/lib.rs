@@ -1,0 +1,647 @@
+//! `detlint` — the determinism & concurrency static-analysis pass for the
+//! sharded simulation core.
+//!
+//! The repo's reproducibility story rests on invariants the Rust compiler
+//! cannot check: golden JSON is byte-pinned across `MCC_THREADS` worker
+//! splits, which holds only if no hash-order iteration leaks into the
+//! event sequence, no wall-clock/OS entropy feeds simulation state, and
+//! every cross-shard drain flows through the deterministic
+//! `(time, src, seq)` merge. `detlint` enforces that contract at lint
+//! time — before a golden-file diff can catch a violation after the fact.
+//!
+//! ## Rules
+//!
+//! | id               | fires on                                                    |
+//! |------------------|-------------------------------------------------------------|
+//! | `hash-iteration` | iterating/draining/retaining a `HashMap`/`HashSet`/`FxHash*` |
+//! | `wall-clock`     | `Instant::now` / `SystemTime`                               |
+//! | `entropy`        | `thread_rng` / `rand::random` / `thread::current()` / …     |
+//! | `env-read`       | `env::var`-family reads outside `mcc_core::config`          |
+//! | `missing-safety` | an `unsafe` token with no `// SAFETY:` comment nearby       |
+//! | `unmerged-drain` | an `outbox.take()` in a function that never `merge_stamped`s|
+//! | `float-accum`    | `.sum::<f64>()`/`.fold(0.0, …)` over a hash-ordered iterator|
+//!
+//! ## Justifying an exception
+//!
+//! A site that is deterministic for a reason the lint cannot see carries a
+//! justification comment on the same line or the contiguous comment block
+//! directly above it:
+//!
+//! * `// detlint: sorted — <why>` — for `hash-iteration`/`float-accum`:
+//!   the drain is sorted (or provably order-independent) before anything
+//!   order-sensitive happens;
+//! * `// detlint: allow(<rule-id>) — <why>` — any rule; the reason is
+//!   mandatory by convention and enforced by review, not by the tool.
+//!
+//! `unsafe` is justified by a `// SAFETY: …` comment (the standard-library
+//! convention), not by `detlint: allow`.
+//!
+//! The analysis is a lexed token scan (see [`lexer`]), not a typed AST —
+//! the offline build environment has no `syn`. The heuristics are tuned to
+//! over-report rather than under-report: a false positive costs one
+//! justification comment, a false negative costs a golden-file debugging
+//! session. The fixture suite under `tests/fixtures/` proves each rule
+//! class fires, and `tests/workspace_clean.rs` pins the workspace to zero
+//! findings.
+
+pub mod lexer;
+
+use lexer::{lex, Line};
+
+/// Rule identifiers, used in reports and `detlint: allow(...)` comments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    HashIteration,
+    WallClock,
+    Entropy,
+    EnvRead,
+    MissingSafety,
+    UnmergedDrain,
+    FloatAccum,
+}
+
+impl Rule {
+    /// The stable string id (`hash-iteration`, `wall-clock`, …).
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::HashIteration => "hash-iteration",
+            Rule::WallClock => "wall-clock",
+            Rule::Entropy => "entropy",
+            Rule::EnvRead => "env-read",
+            Rule::MissingSafety => "missing-safety",
+            Rule::UnmergedDrain => "unmerged-drain",
+            Rule::FloatAccum => "float-accum",
+        }
+    }
+}
+
+/// One violation: rule, 1-based line, human message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: Rule,
+    pub line: usize,
+    pub msg: String,
+}
+
+/// Per-file policy knobs the caller derives from the path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FilePolicy {
+    /// `mcc_core::config` is the audited chokepoint for environment
+    /// reads: the `env-read` rule is off there (and only there).
+    pub allow_env_reads: bool,
+}
+
+impl FilePolicy {
+    /// The policy for a workspace-relative path.
+    pub fn for_path(path: &str) -> FilePolicy {
+        FilePolicy {
+            allow_env_reads: path.replace('\\', "/").ends_with("core/src/config.rs"),
+        }
+    }
+}
+
+/// Hash container type names whose iteration order is seed/layout
+/// dependent. `BTreeMap`/`BTreeSet` are ordered and exempt.
+const HASH_TYPES: &[&str] = &["HashMap<", "HashSet<", "FxHashMap<", "FxHashSet<"];
+
+/// Constructor expressions that bind an (inferred) hash container.
+const HASH_CTORS: &[&str] = &[
+    "HashMap::new(",
+    "HashSet::new(",
+    "HashMap::with_capacity(",
+    "HashSet::with_capacity(",
+    "FxHashMap::default(",
+    "FxHashSet::default(",
+];
+
+/// Methods that observe or mutate a container in iteration order.
+const ITER_METHODS: &[&str] = &[
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".into_iter()",
+    ".into_keys()",
+    ".into_values()",
+    ".drain(",
+    ".retain(",
+];
+
+/// Order-sensitive floating-point accumulators (rule `float-accum`).
+const FLOAT_ACCUM: &[&str] = &[".sum::<f64>(", ".sum::<f32>(", ".fold("];
+
+/// Wall-clock sources (rule `wall-clock`).
+const WALL_CLOCK: &[&str] = &["Instant::now", "SystemTime"];
+
+/// OS entropy / scheduler-identity sources (rule `entropy`).
+const ENTROPY: &[&str] = &[
+    "thread_rng",
+    "rand::random",
+    "from_entropy",
+    "getrandom",
+    "thread::current(",
+    "RandomState",
+];
+
+/// Environment reads (rule `env-read`). `env!`/`option_env!` are
+/// compile-time and exempt; `env::args` is CLI input, not ambient state.
+const ENV_READS: &[&str] = &["env::var", "env::vars", "env::var_os"];
+
+/// Lint one file. `path` is used only for policy and messages.
+pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
+    let policy = FilePolicy::for_path(path);
+    let lines = lex(src);
+    let in_test = test_regions(&lines);
+    let hash_names = hash_typed_names(&lines);
+    let fn_spans = fn_spans(&lines);
+
+    let mut findings = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        if in_test[i] {
+            // The determinism contract binds the simulator, not its test
+            // assertions (tests may time themselves, iterate maps to
+            // assert set-wise facts, and so on).
+            continue;
+        }
+        let code = &line.code;
+
+        for tok in WALL_CLOCK {
+            if contains_token(code, tok) && !justified(&lines, i, Rule::WallClock) {
+                findings.push(Finding {
+                    rule: Rule::WallClock,
+                    line: i + 1,
+                    msg: format!(
+                        "`{}` reads the wall clock; simulation state must only \
+                         depend on SimTime (detlint: allow(wall-clock) if this \
+                         is pure reporting)",
+                        tok.trim_end_matches('(')
+                    ),
+                });
+            }
+        }
+        for tok in ENTROPY {
+            if contains_token(code, tok) && !justified(&lines, i, Rule::Entropy) {
+                findings.push(Finding {
+                    rule: Rule::Entropy,
+                    line: i + 1,
+                    msg: format!(
+                        "`{}` draws OS entropy or scheduler identity; use the \
+                         run's DetRng instead",
+                        tok.trim_end_matches('(')
+                    ),
+                });
+            }
+        }
+        if !policy.allow_env_reads {
+            for tok in ENV_READS {
+                if contains_token(code, tok) && !justified(&lines, i, Rule::EnvRead) {
+                    findings.push(Finding {
+                        rule: Rule::EnvRead,
+                        line: i + 1,
+                        msg: format!(
+                            "`{tok}` outside mcc_core::config; all environment \
+                             reads go through the audited chokepoint"
+                        ),
+                    });
+                }
+            }
+        }
+
+        // `unsafe` needs a SAFETY: comment (skip `unsafe_op_in_unsafe_fn`
+        // etc. via token-boundary matching).
+        if contains_token(code, "unsafe") && !has_safety_comment(&lines, i) {
+            findings.push(Finding {
+                rule: Rule::MissingSafety,
+                line: i + 1,
+                msg: "`unsafe` without a `// SAFETY:` comment on or above the site".into(),
+            });
+        }
+
+        // Hash-order iteration (and float accumulation over it).
+        for site in iteration_sites(&lines, i, &hash_names) {
+            let hash_justified = justified(&lines, i, Rule::HashIteration);
+            if !hash_justified {
+                findings.push(Finding {
+                    rule: Rule::HashIteration,
+                    line: i + 1,
+                    msg: format!(
+                        "iteration over hash-ordered `{site}`; sort the drain \
+                         (or justify with `// detlint: sorted — why`)"
+                    ),
+                });
+            }
+            if statement_has_float_accum(&lines, i) && !justified(&lines, i, Rule::FloatAccum) {
+                findings.push(Finding {
+                    rule: Rule::FloatAccum,
+                    line: i + 1,
+                    msg: format!(
+                        "floating-point accumulation over hash-ordered `{site}` \
+                         is order-sensitive; collect and sort first"
+                    ),
+                });
+            }
+        }
+
+        // Cross-shard outbox drains must flow through merge_stamped.
+        if drains_outbox(code)
+            && !justified(&lines, i, Rule::UnmergedDrain)
+            && !fn_calls_merge(&lines, &fn_spans, i)
+        {
+            findings.push(Finding {
+                rule: Rule::UnmergedDrain,
+                line: i + 1,
+                msg: "outbox drained outside a function that calls \
+                      `shard::merge_stamped`; cross-shard messages must merge \
+                      in (time, src, seq) order"
+                    .into(),
+            });
+        }
+    }
+    findings.sort_by_key(|f| (f.line, f.rule));
+    findings
+}
+
+/// `true` for every line inside a `#[cfg(test)]`-gated item (the attribute
+/// line itself included).
+fn test_regions(lines: &[Line]) -> Vec<bool> {
+    let mut flags = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        if lines[i].code.contains("#[cfg(test)]") {
+            // Skip to the gated item's opening brace, then to its close.
+            let mut depth = 0i32;
+            let mut opened = false;
+            let mut j = i;
+            while j < lines.len() {
+                flags[j] = true;
+                for c in lines[j].code.chars() {
+                    match c {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if opened && depth <= 0 {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    flags
+}
+
+/// Names declared (or inferred via constructor) as hash containers.
+fn hash_typed_names(lines: &[Line]) -> Vec<String> {
+    let mut names = Vec::new();
+    for line in lines {
+        let code = &line.code;
+        let has_type = HASH_TYPES.iter().any(|t| code.contains(t));
+        let has_ctor = HASH_CTORS.iter().any(|t| code.contains(t));
+        if !has_type && !has_ctor {
+            continue;
+        }
+        // `name: …HashMap<…>` (struct fields, lets with annotations,
+        // fn params) — the identifier directly before the first colon
+        // preceding the type name.
+        if has_type {
+            let pos = HASH_TYPES
+                .iter()
+                .filter_map(|t| code.find(t))
+                .min()
+                .expect("has_type checked");
+            if let Some(colon) = last_bare_colon(&code[..pos]) {
+                if let Some(name) = trailing_ident(&code[..colon]) {
+                    names.push(name);
+                }
+            }
+        }
+        // `let [mut] name = …HashMap::new()` — inferred bindings.
+        if has_ctor {
+            if let Some(eq) = code.find('=') {
+                if let Some(name) = trailing_ident(&code[..eq]) {
+                    names.push(name);
+                }
+            }
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// The position of the rightmost *bare* `:` in `s` — a type-ascription
+/// colon, not half of a `::` path separator.
+fn last_bare_colon(s: &str) -> Option<usize> {
+    let b = s.as_bytes();
+    let mut i = b.len();
+    while i > 0 {
+        i -= 1;
+        if b[i] == b':' {
+            if i > 0 && b[i - 1] == b':' {
+                i -= 1; // skip the whole `::`
+                continue;
+            }
+            return Some(i);
+        }
+    }
+    None
+}
+
+/// The identifier ending at the end of `s` (ignoring trailing spaces),
+/// if any.
+fn trailing_ident(s: &str) -> Option<String> {
+    let t = s.trim_end();
+    let start = t
+        .rfind(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .map_or(0, |p| p + 1);
+    let ident = &t[start..];
+    (!ident.is_empty() && !ident.chars().next().unwrap().is_ascii_digit())
+        .then(|| ident.to_string())
+}
+
+/// Receivers of iteration-order methods on line `i` that are hash-typed,
+/// plus `for … in` loops over hash-typed names.
+fn iteration_sites(lines: &[Line], i: usize, hash_names: &[String]) -> Vec<String> {
+    let code = &lines[i].code;
+    let mut sites = Vec::new();
+    for m in ITER_METHODS {
+        let mut from = 0;
+        while let Some(p) = code[from..].find(m) {
+            let at = from + p;
+            from = at + m.len();
+            // Receiver: the path segment just before the method; when the
+            // method starts the line (rustfmt chain style), the previous
+            // code line's trailing segment.
+            let recv = trailing_ident(&code[..at]).or_else(|| {
+                code[..at].trim().is_empty().then(|| {
+                    (0..i)
+                        .rev()
+                        .find(|&j| !lines[j].code.trim().is_empty())
+                        .and_then(|j| trailing_ident(&lines[j].code))
+                        .unwrap_or_default()
+                })
+            });
+            if let Some(r) = recv {
+                if hash_names.contains(&r) {
+                    sites.push(r);
+                }
+            }
+        }
+    }
+    // `for pat in [&[mut ]]path.to.name {` — plain loops without an
+    // explicit iterator method.
+    if let Some(p) = code.find("for ") {
+        if let Some(q) = code[p..].find(" in ") {
+            let expr = code[p + q + 4..].trim_start();
+            let expr = expr.trim_start_matches('&').trim_start_matches("mut ");
+            let end = expr
+                .find(|c: char| !(c.is_alphanumeric() || c == '_' || c == '.'))
+                .unwrap_or(expr.len());
+            if let Some(name) = expr[..end].rsplit('.').next() {
+                if hash_names.iter().any(|n| n == name) {
+                    sites.push(name.to_string());
+                }
+            }
+        }
+    }
+    sites
+}
+
+/// Does the statement starting at line `i` (up to the terminating `;` or
+/// a lookahead cap) contain an order-sensitive float accumulator?
+fn statement_has_float_accum(lines: &[Line], i: usize) -> bool {
+    const LOOKAHEAD: usize = 8;
+    for line in lines.iter().skip(i).take(LOOKAHEAD) {
+        let code = &line.code;
+        if FLOAT_ACCUM.iter().any(|t| code.contains(t)) {
+            return true;
+        }
+        if code.contains(';') {
+            break;
+        }
+    }
+    false
+}
+
+/// Does this line drain an outbox (`…outbox.take()` / `…outbox.drain(`)?
+fn drains_outbox(code: &str) -> bool {
+    [".take()", ".drain("].iter().any(|m| {
+        code.match_indices(m)
+            .any(|(at, _)| trailing_ident(&code[..at]).is_some_and(|r| r.ends_with("outbox")))
+    })
+}
+
+/// Function spans `(first line, last line)`, innermost-last, by brace
+/// tracking from the top of the file.
+fn fn_spans(lines: &[Line]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    // Stack of (fn start line, depth at which its body closes).
+    let mut stack: Vec<(usize, i32)> = Vec::new();
+    let mut depth = 0i32;
+    for (i, line) in lines.iter().enumerate() {
+        let code = &line.code;
+        let is_fn = contains_token(code, "fn");
+        let mut fn_pending = is_fn;
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if fn_pending {
+                        stack.push((i, depth));
+                        fn_pending = false;
+                    }
+                }
+                '}' => {
+                    if let Some(&(start, d)) = stack.last() {
+                        if depth == d {
+                            spans.push((start, i));
+                            stack.pop();
+                        }
+                    }
+                    depth -= 1;
+                }
+                _ => {}
+            }
+        }
+        // A `fn` whose `{` opens on a later line: remember it at the
+        // depth the brace will create.
+        if fn_pending {
+            stack.push((i, depth + 1));
+        }
+    }
+    // Unclosed (malformed) spans run to EOF.
+    for (start, _) in stack {
+        spans.push((start, lines.len().saturating_sub(1)));
+    }
+    spans
+}
+
+/// Does the innermost function containing line `i` call `merge_stamped`?
+fn fn_calls_merge(lines: &[Line], spans: &[(usize, usize)], i: usize) -> bool {
+    let innermost = spans
+        .iter()
+        .filter(|&&(s, e)| s <= i && i <= e)
+        .min_by_key(|&&(s, e)| e - s);
+    match innermost {
+        None => false,
+        Some(&(s, e)) => lines[s..=e]
+            .iter()
+            .any(|l| l.code.contains("merge_stamped")),
+    }
+}
+
+/// Token-boundary containment: `tok` appears in `code` not glued to
+/// identifier characters on either side (so `unsafe` does not match
+/// `unsafe_op_in_unsafe_fn`). Tokens containing `::`/`.`/`(` are matched
+/// at their own boundaries.
+fn contains_token(code: &str, tok: &str) -> bool {
+    let isword = |c: char| c.is_alphanumeric() || c == '_';
+    code.match_indices(tok).any(|(at, _)| {
+        let before_ok = at == 0 || !isword(code[..at].chars().next_back().unwrap());
+        let after = code[at + tok.len()..].chars().next();
+        let after_ok = match tok.chars().next_back() {
+            Some(c) if isword(c) => after.is_none_or(|a| !isword(a)),
+            _ => true,
+        };
+        before_ok && after_ok
+    })
+}
+
+/// Is line `i` justified for `rule` by a `detlint:` comment on the same
+/// line or in the contiguous comment block directly above?
+fn justified(lines: &[Line], i: usize, rule: Rule) -> bool {
+    comment_block(lines, i).any(|c| {
+        let c = c.replace('_', "-");
+        let sorted_ok =
+            matches!(rule, Rule::HashIteration | Rule::FloatAccum) && c.contains("detlint: sorted");
+        sorted_ok || c.contains(&format!("detlint: allow({})", rule.id()))
+    })
+}
+
+/// Does line `i` carry a `SAFETY:` comment on it or directly above?
+fn has_safety_comment(lines: &[Line], i: usize) -> bool {
+    comment_block(lines, i).any(|c| c.contains("SAFETY:"))
+}
+
+/// The comments attached to line `i`: its own, plus the contiguous run of
+/// comment-only lines directly above.
+fn comment_block(lines: &[Line], i: usize) -> impl Iterator<Item = &str> {
+    let mut start = i;
+    while start > 0 {
+        let prev = &lines[start - 1];
+        if prev.code.trim().is_empty() && !prev.comment.is_empty() {
+            start -= 1;
+        } else {
+            break;
+        }
+    }
+    lines[start..=i].iter().map(|l| l.comment.as_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules(src: &str) -> Vec<&'static str> {
+        lint_source("crates/x/src/lib.rs", src)
+            .iter()
+            .map(|f| f.rule.id())
+            .collect()
+    }
+
+    #[test]
+    fn clean_code_has_no_findings() {
+        let src = "
+            use std::collections::BTreeMap;
+            fn f(m: &BTreeMap<u32, u32>) -> u32 { m.values().sum() }
+        ";
+        assert_eq!(rules(src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn string_literals_and_comments_never_fire() {
+        let src = r#"
+            // Instant::now is banned, as is thread_rng.
+            fn f() -> &'static str { "Instant::now SystemTime thread_rng env::var" }
+        "#;
+        assert_eq!(rules(src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn cfg_test_modules_are_exempt() {
+        let src = "
+            #[cfg(test)]
+            mod tests {
+                use std::time::Instant;
+                fn t() { let _ = Instant::now(); }
+            }
+        ";
+        assert_eq!(rules(src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn justifications_silence_exactly_their_rule() {
+        let src = "
+            fn f(m: &std::collections::HashMap<u32, u32>) -> Vec<u32> {
+                // detlint: sorted — collected then sorted below
+                let mut v: Vec<u32> = m.keys().copied().collect();
+                v.sort_unstable();
+                v
+            }
+        ";
+        assert_eq!(rules(src), Vec::<&str>::new());
+        // The same code without the comment fires.
+        let bare = src.replace("// detlint: sorted — collected then sorted below", "");
+        assert_eq!(rules(&bare), vec!["hash-iteration"]);
+    }
+
+    #[test]
+    fn allow_comments_are_rule_specific() {
+        let src = "
+            // detlint: allow(wall-clock) — report-only timing
+            fn f() { let t = std::time::Instant::now(); use_it(t); }
+        ";
+        assert_eq!(rules(src), Vec::<&str>::new());
+        let src = "
+            // detlint: allow(entropy) — wrong rule name
+            fn f() { let t = std::time::Instant::now(); use_it(t); }
+        ";
+        assert_eq!(rules(src), vec!["wall-clock"]);
+    }
+
+    #[test]
+    fn policy_exempts_the_config_chokepoint() {
+        let src = "fn f() -> Option<String> { std::env::var(\"X\").ok() }";
+        assert_eq!(
+            lint_source("crates/core/src/config.rs", src),
+            Vec::<Finding>::new()
+        );
+        assert_eq!(rules(src), vec!["env-read"]);
+    }
+
+    #[test]
+    fn fn_span_tracking_handles_nesting() {
+        // take() in an inner closure of a merging fn: allowed.
+        let src = "
+            fn barrier(outbox: &mut Outbox<u32>) {
+                let mut all = outbox.take();
+                merge_stamped(&mut all);
+            }
+        ";
+        assert_eq!(rules(src), Vec::<&str>::new());
+        let src = "
+            fn leak(outbox: &mut Outbox<u32>) -> Vec<Stamped<u32>> {
+                outbox.take()
+            }
+        ";
+        assert_eq!(rules(src), vec!["unmerged-drain"]);
+    }
+}

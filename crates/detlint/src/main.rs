@@ -1,0 +1,132 @@
+//! The `detlint` CLI: scan the simulation crates and report determinism
+//! findings as `path:line: rule: message`, exiting non-zero on any.
+//!
+//! ```text
+//! cargo run -p detlint            # lint the workspace sim crates
+//! cargo run -p detlint -- a.rs …  # lint specific files
+//! cargo run -p detlint -- --list  # print the rule ids and exit
+//! ```
+
+use detlint::{lint_source, Rule};
+use std::path::{Path, PathBuf};
+
+/// The crates bound by the determinism contract. `shims/` are vendored
+/// test stand-ins and `crates/detlint` hosts deliberate-violation
+/// fixtures; neither simulates anything, so neither is scanned.
+const SIM_CRATE_ROOTS: &[&str] = &[
+    "src",
+    "crates/simcore/src",
+    "crates/netsim/src",
+    "crates/tcp/src",
+    "crates/traffic/src",
+    "crates/delta/src",
+    "crates/sigma/src",
+    "crates/attack/src",
+    "crates/flid/src",
+    "crates/core/src",
+    "crates/bench/src",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: detlint [--list | FILES...]");
+        eprintln!("With no FILES, lints the workspace simulation crates from the repo root.");
+        return;
+    }
+    if args.iter().any(|a| a == "--list") {
+        for rule in [
+            Rule::HashIteration,
+            Rule::WallClock,
+            Rule::Entropy,
+            Rule::EnvRead,
+            Rule::MissingSafety,
+            Rule::UnmergedDrain,
+            Rule::FloatAccum,
+        ] {
+            println!("{}", rule.id());
+        }
+        return;
+    }
+
+    let files: Vec<PathBuf> = if args.is_empty() {
+        let root = workspace_root();
+        let mut files = Vec::new();
+        for dir in SIM_CRATE_ROOTS {
+            collect_rs(&root.join(dir), &mut files);
+        }
+        if files.is_empty() {
+            eprintln!(
+                "detlint: no sources found under {} — run from the workspace root",
+                root.display()
+            );
+            std::process::exit(2);
+        }
+        files.sort();
+        files
+    } else {
+        args.iter().map(PathBuf::from).collect()
+    };
+
+    let mut findings = 0usize;
+    let mut dirty_files = 0usize;
+    for path in &files {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("detlint: {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        };
+        let rel = path.to_string_lossy();
+        let file_findings = lint_source(&rel, &src);
+        if !file_findings.is_empty() {
+            dirty_files += 1;
+        }
+        for f in &file_findings {
+            println!("{rel}:{}: {}: {}", f.line, f.rule.id(), f.msg);
+        }
+        findings += file_findings.len();
+    }
+    if findings == 0 {
+        eprintln!("detlint: clean — 0 findings in {} file(s)", files.len());
+    } else {
+        eprintln!(
+            "detlint: {findings} finding(s) in {dirty_files} of {} file(s)",
+            files.len()
+        );
+        std::process::exit(1);
+    }
+}
+
+/// The workspace root: walk up from the current directory to the first
+/// `Cargo.toml` containing a `[workspace]` table.
+fn workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(s) = std::fs::read_to_string(&manifest) {
+            if s.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
+/// Recursively collect `*.rs` under `dir`.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! The analyzer's own regression suite: every rule class must fire on its
+//! deliberate-violation fixture — at the exact line — and must stay
+//! silent on the justified twin sites in the same file.
+
+use detlint::{lint_source, Finding};
+
+fn lint_fixture(name: &str) -> Vec<Finding> {
+    let path = format!(
+        "{}/tests/fixtures/{name}",
+        env!("CARGO_MANIFEST_DIR") // compile-time; not an env read
+    );
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {path}: {e}"));
+    // The fixture lives under crates/detlint, but lint it as if it were
+    // simulation code (no special policy).
+    lint_source(&format!("crates/x/src/{name}"), &src)
+}
+
+/// `(rule id, line)` pairs, sorted as reported.
+fn pins(findings: &[Finding]) -> Vec<(&'static str, usize)> {
+    findings.iter().map(|f| (f.rule.id(), f.line)).collect()
+}
+
+#[test]
+fn catches_hash_iteration_and_honors_sorted() {
+    let f = lint_fixture("hash_iteration.rs");
+    assert_eq!(
+        pins(&f),
+        vec![
+            ("hash-iteration", 15), // for … in self.grants.iter()
+            ("hash-iteration", 21), // self.members.iter()
+            ("hash-iteration", 25), // self.grants.drain()
+        ],
+        "{f:#?}"
+    );
+}
+
+#[test]
+fn catches_wall_clock_and_honors_allow() {
+    let f = lint_fixture("wall_clock.rs");
+    assert_eq!(
+        pins(&f),
+        vec![("wall-clock", 6), ("wall-clock", 11)],
+        "{f:#?}"
+    );
+}
+
+#[test]
+fn catches_entropy_sources() {
+    let f = lint_fixture("entropy.rs");
+    assert_eq!(
+        pins(&f),
+        vec![("entropy", 6), ("entropy", 11), ("entropy", 15)],
+        "{f:#?}"
+    );
+}
+
+#[test]
+fn catches_env_reads_outside_config() {
+    let f = lint_fixture("env_read.rs");
+    assert_eq!(pins(&f), vec![("env-read", 6), ("env-read", 10)], "{f:#?}");
+    // The same source inside the config chokepoint is clean.
+    let src = std::fs::read_to_string(format!(
+        "{}/tests/fixtures/env_read.rs",
+        env!("CARGO_MANIFEST_DIR")
+    ))
+    .unwrap();
+    assert!(lint_source("crates/core/src/config.rs", &src).is_empty());
+}
+
+#[test]
+fn catches_missing_safety_comments() {
+    let f = lint_fixture("missing_safety.rs");
+    assert_eq!(pins(&f), vec![("missing-safety", 6)], "{f:#?}");
+}
+
+#[test]
+fn catches_unmerged_outbox_drains() {
+    let f = lint_fixture("unmerged_drain.rs");
+    assert_eq!(pins(&f), vec![("unmerged-drain", 9)], "{f:#?}");
+}
+
+#[test]
+fn catches_float_accumulation_over_hash_order() {
+    let f = lint_fixture("float_accum.rs");
+    assert_eq!(
+        pins(&f),
+        vec![
+            ("hash-iteration", 16), // .values().sum::<f64>()
+            ("float-accum", 16),
+            ("hash-iteration", 21), // multi-line .values() … .fold(0.0, …)
+            ("float-accum", 21),
+            ("hash-iteration", 26), // integer sum: hash-iteration only
+        ],
+        "{f:#?}"
+    );
+}

@@ -1,0 +1,16 @@
+//! Fixture: OS entropy and scheduler identity in simulation code.
+//! Expected: three entropy findings (thread_rng, rand::random,
+//! thread::current). Lines pinned by `tests/fixtures.rs`.
+
+pub fn draw() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+pub fn coin() -> bool {
+    rand::random()
+}
+
+pub fn worker_tag() -> std::thread::ThreadId {
+    std::thread::current().id()
+}

@@ -1,0 +1,15 @@
+//! Fixture: environment reads outside `mcc_core::config`.
+//! Expected: two env-read findings (var, var_os). `env!` is compile-time
+//! and clean. Lines pinned by `tests/fixtures.rs`.
+
+pub fn quick() -> bool {
+    std::env::var("MCC_QUICK").is_ok()
+}
+
+pub fn out_dir() -> Option<std::ffi::OsString> {
+    std::env::var_os("MCC_OUT")
+}
+
+pub fn manifest_dir() -> &'static str {
+    env!("CARGO_MANIFEST_DIR")
+}

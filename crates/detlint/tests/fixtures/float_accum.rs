@@ -1,0 +1,28 @@
+//! Fixture: order-sensitive float accumulation over hash-ordered
+//! iterators. Expected: a float-accum (plus hash-iteration) finding on
+//! the single-line sum, the same pair on a multi-line chain, and a
+//! hash-iteration-only finding on the integer sum. Lines pinned by
+//! `tests/fixtures.rs`.
+
+use std::collections::HashMap;
+
+pub struct Bins {
+    bytes: HashMap<u64, f64>,
+    counts: HashMap<u64, u64>,
+}
+
+impl Bins {
+    pub fn total(&self) -> f64 {
+        self.bytes.values().sum::<f64>()
+    }
+
+    pub fn folded(&self) -> f64 {
+        self.bytes
+            .values()
+            .fold(0.0, |acc, v| acc + v)
+    }
+
+    pub fn events(&self) -> u64 {
+        self.counts.values().sum::<u64>()
+    }
+}

@@ -1,0 +1,38 @@
+//! Fixture: hash-order iteration in simulation code.
+//! Expected: three hash-iteration findings (map iter, set iter, drain);
+//! the `detlint: sorted` site stays clean. Exact lines are pinned by
+//! `tests/fixtures.rs`.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Grants {
+    grants: HashMap<(u32, u64), u64>,
+    members: HashSet<u32>,
+}
+
+impl Grants {
+    pub fn prune(&mut self) {
+        for (key, _) in self.grants.iter() {
+            emit(*key); // order leaks into the event sequence
+        }
+    }
+
+    pub fn count(&self) -> usize {
+        self.members.iter().filter(|&&m| m > 0).count()
+    }
+
+    pub fn drain_all(&mut self) -> Vec<((u32, u64), u64)> {
+        self.grants.drain().collect()
+    }
+
+    pub fn sorted_snapshot(&self) -> Vec<(u32, u64)> {
+        // The drain is collected and sorted before anything order-
+        // sensitive happens, so hash order cannot leak.
+        // detlint: sorted — collected then sorted below
+        let mut keys: Vec<(u32, u64)> = self.grants.keys().copied().collect();
+        keys.sort_unstable();
+        keys
+    }
+}
+
+fn emit(_k: (u32, u64)) {}

@@ -1,0 +1,12 @@
+//! Fixture: `unsafe` without a `SAFETY:` comment.
+//! Expected: one missing-safety finding (the undocumented block); the
+//! documented block is clean. Lines pinned by `tests/fixtures.rs`.
+
+pub fn undocumented(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) }
+}
+
+pub fn documented(v: &[u8]) -> u8 {
+    // SAFETY: callers guarantee `v` is non-empty (asserted upstream).
+    unsafe { *v.get_unchecked(0) }
+}

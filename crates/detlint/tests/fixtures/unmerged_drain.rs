@@ -1,0 +1,19 @@
+//! Fixture: cross-shard outbox drained outside the deterministic merge.
+//! Expected: one unmerged-drain finding (`leak_crossings`); the barrier
+//! function that calls `merge_stamped` is clean. Lines pinned by
+//! `tests/fixtures.rs`.
+
+use mcc_simcore::{merge_stamped, Outbox, Stamped};
+
+pub fn leak_crossings(outbox: &mut Outbox<u32>) -> Vec<Stamped<u32>> {
+    outbox.take()
+}
+
+pub fn barrier(outboxes: &mut [Outbox<u32>]) -> Vec<Stamped<u32>> {
+    let mut all = Vec::new();
+    for outbox in outboxes.iter_mut() {
+        all.append(&mut outbox.take());
+    }
+    merge_stamped(&mut all);
+    all
+}

@@ -1,0 +1,20 @@
+//! Fixture: wall-clock reads in simulation code.
+//! Expected: two wall-clock findings (Instant::now, SystemTime::now); the
+//! allow(wall-clock) site stays clean. Lines pinned by `tests/fixtures.rs`.
+
+pub fn slot_of() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+pub fn stamp_nanos() -> u64 {
+    match std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
+        Ok(d) => d.as_nanos() as u64,
+        Err(_) => 0,
+    }
+}
+
+pub fn report_wall_time() -> std::time::Duration {
+    // detlint: allow(wall-clock) — pure reporting, never feeds sim state
+    std::time::Instant::now().elapsed()
+}

@@ -1,0 +1,76 @@
+//! The workspace must lint clean: zero determinism findings across every
+//! simulation crate. This is the same scan `cargo run -p detlint` (and
+//! the CI `static-analysis` job) performs, run as a tier-1 test so a
+//! violation cannot land even on machines that skip CI.
+
+use detlint::lint_source;
+use std::path::{Path, PathBuf};
+
+/// Must match `SIM_CRATE_ROOTS` in `src/main.rs` (the bin and the test
+/// pin the same contract surface).
+const SIM_CRATE_ROOTS: &[&str] = &[
+    "src",
+    "crates/simcore/src",
+    "crates/netsim/src",
+    "crates/tcp/src",
+    "crates/traffic/src",
+    "crates/delta/src",
+    "crates/sigma/src",
+    "crates/attack/src",
+    "crates/flid/src",
+    "crates/core/src",
+    "crates/bench/src",
+];
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn workspace_has_zero_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")) // compile-time
+        .ancestors()
+        .nth(2)
+        .expect("crates/detlint sits two levels under the workspace root")
+        .to_path_buf();
+    let mut files = Vec::new();
+    for dir in SIM_CRATE_ROOTS {
+        collect_rs(&root.join(dir), &mut files);
+    }
+    files.sort();
+    assert!(
+        files.len() >= 40,
+        "scan looks truncated: only {} files under {}",
+        files.len(),
+        root.display()
+    );
+    let mut report = String::new();
+    let mut findings = 0;
+    for path in &files {
+        let src = std::fs::read_to_string(path).expect("workspace sources are readable");
+        let rel = path
+            .strip_prefix(&root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .into_owned();
+        for f in lint_source(&rel, &src) {
+            report.push_str(&format!("{rel}:{}: {}: {}\n", f.line, f.rule.id(), f.msg));
+            findings += 1;
+        }
+    }
+    assert_eq!(
+        findings, 0,
+        "the determinism contract is violated:\n{report}\n\
+         Fix the site or justify it (see DESIGN.md, 'The determinism contract')."
+    );
+}

@@ -109,6 +109,7 @@ impl ReplicatedSender {
             }
         }
         self.schedules.insert(s + 2, sched);
+        // detlint: sorted — retain with a pure per-key predicate; order-independent
         self.schedules.retain(|&k, _| k + 3 > s);
         self.slots += 1;
         ctx.timer_at(slot_start + self.cfg.slot, TICK);
@@ -281,7 +282,9 @@ impl ReplicatedReceiver {
     fn handle_slot(&mut self, ctx: &mut Ctx, s: u64) {
         let obs = self.obs.remove(&s).unwrap_or_default();
         let upgrades = self.upgrades.remove(&s).unwrap_or(UpgradeMask::NONE);
+        // detlint: sorted — retain with a pure per-key predicate; order-independent
         self.obs.retain(|&k, _| k > s);
+        // detlint: sorted — retain with a pure per-key predicate; order-independent
         self.upgrades.retain(|&k, _| k > s);
         if !self.ever_received {
             if s % 4 == 3 {

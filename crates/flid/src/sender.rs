@@ -216,6 +216,7 @@ impl FlidSender {
         }
 
         self.schedules.insert(s + 2, sched);
+        // detlint: sorted — retain with a pure per-key predicate; order-independent
         self.schedules.retain(|&k, _| k + 3 > s);
         self.overhead.slots += 1;
 

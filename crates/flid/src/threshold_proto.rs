@@ -158,6 +158,7 @@ impl ThresholdSender {
         }
 
         self.keys.insert(s + 2, group_keys);
+        // detlint: sorted — retain with a pure per-key predicate; order-independent
         self.keys.retain(|&k, _| k + 3 > s);
         self.slots += 1;
         ctx.timer_at(slot_start + self.cfg.slot, TICK);
@@ -352,6 +353,7 @@ impl ThresholdReceiver {
 
     fn handle_slot(&mut self, ctx: &mut Ctx, s: u64) {
         let obs = self.obs.remove(&s).unwrap_or_default();
+        // detlint: sorted — retain with a pure per-key predicate; order-independent
         self.obs.retain(|&k, _| k > s);
         if !self.ever_received {
             if s % 4 == 3 {

@@ -263,7 +263,7 @@ mod tests {
     #[derive(Debug)]
     struct Counting {
         x: u32,
-        clones: std::sync::Arc<std::sync::atomic::AtomicUsize>,
+        clones: Arc<std::sync::atomic::AtomicUsize>,
     }
 
     impl Clone for Counting {
@@ -279,7 +279,7 @@ mod tests {
 
     #[test]
     fn packet_clones_share_the_body_without_copying() {
-        let clones = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let clones = Arc::new(std::sync::atomic::AtomicUsize::new(0));
         let p = Packet::app(
             512,
             FlowId(0),
@@ -301,7 +301,7 @@ mod tests {
 
     #[test]
     fn mutation_copies_on_write_exactly_once() {
-        let clones = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let clones = Arc::new(std::sync::atomic::AtomicUsize::new(0));
         let p = Packet::app(
             512,
             FlowId(0),
@@ -329,7 +329,7 @@ mod tests {
 
     #[test]
     fn unique_body_mutates_in_place_without_cloning() {
-        let clones = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let clones = Arc::new(std::sync::atomic::AtomicUsize::new(0));
         let mut p = Packet::app(
             512,
             FlowId(0),
@@ -346,7 +346,7 @@ mod tests {
 
     #[test]
     fn failed_downcast_never_clones() {
-        let clones = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let clones = Arc::new(std::sync::atomic::AtomicUsize::new(0));
         let p = Packet::app(
             512,
             FlowId(0),

@@ -422,6 +422,9 @@ fn window_loop(shards: &mut [Sim], t: SimTime, partition: &Partition, workers: u
     }
     // Beyond the horizon nothing matters: bounds are capped there.
     let cap = t + SimDuration::from_nanos(1);
+    // Debug invariant: conservative progress never rolls back — each
+    // shard's LBTS is non-decreasing from one barrier to the next.
+    let mut prev_lbts = vec![SimTime::ZERO; k];
 
     loop {
         let next: Vec<SimTime> = shards
@@ -453,6 +456,13 @@ fn window_loop(shards: &mut [Sim], t: SimTime, partition: &Partition, workers: u
             if !changed {
                 break;
             }
+        }
+        debug_assert!(
+            lbts.iter().zip(&prev_lbts).all(|(now, prev)| now >= prev),
+            "a shard's LBTS went backwards across windows"
+        );
+        if cfg!(debug_assertions) {
+            prev_lbts.clone_from(&lbts);
         }
         for dst in 0..k {
             for src in 0..k {
@@ -499,6 +509,15 @@ fn window_loop(shards: &mut [Sim], t: SimTime, partition: &Partition, workers: u
         }
         merge_stamped(&mut crossing);
         for m in crossing {
+            // Lookahead soundness: every harvested arrival lands strictly
+            // beyond what its destination already executed this window.
+            debug_assert!(
+                m.at > bounds[m.dst as usize],
+                "cross arrival at {:?} is not in shard {}'s future (ran to {:?})",
+                m.at,
+                m.dst,
+                bounds[m.dst as usize]
+            );
             let (l, pkt) = m.msg;
             shards[m.dst as usize]
                 .world
@@ -556,6 +575,12 @@ fn merge(sim: &mut Sim, shards: Vec<Sim>, t: SimTime, partition: &Partition) {
         uid_delta += shard.world.uid - base_uid;
         processed += shard.world.events.processed();
         peak += shard.world.events.high_water();
+        // The window loop only exits once every shard's frontier is past
+        // the horizon; a leftover inside it would be a lost event.
+        debug_assert!(
+            shard.world.events.peek_time().is_none_or(|at| at > t),
+            "shard {s} kept an unexecuted event inside the horizon {t:?}"
+        );
         leftovers.extend(shard.world.events.take_all());
         if s == 0 {
             sim.world.rng = std::mem::replace(&mut shard.world.rng, DetRng::new(0));

@@ -169,6 +169,7 @@ impl CollusionGuard {
 
     /// Drop accumulators for data slots older than `min_slot`.
     pub fn gc(&mut self, min_slot: u64) {
+        // detlint: sorted — retain with a pure per-key predicate; order-independent
         self.comp_accum.retain(|&(_, s), _| s >= min_slot);
     }
 }
@@ -212,7 +213,7 @@ mod tests {
             let count = 4;
             for p in 0..count {
                 let is_last = p + 1 == count;
-                let fields = mcc_delta::DeltaFields {
+                let fields = DeltaFields {
                     slot: data_slot,
                     group: g,
                     seq_in_slot: p,
@@ -294,7 +295,7 @@ mod tests {
         let mut rng = DetRng::new(63);
         let mut guard = CollusionGuard::new(vec![GroupAddr(1)]);
         for slot in 0..10 {
-            let mut f = mcc_delta::DeltaFields {
+            let mut f = DeltaFields {
                 slot,
                 group: 1,
                 seq_in_slot: 0,

@@ -175,6 +175,7 @@ impl SigmaEdgeModule {
     /// alarm threshold)?
     pub fn suspected_guessing(&self, iface: LinkId) -> bool {
         self.tally
+            // detlint: sorted — existential .any(); order-independent
             .iter()
             .any(|(&(i, _, _), keys)| i == iface && keys.len() as u32 >= self.cfg.guess_alarm)
     }
@@ -183,6 +184,7 @@ impl SigmaEdgeModule {
     /// `iface` (over all groups and slots).
     pub fn guess_tally(&self, iface: LinkId) -> u32 {
         self.tally
+            // detlint: sorted — .max() reduction; order-independent
             .iter()
             .filter(|(&(i, _, _), _)| i == iface)
             .map(|(_, keys)| keys.len() as u32)
@@ -440,6 +442,8 @@ impl EdgeModule for SigmaEdgeModule {
         // bounds the damage of a decrease to the paper's two slots.
         let min_keep = cur.saturating_sub(2);
         let mut to_prune: Vec<(LinkId, GroupAddr)> = Vec::new();
+        // detlint: sorted — per-entry retain only; prune keys are collected
+        // and sorted below before any action is emitted
         for (&(iface, group), slots) in self.grants.iter_mut() {
             slots.retain(|&s| s >= min_keep);
             let has_current = slots.iter().next_back().is_some_and(|&s| s >= cur);
@@ -465,6 +469,7 @@ impl EdgeModule for SigmaEdgeModule {
         // Expired graces without grants (e.g. session-join never followed
         // by data or keys).
         let mut grace_snapshot: Vec<((LinkId, GroupAddr), Grace)> =
+            // detlint: sorted — snapshot collected, then sorted on the next line
             self.grace.iter().map(|(k, v)| (*k, *v)).collect();
         grace_snapshot.sort_unstable_by_key(|(k, _)| *k);
         for (key, g) in grace_snapshot {
@@ -475,7 +480,9 @@ impl EdgeModule for SigmaEdgeModule {
             }
         }
         self.table.gc(cur);
+        // detlint: sorted — retain with a pure per-key predicate; order-independent
         self.tally.retain(|&(_, _, s), _| s + 2 >= cur);
+        // detlint: sorted — retain with a pure per-key predicate; order-independent
         self.lockout.retain(|_, &mut until| until + 2 >= cur);
         if let Some(guard) = &mut self.guard {
             guard.gc(cur.saturating_sub(3));

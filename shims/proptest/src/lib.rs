@@ -64,6 +64,8 @@ macro_rules! impl_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for core::ops::Range<$t> {
             type Value = $t;
+            // `$t as u64` is trivial when `$t` = u64 — macro-width casts.
+            #[allow(trivial_numeric_casts)]
             fn sample(&self, rng: &mut TestRng) -> $t {
                 assert!(self.start < self.end, "empty range strategy");
                 let span = (self.end as u64).wrapping_sub(self.start as u64);
@@ -72,6 +74,8 @@ macro_rules! impl_range_strategy {
         }
         impl Strategy for core::ops::RangeInclusive<$t> {
             type Value = $t;
+            // `$t as u64` is trivial when `$t` = u64 — macro-width casts.
+            #[allow(trivial_numeric_casts)]
             fn sample(&self, rng: &mut TestRng) -> $t {
                 let (lo, hi) = (*self.start(), *self.end());
                 assert!(lo <= hi, "empty range strategy");

@@ -159,10 +159,14 @@ fn main() {
         "  serial:  {} events in {:.2} s wall — {:.0} events/sec, peak queue depth {}",
         serial.events, serial.wall_secs, serial.events_per_sec, serial.peak_queue_depth
     );
-    let (sharded, shards) = perf_events_sharded(receivers, secs, SEED, workers);
+    let (sharded, per_shard) = perf_events_sharded(receivers, secs, SEED, workers);
     println!(
         "  sharded: {} events in {:.2} s wall — {:.0} events/sec ({} shards, {} workers)",
-        sharded.events, sharded.wall_secs, sharded.events_per_sec, shards, workers
+        sharded.events,
+        sharded.wall_secs,
+        sharded.events_per_sec,
+        per_shard.len(),
+        workers
     );
     assert_eq!(
         serial.events, sharded.events,
@@ -178,7 +182,7 @@ fn main() {
             Json::Str(if quick { "quick" } else { "full" }.into()),
         ),
         ("serial", perf_row_json(&serial)),
-        ("sharded", sharded_row_json(&sharded, shards, workers)),
+        ("sharded", sharded_row_json(&sharded, &per_shard, workers)),
         ("events_per_sec", Json::Num(headline)),
     ];
     // The recorded baseline is a FULL-size point; comparing across sizes

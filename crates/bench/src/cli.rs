@@ -20,7 +20,7 @@ use std::path::PathBuf;
 
 use mcc_core::registry::{self, Experiment, ExperimentDef, Kind};
 use mcc_core::runner::{run_parallel, run_serial, ExperimentSpec};
-use mcc_core::{Params, RunConfig};
+use mcc_core::{Params, RunConfig, TraceSpec};
 
 /// The suite name of the combined figure report (unchanged across the
 /// registry redesign — the byte-compat contract).
@@ -38,6 +38,7 @@ pub struct Cli {
     shard_workers: Option<usize>,
     out: Option<PathBuf>,
     sweep: Option<(String, Vec<String>)>,
+    trace: Option<TraceSpec>,
 }
 
 impl Cli {
@@ -81,6 +82,11 @@ impl Cli {
                     cli.shard_workers = Some(b);
                 }
                 "--out" | "-o" => cli.out = Some(PathBuf::from(value("--out", &mut it)?)),
+                "--trace" => {
+                    let v = value("--trace", &mut it)?;
+                    cli.trace =
+                        Some(TraceSpec::parse(&v).map_err(|e| format!("--trace {v:?}: {e}"))?);
+                }
                 "--sweep" => {
                     let v = value("--sweep", &mut it)?;
                     let (key, values) = v
@@ -134,9 +140,16 @@ impl Cli {
                 t => registry::matching(t),
             };
             if matched.is_empty() {
-                return Err(format!(
-                    "--only {token:?} matches no registered experiment (try --list)"
-                ));
+                let near = suggestions(token);
+                return Err(if near.is_empty() {
+                    format!("--only {token:?} matches no registered experiment (try --list)")
+                } else {
+                    format!(
+                        "--only {token:?} matches no registered experiment; did you mean {}? \
+                         (try --list)",
+                        near.join(", ")
+                    )
+                });
             }
             for def in matched {
                 if !defs.iter().any(|d| d.id() == def.id()) {
@@ -146,6 +159,57 @@ impl Cli {
         }
         Ok(defs)
     }
+}
+
+/// Near-matches for an `--only` token that selected nothing: registered
+/// ids and group names ranked by prefix edit distance (trailing id
+/// characters are free, so `fig9` is one edit from `fig09a_…`).
+fn suggestions(token: &str) -> Vec<&'static str> {
+    let threshold = (token.len() / 3).max(1);
+    // Between equally-distant candidates, prefer the one the token is a
+    // subsequence of: `fig9` should suggest `fig09…`, where every typed
+    // character survives, before `fig01…`, where the 9 was "mistyped".
+    let subseq = |id: &str| {
+        let mut rest = token.chars().peekable();
+        for c in id.chars() {
+            if rest.peek() == Some(&c) {
+                rest.next();
+            }
+        }
+        rest.peek().is_none()
+    };
+    let mut scored: Vec<(usize, bool, &'static str)> = registry::REGISTRY
+        .iter()
+        .map(|d| d.id())
+        .chain(["figures", "ablations", "topologies", "all"])
+        .filter_map(|id| {
+            let d = prefix_edit_distance(token, id);
+            (d <= threshold).then_some((d, !subseq(id), id))
+        })
+        .collect();
+    scored.sort_by_key(|&(d, not_sub, _)| (d, not_sub));
+    scored.truncate(3);
+    scored.into_iter().map(|(_, _, id)| id).collect()
+}
+
+/// Minimum edit distance between `token` and any prefix of `candidate` —
+/// the standard Levenshtein DP, taking the minimum over the final row
+/// instead of its last cell.
+fn prefix_edit_distance(token: &str, candidate: &str) -> usize {
+    let t: Vec<char> = token.chars().collect();
+    // A token can't be a near-miss of a prefix much longer than itself.
+    let c: Vec<char> = candidate.chars().take(t.len() + 2).collect();
+    let mut row: Vec<usize> = (0..=c.len()).map(|_| 0).collect();
+    let mut prev = row.clone();
+    for (i, &tc) in t.iter().enumerate() {
+        row[0] = i + 1;
+        for (j, &cc) in c.iter().enumerate() {
+            let sub = prev[j] + usize::from(tc != cc);
+            row[j + 1] = sub.min(prev[j + 1] + 1).min(row[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut row);
+    }
+    prev.into_iter().min().unwrap_or(t.len())
 }
 
 fn usage() -> String {
@@ -165,6 +229,8 @@ fn usage() -> String {
          \x20 -o, --out DIR        output directory (default results, also: MCC_OUT)\n\
          \x20     --sweep K=A,B,C  re-run the selection once per override;\n\
          \x20                      keys: seed, smoothing, quick\n\
+         \x20     --trace SPEC     sim-time trace sinks (also: MCC_TRACE);\n\
+         \x20                      SPEC = jsonl|pcapng|all[:DIR], e.g. all:results/tr\n\
          \x20 -h, --help           this message\n",
     );
     s.push_str("\nDefault: regenerate all twelve figures into results/BENCH_all_figures.json.\n");
@@ -228,6 +294,10 @@ pub fn run(cli: &Cli) -> Result<Option<PathBuf>, String> {
     // Pin the shard-level worker count before any experiment runs; the
     // environment's AxB split is the default when the flag is absent.
     mcc_core::set_shard_workers(cli.shard_workers.unwrap_or(env.shard_workers));
+    // Same first-set-wins discipline for tracing: the flag beats the
+    // `MCC_TRACE` environment, and whatever is pinned here is what every
+    // experiment body sees.
+    mcc_core::set_trace(cli.trace.clone().or_else(|| env.trace.clone()));
     let out_dir = cli.out.clone().unwrap_or(env.out_dir);
     let params = Params::quick(quick);
     let selection = cli.selection()?;
@@ -433,6 +503,56 @@ mod tests {
             .unwrap();
         assert_eq!(dup.len(), 1);
         assert!(parse(&["--only", "fig99"]).unwrap().selection().is_err());
+    }
+
+    #[test]
+    fn trace_flag_parses_and_rejects_junk() {
+        let cli = parse(&["--trace", "jsonl"]).unwrap();
+        assert_eq!(
+            cli.trace.unwrap(),
+            TraceSpec {
+                jsonl: true,
+                pcapng: false,
+                dir: None
+            }
+        );
+        let cli = parse(&["--trace", "all:/tmp/tr"]).unwrap();
+        assert_eq!(cli.trace.unwrap().dir.as_deref(), Some("/tmp/tr"));
+        let err = parse(&["--trace", "csv"]).unwrap_err();
+        assert!(err.contains("--trace"), "error names the flag: {err}");
+        assert!(parse(&["--trace"]).is_err(), "flag needs a value");
+    }
+
+    /// Satellite contract: an unknown `--only` token lists near-matches
+    /// (and `run` turns the `Err` into a non-zero exit).
+    fn selection_err(args: &[&str]) -> String {
+        match parse(args).unwrap().selection() {
+            Err(e) => e,
+            Ok(defs) => panic!("expected a selection error, got {} defs", defs.len()),
+        }
+    }
+
+    #[test]
+    fn unknown_only_token_suggests_near_matches() {
+        let err = selection_err(&["--only", "fig9"]);
+        assert!(
+            err.contains("fig09a_overhead_groups") && err.contains("fig09b_overhead_slot"),
+            "near-matches listed: {err}"
+        );
+        let err = selection_err(&["--only", "ablatons"]);
+        assert!(err.contains("ablations"), "group names suggested: {err}");
+        // Nothing close: no bogus suggestion, still an error.
+        let err = selection_err(&["--only", "qqqqqqqq"]);
+        assert!(!err.contains("did you mean"), "no far-fetched guess: {err}");
+        assert!(err.contains("--list"));
+    }
+
+    #[test]
+    fn prefix_edit_distance_ranks_sensibly() {
+        assert_eq!(prefix_edit_distance("fig01", "fig01_attack"), 0);
+        assert_eq!(prefix_edit_distance("fig9", "fig09a_overhead_groups"), 1);
+        assert_eq!(prefix_edit_distance("figs", "figures"), 1);
+        assert!(prefix_edit_distance("qqqqqqqq", "fig01_attack") > 2);
     }
 
     #[test]

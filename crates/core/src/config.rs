@@ -9,11 +9,13 @@
 //! run and a test run agree on seeds, durations and smoothing *by
 //! construction*.
 
+use mcc_obs::TraceSpec;
 use std::path::PathBuf;
 use std::sync::OnceLock;
 
 /// Environment-derived run configuration. The only place in the
-/// workspace that reads `MCC_QUICK`, `MCC_THREADS` and `MCC_OUT`.
+/// workspace that reads `MCC_QUICK`, `MCC_THREADS`, `MCC_OUT` and
+/// `MCC_TRACE`.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RunConfig {
     /// Shortened runs (`MCC_QUICK` set non-empty to anything but `0`).
@@ -29,6 +31,9 @@ pub struct RunConfig {
     pub shard_workers: usize,
     /// Where reports and CSVs land (`MCC_OUT`, else `results`).
     pub out_dir: PathBuf,
+    /// Flight-recorder tracing (`MCC_TRACE`, or the figures CLI's
+    /// `--trace`); `None` = off, the default.
+    pub trace: Option<TraceSpec>,
 }
 
 impl RunConfig {
@@ -54,11 +59,16 @@ impl RunConfig {
             eprintln!("warning: {warning}");
         }
         let out_dir = out_dir_from(env_var("MCC_OUT").as_deref());
+        let (trace, warning) = trace_from(env_var("MCC_TRACE").as_deref());
+        if let Some(warning) = warning {
+            eprintln!("warning: {warning}");
+        }
         RunConfig {
             quick,
             threads,
             shard_workers,
             out_dir,
+            trace,
         }
     }
 
@@ -91,6 +101,42 @@ pub fn set_shard_workers(workers: usize) {
 
 static SHARD_WORKERS: OnceLock<usize> = OnceLock::new();
 
+/// The process-wide trace specification, read once and cached — the
+/// `run_spec` hook consults this on every experiment, so it must not
+/// re-read the environment each time. `None` = tracing off (the
+/// default, and the fallback for a malformed `MCC_TRACE`; the loud
+/// warning lives in [`RunConfig::from_env`]).
+pub fn trace_spec() -> Option<&'static TraceSpec> {
+    TRACE
+        .get_or_init(|| trace_from(env_var("MCC_TRACE").as_deref()).0)
+        .as_ref()
+}
+
+/// Pin the trace specification before any experiment runs — the
+/// `figures` CLI's `--trace` override. First setting wins (matching
+/// [`set_shard_workers`]); a no-op once [`trace_spec`] has been read.
+pub fn set_trace(spec: Option<TraceSpec>) {
+    let _ = TRACE.set(spec);
+}
+
+static TRACE: OnceLock<Option<TraceSpec>> = OnceLock::new();
+
+/// The trace spec implied by an `MCC_TRACE` value (`None` = unset),
+/// plus the warning to print when the value was present but malformed.
+/// Malformed specs disable tracing rather than aborting a sweep.
+fn trace_from(var: Option<&str>) -> (Option<TraceSpec>, Option<String>) {
+    match var {
+        None => (None, None),
+        Some(v) => match TraceSpec::parse(v) {
+            Ok(spec) => (Some(spec), None),
+            Err(e) => (
+                None,
+                Some(format!("MCC_TRACE={v:?}: {e}; tracing disabled")),
+            ),
+        },
+    }
+}
+
 /// The single audited environment read of the simulation crates —
 /// `detlint`'s `env-read` rule keeps every other crate away from
 /// `std::env`, so auditing determinism means auditing the callers of
@@ -111,6 +157,14 @@ fn quick_from(var: Option<&str>) -> bool {
 /// The output directory implied by an `MCC_OUT` value (`None` = unset).
 fn out_dir_from(var: Option<&str>) -> PathBuf {
     var.map_or_else(|| PathBuf::from("results"), PathBuf::from)
+}
+
+/// The run's output directory (`MCC_OUT`, else `results`) without the
+/// rest of [`RunConfig::from_env`] — for sinks that only need a place to
+/// write (re-parsing the full config would repeat its loud warnings once
+/// per experiment).
+pub fn out_dir() -> PathBuf {
+    out_dir_from(env_var("MCC_OUT").as_deref())
 }
 
 /// The `(experiment workers, shard workers)` implied by an
@@ -372,6 +426,35 @@ mod tests {
 
         assert_eq!(out_dir_from(None), PathBuf::from("results"));
         assert_eq!(out_dir_from(Some("/tmp/mcc")), PathBuf::from("/tmp/mcc"));
+    }
+
+    /// `MCC_TRACE` parsing: unset is off, valid specs pin formats and
+    /// directory, malformed specs warn (naming the value) and disable
+    /// tracing instead of aborting.
+    #[test]
+    fn trace_specs_parse_and_fall_back() {
+        assert_eq!(trace_from(None), (None, None), "unset is off, silently");
+        let (spec, warn) = trace_from(Some("jsonl"));
+        assert!(warn.is_none());
+        let spec = spec.expect("valid spec");
+        assert!(spec.jsonl && !spec.pcapng && spec.dir.is_none());
+        let (spec, _) = trace_from(Some("all:/tmp/tr"));
+        assert_eq!(spec.expect("valid").dir, Some("/tmp/tr".to_string()));
+
+        let (spec, warn) = trace_from(Some("csv"));
+        assert!(spec.is_none(), "malformed spec disables tracing");
+        let warn = warn.expect("malformed spec must warn");
+        assert!(warn.contains("csv"), "warning must name the value: {warn}");
+    }
+
+    /// The cached accessor agrees with a fresh parse of the same
+    /// environment, like `shard_workers`.
+    #[test]
+    fn trace_spec_accessor_is_stable() {
+        let cached = trace_spec();
+        assert_eq!(cached, trace_spec(), "cached value is stable");
+        let (fresh, _) = trace_from(env_var("MCC_TRACE").as_deref());
+        assert_eq!(cached, fresh.as_ref());
     }
 
     #[test]

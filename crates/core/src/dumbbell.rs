@@ -145,14 +145,10 @@ impl Dumbbell {
     /// Run until `secs` of simulated time. With `MCC_THREADS=AxB`
     /// (`B > 1`) the run goes through the conservative parallel-in-time
     /// core — automatically partitioned, bit-identical results, serial
-    /// fallback when the scenario is too small to shard.
+    /// fallback when the scenario is too small to shard. With `--trace` a
+    /// flight recorder rides the run (see `crate::obs`).
     pub fn run_secs(&mut self, secs: u64) {
-        let workers = crate::config::shard_workers();
-        if workers > 1 {
-            mcc_netsim::shard::run_until_sharded(&mut self.sim, SimTime::from_secs(secs), workers);
-        } else {
-            self.sim.run_until(SimTime::from_secs(secs));
-        }
+        crate::obs::run_sim(&mut self.sim, SimTime::from_secs(secs));
     }
 
     /// Average delivered throughput of an agent over `[from, to)` seconds.

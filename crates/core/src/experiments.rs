@@ -1437,22 +1437,23 @@ pub fn perf_events(receivers: usize, duration_secs: u64, seed: u64) -> PerfRow {
 /// executes the shards sequentially on the calling thread (pure
 /// cache-blocking, no thread spawns); `workers > 1` fans the shards out
 /// over that many scoped threads per window. The second return value is
-/// the shard count the automatic partitioner picked (1 means it declined
-/// and the run fell back to the serial loop). The `events` count is
-/// bit-identical to the serial run's by construction.
+/// the per-shard executed-event counts (index 0 = root shard); its length
+/// is the shard count the automatic partitioner picked (length 1 means it
+/// declined and the run fell back to the serial loop). The `events` count
+/// is bit-identical to the serial run's by construction.
 pub fn perf_events_sharded(
     receivers: usize,
     duration_secs: u64,
     seed: u64,
     workers: usize,
-) -> (PerfRow, usize) {
+) -> (PerfRow, Vec<u64>) {
     let mut spec = crate::dumbbell::DumbbellSpec::new(seed, 10_000_000);
     spec.mcast = vec![McastSessionSpec::honest(Variant::FlidDl, receivers)];
     spec.tcp = 2;
     let mut d = Dumbbell::build(spec);
     // detlint: allow(wall-clock) — events/sec reporting; never feeds sim state
     let wall = std::time::Instant::now();
-    let shards = mcc_netsim::shard::run_until_sharded(
+    let per_shard = mcc_netsim::shard::run_until_sharded_stats(
         &mut d.sim,
         SimTime::from_secs(duration_secs),
         workers,
@@ -1467,5 +1468,5 @@ pub fn perf_events_sharded(
         wall_secs: wall,
         events_per_sec: events as f64 / wall.max(1e-9),
     };
-    (row, shards)
+    (row, per_shard)
 }

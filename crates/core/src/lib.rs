@@ -23,6 +23,9 @@
 //!   [`Experiment`](registry::Experiment) object; the source of truth for
 //!   the `figures` CLI in `mcc-bench`,
 //! * [`metrics`] — series/tables, CSV output and quick ASCII charts,
+//! * [`obs`] — the observability layer's experiment-level face:
+//!   `--trace`/`MCC_TRACE` capture lifecycle, canonical JSONL/pcapng
+//!   rendering and the `OBS_*.json` metrics registry,
 //! * [`runner`] — runs independent experiments concurrently with
 //!   per-experiment deterministic seeds and emits canonical JSON reports
 //!   (`results/BENCH_*.json`); serial and parallel runs are byte-identical.
@@ -41,15 +44,17 @@ pub mod config;
 pub mod dumbbell;
 pub mod experiments;
 pub mod metrics;
+pub mod obs;
 pub mod registry;
 pub mod runner;
 pub mod scenario;
 pub mod topology;
 
-pub use config::{set_shard_workers, shard_workers, Params, RunConfig};
+pub use config::{set_shard_workers, set_trace, shard_workers, trace_spec, Params, RunConfig};
 pub use dumbbell::{
     CbrSpec, Dumbbell, DumbbellSpec, McastSessionSpec, ReceiverSpec, SessionHandle, TcpHandle,
 };
+pub use mcc_obs::TraceSpec;
 pub use metrics::{ascii_chart, damage, series_csv, write_series_csv, Damage, Series, Table};
 pub use registry::{registry, Experiment, ExperimentDef, ExperimentOutput};
 pub use runner::{

@@ -478,13 +478,18 @@ pub fn perf_row_json(r: &experiments::PerfRow) -> Json {
 }
 
 /// Canonical JSON of a sharded [`experiments::PerfRow`]: the row fields
-/// plus the shard count the partitioner picked and the worker threads
-/// that drove it.
-pub fn sharded_row_json(r: &experiments::PerfRow, shards: usize, workers: usize) -> Json {
+/// plus the shard layout — worker threads, and executed events per shard
+/// (index 0 = root shard), whose length is the shard count the
+/// partitioner picked.
+pub fn sharded_row_json(r: &experiments::PerfRow, per_shard: &[u64], workers: usize) -> Json {
     Json::obj([
-        ("shards", Json::U64(shards as u64)),
+        ("shards", Json::U64(per_shard.len() as u64)),
         ("workers", Json::U64(workers as u64)),
         ("events", Json::U64(r.events)),
+        (
+            "per_shard_events",
+            Json::Arr(per_shard.iter().map(|&e| Json::U64(e)).collect()),
+        ),
         ("peak_queue_depth", Json::U64(r.peak_queue_depth as u64)),
         ("wall_secs", Json::Num(r.wall_secs)),
         ("events_per_sec", Json::Num(r.events_per_sec)),
@@ -499,7 +504,7 @@ fn perf_events_body(p: &Params, seed: u64) -> Json {
     };
     let serial = experiments::perf_events(receivers, secs, seed);
     let workers = crate::config::shard_workers().max(2);
-    let (sharded, shards) = experiments::perf_events_sharded(receivers, secs, seed, workers);
+    let (sharded, per_shard) = experiments::perf_events_sharded(receivers, secs, seed, workers);
     assert_eq!(
         serial.events, sharded.events,
         "sharded run diverged from serial ({} vs {} events)",
@@ -507,7 +512,7 @@ fn perf_events_body(p: &Params, seed: u64) -> Json {
     );
     Json::obj([
         ("serial", perf_row_json(&serial)),
-        ("sharded", sharded_row_json(&sharded, shards, workers)),
+        ("sharded", sharded_row_json(&sharded, &per_shard, workers)),
     ])
 }
 

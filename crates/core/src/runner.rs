@@ -237,7 +237,11 @@ impl Report {
 fn run_spec(spec: &ExperimentSpec) -> ExperimentRecord {
     // detlint: allow(wall-clock) — per-experiment elapsed reporting only
     let start = Instant::now();
+    // Tracing capture brackets the body on this worker thread; both are
+    // no-ops unless `--trace`/`MCC_TRACE` is set.
+    crate::obs::begin(&spec.name);
     let data = (spec.body)(spec.seed);
+    crate::obs::finish(&spec.name);
     ExperimentRecord {
         name: spec.name.clone(),
         seed: spec.seed,

@@ -20,6 +20,7 @@
 //! | `missing-safety` | an `unsafe` token with no `// SAFETY:` comment nearby       |
 //! | `unmerged-drain` | an `outbox.take()` in a function that never `merge_stamped`s|
 //! | `float-accum`    | `.sum::<f64>()`/`.fold(0.0, …)` over a hash-ordered iterator|
+//! | `trace-wall-clock`| a `TraceEvent` sharing a statement with a wall-clock read  |
 //!
 //! ## Justifying an exception
 //!
@@ -58,6 +59,7 @@ pub enum Rule {
     MissingSafety,
     UnmergedDrain,
     FloatAccum,
+    TraceWallClock,
 }
 
 impl Rule {
@@ -71,6 +73,7 @@ impl Rule {
             Rule::MissingSafety => "missing-safety",
             Rule::UnmergedDrain => "unmerged-drain",
             Rule::FloatAccum => "float-accum",
+            Rule::TraceWallClock => "trace-wall-clock",
         }
     }
 }
@@ -179,6 +182,23 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
                     ),
                 });
             }
+        }
+        // A `TraceEvent` may never share a statement with a wall-clock
+        // read: the audited `allow(wall-clock)` channel is for reporting
+        // only, and trace events are byte-compared output — so this rule
+        // fires even where `wall-clock` itself is allowed.
+        if WALL_CLOCK.iter().any(|t| contains_token(code, t))
+            && statement_mentions(&lines, i, "TraceEvent")
+            && !justified(&lines, i, Rule::TraceWallClock)
+        {
+            findings.push(Finding {
+                rule: Rule::TraceWallClock,
+                line: i + 1,
+                msg: "a TraceEvent is constructed in the same statement as a \
+                      wall-clock read; trace events must carry SimTime only — \
+                      keep timing in its own statement"
+                    .into(),
+            });
         }
         for tok in ENTROPY {
             if contains_token(code, tok) && !justified(&lines, i, Rule::Entropy) {
@@ -431,6 +451,41 @@ fn statement_has_float_accum(lines: &[Line], i: usize) -> bool {
     false
 }
 
+/// Does the statement containing line `i` mention token `tok`? The span
+/// walks back to the previous statement/block boundary (a line ending in
+/// `;`, `{` or `}`) and forward to the first line containing a `;` or
+/// opening a block, capped in both directions. Tuned to over-report: an
+/// over-wide span costs a justification comment, an under-wide one hides
+/// a wall-clock value flowing into a trace event.
+fn statement_mentions(lines: &[Line], i: usize, tok: &str) -> bool {
+    const LOOKAROUND: usize = 8;
+    if contains_token(&lines[i].code, tok) {
+        return true;
+    }
+    for j in (i.saturating_sub(LOOKAROUND)..i).rev() {
+        let code = lines[j].code.trim_end();
+        // A boundary line may itself open our statement (`let ev =
+        // TraceEvent::X {`), so check it for the token before stopping.
+        if contains_token(code, tok) {
+            return true;
+        }
+        if code.ends_with(';') || code.ends_with('{') || code.ends_with('}') {
+            break;
+        }
+    }
+    if !lines[i].code.contains(';') {
+        for line in lines.iter().skip(i + 1).take(LOOKAROUND) {
+            if contains_token(&line.code, tok) {
+                return true;
+            }
+            if line.code.contains(';') || line.code.trim_end().ends_with('{') {
+                break;
+            }
+        }
+    }
+    false
+}
+
 /// Does this line drain an outbox (`…outbox.take()` / `…outbox.drain(`)?
 fn drains_outbox(code: &str) -> bool {
     [".take()", ".drain("].iter().any(|m| {
@@ -625,6 +680,41 @@ mod tests {
             Vec::<Finding>::new()
         );
         assert_eq!(rules(src), vec!["env-read"]);
+    }
+
+    #[test]
+    fn trace_events_may_not_capture_wall_clock() {
+        // Same statement: fires (alongside the plain wall-clock rule).
+        let src = "
+            fn f(rec: &mut Recorder) {
+                let ev = TraceEvent::ShardWindow {
+                    shard: 0,
+                    bound_ns: std::time::Instant::now().elapsed().as_nanos() as u64,
+                };
+                rec.record(ev);
+            }
+        ";
+        assert_eq!(rules(src), vec!["wall-clock", "trace-wall-clock"]);
+        // Separate statements: only the (allowable) wall-clock rule.
+        let src = "
+            fn f(rec: &mut Recorder) {
+                // detlint: allow(wall-clock) — busy-time reporting only
+                let t0 = std::time::Instant::now();
+                run_window();
+                let ev = TraceEvent::ShardWindow { shard: 0, bound_ns: 0 };
+                rec.record(ev);
+            }
+        ";
+        assert_eq!(rules(src), Vec::<&str>::new());
+        // An allow(wall-clock) does NOT silence trace-wall-clock: the
+        // reporting channel must not leak into trace events.
+        let src = "
+            fn f(rec: &mut Recorder) {
+                // detlint: allow(wall-clock) — mislabeled
+                rec.record(TraceEvent::ShardWindow { shard: 0, bound_ns: now(std::time::Instant::now()) });
+            }
+        ";
+        assert_eq!(rules(src), vec!["trace-wall-clock"]);
     }
 
     #[test]

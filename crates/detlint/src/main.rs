@@ -23,6 +23,7 @@ const SIM_CRATE_ROOTS: &[&str] = &[
     "crates/sigma/src",
     "crates/attack/src",
     "crates/flid/src",
+    "crates/obs/src",
     "crates/core/src",
     "crates/bench/src",
 ];
@@ -43,6 +44,7 @@ fn main() {
             Rule::MissingSafety,
             Rule::UnmergedDrain,
             Rule::FloatAccum,
+            Rule::TraceWallClock,
         ] {
             println!("{}", rule.id());
         }

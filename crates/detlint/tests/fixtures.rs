@@ -80,6 +80,19 @@ fn catches_unmerged_outbox_drains() {
 }
 
 #[test]
+fn catches_trace_events_capturing_wall_clock() {
+    let f = lint_fixture("trace_wall_clock.rs");
+    assert_eq!(
+        pins(&f),
+        vec![
+            ("wall-clock", 10),       // Instant::now inside the literal…
+            ("trace-wall-clock", 10), // …flows into a TraceEvent
+        ],
+        "{f:#?}"
+    );
+}
+
+#[test]
 fn catches_float_accumulation_over_hash_order() {
     let f = lint_fixture("float_accum.rs");
     assert_eq!(

@@ -1,0 +1,28 @@
+//! Fixture: wall-clock reads flowing into trace events.
+//! Expected: trace-wall-clock (plus plain wall-clock) where a TraceEvent
+//! shares a statement with Instant/SystemTime; the separated-statement
+//! twin below is clean of trace-wall-clock. Lines pinned by
+//! `tests/fixtures.rs`.
+
+pub fn stamp_event_with_wall_clock(rec: &mut Recorder) {
+    let ev = TraceEvent::ShardWindow {
+        shard: 0,
+        bound_ns: std::time::Instant::now().elapsed().as_nanos() as u64,
+        events: 0,
+    };
+    rec.record(ev);
+}
+
+pub fn timed_window(rec: &mut Recorder) {
+    // detlint: allow(wall-clock) — busy-time reporting only
+    let t0 = std::time::Instant::now();
+    run_window();
+    // detlint: allow(wall-clock) — busy-time reporting only
+    let busy = t0.elapsed().as_nanos() as u64;
+    let ev = TraceEvent::ShardWindow {
+        shard: 0,
+        bound_ns: 0,
+        events: busy,
+    };
+    rec.record(ev);
+}

@@ -18,6 +18,7 @@ const SIM_CRATE_ROOTS: &[&str] = &[
     "crates/sigma/src",
     "crates/attack/src",
     "crates/flid/src",
+    "crates/obs/src",
     "crates/core/src",
     "crates/bench/src",
 ];

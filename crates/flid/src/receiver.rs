@@ -34,6 +34,7 @@ use mcc_attack::{
 };
 use mcc_delta::{decide_layered, Eligibility, Key, SlotObservation};
 use mcc_netsim::prelude::*;
+use mcc_netsim::TraceEvent;
 use mcc_sigma::{ProtectedData, SessionJoin, Subscription, SubscriptionAck, Unsubscription};
 use mcc_simcore::{SimDuration, SimTime};
 
@@ -223,8 +224,19 @@ impl FlidReceiver {
         t.as_nanos() / self.cfg.slot.as_nanos()
     }
 
-    fn trace(&mut self, now: SimTime) {
-        self.level_trace.push((now.as_secs_f64(), self.level));
+    fn trace(&mut self, ctx: &mut Ctx) {
+        let from = self.level_trace.last().map_or(u32::MAX, |&(_, l)| l);
+        self.level_trace.push((ctx.now().as_secs_f64(), self.level));
+        // Flight-recorder event only on an actual layer transition (the
+        // local `level_trace` keeps every sample for the figures).
+        if self.level != from && ctx.trace_on() {
+            ctx.trace(TraceEvent::FlidLayer {
+                agent: ctx.agent.0,
+                from_layer: from,
+                to_layer: self.level,
+                slot: self.slot_of(ctx.now()),
+            });
+        }
     }
 
     fn addr(&self, g: u32) -> GroupAddr {
@@ -337,7 +349,7 @@ impl FlidReceiver {
                         self.joined_slot[(g - 1) as usize].get_or_insert(slot);
                     }
                     self.level = to;
-                    self.trace(ctx.now());
+                    self.trace(ctx);
                 }
                 AttackAction::RawJoins { layer } => {
                     // Keep hammering: raw IGMP joins (ignored by SIGMA).
@@ -368,7 +380,7 @@ impl FlidReceiver {
                     }
                     self.level = 1;
                     self.inflated = false;
-                    self.trace(ctx.now());
+                    self.trace(ctx);
                 }
                 AttackAction::SubmitKeys { slot, pairs } => {
                     if self.router().is_none() {
@@ -483,7 +495,7 @@ impl FlidReceiver {
             self.level -= 1;
             self.deaf_until = s + 2;
             self.stats.decreases += 1;
-            self.trace(ctx.now());
+            self.trace(ctx);
         }
     }
 
@@ -507,7 +519,7 @@ impl FlidReceiver {
             self.stats.rejoins += 1;
             self.level = 1;
             self.send_session_join(ctx);
-            self.trace(ctx.now());
+            self.trace(ctx);
             return;
         }
         self.send_subscription(
@@ -523,7 +535,7 @@ impl FlidReceiver {
             }
             self.level = level;
             self.stats.decreases += 1;
-            self.trace(ctx.now());
+            self.trace(ctx);
         }
     }
 
@@ -539,7 +551,7 @@ impl FlidReceiver {
                 self.level -= 1;
                 self.deaf_until = s + 2;
                 self.stats.decreases += 1;
-                self.trace(ctx.now());
+                self.trace(ctx);
             }
         } else if self.level == dlevel
             && self.level < self.cfg.n()
@@ -549,7 +561,7 @@ impl FlidReceiver {
             self.join_level(ctx, next);
             self.level = next;
             self.stats.increases += 1;
-            self.trace(ctx.now());
+            self.trace(ctx);
         }
     }
 
@@ -576,14 +588,14 @@ impl FlidReceiver {
                         }
                         self.level = lvl;
                         self.stats.decreases += 1;
-                        self.trace(ctx.now());
+                        self.trace(ctx);
                     }
                 } else if lvl == dlevel + 1 && self.level == dlevel {
                     // Fresh authorized upgrade: join before packets flow.
                     self.join_level(ctx, lvl);
                     self.level = lvl;
                     self.stats.increases += 1;
-                    self.trace(ctx.now());
+                    self.trace(ctx);
                 }
                 // lvl == dlevel with a pending newer group: nothing to do —
                 // the grace period covers it until its first full slot.
@@ -603,7 +615,7 @@ impl FlidReceiver {
                 self.stats.rejoins += 1;
                 self.level = 1;
                 self.send_session_join(ctx);
-                self.trace(ctx.now());
+                self.trace(ctx);
             }
         }
     }
@@ -621,7 +633,7 @@ impl Agent for FlidReceiver {
     fn on_start(&mut self, ctx: &mut Ctx) {
         self.join_level(ctx, 1);
         self.send_session_join(ctx);
-        self.trace(ctx.now());
+        self.trace(ctx);
         // First slot evaluation: next boundary + guard.
         let s = self.slot_of(ctx.now());
         let next = SimTime::from_nanos((s + 1) * self.cfg.slot.as_nanos()) + self.guard;
@@ -713,7 +725,7 @@ impl Agent for FlidReceiver {
                 self.level = 1;
                 self.join_level(ctx, 1);
                 self.send_session_join(ctx);
-                self.trace(ctx.now());
+                self.trace(ctx);
             }
             _ => {}
         }

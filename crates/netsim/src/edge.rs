@@ -23,6 +23,7 @@
 
 use crate::addr::{GroupAddr, LinkId, NodeId};
 use crate::packet::Packet;
+use mcc_obs::TraceEvent;
 use mcc_simcore::{DetRng, SimDuration, SimTime};
 use std::fmt;
 
@@ -42,6 +43,10 @@ pub enum EdgeAction {
     LeaveModule(GroupAddr),
     /// Deliver [`EdgeModule::on_timer`] with `token` after the delay.
     Timer(SimDuration, u64),
+    /// Record a trace event on the world's flight recorder. Only queued
+    /// when [`EdgeEnv::trace_on`] is set, so modules pay nothing with
+    /// tracing off.
+    Trace(TraceEvent),
 }
 
 /// Context handed to edge-module callbacks.
@@ -54,6 +59,10 @@ pub struct EdgeEnv<'a> {
     pub rng: &'a mut DetRng,
     /// Queued side effects; applied by the simulator after the callback.
     pub actions: Vec<EdgeAction>,
+    /// Whether the world has a flight recorder attached. Modules must
+    /// check this (or call [`EdgeEnv::trace`], which does) before building
+    /// a [`TraceEvent`], keeping the tracing-off hot path to one branch.
+    pub trace_on: bool,
 }
 
 impl<'a> EdgeEnv<'a> {
@@ -85,6 +94,14 @@ impl<'a> EdgeEnv<'a> {
     /// Queue a timer callback.
     pub fn timer_in(&mut self, delay: SimDuration, token: u64) {
         self.actions.push(EdgeAction::Timer(delay, token));
+    }
+
+    /// Queue a trace event; a no-op when tracing is off.
+    #[inline]
+    pub fn trace(&mut self, ev: TraceEvent) {
+        if self.trace_on {
+            self.actions.push(EdgeAction::Trace(ev));
+        }
     }
 }
 
@@ -141,6 +158,7 @@ mod tests {
             node: NodeId(0),
             rng: &mut rng,
             actions: Vec::new(),
+            trace_on: false,
         };
         let mut pkt = Packet::opaque(
             8,
@@ -163,6 +181,7 @@ mod tests {
             node: NodeId(3),
             rng: &mut rng,
             actions: Vec::new(),
+            trace_on: false,
         };
         env.graft_iface(GroupAddr(1), LinkId(2));
         env.timer_in(SimDuration::from_millis(250), 9);
@@ -171,5 +190,28 @@ mod tests {
         assert!(matches!(env.actions[0], EdgeAction::GraftIface(..)));
         assert!(matches!(env.actions[1], EdgeAction::Timer(..)));
         assert!(matches!(env.actions[2], EdgeAction::PruneIface(..)));
+    }
+
+    #[test]
+    fn trace_is_inert_unless_enabled() {
+        let mut rng = DetRng::new(0);
+        let ev = TraceEvent::SigmaAlarm {
+            node: 1,
+            iface: 2,
+            group: 3,
+            slot: 4,
+        };
+        let mut env = EdgeEnv {
+            now: SimTime::ZERO,
+            node: NodeId(1),
+            rng: &mut rng,
+            actions: Vec::new(),
+            trace_on: false,
+        };
+        env.trace(ev);
+        assert!(env.actions.is_empty(), "tracing off: no action queued");
+        env.trace_on = true;
+        env.trace(ev);
+        assert!(matches!(env.actions.as_slice(), [EdgeAction::Trace(_)]));
     }
 }

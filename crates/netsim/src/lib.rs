@@ -77,6 +77,10 @@ pub use queue::Queue;
 pub use shard::{run_until_sharded, run_until_with_shards, Partition};
 pub use sim::{Agent, Ctx, Sim, World};
 
+// Re-exported so protocol crates can emit trace events through
+// `Ctx::trace` / `EdgeEnv::trace` without depending on `mcc-obs` directly.
+pub use mcc_obs::{DropReason, PktRef, TraceEvent};
+
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;

@@ -60,7 +60,9 @@ use crate::monitor::Monitor;
 use crate::node::Node;
 use crate::queue::Queue;
 use crate::sim::{Agent, Event, ShardRouting, Sim, World};
+use mcc_obs::{Recorder, TraceEvent, DEFAULT_RING_CAP};
 use mcc_simcore::{merge_stamped, DetRng, Outbox, ShardClock, ShardId, SimDuration, SimTime};
+use std::collections::BTreeMap;
 
 /// How many eligible hosts the automatic planner aims to put on each
 /// leaf shard: small enough that a shard's working set (hosts, access
@@ -214,6 +216,20 @@ pub fn run_until_sharded(sim: &mut Sim, t: SimTime, workers: usize) -> usize {
     }
 }
 
+/// [`run_until_sharded`], reporting how many events each shard executed
+/// during this call (index 0 = root shard). The serial fallback yields a
+/// single entry. Feeds the per-shard column of the perf trajectory.
+pub fn run_until_sharded_stats(sim: &mut Sim, t: SimTime, workers: usize) -> Vec<u64> {
+    match Partition::auto(sim) {
+        Some(p) => run_partitioned(sim, t, &p, workers),
+        None => {
+            let before = sim.world.processed_events();
+            sim.run_until(t);
+            vec![sim.world.processed_events() - before]
+        }
+    }
+}
+
 /// [`run_until_sharded`] with an explicit leaf-shard count (size
 /// fallback waived) — the knob property tests use to force multi-shard
 /// execution on small random topologies. Returns the number of shards
@@ -237,16 +253,40 @@ pub fn run_until_with_shards(
 }
 
 /// Execute `sim` under a planned partition: split, window loop, merge.
-pub fn run_partitioned(sim: &mut Sim, t: SimTime, partition: &Partition, workers: usize) {
+/// Returns the number of events each shard executed (index = shard id).
+pub fn run_partitioned(
+    sim: &mut Sim,
+    t: SimTime,
+    partition: &Partition,
+    workers: usize,
+) -> Vec<u64> {
     assert!(sim.world.finalized, "call finalize() before running");
     assert_eq!(
         partition.owner.len(),
         sim.world.nodes.len(),
         "partition planned for a different topology"
     );
+    // Wall-clock phase timing when a flight recorder rides the run.
+    // Reporting-only (lands in the root recorder's `WallTimes`, never in
+    // the byte-compared trace sinks); kept in statements that never touch
+    // a `TraceEvent`.
+    // detlint: allow(wall-clock) — observability phase timing, reporting only
+    let clock = sim.world.tracing().then(std::time::Instant::now);
     let mut shards = split(sim, partition);
+    // detlint: allow(wall-clock) — observability phase timing, reporting only
+    let split_done = clock.map(|_| std::time::Instant::now());
     window_loop(&mut shards, t, partition, workers.max(1));
-    merge(sim, shards, t, partition);
+    // detlint: allow(wall-clock) — observability phase timing, reporting only
+    let run_done = clock.map(|_| std::time::Instant::now());
+    let per_shard = merge(sim, shards, t, partition);
+    if let (Some(t0), Some(t1), Some(t2)) = (clock, split_done, run_done) {
+        if let Some(rec) = sim.world.tracer.as_mut() {
+            rec.wall.split_ns += (t1 - t0).as_nanos() as u64;
+            rec.wall.run_ns += (t2 - t1).as_nanos() as u64;
+            rec.wall.merge_ns += t2.elapsed().as_nanos() as u64;
+        }
+    }
+    per_shard
 }
 
 /// Per-link metadata snapshot used for event routing and link mirrors.
@@ -385,6 +425,17 @@ fn split(sim: &mut Sim, partition: &Partition) -> Vec<Sim> {
     // RNG consumers live there, in serial event order.
     shards[0].world.rng = base_rng;
     shards[0].world.monitor = base_monitor;
+    // A traced run: the root flight recorder rides shard 0, every leaf
+    // shard gets its own (merged back deterministically at `merge`).
+    if let Some(mut rec) = sim.world.take_tracer() {
+        rec.record(now, TraceEvent::ShardSplit { shards: k as u32 });
+        shards[0].world.attach_tracer(rec);
+        for (s, shard) in shards.iter_mut().enumerate().skip(1) {
+            shard
+                .world
+                .attach_tracer(Recorder::new(s as ShardId, DEFAULT_RING_CAP));
+        }
+    }
 
     for (at, ev) in drained {
         let dst = match &ev {
@@ -487,14 +538,14 @@ fn window_loop(shards: &mut [Sim], t: SimTime, partition: &Partition, workers: u
                     let bounds = &bounds;
                     scope.spawn(move || {
                         for (i, shard) in shard_chunk.iter_mut().enumerate() {
-                            shard.run_window(bounds[ci * chunk + i]);
+                            run_window_traced(shard, bounds[ci * chunk + i]);
                         }
                     });
                 }
             });
         } else {
             for (s, shard) in shards.iter_mut().enumerate() {
-                shard.run_window(bounds[s]);
+                run_window_traced(shard, bounds[s]);
             }
         }
 
@@ -508,6 +559,25 @@ fn window_loop(shards: &mut [Sim], t: SimTime, partition: &Partition, workers: u
             crossing.append(&mut routing.outbox.take());
         }
         merge_stamped(&mut crossing);
+        // Exchange volume per directed shard pair, recorded as exec-class
+        // events on the root recorder. Tallied from the merged (ordered)
+        // vector, so the events are identical for every worker count.
+        if shards[0].world.tracing() && !crossing.is_empty() {
+            let mut volume: BTreeMap<(ShardId, ShardId), (u64, u64)> = BTreeMap::new();
+            for m in &crossing {
+                let slot = volume.entry((m.src, m.dst)).or_insert((0, 0));
+                slot.0 += 1;
+                slot.1 += m.msg.1.size_bits;
+            }
+            for ((src_shard, dst_shard), (msgs, bits)) in volume {
+                shards[0].world.trace(TraceEvent::ShardExchange {
+                    src_shard,
+                    dst_shard,
+                    msgs,
+                    bits,
+                });
+            }
+        }
         for m in crossing {
             // Lookahead soundness: every harvested arrival lands strictly
             // beyond what its destination already executed this window.
@@ -527,10 +597,41 @@ fn window_loop(shards: &mut [Sim], t: SimTime, partition: &Partition, workers: u
     }
 }
 
+/// Run one shard's window. On a traced run this also measures the
+/// shard's busy wall time (reporting-only, metrics channel) and records a
+/// `ShardWindow` exec event — bound and executed-event count are derived
+/// purely from simulation state, so the event stream is identical for
+/// every worker count.
+fn run_window_traced(shard: &mut Sim, bound: SimTime) {
+    if !shard.world.tracing() {
+        shard.run_window(bound);
+        return;
+    }
+    let before = shard.world.events.processed();
+    // detlint: allow(wall-clock) — per-shard busy time, reporting only
+    let t0 = std::time::Instant::now();
+    shard.run_window(bound);
+    // detlint: allow(wall-clock) — per-shard busy time, reporting only
+    let busy = t0.elapsed().as_nanos() as u64;
+    let executed = shard.world.events.processed() - before;
+    let me = shard.shard.as_ref().expect("shard sims carry routing").me;
+    let ev = TraceEvent::ShardWindow {
+        shard: me,
+        bound_ns: bound.as_nanos(),
+        events: executed,
+    };
+    let now = shard.world.now;
+    if let Some(rec) = shard.world.tracer.as_mut() {
+        rec.metrics.busy_ns += busy;
+        rec.record(now, ev);
+    }
+}
+
 /// Reassemble the original simulator from its shards: owned state moves
 /// back, monitors merge exactly in shard order, leftover future events
 /// interleave stably by time, and the aggregate event counters survive.
-fn merge(sim: &mut Sim, shards: Vec<Sim>, t: SimTime, partition: &Partition) {
+/// Returns the number of events each shard executed while split.
+fn merge(sim: &mut Sim, shards: Vec<Sim>, t: SimTime, partition: &Partition) -> Vec<u64> {
     let owner = &partition.owner;
     let base_uid = sim.world.uid;
     let mut uid_delta = 0u64;
@@ -541,6 +642,9 @@ fn merge(sim: &mut Sim, shards: Vec<Sim>, t: SimTime, partition: &Partition) {
     let mut leftovers: Vec<(SimTime, Event)> = Vec::new();
     let mut processed = 0u64;
     let mut peak = 0usize;
+    let mut per_shard: Vec<u64> = Vec::new();
+    let mut root_rec: Option<Recorder> = None;
+    let k = partition.shards as u32;
 
     for (s, mut shard) in shards.into_iter().enumerate() {
         let routing = shard.shard.take().expect("shard sims carry routing");
@@ -575,6 +679,24 @@ fn merge(sim: &mut Sim, shards: Vec<Sim>, t: SimTime, partition: &Partition) {
         uid_delta += shard.world.uid - base_uid;
         processed += shard.world.events.processed();
         peak += shard.world.events.high_water();
+        per_shard.push(shard.world.events.processed());
+        // Traced run: pull each shard's recorder, stamp its executor
+        // counters, and fold leaves into the root recorder (shard 0 is
+        // visited first, so the root is always in hand by then).
+        if let Some(mut rec) = shard.world.take_tracer() {
+            let high = shard.world.events.high_water() as u64;
+            if s == 0 {
+                rec.metrics.events_executed += shard.world.events.processed();
+                rec.metrics.queue_high_water = rec.metrics.queue_high_water.max(high);
+                root_rec = Some(rec);
+            } else {
+                rec.metrics.events_executed = shard.world.events.processed();
+                rec.metrics.queue_high_water = high;
+                if let Some(root) = root_rec.as_mut() {
+                    root.absorb(rec);
+                }
+            }
+        }
         // The window loop only exits once every shard's frontier is past
         // the horizon; a leftover inside it would be a lost event.
         debug_assert!(
@@ -617,6 +739,17 @@ fn merge(sim: &mut Sim, shards: Vec<Sim>, t: SimTime, partition: &Partition) {
     sim.world.events.add_processed(processed);
     sim.world.events.raise_high_water(peak);
     sim.world.now = t;
+    if let Some(mut rec) = root_rec {
+        rec.record(
+            t,
+            TraceEvent::ShardMerge {
+                shards: k,
+                events: processed,
+            },
+        );
+        sim.world.attach_tracer(rec);
+    }
+    per_shard
 }
 
 #[cfg(test)]
@@ -857,6 +990,67 @@ mod tests {
         // Router and source host stay on the root shard.
         assert_eq!(p.owner(NodeId(0)), 0);
         assert_eq!(p.owner(NodeId(1)), 0);
+    }
+
+    /// Canonical trace lines of one traced run: merge, then content sort
+    /// at equal times — the discipline the core `obs` sinks use.
+    fn trace_lines(leaf_shards: usize, workers: usize) -> Vec<String> {
+        let horizon = SimTime::from_secs(1);
+        let (mut sim, _members) = star(12);
+        sim.world.attach_tracer(Recorder::new(0, DEFAULT_RING_CAP));
+        if leaf_shards == 0 {
+            sim.run_until(horizon);
+        } else {
+            run_until_with_shards(&mut sim, horizon, leaf_shards, workers);
+        }
+        let mut rec = sim.world.take_tracer().expect("tracer survives the run");
+        assert_eq!(rec.metrics.trace_overflow, 0, "ring must not overflow");
+        let mut evs = rec.take_sim();
+        merge_stamped(&mut evs);
+        let mut keyed: Vec<(u64, String)> = evs
+            .iter()
+            .map(|s| (s.at.as_nanos(), mcc_obs::jsonl::render(0, s.at, &s.msg)))
+            .collect();
+        keyed.sort();
+        keyed.into_iter().map(|(_, l)| l).collect()
+    }
+
+    #[test]
+    fn traced_runs_are_identical_across_shards_and_workers() {
+        let want = trace_lines(0, 1);
+        assert!(!want.is_empty(), "sanity: the run produced trace events");
+        for (leaf_shards, workers) in [(1, 1), (3, 1), (3, 2), (5, 8)] {
+            assert_eq!(
+                trace_lines(leaf_shards, workers),
+                want,
+                "{leaf_shards} leaf shards / {workers} workers diverged from serial"
+            );
+        }
+    }
+
+    #[test]
+    fn traced_shard_run_files_per_shard_metrics() {
+        let horizon = SimTime::from_secs(1);
+        let (mut sim, _members) = star(12);
+        sim.world.attach_tracer(Recorder::new(0, DEFAULT_RING_CAP));
+        let per_shard = {
+            let p = Partition::explicit(&sim, 3).expect("shardable");
+            run_partitioned(&mut sim, horizon, &p, 1)
+        };
+        assert_eq!(per_shard.len(), 4, "root + 3 leaf shards");
+        assert!(per_shard.iter().all(|&n| n > 0), "every shard ran events");
+        let rec = sim.world.take_tracer().expect("tracer re-attached");
+        assert_eq!(rec.shards.len(), 3, "leaf recorders filed by shard id");
+        for s in 1..=3u32 {
+            assert_eq!(
+                rec.shards[&s].events_executed, per_shard[s as usize],
+                "shard {s} executor counter"
+            );
+        }
+        let total = rec.total_metrics();
+        assert!(total.windows > 0, "window events were recorded");
+        assert!(total.exchange_msgs > 0, "cross traffic was tallied");
+        assert!(total.delivers > 0, "leaf deliveries were traced");
     }
 
     #[test]

@@ -38,8 +38,27 @@ use crate::monitor::Monitor;
 use crate::node::{GroupEntry, Node};
 use crate::packet::{Body, Dest, Packet};
 use crate::queue::{EnqueueOutcome, Queue};
+use mcc_obs::{DropReason, PktRef, Recorder, TraceEvent, GROUP_NONE};
 use mcc_simcore::{DetRng, EventQueue, FxHashMap, SimDuration, SimTime};
 use std::any::Any;
+
+/// The packet identity a trace event carries, copied out of `pkt` standing
+/// at `node` on `link` (if any). `agent` is filled only by delivery sites.
+#[inline]
+fn pkt_ref(node: NodeId, link: Option<LinkId>, pkt: &Packet) -> PktRef {
+    PktRef {
+        node: node.0,
+        link: link.map_or(u32::MAX, |l| l.0),
+        flow: pkt.flow.0,
+        src: pkt.src.0,
+        group: match pkt.dst {
+            Dest::Group(g) => g.0,
+            _ => GROUP_NONE,
+        },
+        agent: u32::MAX,
+        size_bits: pkt.size_bits,
+    }
+}
 
 /// Flow id used by simulator-internal control packets (grafts/prunes).
 pub const CONTROL_FLOW: FlowId = FlowId(u32::MAX);
@@ -152,6 +171,21 @@ impl<'w> Ctx<'w> {
             .group_entry(self.node, group)
             .is_some_and(|e| e.has_member(self.agent))
     }
+
+    /// Whether a flight recorder is attached. Agents must check this (one
+    /// branch) before building a [`TraceEvent`] so tracing-off runs pay
+    /// nothing.
+    #[inline]
+    pub fn trace_on(&self) -> bool {
+        self.world.tracer.is_some()
+    }
+
+    /// Record a trace event at the current sim time; no-op when tracing
+    /// is off.
+    #[inline]
+    pub fn trace(&mut self, ev: TraceEvent) {
+        self.world.trace(ev);
+    }
 }
 
 /// All passive simulation state.
@@ -198,6 +232,10 @@ pub struct World {
     scratch_fanout: Vec<(LinkId, bool)>,
     scratch_members: Vec<AgentId>,
     scratch_actions: Vec<EdgeAction>,
+    /// The observability flight recorder, attached only while tracing is
+    /// on (`MCC_TRACE`). Boxed so the tracing-off `World` pays one pointer
+    /// of space and one `is_some` branch per instrumentation site.
+    pub(crate) tracer: Option<Box<Recorder>>,
 }
 
 impl World {
@@ -222,6 +260,31 @@ impl World {
             scratch_fanout: Vec::new(),
             scratch_members: Vec::new(),
             scratch_actions: Vec::new(),
+            tracer: None,
+        }
+    }
+
+    /// Attach a flight recorder; subsequent simulation activity is traced.
+    pub fn attach_tracer(&mut self, rec: Recorder) {
+        self.tracer = Some(Box::new(rec));
+    }
+
+    /// Detach and return the flight recorder, turning tracing off.
+    pub fn take_tracer(&mut self) -> Option<Recorder> {
+        self.tracer.take().map(|b| *b)
+    }
+
+    /// Whether a flight recorder is attached.
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Record a trace event at the current sim time; no-op when off.
+    #[inline]
+    pub(crate) fn trace(&mut self, ev: TraceEvent) {
+        if let Some(rec) = self.tracer.as_deref_mut() {
+            rec.record(self.now, ev);
         }
     }
 
@@ -417,6 +480,7 @@ impl World {
                         node,
                         rng: &mut self.rng,
                         actions: std::mem::take(&mut actions),
+                        trace_on: self.tracer.is_some(),
                     };
                     let ok = m.filter_data(&mut env, iface, &mut copy);
                     actions = env.actions;
@@ -431,6 +495,10 @@ impl World {
                 self.enqueue_link(iface, copy);
             } else {
                 self.links[iface.index()].note_drop(flow);
+                if self.tracer.is_some() {
+                    let p = pkt_ref(node, Some(iface), &copy);
+                    self.trace(TraceEvent::PktDrop(p, DropReason::EdgeFilter));
+                }
             }
         }
         if let Some(m) = module {
@@ -458,23 +526,49 @@ impl World {
     /// Offer a packet to a link's transmitter/queue.
     fn enqueue_link(&mut self, l: LinkId, pkt: Packet) {
         let now = self.now;
+        let tracing = self.tracer.is_some();
         // Split borrows: the link and the RNG live in different fields.
         let link = &mut self.links[l.index()];
+        let node = link.from;
+        // Staged outside the link borrow; recorded once it ends.
+        let mut ev = None;
         if link.in_service.is_none() {
+            if tracing {
+                ev = Some(TraceEvent::PktEnqueue(pkt_ref(node, Some(l), &pkt)));
+            }
             let tx = link.tx_time_cached(&pkt);
             link.in_service = Some(pkt);
             self.events.push(now + tx, Event::Departure(l));
         } else {
             let bps = link.bps;
+            let staged = if tracing {
+                Some(pkt_ref(node, Some(l), &pkt))
+            } else {
+                None
+            };
             let (outcome, rejected) = link.queue.enqueue(pkt, now, bps, &mut self.rng);
             match outcome {
                 EnqueueOutcome::Dropped => {
-                    let flow = rejected.expect("dropped packet returned").flow;
-                    link.note_drop(flow);
+                    // The victim may differ from the offered packet under
+                    // some queue policies, so trace the one that died.
+                    let victim = rejected.expect("dropped packet returned");
+                    link.note_drop(victim.flow);
+                    if tracing {
+                        ev = Some(TraceEvent::PktDrop(
+                            pkt_ref(node, Some(l), &victim),
+                            DropReason::QueueFull,
+                        ));
+                    }
                 }
-                EnqueueOutcome::Marked => link.stats.marks += 1,
-                EnqueueOutcome::Enqueued => {}
+                EnqueueOutcome::Marked => {
+                    link.stats.marks += 1;
+                    ev = staged.map(TraceEvent::PktMark);
+                }
+                EnqueueOutcome::Enqueued => ev = staged.map(TraceEvent::PktEnqueue),
             }
+        }
+        if let Some(ev) = ev {
+            self.trace(ev);
         }
     }
 
@@ -614,6 +708,7 @@ impl World {
             node,
             rng: &mut self.rng,
             actions: std::mem::take(&mut self.scratch_actions),
+            trace_on: self.tracer.is_some(),
         };
         f(&mut module, &mut env);
         let mut actions = env.actions;
@@ -671,6 +766,7 @@ impl World {
                     self.events
                         .push(self.now + delay, Event::EdgeTimer(node, token));
                 }
+                EdgeAction::Trace(ev) => self.trace(ev),
             }
         }
     }
@@ -857,6 +953,7 @@ impl Sim {
         match ev {
             Event::Departure(l) => {
                 let now = self.world.now;
+                let tracing = self.world.tracer.is_some();
                 // One borrow of the link for the whole transaction.
                 let link = &mut self.world.links[l.index()];
                 let pkt = link
@@ -864,6 +961,11 @@ impl Sim {
                     .take()
                     .expect("departure without packet in service");
                 link.note_tx(&pkt);
+                let ev = if tracing {
+                    Some(TraceEvent::PktTransmit(pkt_ref(link.from, Some(l), &pkt)))
+                } else {
+                    None
+                };
                 let delay = link.delay;
                 let next_tx = match link.queue.dequeue(now) {
                     Some(next) => {
@@ -886,6 +988,9 @@ impl Sim {
                 }
                 if let Some(tx) = next_tx {
                     self.world.events.push(now + tx, Event::Departure(l));
+                }
+                if let Some(ev) = ev {
+                    self.world.trace(ev);
                 }
             }
             Event::Arrival(l, pkt) => {
@@ -934,6 +1039,12 @@ impl Sim {
                 self.world
                     .monitor
                     .record(now, agent, pkt.flow, pkt.size_bits);
+                if self.world.tracer.is_some() {
+                    let node = self.world.agent_nodes[agent.index()];
+                    let mut p = pkt_ref(node, None, &pkt);
+                    p.agent = agent.0;
+                    self.world.trace(TraceEvent::PktDeliver(p));
+                }
             }
             _ => {}
         }

@@ -1,0 +1,255 @@
+//! The typed trace-event taxonomy.
+//!
+//! Every event is a small POD of raw ids — no references into simulator
+//! state, no strings — so recording is a couple of stores and the recorder
+//! ring stays cache-friendly. Events are stamped with [`SimTime`] by the
+//! recorder; **nothing in this module may ever capture wall-clock time**
+//! (detlint's `trace-wall-clock` rule enforces this at every construction
+//! site in the workspace).
+//!
+//! Events split into two classes:
+//!
+//! * **sim-class** — packet lifecycle, SIGMA guard decisions, FLID layer
+//!   transitions. These are functions of the simulation alone, so the
+//!   merged trace is byte-identical across `MCC_THREADS=1/2/1x4`. They are
+//!   what the JSONL and pcapng sinks export.
+//! * **exec-class** ([`TraceEvent::is_exec`]) — shard split/window/merge
+//!   and cross-shard exchange volumes. These describe the *executor*, only
+//!   exist in sharded runs, and go to a separate `.exec.jsonl` sink that is
+//!   deliberately excluded from the byte-identity contract.
+
+/// Group-address sentinel for unicast packets (`group` field of packet
+/// events): `u32::MAX` means "not a multicast packet".
+pub const GROUP_NONE: u32 = u32::MAX;
+
+/// Why a packet died.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DropReason {
+    /// The link queue rejected it (tail drop / RED force-drop).
+    QueueFull,
+    /// An edge module's `filter_data` denied the host-facing copy.
+    EdgeFilter,
+}
+
+impl DropReason {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DropReason::QueueFull => "queue_full",
+            DropReason::EdgeFilter => "edge_filter",
+        }
+    }
+}
+
+/// Identity of one packet at one point of its life. All raw ids, copied
+/// out of the packet at the instrumentation site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PktRef {
+    /// Node standing at (tx side for link events, host for delivery).
+    pub node: u32,
+    /// Link involved, `u32::MAX` for local delivery.
+    pub link: u32,
+    /// Flow id.
+    pub flow: u32,
+    /// Originating agent.
+    pub src: u32,
+    /// Destination group, or [`GROUP_NONE`].
+    pub group: u32,
+    /// Receiving agent for delivery events, `u32::MAX` for link events.
+    pub agent: u32,
+    /// Wire size in bits.
+    pub size_bits: u64,
+}
+// Deliberately absent: the simulator's packet `uid`. Uids are allocated
+// per shard world, so their values depend on the shard layout — putting
+// one in a trace event would silently void the cross-`MCC_THREADS`
+// byte-identity contract.
+
+/// One structured trace event. Sim-class unless noted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TraceEvent {
+    /// Packet accepted into a link queue (or straight into service).
+    PktEnqueue(PktRef),
+    /// Packet finished transmission and left for the far end.
+    PktTransmit(PktRef),
+    /// Packet ECN-marked by the queue on enqueue.
+    PktMark(PktRef),
+    /// Packet dropped; see [`DropReason`].
+    PktDrop(PktRef, DropReason),
+    /// Packet handed to an application agent.
+    PktDeliver(PktRef),
+    /// SIGMA edge filter verdict for one host-facing copy.
+    SigmaFilter {
+        node: u32,
+        iface: u32,
+        group: u32,
+        /// Session layer of the group per the collusion guard, 0 if unknown.
+        layer: u32,
+        allowed: bool,
+    },
+    /// SIGMA lockout opened on `(iface, group)` until `until_slot`.
+    SigmaLockout {
+        node: u32,
+        iface: u32,
+        group: u32,
+        until_slot: u64,
+    },
+    /// SIGMA guess-alarm threshold first crossed on `iface` for `group`.
+    SigmaAlarm {
+        node: u32,
+        iface: u32,
+        group: u32,
+        slot: u64,
+    },
+    /// FLID receiver moved between subscription layers at slot `slot`.
+    FlidLayer {
+        agent: u32,
+        from_layer: u32,
+        to_layer: u32,
+        slot: u64,
+    },
+    /// Exec-class: the world was split into `shards` shard worlds.
+    ShardSplit { shards: u32 },
+    /// Exec-class: one LBTS window ran on `shard` up to `bound_ns`,
+    /// executing `events` events.
+    ShardWindow {
+        shard: u32,
+        bound_ns: u64,
+        events: u64,
+    },
+    /// Exec-class: cross-shard messages exchanged at a window barrier.
+    ShardExchange {
+        src_shard: u32,
+        dst_shard: u32,
+        msgs: u64,
+        bits: u64,
+    },
+    /// Exec-class: shard worlds merged back; `events` executed in total.
+    ShardMerge { shards: u32, events: u64 },
+}
+
+impl TraceEvent {
+    /// Executor-infrastructure event (shard lifecycle), as opposed to a
+    /// simulation event? Exec-class events are routed to the `.exec.jsonl`
+    /// sink and excluded from cross-thread-mode byte-identity.
+    pub fn is_exec(&self) -> bool {
+        matches!(
+            self,
+            TraceEvent::ShardSplit { .. }
+                | TraceEvent::ShardWindow { .. }
+                | TraceEvent::ShardExchange { .. }
+                | TraceEvent::ShardMerge { .. }
+        )
+    }
+
+    /// Short stable kind tag (the `"ev"` field of the JSONL sink and the
+    /// `kind` byte of the pcapng record, see [`crate::pcapng`]).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::PktEnqueue(_) => "pkt_enqueue",
+            TraceEvent::PktTransmit(_) => "pkt_transmit",
+            TraceEvent::PktMark(_) => "pkt_mark",
+            TraceEvent::PktDrop(..) => "pkt_drop",
+            TraceEvent::PktDeliver(_) => "pkt_deliver",
+            TraceEvent::SigmaFilter { .. } => "sigma_filter",
+            TraceEvent::SigmaLockout { .. } => "sigma_lockout",
+            TraceEvent::SigmaAlarm { .. } => "sigma_alarm",
+            TraceEvent::FlidLayer { .. } => "flid_layer",
+            TraceEvent::ShardSplit { .. } => "shard_split",
+            TraceEvent::ShardWindow { .. } => "shard_window",
+            TraceEvent::ShardExchange { .. } => "shard_exchange",
+            TraceEvent::ShardMerge { .. } => "shard_merge",
+        }
+    }
+
+    /// The packet reference, for packet-lifecycle events.
+    pub fn pkt(&self) -> Option<&PktRef> {
+        match self {
+            TraceEvent::PktEnqueue(p)
+            | TraceEvent::PktTransmit(p)
+            | TraceEvent::PktMark(p)
+            | TraceEvent::PktDrop(p, _)
+            | TraceEvent::PktDeliver(p) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> PktRef {
+        PktRef {
+            node: 1,
+            link: 2,
+            flow: 3,
+            src: 4,
+            group: 5,
+            agent: u32::MAX,
+            size_bits: 8000,
+        }
+    }
+
+    #[test]
+    fn exec_classification() {
+        assert!(!TraceEvent::PktEnqueue(p()).is_exec());
+        assert!(!TraceEvent::SigmaFilter {
+            node: 0,
+            iface: 0,
+            group: 0,
+            layer: 0,
+            allowed: true
+        }
+        .is_exec());
+        assert!(!TraceEvent::FlidLayer {
+            agent: 0,
+            from_layer: 1,
+            to_layer: 2,
+            slot: 3
+        }
+        .is_exec());
+        assert!(TraceEvent::ShardSplit { shards: 4 }.is_exec());
+        assert!(TraceEvent::ShardWindow {
+            shard: 0,
+            bound_ns: 1,
+            events: 2
+        }
+        .is_exec());
+        assert!(TraceEvent::ShardExchange {
+            src_shard: 0,
+            dst_shard: 1,
+            msgs: 2,
+            bits: 3
+        }
+        .is_exec());
+        assert!(TraceEvent::ShardMerge {
+            shards: 2,
+            events: 9
+        }
+        .is_exec());
+    }
+
+    #[test]
+    fn kind_tags_are_unique() {
+        let kinds = [
+            TraceEvent::PktEnqueue(p()).kind(),
+            TraceEvent::PktTransmit(p()).kind(),
+            TraceEvent::PktMark(p()).kind(),
+            TraceEvent::PktDrop(p(), DropReason::QueueFull).kind(),
+            TraceEvent::PktDeliver(p()).kind(),
+        ];
+        let mut sorted = kinds.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), kinds.len());
+    }
+
+    #[test]
+    fn pkt_accessor() {
+        assert_eq!(
+            TraceEvent::PktDrop(p(), DropReason::EdgeFilter).pkt(),
+            Some(&p())
+        );
+        assert_eq!(TraceEvent::ShardSplit { shards: 2 }.pkt(), None);
+    }
+}

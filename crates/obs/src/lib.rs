@@ -1,0 +1,135 @@
+//! `mcc-obs` — deterministic observability for the simulator workspace.
+//!
+//! A sim-time-keyed structured tracing and metrics subsystem that is
+//! off-by-default and provably inert: when no recorder is attached the
+//! only cost at an instrumentation site is one `Option::is_some` branch,
+//! and when tracing *is* on, every event is stamped with
+//! [`mcc_simcore::SimTime`] — never wall clock — so traces are
+//! byte-identical across `MCC_THREADS=1/2/1x4` (see DESIGN.md,
+//! "Observability layer").
+//!
+//! Pieces:
+//!
+//! * [`event::TraceEvent`] — the typed event taxonomy (packet lifecycle,
+//!   SIGMA guard decisions, FLID layer transitions, shard lifecycle).
+//! * [`recorder::Recorder`] — the per-shard ring-buffer flight recorder
+//!   plus the [`recorder::Metrics`] counter registry.
+//! * [`jsonl`] / [`pcapng`] — the two trace sinks.
+//! * [`TraceSpec`] — the parsed `--trace <spec>` / `MCC_TRACE` surface.
+//!
+//! This crate deliberately depends only on `mcc-simcore` (for time and the
+//! `Stamped`/`merge_stamped` discipline) so any crate in the workspace can
+//! emit events without dependency cycles; file I/O and JSON serialization
+//! stay in `mcc-core`'s `obs` module.
+
+pub mod event;
+pub mod jsonl;
+pub mod pcapng;
+pub mod recorder;
+
+pub use event::{DropReason, PktRef, TraceEvent, GROUP_NONE};
+pub use recorder::{Metrics, Recorder, WallTimes, DEFAULT_RING_CAP};
+
+/// What to trace and where to put it: the parsed form of
+/// `--trace <spec>` / `MCC_TRACE`.
+///
+/// Grammar: `FORMATS[:DIR]` where `FORMATS` is a comma-separated subset of
+/// `jsonl`, `pcapng` — or one of the aliases `all`, `on`, `1`, `true`
+/// (both sinks). `DIR` overrides the output directory (default: the run's
+/// results directory). The metrics registry (`OBS_<experiment>.json`) is
+/// always written when tracing is enabled.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceSpec {
+    pub jsonl: bool,
+    pub pcapng: bool,
+    pub dir: Option<String>,
+}
+
+impl TraceSpec {
+    /// Both sinks, default directory.
+    pub fn all() -> Self {
+        TraceSpec {
+            jsonl: true,
+            pcapng: true,
+            dir: None,
+        }
+    }
+
+    /// Parse a spec string. Empty input is an error (callers treat an
+    /// empty/unset env var as "tracing off" *before* parsing).
+    pub fn parse(spec: &str) -> Result<TraceSpec, String> {
+        let (formats, dir) = match spec.split_once(':') {
+            Some((f, d)) if !d.is_empty() => (f, Some(d.to_string())),
+            Some((f, _)) => (f, None),
+            None => (spec, None),
+        };
+        let mut out = TraceSpec {
+            jsonl: false,
+            pcapng: false,
+            dir,
+        };
+        for fmt in formats.split(',') {
+            match fmt.trim() {
+                "jsonl" => out.jsonl = true,
+                "pcapng" | "pcap" => out.pcapng = true,
+                "all" | "on" | "1" | "true" => {
+                    out.jsonl = true;
+                    out.pcapng = true;
+                }
+                other => {
+                    return Err(format!(
+                        "unknown trace format {other:?} (expected jsonl, pcapng, or all, \
+                         optionally followed by :DIR)"
+                    ))
+                }
+            }
+        }
+        if !out.jsonl && !out.pcapng {
+            return Err("empty trace spec".to_string());
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_formats_and_dir() {
+        assert_eq!(
+            TraceSpec::parse("jsonl").expect("valid"),
+            TraceSpec {
+                jsonl: true,
+                pcapng: false,
+                dir: None
+            }
+        );
+        assert_eq!(
+            TraceSpec::parse("pcapng:/tmp/tr").expect("valid"),
+            TraceSpec {
+                jsonl: false,
+                pcapng: true,
+                dir: Some("/tmp/tr".to_string())
+            }
+        );
+        assert_eq!(
+            TraceSpec::parse("jsonl,pcapng").expect("valid"),
+            TraceSpec::all()
+        );
+        for alias in ["all", "on", "1", "true"] {
+            assert_eq!(TraceSpec::parse(alias).expect("valid"), TraceSpec::all());
+        }
+        assert_eq!(
+            TraceSpec::parse("all:results/traces").expect("valid").dir,
+            Some("results/traces".to_string())
+        );
+    }
+
+    #[test]
+    fn rejects_junk() {
+        assert!(TraceSpec::parse("").is_err());
+        assert!(TraceSpec::parse("csv").is_err());
+        assert!(TraceSpec::parse("jsonl,bogus").is_err());
+    }
+}

@@ -1,0 +1,381 @@
+//! The per-shard flight recorder and the counter metrics registry.
+//!
+//! One [`Recorder`] rides inside each shard's `World` (and inside the root
+//! world of a serial run). Recording is append-to-ring plus a counter
+//! bump — no allocation after warm-up, no locking, no I/O — so a recorder
+//! on the hot path costs one branch when tracing is off and a few stores
+//! when it is on.
+//!
+//! After a sharded run the executor calls [`Recorder::absorb`] on the root
+//! recorder for every shard recorder, which concatenates the rings and
+//! files the shard's [`Metrics`] under its shard id. The absorbed event
+//! set is *unordered* at this point; sinks establish the canonical order
+//! (see `mcc-core`'s `obs` module) with [`mcc_simcore::merge_stamped`] and
+//! a content sort, reusing the exact discipline cross-shard packet
+//! exchange already trusts.
+
+use crate::event::TraceEvent;
+use mcc_simcore::{ShardId, SimTime, Stamped};
+use std::collections::BTreeMap;
+
+/// Default ring capacity per recorder (events). At ~72 bytes per stamped
+/// event this bounds a shard's flight recorder at ~300 MiB; quick-mode
+/// figure runs stay far below it. Overflow evicts the oldest events and
+/// is counted in [`Metrics::trace_overflow`] — an overflowed trace is
+/// still deterministic for a fixed shard layout but voids the
+/// cross-thread-mode byte-identity claim, so sinks surface the counter.
+pub const DEFAULT_RING_CAP: usize = 1 << 22;
+
+/// Monotonic counters (and one high-water mark) for one shard — or, on the
+/// root recorder, for the serial portions of the run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Simulator events executed (queue pops).
+    pub events_executed: u64,
+    /// Event-queue high-water mark.
+    pub queue_high_water: u64,
+    /// Packet-lifecycle counters.
+    pub enqueues: u64,
+    pub transmits: u64,
+    pub marks: u64,
+    pub drops: u64,
+    pub delivers: u64,
+    /// SIGMA guard counters.
+    pub guard_checks: u64,
+    pub guard_denials: u64,
+    pub lockouts: u64,
+    pub alarms: u64,
+    /// FLID layer transitions.
+    pub layer_changes: u64,
+    /// Cross-shard exchange volume (messages / payload bits).
+    pub exchange_msgs: u64,
+    pub exchange_bits: u64,
+    /// LBTS windows this shard ran.
+    pub windows: u64,
+    /// Events evicted from a full ring.
+    pub trace_overflow: u64,
+    /// Wall-clock nanoseconds this shard spent executing windows (or the
+    /// serial run spent in `run_until`). Reporting-only: measured by the
+    /// executor through the audited wall-clock allow channel, never by
+    /// event-recording code.
+    pub busy_ns: u64,
+}
+
+impl Metrics {
+    fn count(&mut self, ev: &TraceEvent) {
+        match ev {
+            TraceEvent::PktEnqueue(_) => self.enqueues += 1,
+            TraceEvent::PktTransmit(_) => self.transmits += 1,
+            TraceEvent::PktMark(_) => self.marks += 1,
+            TraceEvent::PktDrop(..) => self.drops += 1,
+            TraceEvent::PktDeliver(_) => self.delivers += 1,
+            TraceEvent::SigmaFilter { allowed, .. } => {
+                self.guard_checks += 1;
+                if !allowed {
+                    self.guard_denials += 1;
+                }
+            }
+            TraceEvent::SigmaLockout { .. } => self.lockouts += 1,
+            TraceEvent::SigmaAlarm { .. } => self.alarms += 1,
+            TraceEvent::FlidLayer { .. } => self.layer_changes += 1,
+            TraceEvent::ShardExchange { msgs, bits, .. } => {
+                self.exchange_msgs += msgs;
+                self.exchange_bits += bits;
+            }
+            TraceEvent::ShardWindow { .. } => self.windows += 1,
+            TraceEvent::ShardSplit { .. } | TraceEvent::ShardMerge { .. } => {}
+        }
+    }
+
+    /// Fold `other` into `self` (sums; high-water by max).
+    pub fn add(&mut self, other: &Metrics) {
+        self.events_executed += other.events_executed;
+        self.queue_high_water = self.queue_high_water.max(other.queue_high_water);
+        self.enqueues += other.enqueues;
+        self.transmits += other.transmits;
+        self.marks += other.marks;
+        self.drops += other.drops;
+        self.delivers += other.delivers;
+        self.guard_checks += other.guard_checks;
+        self.guard_denials += other.guard_denials;
+        self.lockouts += other.lockouts;
+        self.alarms += other.alarms;
+        self.layer_changes += other.layer_changes;
+        self.exchange_msgs += other.exchange_msgs;
+        self.exchange_bits += other.exchange_bits;
+        self.windows += other.windows;
+        self.trace_overflow += other.trace_overflow;
+        self.busy_ns += other.busy_ns;
+    }
+
+    /// `(name, value)` pairs in a fixed order, for canonical serialization
+    /// by callers that own a JSON writer (mcc-obs itself has none).
+    pub fn pairs(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("events_executed", self.events_executed),
+            ("queue_high_water", self.queue_high_water),
+            ("enqueues", self.enqueues),
+            ("transmits", self.transmits),
+            ("marks", self.marks),
+            ("drops", self.drops),
+            ("delivers", self.delivers),
+            ("guard_checks", self.guard_checks),
+            ("guard_denials", self.guard_denials),
+            ("lockouts", self.lockouts),
+            ("alarms", self.alarms),
+            ("layer_changes", self.layer_changes),
+            ("exchange_msgs", self.exchange_msgs),
+            ("exchange_bits", self.exchange_bits),
+            ("windows", self.windows),
+            ("trace_overflow", self.trace_overflow),
+            ("busy_ns", self.busy_ns),
+        ]
+    }
+}
+
+/// Wall-clock phase timing for one traced run (split / windows / merge).
+/// Root-recorder only; filled by the executor through the audited
+/// wall-clock allow channel. Reporting-only: lands in `OBS_*.json`, never
+/// in the byte-compared trace sinks.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WallTimes {
+    pub split_ns: u64,
+    pub run_ns: u64,
+    pub merge_ns: u64,
+}
+
+/// A simple bounded ring over `Stamped<TraceEvent>`.
+#[derive(Debug, Default)]
+struct Ring {
+    buf: Vec<Stamped<TraceEvent>>,
+    /// Next overwrite position once `buf.len() == cap`.
+    head: usize,
+    evicted: u64,
+}
+
+impl Ring {
+    fn push(&mut self, cap: usize, s: Stamped<TraceEvent>) {
+        if self.buf.len() < cap {
+            self.buf.push(s);
+        } else {
+            self.buf[self.head] = s;
+            self.head = (self.head + 1) % cap;
+            self.evicted += 1;
+        }
+    }
+
+    /// Drain in record order (oldest surviving first).
+    fn drain(&mut self) -> Vec<Stamped<TraceEvent>> {
+        let mut out = std::mem::take(&mut self.buf);
+        out.rotate_left(self.head);
+        self.head = 0;
+        out
+    }
+}
+
+/// Per-shard flight recorder: two rings (sim-class / exec-class events),
+/// the shard's [`Metrics`], and — after [`Recorder::absorb`] — the metrics
+/// of every absorbed shard, keyed by shard id.
+#[derive(Debug)]
+pub struct Recorder {
+    shard: ShardId,
+    seq: u64,
+    cap: usize,
+    sim: Ring,
+    exec: Ring,
+    /// Counters for events recorded *by this recorder*.
+    pub metrics: Metrics,
+    /// Phase timing (root recorder of a traced run).
+    pub wall: WallTimes,
+    /// Metrics of absorbed shard recorders, keyed by shard id. BTreeMap so
+    /// iteration (and therefore serialization) is ordered.
+    pub shards: BTreeMap<ShardId, Metrics>,
+}
+
+impl Recorder {
+    pub fn new(shard: ShardId, cap: usize) -> Self {
+        Recorder {
+            shard,
+            seq: 0,
+            cap: cap.max(1),
+            sim: Ring::default(),
+            exec: Ring::default(),
+            metrics: Metrics::default(),
+            wall: WallTimes::default(),
+            shards: BTreeMap::new(),
+        }
+    }
+
+    /// The shard this recorder rides on.
+    pub fn shard(&self) -> ShardId {
+        self.shard
+    }
+
+    /// Record one event at sim-time `at`. Sim-class and exec-class events
+    /// go to separate rings so executor noise can never perturb the
+    /// byte-compared simulation trace.
+    #[inline]
+    pub fn record(&mut self, at: SimTime, ev: TraceEvent) {
+        self.metrics.count(&ev);
+        self.seq += 1;
+        let stamped = Stamped {
+            at,
+            dst: self.shard,
+            src: self.shard,
+            seq: self.seq,
+            msg: ev,
+        };
+        if ev.is_exec() {
+            self.exec.push(self.cap, stamped);
+        } else {
+            self.sim.push(self.cap, stamped);
+        }
+        self.metrics.trace_overflow = self.sim.evicted + self.exec.evicted;
+    }
+
+    /// Fold a shard recorder into this (root) recorder: concatenate both
+    /// rings and file the shard's metrics under its id. Ring capacity is
+    /// not enforced on absorb — the merged set may exceed one shard's cap.
+    pub fn absorb(&mut self, mut other: Recorder) {
+        self.sim.buf.append(&mut other.sim.drain());
+        self.exec.buf.append(&mut other.exec.drain());
+        let mut m = other.metrics.clone();
+        m.trace_overflow = other.sim.evicted + other.exec.evicted;
+        self.shards.insert(other.shard, m);
+        for (id, sm) in other.shards {
+            self.shards.insert(id, sm);
+        }
+    }
+
+    /// Take the sim-class events recorded (and absorbed) so far, in
+    /// arbitrary inter-shard order. Callers canonicalize with
+    /// [`mcc_simcore::merge_stamped`].
+    pub fn take_sim(&mut self) -> Vec<Stamped<TraceEvent>> {
+        self.sim.drain()
+    }
+
+    /// Take the exec-class events, same contract as [`Self::take_sim`].
+    pub fn take_exec(&mut self) -> Vec<Stamped<TraceEvent>> {
+        self.exec.drain()
+    }
+
+    /// Total metrics across this recorder and every absorbed shard.
+    pub fn total_metrics(&self) -> Metrics {
+        let mut total = self.metrics.clone();
+        for m in self.shards.values() {
+            total.add(m);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{DropReason, PktRef};
+    use mcc_simcore::merge_stamped;
+
+    fn pkt(flow: u32) -> TraceEvent {
+        TraceEvent::PktEnqueue(PktRef {
+            node: 0,
+            link: 1,
+            flow,
+            src: 3,
+            group: 4,
+            agent: u32::MAX,
+            size_bits: 8,
+        })
+    }
+
+    #[test]
+    fn records_count_and_classify() {
+        let mut r = Recorder::new(0, 16);
+        r.record(SimTime::from_nanos(5), pkt(1));
+        r.record(
+            SimTime::from_nanos(6),
+            TraceEvent::PktDrop(
+                PktRef {
+                    node: 0,
+                    link: 1,
+                    flow: 2,
+                    src: 3,
+                    group: 4,
+                    agent: u32::MAX,
+                    size_bits: 8,
+                },
+                DropReason::QueueFull,
+            ),
+        );
+        r.record(SimTime::from_nanos(7), TraceEvent::ShardSplit { shards: 2 });
+        assert_eq!(r.metrics.enqueues, 1);
+        assert_eq!(r.metrics.drops, 1);
+        assert_eq!(r.take_sim().len(), 2);
+        assert_eq!(r.take_exec().len(), 1);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_overflow() {
+        let mut r = Recorder::new(0, 3);
+        for flow in 1..=5 {
+            r.record(SimTime::from_nanos(flow as u64), pkt(flow));
+        }
+        assert_eq!(r.metrics.trace_overflow, 2);
+        let kept: Vec<u32> = r
+            .take_sim()
+            .iter()
+            .map(|s| s.msg.pkt().expect("packet event").flow)
+            .collect();
+        assert_eq!(kept, vec![3, 4, 5], "oldest events evicted first");
+    }
+
+    #[test]
+    fn absorb_merges_rings_and_files_metrics_by_shard() {
+        let mut root = Recorder::new(0, 8);
+        root.record(SimTime::from_nanos(1), pkt(10));
+        let mut a = Recorder::new(1, 8);
+        a.record(SimTime::from_nanos(2), pkt(20));
+        a.record(SimTime::from_nanos(2), pkt(21));
+        let mut b = Recorder::new(2, 8);
+        b.record(SimTime::from_nanos(1), pkt(30));
+        root.absorb(a);
+        root.absorb(b);
+        assert_eq!(root.shards.len(), 2);
+        assert_eq!(root.shards[&1].enqueues, 2);
+        assert_eq!(root.shards[&2].enqueues, 1);
+        assert_eq!(root.total_metrics().enqueues, 4);
+
+        let mut evs = root.take_sim();
+        merge_stamped(&mut evs);
+        let order: Vec<(u64, u32)> = evs.iter().map(|s| (s.at.as_nanos(), s.src)).collect();
+        assert_eq!(order, vec![(1, 0), (1, 2), (2, 1), (2, 1)]);
+    }
+
+    #[test]
+    fn metrics_add_uses_max_for_high_water() {
+        let mut a = Metrics {
+            events_executed: 10,
+            queue_high_water: 7,
+            ..Metrics::default()
+        };
+        let b = Metrics {
+            events_executed: 5,
+            queue_high_water: 3,
+            ..Metrics::default()
+        };
+        a.add(&b);
+        assert_eq!(a.events_executed, 15);
+        assert_eq!(a.queue_high_water, 7);
+    }
+
+    #[test]
+    fn pairs_cover_every_counter_once() {
+        let names: Vec<&str> = Metrics::default().pairs().iter().map(|p| p.0).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len());
+        assert!(names.contains(&"events_executed"));
+        assert!(names.contains(&"exchange_bits"));
+        assert!(names.contains(&"busy_ns"));
+    }
+}

@@ -29,6 +29,7 @@ use crate::keytable::KeyTable;
 use crate::messages::{SessionJoin, Subscription, SubscriptionAck, Unsubscription};
 use mcc_delta::{ecn::scramble_marked_component, Key};
 use mcc_netsim::prelude::*;
+use mcc_netsim::TraceEvent;
 use mcc_simcore::{SimDuration, SimTime};
 use std::collections::{BTreeSet, HashMap, HashSet};
 
@@ -258,6 +259,12 @@ impl SigmaEdgeModule {
                     && self.stats.first_guess_alarm_slot.is_none()
                 {
                     self.stats.first_guess_alarm_slot = Some(self.current_slot);
+                    env.trace(TraceEvent::SigmaAlarm {
+                        node: env.node.0,
+                        iface: iface.0,
+                        group: group.0,
+                        slot: self.current_slot,
+                    });
                 }
             }
         }
@@ -348,6 +355,12 @@ impl EdgeModule for SigmaEdgeModule {
                 // at least one slot (paper §3.2.2).
                 self.grace.remove(&(iface, group));
                 self.lockout.insert((iface, group), pkt_slot + 1);
+                env.trace(TraceEvent::SigmaLockout {
+                    node: env.node.0,
+                    iface: iface.0,
+                    group: group.0,
+                    until_slot: pkt_slot + 1,
+                });
                 if self.stats.first_lockout_slot.is_none() {
                     self.stats.first_lockout_slot = Some(self.current_slot);
                 }
@@ -358,6 +371,20 @@ impl EdgeModule for SigmaEdgeModule {
             self.stats.data_denied += 1;
             false
         };
+        if env.trace_on {
+            let layer = self
+                .guard
+                .as_ref()
+                .and_then(|g| g.layer_of(group))
+                .unwrap_or(u32::MAX);
+            env.trace(TraceEvent::SigmaFilter {
+                node: env.node.0,
+                iface: iface.0,
+                group: group.0,
+                layer,
+                allowed,
+            });
+        }
         if allowed {
             let marked = pkt.ecn == Ecn::Marked;
             // Only take the mutable borrow when something will actually be
@@ -504,6 +531,7 @@ mod tests {
             node: NodeId(0),
             rng,
             actions: Vec::new(),
+            trace_on: false,
         }
     }
 

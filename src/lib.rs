@@ -17,13 +17,15 @@
 //! * [`sigma`] — SIGMA edge-router group management (paper §3.2),
 //! * [`attack`] — the pluggable adversary subsystem (strategies + schedulers),
 //! * [`flid`] — FLID-DL, FLID-DS and the replicated/threshold variants,
-//! * [`core`] — scenario builders, experiments and metrics.
+//! * [`core`] — scenario builders, experiments and metrics,
+//! * [`obs`] — sim-time flight recorder, metrics and trace sinks.
 
 pub use mcc_attack as attack;
 pub use mcc_core as core;
 pub use mcc_delta as delta;
 pub use mcc_flid as flid;
 pub use mcc_netsim as netsim;
+pub use mcc_obs as obs;
 pub use mcc_sigma as sigma;
 pub use mcc_simcore as simcore;
 pub use mcc_tcp as tcp;

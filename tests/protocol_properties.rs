@@ -105,6 +105,7 @@ mod sigma_containment {
             node: NodeId(0),
             rng,
             actions: Vec::new(),
+            trace_on: false,
         }
     }
 

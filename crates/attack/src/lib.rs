@@ -161,6 +161,30 @@ pub trait Adversary: std::fmt::Debug + Send {
     fn parallel_safe(&self) -> bool {
         false
     }
+
+    /// True when, from `after` onward, every hook is guaranteed to stay a
+    /// no-op forever: no activations, no per-slot actions, no vetoes, no
+    /// overrides. Receiver cohorts use this to *contract*: a diverged
+    /// bucket whose adversary has burnt out folds back into the honest
+    /// bucket. The default is the safe `false` (never claim inertness);
+    /// only strategies that can prove it ([`Honest`], an activated
+    /// [`Timed`] over an inert inner, an [`All`] of inert members)
+    /// override it.
+    fn is_inert(&self, after: SimTime) -> bool {
+        let _ = after;
+        false
+    }
+
+    /// The instant before which every hook is guaranteed to be a no-op
+    /// (exclusive), when the strategy can prove one: `Some(t)` means the
+    /// receiver behaves exactly like an honest one on `[start, t)`.
+    /// Receiver cohorts use this to *defer expansion* — an adversarial
+    /// member rides inside the honest bucket until its onset instead of
+    /// costing a full state machine from t = 0. `None` (the default)
+    /// claims nothing and forces an individual bucket from the start.
+    fn dormant_until(&self) -> Option<SimTime> {
+        None
+    }
 }
 
 impl Clone for Box<dyn Adversary> {

@@ -30,6 +30,12 @@ impl Adversary for Honest {
     fn parallel_safe(&self) -> bool {
         true
     }
+    fn is_inert(&self, _after: SimTime) -> bool {
+        true
+    }
+    fn dormant_until(&self) -> Option<SimTime> {
+        Some(SimTime::MAX)
+    }
 }
 
 /// Inflated subscription (paper §2): grab every group up to `layer` and
@@ -391,6 +397,16 @@ impl Adversary for Timed {
     fn parallel_safe(&self) -> bool {
         self.inner.parallel_safe()
     }
+    fn is_inert(&self, after: SimTime) -> bool {
+        // Before the onset the wrapper still has its activation ahead of
+        // it; afterwards the question is the inner strategy's alone.
+        after >= self.at && self.inner.is_inert(after)
+    }
+    fn dormant_until(&self) -> Option<SimTime> {
+        // Every hook above gates on `env.now >= at`, so the wrapper is
+        // provably honest-equivalent on `[start, at)` whatever it wraps.
+        Some(self.at)
+    }
 }
 
 /// Run several strategies simultaneously: actions concatenate in order,
@@ -450,6 +466,17 @@ impl Adversary for All {
     }
     fn parallel_safe(&self) -> bool {
         self.0.iter().all(|a| a.parallel_safe())
+    }
+    fn is_inert(&self, after: SimTime) -> bool {
+        self.0.iter().all(|a| a.is_inert(after))
+    }
+    fn dormant_until(&self) -> Option<SimTime> {
+        // Dormant only while *every* member is: the earliest onset wins,
+        // and a single member that can't prove dormancy poisons the claim.
+        self.0
+            .iter()
+            .map(|a| a.dormant_until())
+            .try_fold(SimTime::MAX, |acc, d| d.map(|t| acc.min(t)))
     }
 }
 
@@ -577,6 +604,38 @@ mod tests {
         );
         assert!(a.on_congestion_signal(&env), "any member may veto");
         assert_eq!(a.label(), "inflate+key_guess(10)+ignore_decrease");
+    }
+
+    #[test]
+    fn inertness_and_dormancy_claims_are_conservative() {
+        assert!(Honest.is_inert(SimTime::ZERO));
+        assert_eq!(Honest.dormant_until(), Some(SimTime::MAX));
+        let t = Timed::at(SimTime::from_secs(10), Honest);
+        assert_eq!(t.dormant_until(), Some(SimTime::from_secs(10)));
+        assert!(!t.is_inert(SimTime::from_secs(5)), "activation still ahead");
+        assert!(t.is_inert(SimTime::from_secs(10)), "burnt out after onset");
+        let live = Timed::at(SimTime::from_secs(10), InflateTo::all());
+        assert!(
+            !live.is_inert(SimTime::from_secs(20)),
+            "inflation never burns out"
+        );
+        let both = All::of(vec![
+            Box::new(Timed::at(SimTime::from_secs(4), Honest)),
+            Box::new(Timed::at(SimTime::from_secs(9), Honest)),
+        ]);
+        assert_eq!(both.dormant_until(), Some(SimTime::from_secs(4)));
+        assert!(both.is_inert(SimTime::from_secs(9)));
+        assert!(!both.is_inert(SimTime::from_secs(5)));
+        let poisoned = All::of(vec![
+            Box::new(IgnoreDecrease),
+            Box::new(Timed::at(SimTime::from_secs(9), Honest)),
+        ]);
+        assert_eq!(
+            poisoned.dormant_until(),
+            None,
+            "an immediately-active member denies dormancy"
+        );
+        assert!(KeyGuess { rate: 1 }.dormant_until().is_none());
     }
 
     #[test]

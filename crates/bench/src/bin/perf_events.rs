@@ -10,7 +10,10 @@
 //! at, both events/sec columns, and (full size only) the speedup over
 //! the pinned pre-refactor baseline. CI smoke-runs `--quick` into a
 //! scratch dir and separately gates the *committed* trajectory in
-//! `results/BENCH_perf.json` against >10% regressions.
+//! `results/BENCH_perf.json` on machine-independent invariants (event
+//! determinism, sharded/serial ratio — absolute events/sec proved
+//! non-comparable across the machines that appended entries; see the
+//! root-shard-load note in `crates/netsim/src/shard.rs`).
 //!
 //! ```text
 //! perf_events                    # full population (2000 receivers, 30 s)
@@ -21,6 +24,7 @@
 
 use std::path::PathBuf;
 
+use mcc_bench::perf_log::{append_entry, commit_short, parse_at_least_one};
 use mcc_core::experiments::{
     perf_events, perf_events_sharded, PERF_FULL as FULL, PERF_QUICK as QUICK, PERF_SEED as SEED,
 };
@@ -50,20 +54,6 @@ pub struct Baseline {
     pub events_per_sec: f64,
 }
 
-/// Short hash of the commit being measured, for the trajectory entry.
-/// Falls back to `"unknown"` outside a git checkout.
-fn commit_short() -> String {
-    std::process::Command::new("git")
-        .args(["rev-parse", "--short", "HEAD"])
-        .output()
-        .ok()
-        .filter(|o| o.status.success())
-        .and_then(|o| String::from_utf8(o.stdout).ok())
-        .map(|s| s.trim().to_string())
-        .filter(|s| !s.is_empty())
-        .unwrap_or_else(|| "unknown".into())
-}
-
 /// Header of a fresh trajectory file, minus the entries array.
 fn trajectory_header() -> Vec<(&'static str, Json)> {
     let b = BASELINE_FULL;
@@ -80,37 +70,6 @@ fn trajectory_header() -> Vec<(&'static str, Json)> {
             ]),
         ),
     ]
-}
-
-/// Append `entry` to the trajectory at `path`. An existing trajectory
-/// (this binary's own compact format: `..."entries":[...]}`) is spliced
-/// in place so history survives; anything else — missing file, the
-/// pre-trajectory single-snapshot schema — starts a fresh one-entry
-/// trajectory.
-fn append_entry(path: &std::path::Path, entry: &Json) -> std::io::Result<()> {
-    let entry = entry.to_string();
-    let spliced = std::fs::read_to_string(path).ok().and_then(|old| {
-        let old = old.trim_end().to_string();
-        if !old.contains("\"entries\":[") || !old.ends_with("]}") {
-            return None;
-        }
-        let body = &old[..old.len() - 2];
-        let sep = if body.ends_with('[') { "" } else { "," };
-        Some(format!("{body}{sep}{entry}]}}"))
-    });
-    let content = spliced.unwrap_or_else(|| {
-        let mut fields = trajectory_header();
-        fields.push(("entries", Json::Arr(vec![Json::Null])));
-        let skeleton = Json::Obj(
-            fields
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect(),
-        )
-        .to_string();
-        skeleton.replace("\"entries\":[null]", &format!("\"entries\":[{entry}]"))
-    });
-    std::fs::write(path, content + "\n")
 }
 
 fn main() {
@@ -134,11 +93,12 @@ fn main() {
         match arg.as_str() {
             "--quick" | "-q" => quick = true,
             "--out" | "-o" => out_dir = PathBuf::from(value("--out")),
-            "--receivers" => receivers = Some(value("--receivers").parse().expect("usize")),
-            "--secs" => secs = Some(value("--secs").parse().expect("u64")),
+            "--receivers" => {
+                receivers = Some(parse_at_least_one("--receivers", &value("--receivers")) as usize);
+            }
+            "--secs" => secs = Some(parse_at_least_one("--secs", &value("--secs"))),
             "--shard-workers" => {
-                workers = value("--shard-workers").parse().expect("usize");
-                workers = workers.max(1);
+                workers = parse_at_least_one("--shard-workers", &value("--shard-workers")) as usize;
             }
             other => {
                 eprintln!(
@@ -203,6 +163,6 @@ fn main() {
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent).expect("create output dir");
     }
-    append_entry(&path, &entry).expect("write BENCH_perf.json");
+    append_entry(&path, trajectory_header(), &entry).expect("write BENCH_perf.json");
     println!("Trajectory entry appended to {}.", path.display());
 }

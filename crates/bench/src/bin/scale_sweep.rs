@@ -1,0 +1,125 @@
+//! `scale_sweep` — the million-receiver macro-benchmark.
+//!
+//! Sweeps the modeled receiver population of a paper dumbbell from 10³
+//! to 10⁶ while holding the simulated world at `SCALE_HOSTS` cohort
+//! hosts (FLID-DS, full DELTA + SIGMA enforcement, two TCP flows). Each
+//! point records events/sec, the process peak RSS (`VmHWM`), the RSS
+//! rise attributable to the point, bytes per modeled receiver, and the
+//! SIGMA grant-slab interning ratio — then asserts the per-receiver
+//! memory ceiling (`scale_ceiling_bytes_per_receiver`). Because cohorts
+//! collapse synchronized receivers into O(distinct behaviours) state,
+//! events and protocol bytes are identical across the whole sweep; only
+//! the modeled population (and the per-receiver cost) changes.
+//!
+//! One entry per run is **appended** to the `BENCH_perf.json` trajectory
+//! (shared with `perf_events`) under a `"scale"` key, so scale history
+//! accumulates per commit alongside the events/sec history.
+//!
+//! ```text
+//! scale_sweep              # full sweep: 10^3, 10^4, 10^5, 10^6 receivers
+//! scale_sweep --quick      # CI smoke: 10^3, 10^4
+//! scale_sweep --secs 5 --out /tmp
+//! ```
+
+use std::path::PathBuf;
+
+use mcc_bench::perf_log::{append_entry, commit_short, parse_at_least_one};
+use mcc_core::experiments::{SCALE_FULL, SCALE_HOSTS, SCALE_QUICK, SCALE_SECS, SCALE_SEED};
+use mcc_core::registry::{scale_point_checked, scale_row_json};
+use mcc_core::runner::Json;
+use mcc_core::RunConfig;
+
+/// Header of a fresh trajectory file, minus the entries array. Matches
+/// the `perf_events` schema so either binary can seed the shared file.
+fn trajectory_header() -> Vec<(&'static str, Json)> {
+    vec![
+        ("suite", Json::Str("robust-multicast-perf".into())),
+        ("scenario", Json::Str("cohort_dumbbell_flid_ds".into())),
+        ("seed", Json::U64(SCALE_SEED)),
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let env = RunConfig::from_env();
+    let mut quick = env.quick;
+    let mut out_dir = env.out_dir;
+    let mut secs = SCALE_SECS;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("{flag} needs a value");
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match arg.as_str() {
+            "--quick" | "-q" => quick = true,
+            "--out" | "-o" => out_dir = PathBuf::from(value("--out")),
+            "--secs" => secs = parse_at_least_one("--secs", &value("--secs")),
+            other => {
+                eprintln!("unknown argument {other:?} (try --quick, --secs S, --out DIR)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let points = if quick { SCALE_QUICK } else { SCALE_FULL };
+
+    println!(
+        "scale_sweep: {} cohort hosts, {secs} s simulated per point, seed {SCALE_SEED}...",
+        SCALE_HOSTS
+    );
+    let mut rows = Vec::with_capacity(points.len());
+    for &n in points {
+        // Ascending order is load-bearing: each point's RSS delta reads
+        // the rise of the monotone VmHWM high-water mark.
+        let row = scale_point_checked(n, secs, SCALE_SEED);
+        println!(
+            "  {:>9} receivers on {:>3} hosts: {} events, {:.0} events/sec, \
+             peak RSS {:.1} MiB (+{:.1} MiB), {:.2} bytes/receiver, \
+             grant tables {}/{} interfaces, {:.0} bps/receiver",
+            row.receivers,
+            row.hosts,
+            row.events,
+            row.events_per_sec,
+            row.peak_rss_bytes as f64 / (1024.0 * 1024.0),
+            row.rss_delta_bytes as f64 / (1024.0 * 1024.0),
+            row.bytes_per_receiver,
+            row.grant_tables,
+            row.grant_ifaces,
+            row.mean_receiver_bps
+        );
+        rows.push(row);
+    }
+
+    // Cohorts make the simulated work independent of the modeled
+    // population: every point must process the identical event count.
+    for w in rows.windows(2) {
+        assert_eq!(
+            w[0].events, w[1].events,
+            "event count changed with population ({} receivers: {}, {} receivers: {})",
+            w[0].receivers, w[0].events, w[1].receivers, w[1].events
+        );
+    }
+
+    let entry = Json::obj([
+        ("commit", Json::Str(commit_short())),
+        (
+            "mode",
+            Json::Str(if quick { "quick" } else { "full" }.into()),
+        ),
+        (
+            "scale",
+            Json::Arr(rows.iter().map(scale_row_json).collect()),
+        ),
+    ]);
+
+    let path = out_dir.join("BENCH_perf.json");
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).expect("create output dir");
+    }
+    append_entry(&path, trajectory_header(), &entry).expect("write BENCH_perf.json");
+    println!("Trajectory entry appended to {}.", path.display());
+}

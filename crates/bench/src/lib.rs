@@ -28,6 +28,7 @@ use std::path::PathBuf;
 use mcc_core::RunConfig;
 
 pub mod cli;
+pub mod perf_log;
 pub mod trace;
 
 /// Where reports and CSVs land (`MCC_OUT`, else `results`), created on

@@ -1,0 +1,114 @@
+//! Shared plumbing of the perf-trajectory binaries (`perf_events`,
+//! `scale_sweep`): commit stamping, strict CLI number parsing, and the
+//! append-in-place splice onto `results/BENCH_perf.json`.
+//!
+//! Both binaries write *entries* into the same trajectory file — one per
+//! measured commit — so history accumulates across PRs instead of being
+//! overwritten. The splice understands exactly the compact format these
+//! binaries emit (`…"entries":[…]}`); anything else (missing file, the
+//! pre-trajectory single-snapshot schema) starts a fresh trajectory from
+//! the caller-supplied header.
+
+use std::path::Path;
+
+use mcc_core::runner::Json;
+
+/// Short hash of the commit being measured, for the trajectory entry.
+/// Falls back to `"unknown"` outside a git checkout.
+pub fn commit_short() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// Parse a CLI numeric argument that must be ≥ 1. Zero, negative,
+/// non-numeric and overflowing values all exit with status 1 and a
+/// message naming the flag — a zero-receiver or zero-second benchmark
+/// would "succeed" with a meaningless trajectory entry otherwise.
+pub fn parse_at_least_one(flag: &str, value: &str) -> u64 {
+    match value.parse::<u64>() {
+        Ok(v) if v >= 1 => v,
+        _ => {
+            eprintln!("{flag} must be an integer >= 1 (got {value:?})");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Append `entry` to the trajectory at `path`. An existing trajectory in
+/// the binaries' own compact format (`…"entries":[…]}`) is spliced in
+/// place so history survives; anything else starts a fresh one-entry
+/// trajectory under `header` (the top-level fields before `entries`).
+pub fn append_entry(
+    path: &Path,
+    header: Vec<(&'static str, Json)>,
+    entry: &Json,
+) -> std::io::Result<()> {
+    let entry = entry.to_string();
+    let spliced = std::fs::read_to_string(path).ok().and_then(|old| {
+        let old = old.trim_end().to_string();
+        if !old.contains("\"entries\":[") || !old.ends_with("]}") {
+            return None;
+        }
+        let body = &old[..old.len() - 2];
+        let sep = if body.ends_with('[') { "" } else { "," };
+        Some(format!("{body}{sep}{entry}]}}"))
+    });
+    let content = spliced.unwrap_or_else(|| {
+        let mut fields = header;
+        fields.push(("entries", Json::Arr(vec![Json::Null])));
+        let skeleton = Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+        .to_string();
+        skeleton.replace("\"entries\":[null]", &format!("\"entries\":[{entry}]"))
+    });
+    std::fs::write(path, content + "\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_splices_existing_trajectories_and_seeds_fresh_ones() {
+        let dir = std::env::temp_dir().join("mcc_perf_log_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_perf.json");
+        let _ = std::fs::remove_file(&path);
+
+        let header = || vec![("suite", Json::Str("s".into()))];
+        let e1 = Json::obj([("commit", Json::Str("aaa".into()))]);
+        append_entry(&path, header(), &e1).unwrap();
+        let got = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            got,
+            "{\"suite\":\"s\",\"entries\":[{\"commit\":\"aaa\"}]}\n"
+        );
+
+        let e2 = Json::obj([("commit", Json::Str("bbb".into()))]);
+        append_entry(&path, header(), &e2).unwrap();
+        let got = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            got,
+            "{\"suite\":\"s\",\"entries\":[{\"commit\":\"aaa\"},{\"commit\":\"bbb\"}]}\n"
+        );
+
+        // A non-trajectory file is replaced by a fresh trajectory, not
+        // corrupted by a blind splice.
+        std::fs::write(&path, "{\"snapshot\":true}").unwrap();
+        append_entry(&path, header(), &e1).unwrap();
+        let got = std::fs::read_to_string(&path).unwrap();
+        assert!(got.ends_with("\"entries\":[{\"commit\":\"aaa\"}]}\n"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,63 @@
+//! CLI bounds validation of the perf binaries: numeric flags must be
+//! ≥ 1, and violations exit with status 1 (not a panic, not a
+//! "successful" run of a meaningless zero-size benchmark).
+
+use std::process::Command;
+
+fn run(bin: &str, args: &[&str]) -> std::process::Output {
+    Command::new(bin)
+        .args(args)
+        .env("MCC_OUT", std::env::temp_dir().join("mcc_cli_validation"))
+        .output()
+        .expect("spawn binary")
+}
+
+#[test]
+fn perf_events_rejects_zero_receivers() {
+    let out = run(env!("CARGO_BIN_EXE_perf_events"), &["--receivers", "0"]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("--receivers must be an integer >= 1"),
+        "stderr names the flag and the bound: {err}"
+    );
+}
+
+#[test]
+fn perf_events_rejects_zero_secs_and_garbage() {
+    let out = run(env!("CARGO_BIN_EXE_perf_events"), &["--secs", "0"]);
+    assert_eq!(out.status.code(), Some(1));
+    let out = run(env!("CARGO_BIN_EXE_perf_events"), &["--secs", "ten"]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--secs"), "stderr names the flag: {err}");
+}
+
+#[test]
+fn perf_events_rejects_zero_shard_workers() {
+    let out = run(env!("CARGO_BIN_EXE_perf_events"), &["--shard-workers", "0"]);
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn scale_sweep_rejects_zero_secs() {
+    let out = run(env!("CARGO_BIN_EXE_scale_sweep"), &["--secs", "0"]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("--secs must be an integer >= 1"),
+        "stderr names the flag and the bound: {err}"
+    );
+}
+
+#[test]
+fn unknown_flags_exit_with_usage_error() {
+    for bin in [
+        env!("CARGO_BIN_EXE_perf_events"),
+        env!("CARGO_BIN_EXE_scale_sweep"),
+    ] {
+        let out = run(bin, &["--bogus"]);
+        assert_eq!(out.status.code(), Some(2));
+        assert!(String::from_utf8_lossy(&out.stderr).contains("unknown argument"));
+    }
+}

@@ -10,7 +10,7 @@ use crate::config::Params;
 use crate::dumbbell::{CbrSpec, Dumbbell, McastSessionSpec, ReceiverSpec, SessionHandle};
 use crate::metrics::{damage, Damage, Series};
 use crate::scenario::{Scenario, Units, Variant};
-use crate::topology::BuiltTopology;
+use crate::topology::{BuiltTopology, Topology, TopologySpec};
 use mcc_attack::{
     All, AttackPlan, Colluders, CollusionSet, IgnoreDecrease, InflateTo, JoinLeaveFlap, KeyGuess,
     Placement, Timed,
@@ -1469,4 +1469,145 @@ pub fn perf_events_sharded(
         events_per_sec: events as f64 / wall.max(1e-9),
     };
     (row, per_shard)
+}
+
+/// The registered seed of the `scale_sweep` experiment.
+pub const SCALE_SEED: u64 = 47;
+/// Full-size `scale_sweep` receiver populations, in ascending order (the
+/// sweep relies on monotone ordering for its peak-RSS deltas).
+pub const SCALE_FULL: &[u64] = &[1_000, 10_000, 100_000, 1_000_000];
+/// Quick-mode (CI smoke) populations.
+pub const SCALE_QUICK: &[u64] = &[1_000, 10_000];
+/// Simulated horizon of every sweep point, seconds.
+pub const SCALE_SECS: u64 = 10;
+/// Cohort hosts per point: `min(SCALE_HOSTS, receivers)` edge interfaces,
+/// each carrying a cohort of `receivers / hosts` members.
+pub const SCALE_HOSTS: u64 = 100;
+
+/// One point of the [`scale_point`] sweep.
+#[derive(Clone, Debug)]
+pub struct ScaleRow {
+    /// Modeled receiver population (sum of cohort counts).
+    pub receivers: u64,
+    /// Cohort hosts (edge interfaces) carrying that population.
+    pub hosts: u64,
+    /// Simulated horizon in seconds.
+    pub sim_secs: u64,
+    /// Events the loop processed.
+    pub events: u64,
+    /// Wall-clock spent inside `run_until` (excludes scenario assembly).
+    pub wall_secs: f64,
+    /// `events / wall_secs`.
+    pub events_per_sec: f64,
+    /// `VmHWM` after the point ran (0 where `/proc` is unavailable).
+    pub peak_rss_bytes: u64,
+    /// How much this point raised the process peak (its memory bill; a
+    /// lower bound when an earlier peak already covered it).
+    pub rss_delta_bytes: u64,
+    /// `rss_delta_bytes / receivers` — the headline O(1)-per-receiver
+    /// claim, asserted against [`scale_ceiling_bytes_per_receiver`].
+    pub bytes_per_receiver: f64,
+    /// SIGMA grant state at the end of the run: host-facing interfaces
+    /// holding grants…
+    pub grant_ifaces: u64,
+    /// …and *distinct* interned tables behind them (the slab win).
+    pub grant_tables: u64,
+    /// Count-weighted mean per-receiver goodput over the second half of
+    /// the horizon, bit/s — a sanity anchor that the scaled world still
+    /// simulates the protocol rather than an empty loop.
+    pub mean_receiver_bps: f64,
+}
+
+/// Process peak resident set (`VmHWM`) in bytes, from
+/// `/proc/self/status`. Returns 0 on platforms without procfs — callers
+/// treat 0 as "unmeasured", and the memory-ceiling asserts are skipped.
+pub fn peak_rss_bytes() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    let kb: u64 = rest
+                        .trim()
+                        .trim_end_matches("kB")
+                        .trim()
+                        .parse()
+                        .unwrap_or(0);
+                    return kb * 1024;
+                }
+            }
+        }
+    }
+    0
+}
+
+/// Memory ceiling asserted for a sweep point, bytes per modeled receiver.
+/// Cohorts make per-receiver state O(distinct behaviours), so the budget
+/// *falls* by roughly a decade per population decade: the fixed world
+/// cost (hosts, links, queues, monitor bins) amortizes over ever more
+/// receivers. The small-population ceilings are deliberately loose —
+/// allocator warm-up and procfs granularity dominate there.
+pub fn scale_ceiling_bytes_per_receiver(receivers: u64) -> f64 {
+    match receivers {
+        0..=9_999 => 1_048_576.0,      // 1 MiB — sanity only
+        10_000..=99_999 => 131_072.0,  // 128 KiB
+        100_000..=999_999 => 16_384.0, // 16 KiB
+        _ => 2_048.0,                  // 2 KiB at a million receivers
+    }
+}
+
+/// One point of the million-receiver scale sweep: a paper dumbbell with
+/// `min(SCALE_HOSTS, receivers)` cohort hosts behind the bottleneck, each
+/// a [`CohortReceiver`](mcc_flid::CohortReceiver) of `receivers / hosts`
+/// synchronized honest members, FLID-DS with full DELTA + SIGMA edge
+/// enforcement, plus two TCP Reno flows. Event count and every protocol
+/// byte are deterministic in `seed`; wall-clock and RSS fields are not.
+///
+/// Simulation work scales with *hosts* (packet replication per edge
+/// interface) while modeled receivers scale with cohort counts — so
+/// events/sec stays flat and bytes/receiver collapses as the population
+/// grows. That separation is the tentpole claim this sweep charts.
+pub fn scale_point(receivers: u64, duration_secs: u64, seed: u64) -> ScaleRow {
+    let hosts = receivers.min(SCALE_HOSTS);
+    let base = receivers / hosts;
+    let extra = receivers % hosts;
+    let rss_before = peak_rss_bytes();
+    let mut spec = TopologySpec::new(Topology::Dumbbell, seed, 10_000_000);
+    let mut session = McastSessionSpec::new(Variant::FlidDs);
+    for h in 0..hosts {
+        let count = base + u64::from(h < extra);
+        session = session.receiver(ReceiverSpec::new().cohort(count));
+    }
+    spec.mcast = vec![session];
+    spec.tcp = 2;
+    let mut t = spec.build();
+    // detlint: allow(wall-clock) — events/sec reporting; never feeds sim state
+    let wall = std::time::Instant::now();
+    t.run_secs(duration_secs);
+    let wall = wall.elapsed().as_secs_f64();
+    let events = t.sim.world.processed_events();
+    let (grant_ifaces, grant_tables) = t
+        .sigmas()
+        .map(|s| s.grant_interning())
+        .fold((0u64, 0u64), |(i, d), (si, sd)| {
+            (i + si as u64, d + sd as u64)
+        });
+    let mean_receiver_bps =
+        t.session_mean_receiver_bps(&t.sessions[0], duration_secs / 2, duration_secs);
+    let rss_after = peak_rss_bytes();
+    let rss_delta = rss_after.saturating_sub(rss_before);
+    ScaleRow {
+        receivers,
+        hosts,
+        sim_secs: duration_secs,
+        events,
+        wall_secs: wall,
+        events_per_sec: events as f64 / wall.max(1e-9),
+        peak_rss_bytes: rss_after,
+        rss_delta_bytes: rss_delta,
+        bytes_per_receiver: rss_delta as f64 / receivers.max(1) as f64,
+        grant_ifaces,
+        grant_tables,
+        mean_receiver_bps,
+    }
 }

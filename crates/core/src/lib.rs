@@ -61,4 +61,4 @@ pub use runner::{
     figure_experiments, run_parallel, run_serial, ExperimentRecord, ExperimentSpec, Json, Report,
 };
 pub use scenario::{Scenario, Units, Variant};
-pub use topology::{BuiltTopology, Topology, TopologySpec};
+pub use topology::{cohort_receiver, BuiltTopology, Topology, TopologySpec};

@@ -496,6 +496,65 @@ pub fn sharded_row_json(r: &experiments::PerfRow, per_shard: &[u64], workers: us
     ])
 }
 
+/// Canonical JSON of one [`experiments::ScaleRow`] — shared by the
+/// registry body below and the `scale_sweep` binary in `mcc-bench`.
+pub fn scale_row_json(r: &experiments::ScaleRow) -> Json {
+    Json::obj([
+        ("receivers", Json::U64(r.receivers)),
+        ("hosts", Json::U64(r.hosts)),
+        ("sim_secs", Json::U64(r.sim_secs)),
+        ("events", Json::U64(r.events)),
+        ("wall_secs", Json::Num(r.wall_secs)),
+        ("events_per_sec", Json::Num(r.events_per_sec)),
+        ("peak_rss_bytes", Json::U64(r.peak_rss_bytes)),
+        ("rss_delta_bytes", Json::U64(r.rss_delta_bytes)),
+        ("bytes_per_receiver", Json::Num(r.bytes_per_receiver)),
+        ("grant_ifaces", Json::U64(r.grant_ifaces)),
+        ("grant_tables", Json::U64(r.grant_tables)),
+        ("mean_receiver_bps", Json::Num(r.mean_receiver_bps)),
+    ])
+}
+
+/// Run one sweep point and enforce its memory ceiling. RSS deltas are
+/// only meaningful when procfs is available and the point actually
+/// raised the process peak; a zero reading is "unmeasured", not "free".
+pub fn scale_point_checked(n: u64, secs: u64, seed: u64) -> experiments::ScaleRow {
+    let row = experiments::scale_point(n, secs, seed);
+    let ceiling = experiments::scale_ceiling_bytes_per_receiver(n);
+    if row.peak_rss_bytes > 0 {
+        assert!(
+            row.bytes_per_receiver <= ceiling,
+            "scale_sweep: {} receivers cost {:.1} bytes/receiver (ceiling {:.0})",
+            n,
+            row.bytes_per_receiver,
+            ceiling
+        );
+    }
+    row
+}
+
+fn scale_sweep_body(p: &Params, seed: u64) -> Json {
+    let points = if p.quick {
+        experiments::SCALE_QUICK
+    } else {
+        experiments::SCALE_FULL
+    };
+    Json::obj([
+        ("hosts", Json::U64(experiments::SCALE_HOSTS)),
+        (
+            "points",
+            Json::Arr(
+                points
+                    .iter()
+                    .map(|&n| {
+                        scale_row_json(&scale_point_checked(n, experiments::SCALE_SECS, seed))
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 fn perf_events_body(p: &Params, seed: u64) -> Json {
     let (receivers, secs) = if p.quick {
         experiments::PERF_QUICK
@@ -675,6 +734,15 @@ pub static REGISTRY: &[ExperimentDef] = &[
         seed: experiments::PERF_SEED,
         body: perf_events_body,
     },
+    ExperimentDef {
+        id: "scale_sweep",
+        figure: "",
+        describe:
+            "macro-benchmark: cohort receivers 10^3..10^6 — events/sec, peak RSS, bytes/receiver",
+        kind: Kind::Perf,
+        seed: experiments::SCALE_SEED,
+        body: scale_sweep_body,
+    },
 ];
 
 /// All registered experiments as trait objects.
@@ -774,14 +842,14 @@ mod tests {
     #[test]
     fn registry_enumerates_figures_ablations_and_matrices() {
         assert!(
-            REGISTRY.len() >= 19,
-            "12 figures + 3 ablations + 1 matrix + 2 topologies + 1 perf"
+            REGISTRY.len() >= 20,
+            "12 figures + 3 ablations + 1 matrix + 2 topologies + 2 perf"
         );
         assert_eq!(figures().len(), 12);
         assert_eq!(ablations().len(), 3);
         assert_eq!(matrices().len(), 1);
         assert_eq!(topologies().len(), 2);
-        assert_eq!(perfs().len(), 1);
+        assert_eq!(perfs().len(), 2);
         let mut ids: Vec<&str> = REGISTRY.iter().map(|d| d.id).collect();
         ids.sort_unstable();
         ids.dedup();
@@ -814,6 +882,15 @@ mod tests {
         assert_eq!(def.seed(), experiments::PERF_SEED);
         assert!(figures().iter().all(|d| d.id() != "perf_events"));
         assert_eq!(matching("perf").len(), 1, "prefix selector works");
+    }
+
+    #[test]
+    fn scale_entry_is_selectable_but_not_a_default_figure() {
+        let def = find("scale_sweep").expect("registered");
+        assert_eq!(def.kind(), Kind::Perf);
+        assert_eq!(def.seed(), experiments::SCALE_SEED);
+        assert!(figures().iter().all(|d| d.id() != "scale_sweep"));
+        assert_eq!(matching("scale").len(), 1, "prefix selector works");
     }
 
     #[test]

@@ -31,8 +31,8 @@
 use crate::scenario::Variant;
 use mcc_attack::{AttackPlan, Placement};
 use mcc_flid::{
-    FlidConfig, FlidReceiver, FlidSender, Mode, ReplicatedReceiver, ReplicatedSender,
-    ThresholdReceiver, ThresholdSender,
+    CohortReceiver, FlidConfig, FlidReceiver, FlidSender, Mode, ReplicatedReceiver,
+    ReplicatedSender, ThresholdReceiver, ThresholdSender,
 };
 use mcc_netsim::prelude::*;
 use mcc_netsim::topology::{nary_parent, nary_tree_size};
@@ -66,6 +66,12 @@ pub struct ReceiverSpec {
     pub adversary: AttackPlan,
     /// Propagation delay of the receiver's access link.
     pub access_delay: SimDuration,
+    /// Population multiplier: `1` builds one full receiver agent; `n > 1`
+    /// builds a [`CohortReceiver`] representing `n` statistically
+    /// identical receivers behind one edge interface — O(buckets) state
+    /// and events, count-weighted metrics, exact for synchronized slots
+    /// (FLID variants only).
+    pub cohort: u64,
 }
 
 impl Default for ReceiverSpec {
@@ -74,6 +80,7 @@ impl Default for ReceiverSpec {
             join_at: SimTime::ZERO,
             adversary: AttackPlan::honest(),
             access_delay: SimDuration::from_millis(10),
+            cohort: 1,
         }
     }
 }
@@ -120,8 +127,13 @@ pub struct SessionHandle {
     pub cfg: FlidConfig,
     /// Sender agent.
     pub sender: AgentId,
-    /// Receiver agents, in spec order.
+    /// Receiver agents, in spec order. A cohort spec contributes ONE
+    /// agent here (its weight in `weights` carries the multiplicity).
     pub receivers: Vec<AgentId>,
+    /// Receivers represented by each agent in `receivers` (1 for an
+    /// individual, `n` for a `cohort(n)` spec). Count-weighted session
+    /// metrics divide by `weights.iter().sum()`, not `receivers.len()`.
+    pub weights: Vec<u64>,
 }
 
 /// Handles of one TCP session.
@@ -500,7 +512,9 @@ impl TopologySpec {
             };
             let sender = sim.add_agent(sender_host, sender_agent, SimTime::ZERO);
             let mut receivers = Vec::new();
+            let mut weights = Vec::new();
             for (ri, r) in m.receivers.iter().enumerate() {
+                assert!(r.cohort >= 1, "cohort multiplier must be at least 1");
                 let edge = receiver_routers[si][ri];
                 let h = sim.add_node();
                 sim.add_duplex_link(
@@ -518,29 +532,55 @@ impl TopologySpec {
                             Some(edge) => Mode::Ds { router: edge },
                             None => Mode::Dl,
                         };
-                        let mut agent =
-                            FlidReceiver::with_adversary(cfg.clone(), mode, r.adversary.clone());
-                        agent.set_control_delay(r.access_delay);
-                        Box::new(agent)
+                        if r.cohort > 1 {
+                            let mut agent =
+                                CohortReceiver::uniform(cfg.clone(), mode, r.cohort, &r.adversary);
+                            agent.set_control_delay(r.access_delay);
+                            Box::new(agent)
+                        } else {
+                            let mut agent = FlidReceiver::with_adversary(
+                                cfg.clone(),
+                                mode,
+                                r.adversary.clone(),
+                            );
+                            agent.set_control_delay(r.access_delay);
+                            Box::new(agent)
+                        }
                     }
-                    Variant::Replicated => Box::new(ReplicatedReceiver::with_adversary(
-                        cfg.clone(),
-                        router,
-                        r.adversary.clone(),
-                    )),
-                    Variant::Threshold => Box::new(ThresholdReceiver::with_adversary(
-                        cfg.clone(),
-                        THRESHOLD_THETA,
-                        router,
-                        r.adversary.clone(),
-                    )),
+                    Variant::Replicated => {
+                        assert_eq!(
+                            r.cohort, 1,
+                            "cohort receivers are FLID-only; expand Replicated \
+                             receivers individually"
+                        );
+                        Box::new(ReplicatedReceiver::with_adversary(
+                            cfg.clone(),
+                            router,
+                            r.adversary.clone(),
+                        ))
+                    }
+                    Variant::Threshold => {
+                        assert_eq!(
+                            r.cohort, 1,
+                            "cohort receivers are FLID-only; expand Threshold \
+                             receivers individually"
+                        );
+                        Box::new(ThresholdReceiver::with_adversary(
+                            cfg.clone(),
+                            THRESHOLD_THETA,
+                            router,
+                            r.adversary.clone(),
+                        ))
+                    }
                 };
                 receivers.push(sim.add_agent(h, agent, r.join_at));
+                weights.push(r.cohort);
             }
             sessions.push(SessionHandle {
                 cfg,
                 sender,
                 receivers,
+                weights,
             });
         }
 
@@ -678,6 +718,12 @@ pub fn flid_sender(sim: &Sim, id: AgentId) -> &FlidSender {
         .expect("agent is a FlidSender")
 }
 
+/// A cohort agent as its concrete type (a `cohort(n)` receiver spec).
+pub fn cohort_receiver(sim: &Sim, id: AgentId) -> &CohortReceiver {
+    sim.agent_as::<CohortReceiver>(id)
+        .expect("agent is a CohortReceiver (spec had cohort > 1)")
+}
+
 impl BuiltTopology {
     /// Run until `secs` of simulated time. With `MCC_THREADS=AxB`
     /// (`B > 1`) the run goes through the conservative parallel-in-time
@@ -713,6 +759,36 @@ impl BuiltTopology {
         flid_receiver(&self.sim, id)
     }
 
+    /// A cohort agent as its concrete type (panics for individual
+    /// receivers — check the spec's `cohort` field first).
+    pub fn cohort(&self, id: AgentId) -> &CohortReceiver {
+        cohort_receiver(&self.sim, id)
+    }
+
+    /// Count-weighted mean per-receiver throughput of a session over
+    /// `[from, to)` seconds — identical to averaging over the expanded
+    /// individual population. Individual receivers contribute their
+    /// monitor throughput at weight 1; cohorts their per-receiver
+    /// weighted ledger at weight `n`.
+    pub fn session_mean_receiver_bps(&self, session: &SessionHandle, from: u64, to: u64) -> f64 {
+        let mut num = 0.0;
+        let mut den = 0u64;
+        for (&id, &w) in session.receivers.iter().zip(&session.weights) {
+            let per_receiver = if w > 1 {
+                self.cohort(id).weighted_throughput_bps(from, to)
+            } else {
+                self.throughput_bps(id, from, to)
+            };
+            num += w as f64 * per_receiver;
+            den += w;
+        }
+        if den == 0 {
+            0.0
+        } else {
+            num / den as f64
+        }
+    }
+
     /// A sender agent as its concrete type.
     pub fn sender(&self, id: AgentId) -> &FlidSender {
         flid_sender(&self.sim, id)
@@ -743,6 +819,40 @@ mod tests {
         // Every leaf edge router got a SIGMA module (protected session).
         assert_eq!(t.edges, t.attach);
         assert_eq!(t.sigmas().count(), 4);
+    }
+
+    #[test]
+    fn cohort_spec_builds_one_agent_with_count_weighted_metrics() {
+        let build = |cohort: bool| {
+            let mut spec = TopologySpec::new(Topology::Dumbbell, 1, 1_000_000);
+            let session = if cohort {
+                McastSessionSpec::new(Variant::FlidDs).receiver(ReceiverSpec::new().cohort(3))
+            } else {
+                McastSessionSpec::honest(Variant::FlidDs, 3)
+            };
+            spec.mcast = vec![session];
+            let mut t = spec.build();
+            t.run_secs(30);
+            t
+        };
+        let ind = build(false);
+        let coh = build(true);
+        assert_eq!(coh.sessions[0].receivers.len(), 1);
+        assert_eq!(coh.sessions[0].weights, vec![3]);
+        assert_eq!(ind.sessions[0].weights, vec![1, 1, 1]);
+        let agent = coh.sessions[0].receivers[0];
+        let cohort = coh.cohort(agent);
+        assert_eq!(cohort.receiver_count(), 3);
+        assert_eq!(cohort.bucket_count(), 1);
+        // Count-weighted per-receiver throughput equals the expanded
+        // form's (synchronized receivers: every individual sees the same
+        // bytes, and the cohort's ledger is exactly that series).
+        let w_ind = ind.session_mean_receiver_bps(&ind.sessions[0], 10, 30);
+        let w_coh = coh.session_mean_receiver_bps(&coh.sessions[0], 10, 30);
+        assert!(
+            (w_ind - w_coh).abs() < 1.0,
+            "weighted per-receiver throughput: {w_ind} vs {w_coh}"
+        );
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! The substitution from FLID-DL's *dynamic layering* to static layers
 //! with explicit IGMP leave latency is documented in `DESIGN.md`.
 
+pub mod cohort;
 pub mod config;
 pub mod receiver;
 pub mod replicated;
@@ -30,6 +31,7 @@ pub mod rogue;
 pub mod sender;
 pub mod threshold_proto;
 
+pub use cohort::{CohortMember, CohortReceiver};
 pub use config::FlidConfig;
 pub use receiver::{Behavior, FlidReceiver, Mode, ReceiverStats};
 pub use replicated::{ReplicatedReceiver, ReplicatedSender};

@@ -38,9 +38,9 @@ use mcc_netsim::TraceEvent;
 use mcc_sigma::{ProtectedData, SessionJoin, Subscription, SubscriptionAck, Unsubscription};
 use mcc_simcore::{SimDuration, SimTime};
 
-const PROCESS: u64 = 0;
-const RETX: u64 = 1;
-const ATTACK: u64 = 2;
+pub(crate) const PROCESS: u64 = 0;
+pub(crate) const RETX: u64 = 1;
+pub(crate) const ATTACK: u64 = 2;
 const REJOIN: u64 = 3;
 
 /// Whether the receiver runs bare FLID-DL or SIGMA-protected FLID-DS.
@@ -95,7 +95,7 @@ impl Behavior {
 }
 
 /// Counters for tests and experiment reports.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ReceiverStats {
     /// Level decreases taken.
     pub decreases: u64,
@@ -116,7 +116,12 @@ pub struct ReceiverStats {
 }
 
 /// A FLID receiver agent.
-#[derive(Debug)]
+///
+/// `Clone` exists for the cohort expansion path ([`crate::cohort`]): a
+/// diverging member is split off as a byte-for-byte copy of the bucket
+/// it rode in. Adversaries with shared state clone correctly through
+/// [`Adversary::clone_box`].
+#[derive(Clone, Debug)]
 pub struct FlidReceiver {
     /// Session configuration (must match the sender's).
     pub cfg: FlidConfig,
@@ -147,6 +152,19 @@ pub struct FlidReceiver {
     /// Slots in which a congestion-marked packet arrived (ECN variant);
     /// same tiny-window reasoning as `obs`.
     marked_slots: Vec<u64>,
+    /// Added to every timer token this receiver schedules (and subtracted
+    /// on dispatch). Zero for a standalone agent; a cohort gives each
+    /// bucket a disjoint base so one agent can multiplex many receivers'
+    /// timer chains.
+    token_base: u64,
+    /// Cohort mode: group membership is managed by the enclosing agent
+    /// (the union over buckets), so joins/leaves only record into
+    /// `desired` instead of reaching the `Ctx`.
+    managed: bool,
+    /// Desired membership per group index — what this receiver *wants*
+    /// joined. Maintained in both modes so state digests line up across
+    /// standalone and cohort instances of the same receiver.
+    desired: Vec<bool>,
     /// `(time, level)` trace for the convergence figures.
     pub level_trace: Vec<(f64, u32)>,
     /// Counters.
@@ -185,6 +203,9 @@ impl FlidReceiver {
             ever_received: false,
             out_of_session: false,
             marked_slots: Vec::new(),
+            token_base: 0,
+            managed: false,
+            desired: vec![false; n],
             level_trace: Vec::new(),
             stats: ReceiverStats::default(),
         }
@@ -243,8 +264,25 @@ impl FlidReceiver {
         self.cfg.groups[(g - 1) as usize]
     }
 
+    /// Group-membership chokepoint: every join goes through here. A
+    /// standalone agent joins on the `Ctx` directly; in cohort mode the
+    /// intent is only recorded and the enclosing agent syncs the union.
+    fn group_join(&mut self, ctx: &mut Ctx, g: u32) {
+        self.desired[(g - 1) as usize] = true;
+        if !self.managed {
+            ctx.join_group(self.addr(g));
+        }
+    }
+
+    fn group_leave(&mut self, ctx: &mut Ctx, g: u32) {
+        self.desired[(g - 1) as usize] = false;
+        if !self.managed {
+            ctx.leave_group(self.addr(g));
+        }
+    }
+
     fn join_level(&mut self, ctx: &mut Ctx, g: u32) {
-        ctx.join_group(self.addr(g));
+        self.group_join(ctx, g);
         // `u64::MAX` = joined, awaiting the first packet; the real slot is
         // latched on arrival. Counting from the *join* time would treat the
         // graft-latency head of the first slot as loss.
@@ -252,7 +290,7 @@ impl FlidReceiver {
     }
 
     fn leave_level(&mut self, ctx: &mut Ctx, g: u32) {
-        ctx.leave_group(self.addr(g));
+        self.group_leave(ctx, g);
         self.joined_slot[(g - 1) as usize] = None;
     }
 
@@ -287,7 +325,7 @@ impl FlidReceiver {
         ctx.send(pkt);
         self.stats.subscriptions += 1;
         self.pending = Some((sub, 0));
-        ctx.timer_in(SimDuration::from_millis(60), RETX);
+        ctx.timer_in(SimDuration::from_millis(60), self.token_base + RETX);
     }
 
     fn send_unsubscription(&mut self, ctx: &mut Ctx, groups: Vec<GroupAddr>) {
@@ -345,7 +383,7 @@ impl FlidReceiver {
                     // honest level would strand already-joined groups.
                     let to = layer.min(self.cfg.n()).max(self.level);
                     for g in 1..=to {
-                        ctx.join_group(self.addr(g));
+                        self.group_join(ctx, g);
                         self.joined_slot[(g - 1) as usize].get_or_insert(slot);
                     }
                     self.level = to;
@@ -355,7 +393,7 @@ impl FlidReceiver {
                     // Keep hammering: raw IGMP joins (ignored by SIGMA).
                     let to = layer.min(self.cfg.n());
                     for g in 1..=to {
-                        ctx.join_group(self.addr(g));
+                        self.group_join(ctx, g);
                     }
                 }
                 AttackAction::GuessKeys { per_group, layer } => {
@@ -390,7 +428,7 @@ impl FlidReceiver {
                     // subscription reaches the router.
                     for &(g, _) in &pairs {
                         if (1..=self.cfg.n()).contains(&g) {
-                            ctx.join_group(self.addr(g));
+                            self.group_join(ctx, g);
                         }
                     }
                     if crate::rogue::send_smuggled(ctx, &self.cfg, self.router(), slot, &pairs)
@@ -621,6 +659,99 @@ impl FlidReceiver {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Cohort support (crate-internal): what `crate::cohort` needs to multiplex
+// many receiver state machines behind one agent.
+// ---------------------------------------------------------------------------
+impl FlidReceiver {
+    /// Put the receiver under cohort management: timers are namespaced
+    /// under `token_base` and group membership is recorded, not issued.
+    pub(crate) fn set_cohort_mode(&mut self, token_base: u64) {
+        self.managed = true;
+        self.token_base = token_base;
+    }
+
+    /// Move an already-managed receiver to a new token namespace (a split
+    /// clone must not answer its source bucket's timers).
+    pub(crate) fn rebase_tokens(&mut self, token_base: u64) {
+        debug_assert!(self.managed, "rebase only applies to cohort buckets");
+        self.token_base = token_base;
+    }
+
+    /// Install a different adversary (cohort split: the clone diverges).
+    pub(crate) fn install_adversary(&mut self, adversary: Box<dyn Adversary>) {
+        self.adversary = adversary;
+    }
+
+    /// Does this receiver currently want group index `gi` (0-based) joined?
+    pub(crate) fn wants_group(&self, gi: usize) -> bool {
+        self.desired.get(gi).copied().unwrap_or(false)
+    }
+
+    /// The subscription slot awaiting an ack, if any.
+    pub(crate) fn pending_sub_slot(&self) -> Option<u64> {
+        self.pending.as_ref().map(|(sub, _)| sub.slot)
+    }
+
+    /// Does `accepted` answer this receiver's pending slot-`slot`
+    /// subscription? The router echoes the exact `(group, key)` pairs it
+    /// validated, so the accepted list identifies the request it answers.
+    /// With `exact` the router accepted every requested pair; without, a
+    /// subset (some keys rejected) still matches.
+    pub(crate) fn pending_sub_answered_by(
+        &self,
+        slot: u64,
+        accepted: &[(GroupAddr, Key)],
+        exact: bool,
+    ) -> bool {
+        self.pending.as_ref().is_some_and(|(sub, _)| {
+            sub.slot == slot
+                && accepted.iter().all(|p| sub.pairs.contains(p))
+                && (!exact || accepted.len() == sub.pairs.len())
+        })
+    }
+
+    /// From `after` onward, will the adversary never act again?
+    pub(crate) fn adversary_inert(&self, after: SimTime) -> bool {
+        self.adversary.is_inert(after)
+    }
+
+    /// The next instant of this receiver's end-of-slot evaluation grid
+    /// (`k·slot + guard`, k ≥ 1) at or after `now` — where a split clone
+    /// must resume the PROCESS chain it inherited from its source bucket.
+    pub(crate) fn next_process_at(&self, now: SimTime) -> SimTime {
+        let slot = self.cfg.slot.as_nanos();
+        let guard = self.guard.as_nanos();
+        let k = now.as_nanos().saturating_sub(guard).div_ceil(slot).max(1);
+        SimTime::from_nanos(k * slot + guard)
+    }
+
+    /// A digest of every decision-relevant field. Two buckets with equal
+    /// digests (and provably inert adversaries) will behave identically
+    /// forever, so the cohort may merge them. Window vectors are sorted
+    /// because `swap_remove` order is history- but not state-relevant;
+    /// stats and traces are deliberately excluded (reporting, not state).
+    pub(crate) fn state_digest(&self) -> String {
+        let mut obs: Vec<&(u64, SlotObservation)> = self.obs.iter().collect();
+        obs.sort_by_key(|&&(s, _)| s);
+        let mut marked = self.marked_slots.clone();
+        marked.sort_unstable();
+        format!(
+            "{}|{:?}|{:?}|{}|{:?}|{}|{}|{}|{:?}|{:?}",
+            self.level,
+            self.joined_slot,
+            obs,
+            self.deaf_until,
+            self.pending,
+            self.inflated,
+            self.ever_received,
+            self.out_of_session,
+            marked,
+            self.desired,
+        )
+    }
+}
+
 impl Agent for FlidReceiver {
     // The receiver itself never draws from the world RNG and keeps all
     // state local, so its shard eligibility is exactly its adversary's:
@@ -637,14 +768,14 @@ impl Agent for FlidReceiver {
         // First slot evaluation: next boundary + guard.
         let s = self.slot_of(ctx.now());
         let next = SimTime::from_nanos((s + 1) * self.cfg.slot.as_nanos()) + self.guard;
-        ctx.timer_at(next, PROCESS);
+        ctx.timer_at(next, self.token_base + PROCESS);
         // Adversary: immediately-active strategies fire now; scheduled
         // ones get their activation timer.
         let env = self.attack_env(ctx.now(), s);
         let actions = self.adversary.on_activation(&env);
         self.apply_actions(ctx, s, actions);
         if let Some(at) = self.adversary.next_activation(ctx.now()) {
-            ctx.timer_at(at, ATTACK);
+            ctx.timer_at(at, self.token_base + ATTACK);
         }
     }
 
@@ -682,12 +813,12 @@ impl Agent for FlidReceiver {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
-        match token {
+        match token.wrapping_sub(self.token_base) {
             PROCESS => {
                 let now = ctx.now();
                 // This fires at (s+1)·slot + guard for slot s.
                 let s = self.slot_of(now - self.guard).saturating_sub(1);
-                ctx.timer_at(now + self.cfg.slot, PROCESS);
+                ctx.timer_at(now + self.cfg.slot, self.token_base + PROCESS);
                 self.handle_slot(ctx, s);
             }
             RETX => {
@@ -704,7 +835,7 @@ impl Agent for FlidReceiver {
                             ctx.send(pkt);
                             self.stats.retransmissions += 1;
                             self.pending = Some((sub, tries + 1));
-                            ctx.timer_in(SimDuration::from_millis(60), RETX);
+                            ctx.timer_in(SimDuration::from_millis(60), self.token_base + RETX);
                         }
                     }
                 }
@@ -716,7 +847,7 @@ impl Agent for FlidReceiver {
                 let actions = self.adversary.on_activation(&env);
                 self.apply_actions(ctx, slot_now, actions);
                 if let Some(at) = self.adversary.next_activation(now) {
-                    ctx.timer_at(at, ATTACK);
+                    ctx.timer_at(at, self.token_base + ATTACK);
                 }
             }
             REJOIN => {

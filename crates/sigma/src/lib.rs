@@ -30,6 +30,7 @@ pub mod keydist;
 pub mod keytable;
 pub mod messages;
 pub mod router;
+pub mod slab;
 
 pub use data::ProtectedData;
 pub use guard::CollusionGuard;
@@ -37,3 +38,4 @@ pub use keydist::{build_announcement, layered_tuples, replicated_tuples, Announc
 pub use keytable::{KeyTable, KeyTuple};
 pub use messages::{SessionJoin, Subscription, SubscriptionAck, Unsubscription};
 pub use router::{SigmaConfig, SigmaEdgeModule, SigmaStats};
+pub use slab::{GrantSlab, GrantTable};

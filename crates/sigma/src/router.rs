@@ -27,11 +27,12 @@ use crate::guard::CollusionGuard;
 use crate::keydist::parse_special;
 use crate::keytable::KeyTable;
 use crate::messages::{SessionJoin, Subscription, SubscriptionAck, Unsubscription};
+use crate::slab::GrantSlab;
 use mcc_delta::{ecn::scramble_marked_component, Key};
 use mcc_netsim::prelude::*;
 use mcc_netsim::TraceEvent;
 use mcc_simcore::{SimDuration, SimTime};
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{HashMap, HashSet};
 
 /// Timer token for the slot-maintenance tick.
 const TICK: u64 = 0;
@@ -120,8 +121,9 @@ struct Grace {
 pub struct SigmaEdgeModule {
     cfg: SigmaConfig,
     table: KeyTable,
-    /// Granted slots per (interface, group).
-    grants: HashMap<(LinkId, GroupAddr), BTreeSet<u64>>,
+    /// Granted slots per (interface, group), content-interned: equal
+    /// per-interface tables are stored once (see [`crate::slab`]).
+    grants: GrantSlab,
     /// Active grace periods.
     grace: HashMap<(LinkId, GroupAddr), Grace>,
     /// Keyless-access lockouts: (iface, group) → first slot allowed again.
@@ -146,7 +148,7 @@ impl SigmaEdgeModule {
         SigmaEdgeModule {
             cfg,
             table: KeyTable::new(),
-            grants: HashMap::new(),
+            grants: GrantSlab::new(),
             grace: HashMap::new(),
             lockout: HashMap::new(),
             protected: HashSet::new(),
@@ -206,9 +208,14 @@ impl SigmaEdgeModule {
 
     /// Does `iface` hold a grant for `(group, slot)`? (test support)
     pub fn has_grant(&self, iface: LinkId, group: GroupAddr, slot: u64) -> bool {
-        self.grants
-            .get(&(iface, group))
-            .is_some_and(|s| s.contains(&slot))
+        self.grants.contains(iface, group, slot)
+    }
+
+    /// `(interfaces, distinct tables)` held by the grant slab — the
+    /// interning win; `distinct` stays O(layer-sets) while `interfaces`
+    /// scales with the receiver population.
+    pub fn grant_interning(&self) -> (usize, usize) {
+        self.grants.interning()
     }
 
     fn grace_active(&self, g: &Grace, at_slot: u64) -> bool {
@@ -234,9 +241,9 @@ impl SigmaEdgeModule {
             };
             if ok {
                 self.stats.accepted_keys += 1;
-                let entry = self.grants.entry((iface, group)).or_default();
-                let newly = entry.is_empty() && !self.grace.contains_key(&(iface, group));
-                entry.insert(sub.slot);
+                let newly = !self.grants.has_slots(iface, group)
+                    && !self.grace.contains_key(&(iface, group));
+                self.grants.insert(iface, group, sub.slot);
                 if newly {
                     // "The edge router marks the local interface as
                     // expecting the group" — two complete slots of
@@ -310,7 +317,7 @@ impl SigmaEdgeModule {
         let unsub = pkt.body_as::<Unsubscription>().expect("checked by caller");
         self.stats.unsubscriptions += 1;
         for &group in &unsub.groups {
-            self.grants.remove(&(iface, group));
+            self.grants.remove_group(iface, group);
             self.grace.remove(&(iface, group));
             env.prune_iface(group, iface);
         }
@@ -332,10 +339,7 @@ impl EdgeModule for SigmaEdgeModule {
         self.protected.insert(group);
         let pkt_slot = pd.fields.slot;
 
-        let granted = self
-            .grants
-            .get(&(iface, group))
-            .is_some_and(|s| s.contains(&pkt_slot));
+        let granted = self.grants.contains(iface, group, pkt_slot);
         let allowed = if granted {
             self.stats.data_granted += 1;
             // Latch any pending grace to the slot the group started
@@ -468,12 +472,14 @@ impl EdgeModule for SigmaEdgeModule {
         // for this interface is pure waste — cutting it promptly is what
         // bounds the damage of a decrease to the paper's two slots.
         let min_keep = cur.saturating_sub(2);
+        // One transform per *distinct* interned table, however many
+        // interfaces share it.
+        self.grants.sweep(min_keep);
+        // `entries()` is sorted, so the prune sequence replays bit-for-bit
+        // regardless of internal hash-map order.
         let mut to_prune: Vec<(LinkId, GroupAddr)> = Vec::new();
-        // detlint: sorted — per-entry retain only; prune keys are collected
-        // and sorted below before any action is emitted
-        for (&(iface, group), slots) in self.grants.iter_mut() {
-            slots.retain(|&s| s >= min_keep);
-            let has_current = slots.iter().next_back().is_some_and(|&s| s >= cur);
+        for (iface, group) in self.grants.entries() {
+            let has_current = self.grants.max_slot(iface, group).is_some_and(|s| s >= cur);
             let grace_live = self.grace.get(&(iface, group)).is_some_and(|g| {
                 self.cfg.grace_slots > 0
                     && g.first_seen.map_or(cur <= g.opened_slot + 4, |s0| {
@@ -484,11 +490,8 @@ impl EdgeModule for SigmaEdgeModule {
                 to_prune.push((iface, group));
             }
         }
-        // Hash-map iteration order must not leak into the event sequence:
-        // sort before emitting actions so runs replay bit-for-bit.
-        to_prune.sort_unstable();
         for key in to_prune {
-            self.grants.remove(&key);
+            self.grants.remove_group(key.0, key.1);
             self.grace.remove(&key);
             env.prune_iface(key.1, key.0);
             self.stats.prunes += 1;
@@ -500,7 +503,7 @@ impl EdgeModule for SigmaEdgeModule {
             self.grace.iter().map(|(k, v)| (*k, *v)).collect();
         grace_snapshot.sort_unstable_by_key(|(k, _)| *k);
         for (key, g) in grace_snapshot {
-            if !self.grace_active(&g, cur) && !self.grants.contains_key(&key) {
+            if !self.grace_active(&g, cur) && !self.grants.has_group(key.0, key.1) {
                 self.grace.remove(&key);
                 env.prune_iface(key.1, key.0);
                 self.stats.prunes += 1;

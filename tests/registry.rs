@@ -31,6 +31,7 @@ const DESIGN_INDEX: &[(&str, &str)] = &[
     ("", "tree_placement"),
     ("", "parking_lot_fairness"),
     ("", "perf_events"),
+    ("", "scale_sweep"),
 ];
 
 #[test]
@@ -45,7 +46,7 @@ fn every_design_index_row_resolves_to_a_registered_experiment() {
             Kind::Matrix
         } else if id.starts_with("tree") || id.starts_with("parking") {
             Kind::Topology
-        } else if id.starts_with("perf") {
+        } else if id.starts_with("perf") || id.starts_with("scale") {
             Kind::Perf
         } else {
             Kind::Ablation

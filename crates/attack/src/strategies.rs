@@ -8,7 +8,7 @@
 
 use crate::{Adversary, AttackAction, AttackEnv};
 use mcc_delta::Key;
-use mcc_simcore::{SimDuration, SimTime};
+use mcc_simcore::{OnOffGrid, SimDuration, SimTime};
 use std::collections::{BTreeMap, HashSet};
 use std::sync::{Arc, Mutex};
 
@@ -137,45 +137,44 @@ impl Adversary for KeyGuess {
 
 /// Join/leave churn: alternate between a full inflation and a drop back to
 /// the minimal level every `period`, abusing graft/prune latency and
-/// SIGMA's keyless grace windows. Each activation toggles the phase.
+/// SIGMA's keyless grace windows. The attack is a thin wrapper over the
+/// workload layer's pulse-churn primitive: [`OnOffGrid`] owns the grid
+/// arithmetic and the phase, this strategy only maps the two phases onto
+/// attack actions.
 #[derive(Clone, Copy, Debug)]
 pub struct JoinLeaveFlap {
-    /// Half-cycle duration: inflate for one period, back off for the next.
-    pub period: SimDuration,
-    up: bool,
+    grid: OnOffGrid,
 }
 
 impl JoinLeaveFlap {
     /// Flap with the given half-cycle.
     pub fn new(period: SimDuration) -> JoinLeaveFlap {
         assert!(!period.is_zero(), "flap period");
-        JoinLeaveFlap { period, up: false }
+        JoinLeaveFlap {
+            grid: OnOffGrid::new(period),
+        }
     }
 }
 
 impl Adversary for JoinLeaveFlap {
     fn label(&self) -> String {
-        format!("flap({}ms)", self.period.as_nanos() / 1_000_000)
+        format!("flap({}ms)", self.grid.period().as_nanos() / 1_000_000)
     }
     fn clone_box(&self) -> Box<dyn Adversary> {
         Box::new(*self)
     }
     fn next_activation(&self, after: SimTime) -> Option<SimTime> {
-        // The k·period grid, strictly after `after`.
-        let period = self.period.as_nanos();
-        let k = after.as_nanos() / period + 1;
-        Some(SimTime::from_nanos(k * period))
+        Some(self.grid.next_after(after))
     }
     fn on_activation(&mut self, env: &AttackEnv) -> Vec<AttackAction> {
         // Self-gate to the flap grid: under a composite ([`All`]) the
         // receiver fires activations at the *union* of the members'
         // schedules, and a toggle at a sibling's instant would corrupt
         // the phase.
-        if !env.now.as_nanos().is_multiple_of(self.period.as_nanos()) {
+        if !self.grid.on_grid(env.now) {
             return Vec::new();
         }
-        self.up = !self.up;
-        if self.up {
+        if self.grid.toggle() {
             vec![AttackAction::Inflate { layer: u32::MAX }]
         } else {
             vec![AttackAction::LeaveHigh]
@@ -183,7 +182,7 @@ impl Adversary for JoinLeaveFlap {
     }
     fn on_congestion_signal(&mut self, _env: &AttackEnv) -> bool {
         // While flapped up, congestion signals are ignored wholesale.
-        self.up
+        self.grid.is_up()
     }
     fn parallel_safe(&self) -> bool {
         true

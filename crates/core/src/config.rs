@@ -232,6 +232,14 @@ pub struct Params {
     pub smoothing: usize,
     /// When set, replaces every experiment's registered seed.
     pub seed_override: Option<u64>,
+    /// When set, overrides the churn-rate axis of workload-driven
+    /// experiments (`churn_robustness`): mean receiver arrivals per
+    /// second. `None` = each experiment's registered rate points.
+    pub churn_rate: Option<f64>,
+    /// When set, overrides the flash-crowd multiplier of workload-driven
+    /// experiments: the crowd is `factor ×` the standing population.
+    /// `None` = each experiment's registered factor.
+    pub flash_factor: Option<f64>,
 }
 
 impl Default for Params {
@@ -240,6 +248,8 @@ impl Default for Params {
             quick: false,
             smoothing: Params::SMOOTHING_WINDOW,
             seed_override: None,
+            churn_rate: None,
+            flash_factor: None,
         }
     }
 }
@@ -252,7 +262,8 @@ impl Params {
     pub const CONVERGENCE_SMOOTHING: usize = 3;
     /// Every key `--sweep` / [`Params::with_override`] accepts — the CLI
     /// validates against this list up front, before any experiment runs.
-    pub const SWEEP_KEYS: &'static [&'static str] = &["seed", "smoothing", "quick"];
+    pub const SWEEP_KEYS: &'static [&'static str] =
+        &["seed", "smoothing", "quick", "churn_rate", "flash_factor"];
 
     /// Paper-exact parameters with the given quick flag.
     pub fn quick(quick: bool) -> Params {
@@ -302,6 +313,12 @@ impl Params {
             "quick" => {
                 p.quick = value != "0";
             }
+            "churn_rate" => {
+                p.churn_rate = Some(parse_rate("churn_rate", value)?);
+            }
+            "flash_factor" => {
+                p.flash_factor = Some(parse_rate("flash_factor", value)?);
+            }
             other => {
                 return Err(format!(
                     "unknown sweep key {other:?} (valid keys: {})",
@@ -311,6 +328,17 @@ impl Params {
         }
         Ok(p)
     }
+}
+
+/// Parse a non-negative finite rate/factor sweep value. Rejecting NaN and
+/// infinities here keeps them out of workload sampling (where they would
+/// produce degenerate arrival streams instead of a loud error).
+fn parse_rate(key: &str, value: &str) -> Result<f64, String> {
+    let v: f64 = value.parse().map_err(|e| format!("{key} {value:?}: {e}"))?;
+    if !v.is_finite() || v < 0.0 {
+        return Err(format!("{key} {value:?}: must be finite and non-negative"));
+    }
+    Ok(v)
 }
 
 #[cfg(test)]
@@ -343,6 +371,29 @@ mod tests {
         assert!(p.with_override("quick", "1").unwrap().quick);
         assert!(p.with_override("seed", "x").is_err());
         assert!(p.with_override("bogus", "1").is_err());
+    }
+
+    /// The workload axes parse like the existing keys: decimals work,
+    /// NaN/negative/malformed values are loud errors at parse time.
+    #[test]
+    fn workload_sweep_axes_validate_at_parse_time() {
+        let p = Params::default();
+        assert_eq!(
+            p.with_override("churn_rate", "2.5").unwrap().churn_rate,
+            Some(2.5)
+        );
+        assert_eq!(
+            p.with_override("flash_factor", "100").unwrap().flash_factor,
+            Some(100.0)
+        );
+        assert_eq!(
+            p.with_override("churn_rate", "0").unwrap().churn_rate,
+            Some(0.0)
+        );
+        for bad in ["x", "-1", "NaN", "inf"] {
+            assert!(p.with_override("churn_rate", bad).is_err(), "{bad}");
+            assert!(p.with_override("flash_factor", bad).is_err(), "{bad}");
+        }
     }
 
     /// `SWEEP_KEYS` (what the CLI validates against) and `with_override`'s

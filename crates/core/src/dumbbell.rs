@@ -50,6 +50,10 @@ pub struct DumbbellSpec {
     pub tcp: usize,
     /// Optional CBR background.
     pub cbr: Option<CbrSpec>,
+    /// Additional CBR backgrounds (the workload engine's mix).
+    pub extra_cbr: Vec<CbrSpec>,
+    /// Event-driven membership workload (see [`crate::workload`]).
+    pub workload: Option<crate::workload::WorkloadSpec>,
     /// Monitor bin width.
     pub monitor_bin: SimDuration,
 }
@@ -74,6 +78,8 @@ impl From<DumbbellSpec> for TopologySpec {
             mcast: s.mcast,
             tcp: s.tcp,
             cbr: s.cbr,
+            extra_cbr: s.extra_cbr,
+            workload: s.workload,
             monitor_bin: s.monitor_bin,
         }
     }
@@ -93,6 +99,8 @@ impl From<TopologySpec> for DumbbellSpec {
             mcast: s.mcast,
             tcp: s.tcp,
             cbr: s.cbr,
+            extra_cbr: s.extra_cbr,
+            workload: s.workload,
             monitor_bin: s.monitor_bin,
         }
     }

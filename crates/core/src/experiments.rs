@@ -589,6 +589,240 @@ pub fn robustness_matrix(duration_secs: u64, onset_secs: u64, seed: u64) -> Matr
 }
 
 // ---------------------------------------------------------------------------
+// Churn robustness: the defenses under dynamic membership
+// ---------------------------------------------------------------------------
+
+/// Mean dwell time of the churn receivers, seconds (exponentially
+/// distributed around this).
+pub const CHURN_DWELL_SECS: u64 = 15;
+
+/// The default churn-rate sweep, arrivals/second (`Params::churn_rate`
+/// overrides it with a single point).
+pub const CHURN_RATES: &[f64] = &[0.0, 0.5, 2.0];
+
+/// The default flash-crowd multiplier applied at the top churn point
+/// (`Params::flash_factor` overrides it).
+pub const CHURN_FLASH_FACTOR: f64 = 10.0;
+
+/// One cell of the churn sweep: one defense under the inflate attacker
+/// at one churn rate.
+#[derive(Clone, Debug)]
+pub struct ChurnCell {
+    /// Defense label ([`Variant::label`]).
+    pub defense: &'static str,
+    /// Poisson arrival rate of the churn receivers, per second.
+    pub churn_rate: f64,
+    /// Whether a flash crowd hit at the attack onset.
+    pub flash: bool,
+    /// Churn receivers the workload generated (joins over the run).
+    pub churn_receivers: u64,
+    /// Attacker goodput over the post-onset window, bit/s.
+    pub attacker_bps: f64,
+    /// Permanent honest receiver's goodput under attack, bit/s.
+    pub honest_bps: f64,
+    /// Same receiver's goodput in the attack-free run at the same churn.
+    pub baseline_honest_bps: f64,
+    /// Damage/containment metrics relative to that baseline.
+    pub damage: Damage,
+    /// Keys the edge router rejected (0 when unprotected).
+    pub rejected_keys: u64,
+    /// Guard rejections of keys the plain table would have accepted —
+    /// honest collateral of the collusion guard under churn.
+    pub guard_false_positives: u64,
+    /// Key tuples installed at the edge — the per-join control-plane
+    /// load the churn generates.
+    pub tuples_installed: u64,
+    /// Session-join messages the edge processed.
+    pub session_joins: u64,
+}
+
+/// The full churn sweep.
+#[derive(Clone, Debug)]
+pub struct ChurnResult {
+    /// Attack onset, seconds.
+    pub onset_secs: u64,
+    /// Run duration, seconds.
+    pub duration_secs: u64,
+    /// Mean churn dwell time, seconds.
+    pub mean_dwell_secs: u64,
+    /// Flash-crowd multiplier used at the top churn point.
+    pub flash_factor: f64,
+    /// Defense column labels, in cell order.
+    pub defenses: Vec<&'static str>,
+    /// Churn-rate row labels, in cell order.
+    pub churn_rates: Vec<f64>,
+    /// Cells, defense-major then churn rate.
+    pub cells: Vec<ChurnCell>,
+}
+
+/// Raw measurements of one churn run.
+#[derive(Clone)]
+struct ChurnRun {
+    attacker_bps: f64,
+    honest_bps: f64,
+    churn_receivers: u64,
+    rejected_keys: u64,
+    guard_false_positives: u64,
+    tuples_installed: u64,
+    session_joins: u64,
+    detection_secs: Option<f64>,
+}
+
+/// One churn run: a session of `variant` holding the attacker and a
+/// permanent honest receiver, two TCP flows, and a Poisson churn
+/// workload (plus an optional flash crowd) joining and leaving the same
+/// session — the matrix population under dynamic membership.
+fn churn_run(
+    variant: Variant,
+    attacker: AttackPlan,
+    churn_rate: f64,
+    flash: Option<crate::workload::FlashCrowd>,
+    duration_secs: u64,
+    onset_secs: u64,
+    seed: u64,
+) -> ChurnRun {
+    let n_groups = variant_groups(variant);
+    let mut w = crate::workload::WorkloadSpec::none(SimDuration::from_secs(duration_secs))
+        .poisson(churn_rate, SimDuration::from_secs(CHURN_DWELL_SECS));
+    if let Some(f) = flash {
+        w = w.flash(f);
+    }
+    let mut d = Scenario::dumbbell(1.mbps())
+        .seed(seed)
+        .session(
+            McastSessionSpec::new(variant)
+                .groups(n_groups)
+                .receiver(ReceiverSpec::new().adversary(attacker))
+                .receiver(ReceiverSpec::new()),
+        )
+        .tcp(2)
+        .workload(w)
+        .build();
+    // Spec order survives the workload expansion: receiver 0 is the
+    // attacker, 1 the permanent honest receiver, the rest are churners.
+    let churn_receivers = d.sessions[0].receivers.len() as u64 - 2;
+    d.run_secs(duration_secs);
+    let attacker_bps = d.throughput_bps(d.sessions[0].receivers[0], onset_secs, duration_secs);
+    let honest_bps = d.throughput_bps(d.sessions[0].receivers[1], onset_secs + 5, duration_secs);
+    let mut run = ChurnRun {
+        attacker_bps,
+        honest_bps,
+        churn_receivers,
+        rejected_keys: 0,
+        guard_false_positives: 0,
+        tuples_installed: 0,
+        session_joins: 0,
+        detection_secs: None,
+    };
+    if let Some(m) = d.sigma() {
+        let slot_secs = crate::dumbbell::SIGMA_SLOT.as_secs_f64();
+        run.rejected_keys = m.stats.rejected_keys;
+        run.guard_false_positives = m.stats.guard_false_positives;
+        run.tuples_installed = m.stats.tuples_installed;
+        run.session_joins = m.stats.session_joins;
+        run.detection_secs = [m.stats.first_lockout_slot, m.stats.first_guess_alarm_slot]
+            .into_iter()
+            .flatten()
+            .min()
+            .map(|s| s as f64 * slot_secs);
+    }
+    run
+}
+
+/// The registered `churn_robustness` experiment: the matrix's "inflate"
+/// strategy against every [`Variant::DEFENSES`] defense at each churn
+/// rate in `rates`, with a `flash_factor`× flash crowd landing at the
+/// attack onset on the highest rate point. Each cell's baseline is the
+/// attack-free run at the *same* churn — the damage metrics isolate the
+/// attack from the churn itself.
+pub fn churn_robustness(
+    duration_secs: u64,
+    onset_secs: u64,
+    seed: u64,
+    rates: &[f64],
+    flash_factor: f64,
+) -> ChurnResult {
+    let onset = onset_secs.secs();
+    let flash_at = |on: bool| {
+        on.then(|| crate::workload::FlashCrowd {
+            at: onset,
+            factor: flash_factor,
+            mean_dwell: SimDuration::from_secs(CHURN_DWELL_SECS),
+            ramp: SimDuration::from_secs(2),
+        })
+    };
+    let mut cells = Vec::new();
+    for (di, &variant) in Variant::DEFENSES.iter().enumerate() {
+        let column_seed = seed ^ ((di as u64 + 1) << 24);
+        for (ri, &rate) in rates.iter().enumerate() {
+            // The flash crowd rides the top churn point only: the cell
+            // answers "does the defense still contain the attacker when
+            // the group 10×es in seconds".
+            let flash = ri + 1 == rates.len() && rates.len() > 1;
+            let baseline = churn_run(
+                variant,
+                AttackPlan::honest(),
+                rate,
+                flash_at(flash),
+                duration_secs,
+                onset_secs,
+                column_seed,
+            );
+            let attacker = AttackPlan::new(Timed::boxed(
+                onset,
+                Box::new(All::of(vec![
+                    Box::new(InflateTo::all()),
+                    Box::new(KeyGuess { rate: 10 }),
+                ])),
+            ));
+            let run = churn_run(
+                variant,
+                attacker,
+                rate,
+                flash_at(flash),
+                duration_secs,
+                onset_secs,
+                column_seed,
+            );
+            assert_eq!(
+                baseline.churn_receivers, run.churn_receivers,
+                "workload expansion must not depend on the adversary"
+            );
+            cells.push(ChurnCell {
+                defense: variant.label(),
+                churn_rate: rate,
+                flash,
+                churn_receivers: run.churn_receivers,
+                attacker_bps: run.attacker_bps,
+                honest_bps: run.honest_bps,
+                baseline_honest_bps: baseline.honest_bps,
+                damage: damage(
+                    baseline.honest_bps,
+                    run.honest_bps,
+                    run.attacker_bps,
+                    baseline.attacker_bps,
+                    run.detection_secs,
+                    onset_secs as f64,
+                ),
+                rejected_keys: run.rejected_keys,
+                guard_false_positives: run.guard_false_positives,
+                tuples_installed: run.tuples_installed,
+                session_joins: run.session_joins,
+            });
+        }
+    }
+    ChurnResult {
+        onset_secs,
+        duration_secs,
+        mean_dwell_secs: CHURN_DWELL_SECS,
+        flash_factor,
+        defenses: Variant::DEFENSES.iter().map(|v| v.label()).collect(),
+        churn_rates: rates.to_vec(),
+        cells,
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Topology experiments: trees and parking lots beyond the dumbbell
 // ---------------------------------------------------------------------------
 

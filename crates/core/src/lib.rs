@@ -14,6 +14,11 @@
 //!   wrapper over [`topology`]: any mix of FLID-DL / FLID-DS sessions,
 //!   TCP Reno cross traffic and on-off CBR, with per-receiver join
 //!   times, access delays and misbehaviour,
+//! * [`workload`] — the event-driven membership workload engine:
+//!   synthetic and trace-driven arrival processes (Poisson join/leave,
+//!   Zipf session popularity, flash crowds), heterogeneous access
+//!   rates/RTTs and background traffic mixes, expanded deterministically
+//!   from the scenario seed into ordinary receiver/traffic specs,
 //! * [`config`] — [`RunConfig::from_env`] (the one reader of `MCC_QUICK`
 //!   / `MCC_THREADS` / `MCC_OUT`) and the [`Params`] bag every
 //!   experiment runs under,
@@ -49,6 +54,7 @@ pub mod registry;
 pub mod runner;
 pub mod scenario;
 pub mod topology;
+pub mod workload;
 
 pub use config::{set_shard_workers, set_trace, shard_workers, trace_spec, Params, RunConfig};
 pub use dumbbell::{
@@ -62,3 +68,4 @@ pub use runner::{
 };
 pub use scenario::{Scenario, Units, Variant};
 pub use topology::{cohort_receiver, BuiltTopology, Topology, TopologySpec};
+pub use workload::{Arrivals, Dist, FlashCrowd, Popularity, WorkloadSpec};

@@ -371,6 +371,74 @@ fn matrix_robustness_body(p: &Params, seed: u64) -> Json {
     ])
 }
 
+fn churn_robustness_body(p: &Params, seed: u64) -> Json {
+    let dur = p.duration(60);
+    let onset = dur / 3;
+    // `--set churn_rate=R` pins the sweep to one point; `--set
+    // flash_factor=F` rescales the flash crowd (which rides the top
+    // point of a multi-point sweep only).
+    let rates: Vec<f64> = match p.churn_rate {
+        Some(r) => vec![r],
+        None => experiments::CHURN_RATES.to_vec(),
+    };
+    let flash_factor = p.flash_factor.unwrap_or(experiments::CHURN_FLASH_FACTOR);
+    let m = experiments::churn_robustness(dur, onset, seed, &rates, flash_factor);
+    Json::obj([
+        ("onset_secs", Json::U64(m.onset_secs)),
+        ("duration_secs", Json::U64(m.duration_secs)),
+        ("mean_dwell_secs", Json::U64(m.mean_dwell_secs)),
+        ("flash_factor", Json::Num(m.flash_factor)),
+        (
+            "defenses",
+            Json::Arr(
+                m.defenses
+                    .iter()
+                    .map(|d| Json::Str(d.to_string()))
+                    .collect(),
+            ),
+        ),
+        (
+            "churn_rates",
+            Json::Arr(m.churn_rates.iter().map(|&r| Json::Num(r)).collect()),
+        ),
+        (
+            "cells",
+            Json::Arr(
+                m.cells
+                    .iter()
+                    .map(|c| {
+                        Json::obj([
+                            ("defense", Json::Str(c.defense.to_string())),
+                            ("churn_rate", Json::Num(c.churn_rate)),
+                            ("flash", Json::Bool(c.flash)),
+                            ("churn_receivers", Json::U64(c.churn_receivers)),
+                            ("attacker_bps", Json::Num(c.attacker_bps)),
+                            ("honest_bps", Json::Num(c.honest_bps)),
+                            ("baseline_honest_bps", Json::Num(c.baseline_honest_bps)),
+                            ("honest_loss_pct", Json::Num(c.damage.honest_loss_pct)),
+                            (
+                                "attacker_excess_pct",
+                                Json::Num(c.damage.attacker_excess_pct),
+                            ),
+                            (
+                                "time_to_lockout_secs",
+                                c.damage
+                                    .time_to_lockout_secs
+                                    .map(Json::Num)
+                                    .unwrap_or(Json::Null),
+                            ),
+                            ("rejected_keys", Json::U64(c.rejected_keys)),
+                            ("guard_false_positives", Json::U64(c.guard_false_positives)),
+                            ("tuples_installed", Json::U64(c.tuples_installed)),
+                            ("session_joins", Json::U64(c.session_joins)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 // ---------------------------------------------------------------------------
 // Topology bodies
 // ---------------------------------------------------------------------------
@@ -711,6 +779,14 @@ pub static REGISTRY: &[ExperimentDef] = &[
         body: matrix_robustness_body,
     },
     ExperimentDef {
+        id: "churn_robustness",
+        figure: "",
+        describe: "defense variants under membership churn and flash crowds",
+        kind: Kind::Matrix,
+        seed: 29,
+        body: churn_robustness_body,
+    },
+    ExperimentDef {
         id: "tree_placement",
         figure: "",
         describe: "honest damage vs attacker depth on a balanced multicast tree",
@@ -842,12 +918,12 @@ mod tests {
     #[test]
     fn registry_enumerates_figures_ablations_and_matrices() {
         assert!(
-            REGISTRY.len() >= 20,
-            "12 figures + 3 ablations + 1 matrix + 2 topologies + 2 perf"
+            REGISTRY.len() >= 21,
+            "12 figures + 3 ablations + 2 matrices + 2 topologies + 2 perf"
         );
         assert_eq!(figures().len(), 12);
         assert_eq!(ablations().len(), 3);
-        assert_eq!(matrices().len(), 1);
+        assert_eq!(matrices().len(), 2);
         assert_eq!(topologies().len(), 2);
         assert_eq!(perfs().len(), 2);
         let mut ids: Vec<&str> = REGISTRY.iter().map(|d| d.id).collect();

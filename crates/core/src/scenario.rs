@@ -144,6 +144,20 @@ impl ReceiverSpec {
         self
     }
 
+    /// Leave the session at `at`, dropping every subscribed layer (the
+    /// workload engine's mid-run departure).
+    pub fn leave_at(mut self, at: SimTime) -> ReceiverSpec {
+        self.leave_at = at;
+        self
+    }
+
+    /// Override the access-link capacity (heterogeneous-rate workloads;
+    /// the paper default is 10 Mbps).
+    pub fn access_bps(mut self, bps: u64) -> ReceiverSpec {
+        self.access_bps = bps;
+        self
+    }
+
     /// Misbehave: run `plan`'s adversary strategy (the general form; the
     /// two legacy shorthands below compile down to it).
     pub fn adversary(mut self, plan: AttackPlan) -> ReceiverSpec {
@@ -344,6 +358,15 @@ impl Scenario {
     /// Add a CBR background.
     pub fn cbr(mut self, cbr: CbrSpec) -> Scenario {
         self.spec.cbr = Some(cbr);
+        self
+    }
+
+    /// Overlay an event-driven membership workload (see
+    /// [`crate::workload`]): churn, flash crowds, heterogeneous access
+    /// links and background mixes, expanded deterministically from the
+    /// scenario seed at build time.
+    pub fn workload(mut self, w: crate::workload::WorkloadSpec) -> Scenario {
+        self.spec.workload = Some(w);
         self
     }
 

@@ -59,6 +59,10 @@ const PER_HOP_CBR_FLOW_BASE: u32 = 210;
 pub struct ReceiverSpec {
     /// When the receiver joins the session.
     pub join_at: SimTime,
+    /// When the receiver departs the session mid-run, dropping every
+    /// layer and unsubscribing ([`SimTime::MAX`] = stays to the end —
+    /// the historical static-membership behaviour).
+    pub leave_at: SimTime,
     /// The adversary strategy the receiver runs
     /// ([`AttackPlan::honest`] for a well-behaved receiver). The plan's
     /// [`Placement`] selects the attachment point in multi-router
@@ -66,6 +70,9 @@ pub struct ReceiverSpec {
     pub adversary: AttackPlan,
     /// Propagation delay of the receiver's access link.
     pub access_delay: SimDuration,
+    /// Capacity of the receiver's access link, bit/s (paper default
+    /// 10 Mbps; the workload engine draws heterogeneous rates here).
+    pub access_bps: u64,
     /// Population multiplier: `1` builds one full receiver agent; `n > 1`
     /// builds a [`CohortReceiver`] representing `n` statistically
     /// identical receivers behind one edge interface — O(buckets) state
@@ -78,8 +85,10 @@ impl Default for ReceiverSpec {
     fn default() -> Self {
         ReceiverSpec {
             join_at: SimTime::ZERO,
+            leave_at: SimTime::MAX,
             adversary: AttackPlan::honest(),
             access_delay: SimDuration::from_millis(10),
+            access_bps: 10_000_000,
             cohort: 1,
         }
     }
@@ -220,6 +229,14 @@ pub struct TopologySpec {
     /// Optional CBR background (source at the ingress, sink behind the
     /// first attachment point).
     pub cbr: Option<CbrSpec>,
+    /// Additional CBR backgrounds (the workload engine's background
+    /// mix); each gets its own source/sink pair and flow id `201 + i`.
+    pub extra_cbr: Vec<CbrSpec>,
+    /// Event-driven membership workload: expanded into concrete
+    /// [`ReceiverSpec`]s / background traffic by [`TopologySpec::build`]
+    /// before anything is constructed, so the expansion is a pure
+    /// function of `(seed, spec)`. `None` = the static population above.
+    pub workload: Option<crate::workload::WorkloadSpec>,
     /// Monitor bin width.
     pub monitor_bin: SimDuration,
 }
@@ -238,6 +255,8 @@ impl TopologySpec {
             mcast: Vec::new(),
             tcp: 0,
             cbr: None,
+            extra_cbr: Vec::new(),
+            workload: None,
             monitor_bin: SimDuration::from_secs(1),
         }
     }
@@ -317,6 +336,8 @@ pub struct BuiltTopology {
     pub tcp: Vec<TcpHandle>,
     /// Sink of the spec-level [`CbrSpec`] background, when requested.
     pub cbr_sink: Option<AgentId>,
+    /// Sinks of the workload engine's background CBR mix, in spec order.
+    pub extra_cbr_sinks: Vec<AgentId>,
     /// One cross-traffic sink per parking-lot hop, in hop order (empty
     /// unless [`Topology::ParkingLot`] set `per_hop_cbr`).
     pub hop_cbr_sinks: Vec<AgentId>,
@@ -325,9 +346,16 @@ pub struct BuiltTopology {
 impl TopologySpec {
     /// Assemble the scenario. Construction order (nodes, links, agents,
     /// group registrations) is a function of the spec alone, so equal
-    /// specs build bit-identical simulations.
+    /// specs build bit-identical simulations. A [`TopologySpec::workload`]
+    /// is expanded first (also a pure function of the spec) — a workload
+    /// that generates nothing leaves the spec, and therefore the build,
+    /// untouched.
     pub fn build(self) -> BuiltTopology {
-        let spec = self;
+        let mut spec = self;
+        if let Some(w) = spec.workload.take() {
+            w.apply(&mut spec);
+        }
+        let spec = spec;
         let mut sim = Sim::new(spec.seed, spec.monitor_bin);
         let bottleneck_buffer =
             (2.0 * spec.bottleneck_bps as f64 * spec.buffer_rtt.as_secs_f64() / 8.0) as u64;
@@ -517,13 +545,18 @@ impl TopologySpec {
                 assert!(r.cohort >= 1, "cohort multiplier must be at least 1");
                 let edge = receiver_routers[si][ri];
                 let h = sim.add_node();
+                // Heterogeneous access: each receiver's link runs at its
+                // own rate, with its buffer sized to that rate (the
+                // default 10 Mbps reproduces the historical side buffer).
+                let access_buffer =
+                    (2.0 * r.access_bps as f64 * spec.buffer_rtt.as_secs_f64() / 8.0) as u64;
                 sim.add_duplex_link(
                     edge,
                     h,
-                    10_000_000,
+                    r.access_bps,
                     r.access_delay,
-                    Queue::drop_tail(side_buffer),
-                    Queue::drop_tail(side_buffer),
+                    Queue::drop_tail(access_buffer),
+                    Queue::drop_tail(access_buffer),
                 );
                 let router = m.variant.protected().then_some(edge);
                 let agent: Box<dyn Agent> = match m.variant {
@@ -533,8 +566,21 @@ impl TopologySpec {
                             None => Mode::Dl,
                         };
                         if r.cohort > 1 {
-                            let mut agent =
-                                CohortReceiver::uniform(cfg.clone(), mode, r.cohort, &r.adversary);
+                            // `uniform` with an explicit lifetime: one
+                            // stratum, all members sharing the spec's
+                            // join/leave instants (the agent itself
+                            // starts at `join_at`, so members join at 0
+                            // relative to it).
+                            let mut agent = CohortReceiver::new(
+                                cfg.clone(),
+                                mode,
+                                vec![mcc_flid::CohortMember {
+                                    count: r.cohort,
+                                    join_at: SimTime::ZERO,
+                                    leave_at: r.leave_at,
+                                    plan: r.adversary.clone(),
+                                }],
+                            );
                             agent.set_control_delay(r.access_delay);
                             Box::new(agent)
                         } else {
@@ -543,6 +589,7 @@ impl TopologySpec {
                                 mode,
                                 r.adversary.clone(),
                             );
+                            agent.set_leave_at(r.leave_at);
                             agent.set_control_delay(r.access_delay);
                             Box::new(agent)
                         }
@@ -553,11 +600,13 @@ impl TopologySpec {
                             "cohort receivers are FLID-only; expand Replicated \
                              receivers individually"
                         );
-                        Box::new(ReplicatedReceiver::with_adversary(
+                        let mut agent = ReplicatedReceiver::with_adversary(
                             cfg.clone(),
                             router,
                             r.adversary.clone(),
-                        ))
+                        );
+                        agent.set_leave_at(r.leave_at);
+                        Box::new(agent)
                     }
                     Variant::Threshold => {
                         assert_eq!(
@@ -565,12 +614,14 @@ impl TopologySpec {
                             "cohort receivers are FLID-only; expand Threshold \
                              receivers individually"
                         );
-                        Box::new(ThresholdReceiver::with_adversary(
+                        let mut agent = ThresholdReceiver::with_adversary(
                             cfg.clone(),
                             THRESHOLD_THETA,
                             router,
                             r.adversary.clone(),
-                        ))
+                        );
+                        agent.set_leave_at(r.leave_at);
+                        Box::new(agent)
                     }
                 };
                 receivers.push(sim.add_agent(h, agent, r.join_at));
@@ -633,6 +684,34 @@ impl TopologySpec {
             cbr_sink = Some(sink);
         }
 
+        // The workload engine's background mix: one source/sink pair per
+        // extra CBR, flows 201 upward (the spec-level CBR keeps 200).
+        let mut extra_cbr_sinks = Vec::new();
+        for (i, c) in spec.extra_cbr.iter().enumerate() {
+            let sh = add_sender_host(&mut sim);
+            let rh = sim.add_node();
+            sim.add_duplex_link(
+                core.attach[i % core.attach.len()],
+                rh,
+                10_000_000,
+                spec.side_delay,
+                Queue::drop_tail(side_buffer),
+                Queue::drop_tail(side_buffer),
+            );
+            let sink = sim.add_agent(rh, Box::new(CountingSink::default()), SimTime::ZERO);
+            let cfg = CbrConfig {
+                rate_bps: c.rate_bps,
+                packet_bits: 576 * 8,
+                dest: Dest::Agent(sink),
+                flow: FlowId(201 + i as u32),
+                start: c.start,
+                stop: c.stop,
+                on_off: c.on_off,
+            };
+            sim.add_agent(sh, Box::new(CbrSource::new(cfg)), SimTime::ZERO);
+            extra_cbr_sinks.push(sink);
+        }
+
         // Parking-lot cross traffic: one CBR per hop, entering at the
         // hop's upstream router and leaving right after the bottleneck.
         let mut hop_cbr_sinks = Vec::new();
@@ -686,6 +765,7 @@ impl TopologySpec {
             receiver_routers,
             tcp,
             cbr_sink,
+            extra_cbr_sinks,
             hop_cbr_sinks,
         }
     }

@@ -37,7 +37,7 @@
 //! interface.
 
 use crate::config::FlidConfig;
-use crate::receiver::{FlidReceiver, Mode, ReceiverStats, ATTACK, PROCESS, RETX};
+use crate::receiver::{FlidReceiver, Mode, ReceiverStats, ATTACK, DEPART, PROCESS, RETX};
 use mcc_attack::{Adversary, AttackPlan};
 use mcc_netsim::prelude::*;
 use mcc_sigma::{ProtectedData, SubscriptionAck};
@@ -64,8 +64,22 @@ pub struct CohortMember {
     pub count: u64,
     /// When they join the session (absolute simulation time).
     pub join_at: SimTime,
+    /// When they depart the session ([`SimTime::MAX`] = stay forever).
+    pub leave_at: SimTime,
     /// The strategy they run ([`AttackPlan::honest`] for the bulk).
     pub plan: AttackPlan,
+}
+
+impl CohortMember {
+    /// A permanent member: joins at `join_at`, never departs.
+    pub fn permanent(count: u64, join_at: SimTime, plan: AttackPlan) -> Self {
+        CohortMember {
+            count,
+            join_at,
+            leave_at: SimTime::MAX,
+            plan,
+        }
+    }
 }
 
 /// One live stratum: a receiver state machine plus its multiplicity.
@@ -118,12 +132,17 @@ struct PendingSplit {
 #[derive(Debug)]
 enum Stratum {
     /// Honest forever: pure multiplicity on the base bucket.
-    Honest { count: u64, join_at: SimTime },
+    Honest {
+        count: u64,
+        join_at: SimTime,
+        leave_at: SimTime,
+    },
     /// Provably dormant until `split_at`: rides the base bucket, then
     /// splits.
     Deferred {
         count: u64,
         join_at: SimTime,
+        leave_at: SimTime,
         split_at: SimTime,
         adversary: Box<dyn Adversary>,
     },
@@ -131,6 +150,7 @@ enum Stratum {
     Immediate {
         count: u64,
         join_at: SimTime,
+        leave_at: SimTime,
         adversary: Box<dyn Adversary>,
     },
 }
@@ -172,26 +192,32 @@ impl CohortReceiver {
                     Some(t) if t == SimTime::MAX => Stratum::Honest {
                         count: m.count,
                         join_at: m.join_at,
+                        leave_at: m.leave_at,
                     },
                     Some(t) => match adversary.next_activation(m.join_at) {
                         // Dormancy must cover the whole ride: honest-
                         // equivalent on [join, split_at), activation at
-                        // split_at replayed on the clone.
-                        Some(a) if a > m.join_at && t >= a => Stratum::Deferred {
+                        // split_at replayed on the clone. Departure before
+                        // the split would desynchronize the ride, so a
+                        // leaver gets its own bucket.
+                        Some(a) if a > m.join_at && t >= a && m.leave_at > a => Stratum::Deferred {
                             count: m.count,
                             join_at: m.join_at,
+                            leave_at: m.leave_at,
                             split_at: a,
                             adversary,
                         },
                         _ => Stratum::Immediate {
                             count: m.count,
                             join_at: m.join_at,
+                            leave_at: m.leave_at,
                             adversary,
                         },
                     },
                     None => Stratum::Immediate {
                         count: m.count,
                         join_at: m.join_at,
+                        leave_at: m.leave_at,
                         adversary,
                     },
                 }
@@ -216,11 +242,7 @@ impl CohortReceiver {
         CohortReceiver::new(
             cfg,
             mode,
-            vec![CohortMember {
-                count,
-                join_at: SimTime::ZERO,
-                plan: plan.clone(),
-            }],
+            vec![CohortMember::permanent(count, SimTime::ZERO, plan.clone())],
         )
     }
 
@@ -321,11 +343,17 @@ impl CohortReceiver {
     }
 
     /// Create a bucket (not yet started) and return its index.
-    fn push_bucket(&mut self, count: u64, adversary: Box<dyn Adversary>) -> usize {
+    fn push_bucket(
+        &mut self,
+        count: u64,
+        leave_at: SimTime,
+        adversary: Box<dyn Adversary>,
+    ) -> usize {
         let idx = self.buckets.len();
         let mut rx =
             FlidReceiver::with_adversary(self.cfg.clone(), self.mode, AttackPlan::honest());
         rx.install_adversary(adversary);
+        rx.set_leave_at(leave_at);
         if let Some(d) = self.control_delay {
             rx.set_control_delay(d);
         }
@@ -441,6 +469,12 @@ impl CohortReceiver {
         if self.buckets[idx].rx.pending_sub_slot().is_some() {
             ctx.timer_in(SimDuration::from_millis(60), bucket_base(idx) + RETX);
         }
+        // The source bucket's DEPART timer stays in the source namespace;
+        // a clone with a finite lifetime re-arms its own.
+        let leave_at = self.buckets[idx].rx.leave_at();
+        if leave_at < SimTime::MAX && !self.buckets[idx].rx.departed() {
+            ctx.timer_at(leave_at.max(now), bucket_base(idx) + DEPART);
+        }
         self.sync_membership(ctx);
     }
 }
@@ -458,46 +492,54 @@ impl Agent for CohortReceiver {
         // (honest) buckets are shared per join instant; deferred members
         // ride them and schedule their splits.
         let strata = std::mem::take(&mut self.strata);
-        // `(join_at, bucket)` association list — populations are tiny.
-        let mut base: Vec<(SimTime, usize)> = Vec::new();
+        // `((join_at, leave_at), bucket)` association list — populations
+        // are tiny. Synchrony requires matching lifetimes, not just
+        // matching join instants: a member that departs early would break
+        // the bucket's slot discipline for everyone it rides with.
+        let mut base: Vec<((SimTime, SimTime), usize)> = Vec::new();
         // Join instant per created bucket, in bucket-index order.
         let mut join_of: Vec<SimTime> = Vec::new();
         let mut deferred: Vec<(usize, u64, SimTime, Box<dyn Adversary>)> = Vec::new();
         let mut base_bucket =
-            |this: &mut Self, join_at: SimTime, join_of: &mut Vec<SimTime>| match base
-                .iter()
-                .find(|&&(t, _)| t == join_at)
-            {
-                Some(&(_, idx)) => idx,
-                None => {
-                    let idx = this.push_bucket(0, AttackPlan::honest().build());
-                    base.push((join_at, idx));
-                    join_of.push(join_at);
-                    idx
+            |this: &mut Self, join_at: SimTime, leave_at: SimTime, join_of: &mut Vec<SimTime>| {
+                match base.iter().find(|&&(k, _)| k == (join_at, leave_at)) {
+                    Some(&(_, idx)) => idx,
+                    None => {
+                        let idx = this.push_bucket(0, leave_at, AttackPlan::honest().build());
+                        base.push(((join_at, leave_at), idx));
+                        join_of.push(join_at);
+                        idx
+                    }
                 }
             };
         for s in strata {
             match s {
-                Stratum::Honest { count, join_at } => {
-                    let idx = base_bucket(self, join_at, &mut join_of);
+                Stratum::Honest {
+                    count,
+                    join_at,
+                    leave_at,
+                } => {
+                    let idx = base_bucket(self, join_at, leave_at, &mut join_of);
                     self.buckets[idx].count += count;
                 }
                 Stratum::Deferred {
                     count,
                     join_at,
+                    leave_at,
                     split_at,
                     adversary,
                 } => {
-                    let idx = base_bucket(self, join_at, &mut join_of);
+                    let idx = base_bucket(self, join_at, leave_at, &mut join_of);
                     self.buckets[idx].count += count;
                     deferred.push((idx, count, split_at, adversary));
                 }
                 Stratum::Immediate {
                     count,
                     join_at,
+                    leave_at,
                     adversary,
                 } => {
-                    self.push_bucket(count, adversary);
+                    self.push_bucket(count, leave_at, adversary);
                     join_of.push(join_at);
                 }
             }

@@ -42,6 +42,7 @@ pub(crate) const PROCESS: u64 = 0;
 pub(crate) const RETX: u64 = 1;
 pub(crate) const ATTACK: u64 = 2;
 const REJOIN: u64 = 3;
+pub(crate) const DEPART: u64 = 4;
 
 /// Whether the receiver runs bare FLID-DL or SIGMA-protected FLID-DS.
 #[derive(Clone, Copy, Debug)]
@@ -165,6 +166,12 @@ pub struct FlidReceiver {
     /// joined. Maintained in both modes so state digests line up across
     /// standalone and cohort instances of the same receiver.
     desired: Vec<bool>,
+    /// When this receiver leaves the session for good ([`SimTime::MAX`]
+    /// for the static-membership default — no timer is ever scheduled).
+    leave_at: SimTime,
+    /// Departure has executed: all groups left, unsubscribed, every timer
+    /// chain dead. The receiver is inert from here on.
+    departed: bool,
     /// `(time, level)` trace for the convergence figures.
     pub level_trace: Vec<(f64, u32)>,
     /// Counters.
@@ -206,9 +213,29 @@ impl FlidReceiver {
             token_base: 0,
             managed: false,
             desired: vec![false; n],
+            leave_at: SimTime::MAX,
+            departed: false,
             level_trace: Vec::new(),
             stats: ReceiverStats::default(),
         }
+    }
+
+    /// Schedule the receiver's permanent departure: at `at` it leaves all
+    /// groups, unsubscribes, and goes silent. [`SimTime::MAX`] (the
+    /// default) means "member forever" — no timer is scheduled and the
+    /// receiver runs the exact pre-churn code path.
+    pub fn set_leave_at(&mut self, at: SimTime) {
+        self.leave_at = at;
+    }
+
+    /// Has the receiver permanently left the session?
+    pub fn departed(&self) -> bool {
+        self.departed
+    }
+
+    /// The scheduled departure instant ([`SimTime::MAX`] = stays forever).
+    pub fn leave_at(&self) -> SimTime {
+        self.leave_at
     }
 
     /// The current subscription level.
@@ -438,6 +465,37 @@ impl FlidReceiver {
                     }
                 }
             }
+        }
+    }
+
+    /// Execute the permanent departure: leave every joined group, send one
+    /// unsubscription covering them (FLID-DS), and go silent. Idempotent.
+    fn depart(&mut self, ctx: &mut Ctx) {
+        if self.departed {
+            return;
+        }
+        self.departed = true;
+        let mut left: Vec<GroupAddr> = Vec::new();
+        for gi in 0..self.desired.len() {
+            if self.desired[gi] {
+                let g = gi as u32 + 1;
+                left.push(self.addr(g));
+                self.group_leave(ctx, g);
+            }
+            self.joined_slot[gi] = None;
+        }
+        if !left.is_empty() {
+            self.send_unsubscription(ctx, left);
+        }
+        self.pending = None;
+        self.out_of_session = true;
+        self.level = 0;
+        self.trace(ctx);
+        if ctx.trace_on() {
+            ctx.trace(TraceEvent::Leave {
+                agent: ctx.agent.0,
+                group: self.cfg.groups[0].0,
+            });
         }
     }
 
@@ -737,7 +795,7 @@ impl FlidReceiver {
         let mut marked = self.marked_slots.clone();
         marked.sort_unstable();
         format!(
-            "{}|{:?}|{:?}|{}|{:?}|{}|{}|{}|{:?}|{:?}",
+            "{}|{:?}|{:?}|{}|{:?}|{}|{}|{}|{:?}|{:?}|{}|{:?}",
             self.level,
             self.joined_slot,
             obs,
@@ -748,6 +806,11 @@ impl FlidReceiver {
             self.out_of_session,
             marked,
             self.desired,
+            self.departed,
+            // The scheduled lifetime is state: a bucket that will depart
+            // at t is NOT equivalent to one that stays — merging them
+            // would hand the absorbed members the survivor's future.
+            self.leave_at,
         )
     }
 }
@@ -765,6 +828,15 @@ impl Agent for FlidReceiver {
         self.join_level(ctx, 1);
         self.send_session_join(ctx);
         self.trace(ctx);
+        if ctx.trace_on() {
+            ctx.trace(TraceEvent::Join {
+                agent: ctx.agent.0,
+                group: self.cfg.groups[0].0,
+            });
+        }
+        if self.leave_at < SimTime::MAX {
+            ctx.timer_at(self.leave_at.max(ctx.now()), self.token_base + DEPART);
+        }
         // First slot evaluation: next boundary + guard.
         let s = self.slot_of(ctx.now());
         let next = SimTime::from_nanos((s + 1) * self.cfg.slot.as_nanos()) + self.guard;
@@ -780,6 +852,11 @@ impl Agent for FlidReceiver {
     }
 
     fn on_packet(&mut self, _ctx: &mut Ctx, pkt: Packet) {
+        if self.departed {
+            // In-flight packets racing the departure are dropped on the
+            // floor; the receiver is no longer part of the session.
+            return;
+        }
         if let Some(pd) = pkt.body_as::<ProtectedData>() {
             self.ever_received = true;
             let slot = pd.fields.slot;
@@ -813,7 +890,14 @@ impl Agent for FlidReceiver {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
+        if self.departed {
+            // Every timer chain dies here; nothing is rescheduled.
+            return;
+        }
         match token.wrapping_sub(self.token_base) {
+            DEPART => {
+                self.depart(ctx);
+            }
             PROCESS => {
                 let now = ctx.now();
                 // This fires at (s+1)·slot + guard for slot s.

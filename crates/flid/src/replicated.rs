@@ -27,6 +27,7 @@ const TICK: u64 = 0;
 const EMIT: u64 = 1;
 const PROCESS: u64 = 2;
 const ATTACK: u64 = 3;
+const DEPART: u64 = 4;
 
 /// Sender of a replicated multicast session. Reuses [`FlidConfig`], with
 /// `cumulative_rate(g)` read as group `g`'s own full-content rate.
@@ -186,6 +187,11 @@ pub struct ReplicatedReceiver {
     pub trace: Vec<(f64, u32)>,
     /// Session rejoins after total blackout.
     pub rejoins: u64,
+    /// When this receiver leaves the session for good ([`SimTime::MAX`]
+    /// for the static-membership default — no timer is ever scheduled).
+    leave_at: SimTime,
+    /// Departure has executed: group left, every timer chain dead.
+    departed: bool,
     /// Out-of-protocol attack state and counters.
     pub rogue: RogueState,
     adversary: Box<dyn Adversary>,
@@ -211,8 +217,40 @@ impl ReplicatedReceiver {
             joined_slot: 0,
             trace: Vec::new(),
             rejoins: 0,
+            leave_at: SimTime::MAX,
+            departed: false,
             rogue: RogueState::default(),
             adversary: plan.build(),
+        }
+    }
+
+    /// Schedule the receiver's permanent departure: at `at` it leaves its
+    /// group and goes silent. [`SimTime::MAX`] (the default) means
+    /// "member forever" — no timer is scheduled and the receiver runs the
+    /// exact pre-churn code path.
+    pub fn set_leave_at(&mut self, at: SimTime) {
+        self.leave_at = at;
+    }
+
+    /// Has the receiver permanently left the session?
+    pub fn departed(&self) -> bool {
+        self.departed
+    }
+
+    /// Execute the permanent departure: leave the current group and go
+    /// silent. Idempotent.
+    fn depart(&mut self, ctx: &mut Ctx) {
+        if self.departed {
+            return;
+        }
+        self.departed = true;
+        ctx.leave_group(self.addr(self.group));
+        self.trace.push((ctx.now().as_secs_f64(), 0));
+        if ctx.trace_on() {
+            ctx.trace(mcc_netsim::TraceEvent::Leave {
+                agent: ctx.agent.0,
+                group: self.cfg.groups[0].0,
+            });
         }
     }
 
@@ -337,6 +375,15 @@ impl Agent for ReplicatedReceiver {
         ctx.join_group(self.addr(1));
         self.session_join(ctx);
         self.trace.push((ctx.now().as_secs_f64(), 1));
+        if ctx.trace_on() {
+            ctx.trace(mcc_netsim::TraceEvent::Join {
+                agent: ctx.agent.0,
+                group: self.cfg.groups[0].0,
+            });
+        }
+        if self.leave_at < SimTime::MAX {
+            ctx.timer_at(self.leave_at.max(ctx.now()), DEPART);
+        }
         let s = self.slot_of(ctx.now());
         let next = SimTime::from_nanos((s + 1) * self.cfg.slot.as_nanos()) + self.guard;
         ctx.timer_at(next, PROCESS);
@@ -349,6 +396,11 @@ impl Agent for ReplicatedReceiver {
     }
 
     fn on_packet(&mut self, _ctx: &mut Ctx, pkt: Packet) {
+        if self.departed {
+            // In-flight packets racing the departure are dropped on the
+            // floor; the receiver is no longer part of the session.
+            return;
+        }
         let Some(pd) = pkt.body_as::<ProtectedData>() else {
             return;
         };
@@ -371,7 +423,14 @@ impl Agent for ReplicatedReceiver {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
+        if self.departed {
+            // Every timer chain dies here; nothing is rescheduled.
+            return;
+        }
         match token {
+            DEPART => {
+                self.depart(ctx);
+            }
             PROCESS => {
                 let now = ctx.now();
                 let s = self.slot_of(now - self.guard).saturating_sub(1);

@@ -35,6 +35,9 @@ enum Population<'a> {
     /// Like `SharedHost`, but each agent starts at its own instant
     /// (the expansion of a cohort with staggered joins).
     SharedHostAt(&'a [(AttackPlan, SimTime)]),
+    /// Like `SharedHostAt`, but each agent also departs at its own
+    /// instant (the expansion of a cohort with full member lifetimes).
+    SharedHostSpan(&'a [(AttackPlan, SimTime, SimTime)]),
     /// One cohort agent on one host.
     Cohort(Vec<CohortMember>),
 }
@@ -135,6 +138,14 @@ fn dumbbell_n(bottleneck_bps: u64, n_groups: u32, pop: Population<'_>) -> Rig {
                 ));
             }
         }
+        Population::SharedHostSpan(plans) => {
+            let h = host(&mut sim);
+            for (plan, start, leave) in plans {
+                let mut rx = FlidReceiver::with_adversary(cfg.clone(), mode, plan.clone());
+                rx.set_leave_at(*leave);
+                agents.push(sim.add_agent(h, Box::new(rx), SimTime::from_millis(5).max(*start)));
+            }
+        }
         Population::Cohort(members) => {
             let h = host(&mut sim);
             agents.push(sim.add_agent(
@@ -177,6 +188,7 @@ fn cohort_of_three_honest_matches_individuals_exactly() {
         Population::Cohort(vec![CohortMember {
             count: 3,
             join_at: SimTime::ZERO,
+            leave_at: SimTime::MAX,
             plan: AttackPlan::honest(),
         }]),
     );
@@ -240,11 +252,13 @@ fn deferred_adversary_splits_at_activation_and_matches_individual() {
             CohortMember {
                 count: 2,
                 join_at: SimTime::ZERO,
+                leave_at: SimTime::MAX,
                 plan: AttackPlan::honest(),
             },
             CohortMember {
                 count: 1,
                 join_at: SimTime::ZERO,
+                leave_at: SimTime::MAX,
                 plan: AttackPlan::new(Timed::at(onset, IgnoreDecrease)),
             },
         ]),
@@ -309,11 +323,13 @@ fn inert_diverger_merges_back_into_the_honest_bucket() {
             CohortMember {
                 count: 2,
                 join_at: SimTime::ZERO,
+                leave_at: SimTime::MAX,
                 plan: AttackPlan::honest(),
             },
             CohortMember {
                 count: 1,
                 join_at: SimTime::ZERO,
+                leave_at: SimTime::MAX,
                 plan: AttackPlan::new(Timed::at(SimTime::from_secs(10), Honest)),
             },
         ]),
@@ -333,6 +349,7 @@ fn inert_diverger_merges_back_into_the_honest_bucket() {
         Population::Cohort(vec![CohortMember {
             count: 3,
             join_at: SimTime::ZERO,
+            leave_at: SimTime::MAX,
             plan: AttackPlan::honest(),
         }]),
     );
@@ -373,11 +390,13 @@ fn staggered_joins_get_their_own_buckets() {
             CohortMember {
                 count: 2,
                 join_at: SimTime::ZERO,
+                leave_at: SimTime::MAX,
                 plan: AttackPlan::honest(),
             },
             CohortMember {
                 count: 1,
                 join_at: late,
+                leave_at: SimTime::MAX,
                 plan: AttackPlan::honest(),
             },
         ]),
@@ -439,12 +458,14 @@ mod proptests {
             let mut members = vec![CohortMember {
                 count: honest,
                 join_at: SimTime::ZERO,
+                leave_at: SimTime::MAX,
                 plan: AttackPlan::honest(),
             }];
             if attack_kind > 0 {
                 members.push(CohortMember {
                     count: 1,
                     join_at: SimTime::ZERO,
+                    leave_at: SimTime::MAX,
                     plan: plans.last().unwrap().clone(),
                 });
             }
@@ -512,11 +533,13 @@ mod proptests {
                 CohortMember {
                     count: base,
                     join_at: SimTime::ZERO,
+                    leave_at: SimTime::MAX,
                     plan: AttackPlan::honest(),
                 },
                 CohortMember {
                     count: 1,
                     join_at: late,
+                    leave_at: SimTime::MAX,
                     plan: AttackPlan::honest(),
                 },
             ];
@@ -559,6 +582,128 @@ mod proptests {
                     sec, w, m, n_groups, base, late_join_s, bw
                 );
             }
+        }
+
+        /// Split/merge round-trip over random full lifetimes — the churn
+        /// contract of the workload engine. A churner with a random
+        /// `[join, leave)` window and an early leaver with a random
+        /// departure both break bucket synchrony (lifetimes key bucket
+        /// sharing, not just join instants); however the buckets split
+        /// and fold, every member must still run the exact state machine
+        /// of the standalone receiver with the same lifetime, and the
+        /// count-weighted ledger must equal the individuals' mean at
+        /// every second — including the zeros after each departure.
+        #[test]
+        fn randomized_lifetimes_match_shared_host_individuals(
+            n_groups in 4u32..8,
+            base in 1u64..3,
+            churn_join_s in 1u64..15,
+            churn_dwell_s in 2u64..20,
+            early_leave_s in 10u64..35,
+            bw_step in 0usize..4,
+        ) {
+            let bw = BW[bw_step];
+            let horizon = 40u64;
+            let join = SimTime::from_secs(churn_join_s);
+            let leave = join + SimDuration::from_secs(churn_dwell_s);
+            let early = SimTime::from_secs(early_leave_s);
+
+            let spans: Vec<(AttackPlan, SimTime, SimTime)> = (0..base)
+                .map(|_| (AttackPlan::honest(), SimTime::ZERO, SimTime::MAX))
+                .chain([
+                    (AttackPlan::honest(), join, leave),
+                    (AttackPlan::honest(), SimTime::ZERO, early),
+                ])
+                .collect();
+            let mut ind = dumbbell_n(bw, n_groups, Population::SharedHostSpan(&spans));
+            ind.sim.run_until(SimTime::from_secs(horizon));
+
+            let members = vec![
+                CohortMember {
+                    count: base,
+                    join_at: SimTime::ZERO,
+                    leave_at: SimTime::MAX,
+                    plan: AttackPlan::honest(),
+                },
+                CohortMember {
+                    count: 1,
+                    join_at: join,
+                    leave_at: leave,
+                    plan: AttackPlan::honest(),
+                },
+                CohortMember {
+                    count: 1,
+                    join_at: SimTime::ZERO,
+                    leave_at: early,
+                    plan: AttackPlan::honest(),
+                },
+            ];
+            let mut coh = dumbbell_n(bw, n_groups, Population::Cohort(members));
+            coh.sim.run_until(SimTime::from_secs(horizon));
+
+            let cohort = coh.sim.agent_as::<CohortReceiver>(coh.agents[0]).unwrap();
+            // Departure retires no one from the ledger: counts conserved.
+            prop_assert_eq!(cohort.receiver_count(), base + 2);
+
+            // Every lifetime's state machine appears verbatim in some
+            // bucket (merged buckets adopt the survivor's equal state).
+            for (i, agent) in ind.agents.iter().enumerate() {
+                let rx = ind.sim.agent_as::<FlidReceiver>(*agent).unwrap();
+                let matched = cohort.buckets().any(|(_, b)| {
+                    b.level_trace == rx.level_trace && b.stats == rx.stats
+                });
+                prop_assert!(
+                    matched,
+                    "individual {} (groups={}, bw={}, join={}s, dwell={}s, \
+                     early={}s) has no byte-equivalent bucket; cohort \
+                     levels {:?}",
+                    i, n_groups, bw, churn_join_s, churn_dwell_s,
+                    early_leave_s, cohort.levels()
+                );
+            }
+
+            // The weighted ledger tracks the individuals' mean through
+            // every split, merge and departure.
+            let mean_ind: Vec<f64> = {
+                let per_agent: Vec<Vec<f64>> = ind
+                    .agents
+                    .iter()
+                    .map(|&a| {
+                        ind.sim
+                            .monitor()
+                            .agent_series_bps(a, SimTime::from_secs(horizon))
+                    })
+                    .collect();
+                (0..horizon as usize)
+                    .map(|s| {
+                        per_agent.iter().map(|v| v[s]).sum::<f64>()
+                            / per_agent.len() as f64
+                    })
+                    .collect()
+            };
+            let weighted = cohort.weighted_series_bps(horizon);
+            for (sec, (w, m)) in weighted.iter().zip(&mean_ind).enumerate() {
+                prop_assert!(
+                    (w - m).abs() < 1.0,
+                    "second {}: weighted {} vs individuals' mean {} \
+                     (groups={}, base={}, join={}s, dwell={}s, early={}s, \
+                     bw={})",
+                    sec, w, m, n_groups, base, churn_join_s,
+                    churn_dwell_s, early_leave_s, bw
+                );
+            }
+
+            // SIGMA's per-interface view agrees between the worlds.
+            let ind_sigma = ind.sim.edge_as::<SigmaEdgeModule>(ind.edge).unwrap();
+            let coh_sigma = coh.sim.edge_as::<SigmaEdgeModule>(coh.edge).unwrap();
+            prop_assert_eq!(
+                ind_sigma.stats.first_lockout_slot,
+                coh_sigma.stats.first_lockout_slot
+            );
+            prop_assert_eq!(
+                ind_sigma.stats.first_guess_alarm_slot,
+                coh_sigma.stats.first_guess_alarm_slot
+            );
         }
     }
 }

@@ -107,6 +107,15 @@ pub enum TraceEvent {
         to_layer: u32,
         slot: u64,
     },
+    /// A receiver agent entered the session (workload arrival or static
+    /// start); `group` is the base group of the session it joined.
+    Join { agent: u32, group: u32 },
+    /// A receiver agent departed the session mid-run, dropping every
+    /// subscribed layer; `group` is the base group of the session.
+    Leave { agent: u32, group: u32 },
+    /// SIGMA installed a fresh key tuple for `(group, slot)` at a router —
+    /// the per-join control-plane load a flash crowd generates.
+    KeyInstall { node: u32, group: u32, slot: u64 },
     /// Exec-class: the world was split into `shards` shard worlds.
     ShardSplit { shards: u32 },
     /// Exec-class: one LBTS window ran on `shard` up to `bound_ns`,
@@ -154,6 +163,9 @@ impl TraceEvent {
             TraceEvent::SigmaLockout { .. } => "sigma_lockout",
             TraceEvent::SigmaAlarm { .. } => "sigma_alarm",
             TraceEvent::FlidLayer { .. } => "flid_layer",
+            TraceEvent::Join { .. } => "join",
+            TraceEvent::Leave { .. } => "leave",
+            TraceEvent::KeyInstall { .. } => "key_install",
             TraceEvent::ShardSplit { .. } => "shard_split",
             TraceEvent::ShardWindow { .. } => "shard_window",
             TraceEvent::ShardExchange { .. } => "shard_exchange",

@@ -109,6 +109,15 @@ pub fn render(run: u32, at: SimTime, ev: &TraceEvent) -> String {
             push_field(&mut out, "to", *to_layer as u64);
             push_field(&mut out, "slot", *slot);
         }
+        TraceEvent::Join { agent, group } | TraceEvent::Leave { agent, group } => {
+            push_field(&mut out, "agent", *agent as u64);
+            push_field(&mut out, "group", *group as u64);
+        }
+        TraceEvent::KeyInstall { node, group, slot } => {
+            push_field(&mut out, "node", *node as u64);
+            push_field(&mut out, "group", *group as u64);
+            push_field(&mut out, "slot", *slot);
+        }
         TraceEvent::ShardSplit { .. }
         | TraceEvent::ShardWindow { .. }
         | TraceEvent::ShardExchange { .. }
@@ -250,6 +259,41 @@ mod tests {
         assert_eq!(
             l,
             r#"{"run":0,"t":2,"ev":"flid_layer","agent":5,"from":1,"to":4,"slot":12}"#
+        );
+    }
+
+    #[test]
+    fn membership_lines_render() {
+        let j = render(
+            0,
+            SimTime::from_nanos(3),
+            &TraceEvent::Join {
+                agent: 9,
+                group: 900,
+            },
+        );
+        assert_eq!(j, r#"{"run":0,"t":3,"ev":"join","agent":9,"group":900}"#);
+        let l = render(
+            0,
+            SimTime::from_nanos(4),
+            &TraceEvent::Leave {
+                agent: 9,
+                group: 900,
+            },
+        );
+        assert_eq!(l, r#"{"run":0,"t":4,"ev":"leave","agent":9,"group":900}"#);
+        let k = render(
+            0,
+            SimTime::from_nanos(5),
+            &TraceEvent::KeyInstall {
+                node: 2,
+                group: 901,
+                slot: 7,
+            },
+        );
+        assert_eq!(
+            k,
+            r#"{"run":0,"t":5,"ev":"key_install","node":2,"group":901,"slot":7}"#
         );
     }
 

@@ -47,6 +47,11 @@ pub struct Metrics {
     pub alarms: u64,
     /// FLID layer transitions.
     pub layer_changes: u64,
+    /// Session membership churn (workload arrivals / departures).
+    pub joins: u64,
+    pub leaves: u64,
+    /// SIGMA key tuples installed at routers.
+    pub key_installs: u64,
     /// Cross-shard exchange volume (messages / payload bits).
     pub exchange_msgs: u64,
     pub exchange_bits: u64,
@@ -78,6 +83,9 @@ impl Metrics {
             TraceEvent::SigmaLockout { .. } => self.lockouts += 1,
             TraceEvent::SigmaAlarm { .. } => self.alarms += 1,
             TraceEvent::FlidLayer { .. } => self.layer_changes += 1,
+            TraceEvent::Join { .. } => self.joins += 1,
+            TraceEvent::Leave { .. } => self.leaves += 1,
+            TraceEvent::KeyInstall { .. } => self.key_installs += 1,
             TraceEvent::ShardExchange { msgs, bits, .. } => {
                 self.exchange_msgs += msgs;
                 self.exchange_bits += bits;
@@ -101,6 +109,9 @@ impl Metrics {
         self.lockouts += other.lockouts;
         self.alarms += other.alarms;
         self.layer_changes += other.layer_changes;
+        self.joins += other.joins;
+        self.leaves += other.leaves;
+        self.key_installs += other.key_installs;
         self.exchange_msgs += other.exchange_msgs;
         self.exchange_bits += other.exchange_bits;
         self.windows += other.windows;
@@ -124,6 +135,9 @@ impl Metrics {
             ("lockouts", self.lockouts),
             ("alarms", self.alarms),
             ("layer_changes", self.layer_changes),
+            ("joins", self.joins),
+            ("leaves", self.leaves),
+            ("key_installs", self.key_installs),
             ("exchange_msgs", self.exchange_msgs),
             ("exchange_bits", self.exchange_bits),
             ("windows", self.windows),

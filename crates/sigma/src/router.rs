@@ -88,6 +88,10 @@ pub struct SigmaStats {
     pub accepted_keys: u64,
     /// Keys rejected.
     pub rejected_keys: u64,
+    /// Guard rejections of keys the plain table would have accepted — the
+    /// collateral damage the collusion guard inflicts on honest receivers
+    /// (its perturbation path makes these possible during flash joins).
+    pub guard_false_positives: u64,
     /// Unsubscription messages processed.
     pub unsubscriptions: u64,
     /// Raw IGMP grafts/prunes ignored for protected groups.
@@ -233,11 +237,12 @@ impl SigmaEdgeModule {
             // The collusion guard is protocol-specific: it only judges the
             // session whose layering it was configured with; foreign
             // groups fall back to plain table validation (§3.2.3).
-            let ok = match &mut self.guard {
-                Some(g) if g.covers(group) => {
-                    g.validate(iface, group, sub.slot, key, &self.table, env.rng)
-                }
-                _ => self.table.validate(group, sub.slot, key),
+            let (ok, guard_covered) = match &mut self.guard {
+                Some(g) if g.covers(group) => (
+                    g.validate(iface, group, sub.slot, key, &self.table, env.rng),
+                    true,
+                ),
+                _ => (self.table.validate(group, sub.slot, key), false),
             };
             if ok {
                 self.stats.accepted_keys += 1;
@@ -260,6 +265,9 @@ impl SigmaEdgeModule {
                 accepted.push((group, key));
             } else {
                 self.stats.rejected_keys += 1;
+                if guard_covered && self.table.validate(group, sub.slot, key) {
+                    self.stats.guard_false_positives += 1;
+                }
                 let tally = self.tally.entry((iface, group, sub.slot)).or_default();
                 tally.insert(key);
                 if tally.len() as u32 >= self.cfg.guess_alarm
@@ -424,6 +432,13 @@ impl EdgeModule for SigmaEdgeModule {
                 // FEC copies overwrite with identical content.
                 if self.table.get(group, chunk.slot) != Some(&tuple) {
                     self.stats.tuples_installed += 1;
+                    if env.trace_on {
+                        env.trace(TraceEvent::KeyInstall {
+                            node: env.node.0,
+                            group: group.0,
+                            slot: chunk.slot,
+                        });
+                    }
                 }
                 self.table.insert(group, chunk.slot, tuple);
             }

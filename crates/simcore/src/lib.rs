@@ -39,4 +39,4 @@ pub use event::EventQueue;
 pub use fx::{FxHashMap, FxHashSet};
 pub use rng::DetRng;
 pub use shard::{merge_stamped, Outbox, ShardClock, ShardId, Stamped};
-pub use time::{SimDuration, SimTime};
+pub use time::{OnOffGrid, SimDuration, SimTime};

@@ -28,6 +28,7 @@ const DESIGN_INDEX: &[(&str, &str)] = &[
     ("", "ablation_fec"),
     ("", "ablation_slot"),
     ("", "matrix_robustness"),
+    ("", "churn_robustness"),
     ("", "tree_placement"),
     ("", "parking_lot_fairness"),
     ("", "perf_events"),
@@ -42,7 +43,7 @@ fn every_design_index_row_resolves_to_a_registered_experiment() {
         assert_eq!(def.figure(), *figure, "{id}: figure label drifted");
         let kind = if !figure.is_empty() {
             Kind::Figure
-        } else if id.starts_with("matrix") {
+        } else if id.starts_with("matrix") || id.starts_with("churn") {
             Kind::Matrix
         } else if id.starts_with("tree") || id.starts_with("parking") {
             Kind::Topology
@@ -135,6 +136,17 @@ fn assert_quick_json_pinned(id: &str) {
 #[test]
 fn matrix_robustness_quick_json_is_byte_pinned() {
     assert_quick_json_pinned("matrix_robustness");
+}
+
+/// Byte pin of the churn sweep: the quick-mode JSON of
+/// `churn_robustness` (every defense × churn-rate cell, including the
+/// flash-crowd point) must not drift — it is the headline evidence that
+/// the workload engine's membership dynamics are deterministic.
+/// Regenerate deliberately with `MCC_BLESS=1 cargo test --test registry
+/// churn_robustness_quick`.
+#[test]
+fn churn_robustness_quick_json_is_byte_pinned() {
+    assert_quick_json_pinned("churn_robustness");
 }
 
 /// Byte pins of the topology experiments: the quick-mode JSON of the
